@@ -1,0 +1,57 @@
+// Command configurator prices Quartz and baseline deployments (§4.4 of
+// the paper): it prints the bill of materials and cost per server for a
+// datacenter of the given size under each topology option.
+//
+// Usage:
+//
+//	configurator [-servers N] [-bom]
+//
+// With -bom, prints the full bill of materials for each option.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/quartz-dcn/quartz/internal/cost"
+)
+
+var (
+	servers = flag.Int("servers", 10_000, "number of servers")
+	bom     = flag.Bool("bom", false, "print full bills of materials")
+)
+
+func main() {
+	flag.Parse()
+	c := cost.Default2014
+	type option struct {
+		b   *cost.BOM
+		err error
+	}
+	ring, ringErr := cost.QuartzRing(*servers, c)
+	options := []option{
+		{cost.TwoTierTree(*servers, c), nil},
+		{ring, ringErr},
+		{cost.ThreeTierTree(*servers, c), nil},
+		{cost.QuartzEdge(*servers, c), nil},
+		{cost.QuartzCore(*servers, c), nil},
+		{cost.QuartzEdgeAndCore(*servers, c), nil},
+	}
+	fmt.Printf("network options for %d servers (2014 parts catalog):\n\n", *servers)
+	for _, o := range options {
+		if o.err != nil {
+			fmt.Printf("%-26s not applicable: %v\n", "single Quartz ring", o.err)
+			continue
+		}
+		fmt.Printf("%-26s $%10.0f total   $%6.0f/server\n", o.b.Name, o.b.Total(), o.b.PerServer())
+	}
+	if *bom {
+		fmt.Println()
+		for _, o := range options {
+			if o.err != nil {
+				continue
+			}
+			fmt.Println(o.b)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Command quartzsim runs ad-hoc packet-level simulations on the
+// architectures of the paper: pick a design, a workload, and a load
+// level, and get latency statistics and the hottest ports.
+//
+// Usage:
+//
+//	quartzsim [-arch NAME] [-workload scatter|gather|scattergather|permutation]
+//	          [-tasks N] [-pps N] [-fanout N] [-ms N] [-seed N] [-hot N]
+//
+// Architectures: tree3 (three-tier), tree2 (two-tier), ring (single
+// Quartz ring), core (Quartz in core), edge (Quartz in edge), edgecore
+// (Quartz in edge and core), jellyfish, qjellyfish (Quartz rings in a
+// Jellyfish graph).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/quartz-dcn/quartz/internal/core"
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+var (
+	archName = flag.String("arch", "edgecore", "architecture: tree3, tree2, ring, core, edge, edgecore, jellyfish, qjellyfish")
+	workload = flag.String("workload", "scatter", "workload: scatter, gather, scattergather, permutation, trace")
+	trace    = flag.String("trace", "", "CSV trace file to replay (workload=trace): at_us,src,dst,size[,flow[,tag]]")
+	failLink = flag.Int("faillink", -1, "fail this link ID at the start of the run")
+	tasks    = flag.Int("tasks", 4, "concurrent tasks")
+	pps      = flag.Float64("pps", 20e3, "packets per second per stream")
+	fanout   = flag.Int("fanout", 12, "receivers (or senders) per task")
+	ms       = flag.Int("ms", 10, "measured milliseconds of virtual time")
+	seed     = flag.Int64("seed", 1, "random seed")
+	hot      = flag.Int("hot", 5, "show the N hottest ports")
+)
+
+func buildArch() (*core.Architecture, error) {
+	rng := rand.New(rand.NewSource(*seed))
+	p := core.ArchParams{}
+	switch *archName {
+	case "tree3":
+		return core.ThreeTierTree(p)
+	case "tree2":
+		return core.TwoTierTreeArch(p)
+	case "ring":
+		return core.QuartzRingArch(p)
+	case "core":
+		return core.QuartzInCore(p)
+	case "edge":
+		return core.QuartzInEdge(p)
+	case "edgecore":
+		return core.QuartzInEdgeAndCore(p)
+	case "jellyfish":
+		return core.Jellyfish(p, rng)
+	case "qjellyfish":
+		return core.QuartzInJellyfish(p, rng)
+	default:
+		return nil, fmt.Errorf("unknown architecture %q", *archName)
+	}
+}
+
+func main() {
+	flag.Parse()
+	arch, err := buildArch()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+		os.Exit(2)
+	}
+	h := traffic.NewHarness()
+	net, err := netsim.New(netsim.Config{
+		Graph:       arch.Graph,
+		Router:      arch.Router,
+		SwitchModel: arch.Model,
+		OnDeliver:   h.Deliver,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed + 1))
+	hosts := arch.Graph.Hosts()
+	end := sim.Time(*ms) * sim.Millisecond
+
+	pick := func(k int) []topology.NodeID {
+		perm := rng.Perm(len(hosts))
+		out := make([]topology.NodeID, 0, k)
+		for _, i := range perm[:k] {
+			out = append(out, hosts[i])
+		}
+		return out
+	}
+
+	var tags []int
+	startTask := func(tag int) error {
+		members := pick(*fanout + 1)
+		sender, rest := members[0], members[1:]
+		var t *traffic.Task
+		switch *workload {
+		case "scatter":
+			t = traffic.Scatter(net, sender, rest, *pps, tag, arch.VLB, rng)
+		case "gather":
+			t = traffic.Gather(net, rest, sender, *pps, tag, arch.VLB, rng)
+		case "scattergather":
+			t = traffic.ScatterGather(net, h, sender, rest, *pps, tag, tag+1, arch.VLB, rng)
+		case "trace":
+			f, err := os.Open(*trace)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			events, err := traffic.ParseTrace(f)
+			if err != nil {
+				return err
+			}
+			n, err := traffic.Replay(net, events)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("replaying %d trace events from %s\n", n, *trace)
+			tags = append(tags, 1) // ParseTrace defaults tags to 1
+			return nil
+		case "permutation":
+			t = &traffic.Task{}
+			pairs := traffic.RandomPermutation(hosts, rng)
+			for i, pr := range pairs {
+				s := &traffic.Stream{
+					Net: net, Src: pr[0], Dst: pr[1],
+					Flow: routing.FlowID(1<<20 + i), RatePPS: *pps, Tag: tag,
+					Rand: rand.New(rand.NewSource(rng.Int63())),
+				}
+				t.Add(s)
+			}
+		default:
+			return fmt.Errorf("unknown workload %q", *workload)
+		}
+		tags = append(tags, tag)
+		return t.Start(end)
+	}
+	if *failLink >= 0 {
+		if err := net.FailLink(topology.LinkID(*failLink)); err != nil {
+			fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("link %d failed for the whole run\n", *failLink)
+	}
+	n := *tasks
+	if *workload == "permutation" || *workload == "trace" {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		if err := startTask(10 * (i + 1)); err != nil {
+			fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	net.Engine().RunUntil(end + 2*sim.Millisecond)
+
+	fmt.Printf("%s | %s | %d task(s), %d streams each at %.0f pps | %d ms\n",
+		arch.Name, *workload, n, *fanout, *pps, *ms)
+	fmt.Printf("delivered %d packets, dropped %d\n\n", net.Delivered(), net.Dropped())
+	for _, tag := range tags {
+		s := h.Latency(tag)
+		if s.N() == 0 {
+			continue
+		}
+		fmt.Printf("task %2d: n=%-8d mean %8.2fus ±%.2f  min %.2f  max %.2f\n",
+			tag/10, s.N(), s.Mean(), s.CI95(), s.Min(), s.Max())
+	}
+	if *hot > 0 {
+		fmt.Printf("\nhottest ports (by bytes):\n")
+		for _, ps := range net.HottestPorts(*hot) {
+			from := arch.Graph.Node(ps.From)
+			l := arch.Graph.Link(ps.Link)
+			to := arch.Graph.Node(l.Other(ps.From))
+			fmt.Printf("  %-10s -> %-10s  %8d pkts %10d B  util %5.1f%%  drops %d\n",
+				from.Name, to.Name, ps.Packets, ps.Bytes,
+				100*ps.Utilization(net.Engine().Now()), ps.Drops)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command topoinfo inspects the topologies the paper analyzes (§5,
+// Table 9): switch counts, wiring complexity, path diversity, and
+// zero-load latency, either for the standard ~1k-port comparison or for
+// a custom full mesh.
+//
+// Usage:
+//
+//	topoinfo                 # Table 9 comparison
+//	topoinfo -mesh M -hosts N  # properties of one Quartz mesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/quartz-dcn/quartz/internal/core"
+	"github.com/quartz-dcn/quartz/internal/experiments"
+)
+
+var (
+	mesh  = flag.Int("mesh", 0, "inspect a Quartz mesh of this many switches instead of Table 9")
+	hosts = flag.Int("hosts", 32, "hosts per switch for -mesh")
+	seed  = flag.Int64("seed", 1, "random seed (Jellyfish row)")
+	dot   = flag.Bool("dot", false, "emit the -mesh topology as Graphviz DOT instead of a summary")
+)
+
+func main() {
+	flag.Parse()
+	if *mesh > 0 {
+		inspectMesh(*mesh, *hosts)
+		return
+	}
+	rows, err := experiments.Table9(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topoinfo: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.RenderTable9(rows))
+}
+
+func inspectMesh(m, n int) {
+	ring, err := core.NewRing(core.RingConfig{
+		Switches: m, HostsPerSwitch: n, Rand: rand.New(rand.NewSource(*seed)),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topoinfo: %v\n", err)
+		os.Exit(1)
+	}
+	g := ring.Graph
+	if *dot {
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "topoinfo: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println(ring)
+	fmt.Printf("  logical links:        %d\n", g.NumLinks()-len(g.Hosts()))
+	fmt.Printf("  physical ring cables: %d\n", ring.WiringComplexity())
+	fmt.Printf("  switch diameter:      %d hop\n", g.Diameter(g.Switches()))
+	if len(g.Switches()) >= 2 {
+		sw := g.Switches()
+		fmt.Printf("  path diversity:       %d edge-disjoint paths\n",
+			g.EdgeDisjointPaths(sw[0], sw[1]))
+	}
+	fmt.Printf("  amplifiers:           %d (every %d hops)\n",
+		ring.Budget.Amplifiers*ring.Plan.Rings, ring.Budget.AmpAfterHops)
+	fmt.Printf("  wavelengths:          %d on %d fiber ring(s); max link load %d\n",
+		ring.Plan.Channels, ring.Plan.Rings, ring.Plan.MaxLinkLoad())
+}

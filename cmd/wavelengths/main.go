@@ -1,0 +1,79 @@
+// Command wavelengths plans WDM channel assignments for Quartz rings
+// (§3.1 of the paper): it reports the number of wavelengths required by
+// the greedy heuristic and the proven optimum, and can dump the full
+// per-pair assignment.
+//
+// Usage:
+//
+//	wavelengths [-m ringSize] [-sweep max] [-plan] [-map] [-rings N] [-seed N]
+//
+// With -sweep, prints the Figure 5 table up to the given ring size.
+// With -plan, prints every pair's channel, direction, and fiber ring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/quartz-dcn/quartz/internal/experiments"
+	"github.com/quartz-dcn/quartz/internal/wdm"
+)
+
+var (
+	m       = flag.Int("m", 33, "ring size (number of switches)")
+	sweep   = flag.Int("sweep", 0, "sweep ring sizes 2..N and print the Figure 5 table")
+	plan    = flag.Bool("plan", false, "print the full channel plan")
+	showMap = flag.Bool("map", false, "print the wavelength occupancy map and per-link loads")
+	rings   = flag.Int("rings", 0, "split the plan across N physical fiber rings (0 = minimum)")
+	seed    = flag.Int64("seed", 1, "random seed for the greedy heuristic")
+)
+
+func main() {
+	flag.Parse()
+	if *sweep > 0 {
+		rows := experiments.Figure5(*sweep, *seed)
+		fmt.Print(experiments.RenderFigure5(rows))
+		return
+	}
+	if *m < 2 {
+		fmt.Fprintln(os.Stderr, "wavelengths: ring size must be >= 2")
+		os.Exit(2)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	p := wdm.Greedy(*m, rng)
+	opt := wdm.OptimalChannels(*m)
+	fmt.Printf("ring size %d: greedy %d channels, optimal (ILP) %d, link-load bound %d\n",
+		*m, p.Channels, opt, wdm.LowerBound(*m))
+
+	numRings := *rings
+	minRings := (p.Channels + wdm.CommodityMuxChannels - 1) / wdm.CommodityMuxChannels
+	if numRings == 0 {
+		numRings = minRings
+	}
+	split, err := wdm.SplitAcrossRings(p, numRings, wdm.CommodityMuxChannels)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wavelengths: %v\n", err)
+		os.Exit(1)
+	}
+	if err := split.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "wavelengths: invalid plan: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d physical fiber ring(s) of %d-channel muxes; max link load %d\n",
+		split.Rings, wdm.CommodityMuxChannels, split.MaxLinkLoad())
+	if p.Channels > wdm.MaxChannelsPerFiber {
+		fmt.Printf("note: %d channels exceed a single %d-channel fiber\n",
+			p.Channels, wdm.MaxChannelsPerFiber)
+	}
+	if *plan {
+		fmt.Println("pair -> channel assignments:")
+		for _, a := range split.Assignments {
+			fmt.Printf("  s%-3d s%-3d  lambda %-4d %-4s ring %d\n", a.S, a.T, a.Channel, a.Dir, a.Ring)
+		}
+	}
+	if *showMap {
+		fmt.Print(split.RenderChannelMap())
+	}
+}

@@ -1,0 +1,70 @@
+package quartz_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/quartz-dcn/quartz"
+)
+
+// ExampleNewRing plans the paper's flagship configuration: a 33-switch
+// ring mimicking a 1056-port switch (§3.2).
+func ExampleNewRing() {
+	ring, err := quartz.NewRing(quartz.RingConfig{Switches: 33, HostsPerSwitch: 32})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ring)
+	fmt.Printf("wiring: %d fiber cables\n", ring.WiringComplexity())
+	// Output:
+	// Quartz ring: 33 switches x 32 hosts (1056 ports), 136 channels on 2 fiber ring(s), 34 amplifiers
+	// wiring: 66 fiber cables
+}
+
+// ExampleOptimalChannels shows the §3.1 channel arithmetic: the proven
+// minimum for the paper's ring sizes, and the single-fiber limit.
+func ExampleOptimalChannels() {
+	fmt.Println(quartz.OptimalChannels(33)) // the paper's 33-switch example
+	fmt.Println(quartz.OptimalChannels(35)) // the largest single-fiber ring
+	fmt.Println(quartz.MaxRingSize(160))    // ... given 160 channels per fiber
+	// Output:
+	// 136
+	// 153
+	// 35
+}
+
+// ExampleGreedyChannels runs the paper's greedy heuristic and checks
+// the two §3.1 invariants.
+func ExampleGreedyChannels() {
+	plan := quartz.GreedyChannels(8, rand.New(rand.NewSource(1)))
+	fmt.Println(plan.Validate() == nil)
+	fmt.Println(plan.Channels >= quartz.OptimalChannels(8))
+	// Output:
+	// true
+	// true
+}
+
+// ExamplePlanAmplifiers reproduces the §3.3 worked example: a 24-node
+// ring needs one amplifier for every two switches.
+func ExamplePlanAmplifiers() {
+	budget, err := quartz.PlanAmplifiers(24)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d amplifiers, one per %d switches\n", budget.Amplifiers, budget.AmpAfterHops)
+	// Output:
+	// 12 amplifiers, one per 2 switches
+}
+
+// ExampleSimulateFiberCuts shows §3.5's headline: one cut never
+// partitions the logical mesh.
+func ExampleSimulateFiberCuts() {
+	plan := quartz.GreedyChannels(33, rand.New(rand.NewSource(2)))
+	res, err := quartz.SimulateFiberCuts(plan, 1, 1000, rand.New(rand.NewSource(3)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.PartitionProb)
+	// Output:
+	// 0
+}

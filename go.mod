@@ -1,0 +1,3 @@
+module github.com/quartz-dcn/quartz
+
+go 1.22

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// Architecture bundles a simulated network design: the topology, the
+// routing strategy, and the switch model of each node — everything the
+// packet simulator needs. The six §7 architectures are built by the
+// functions below, at the paper's simulated scale (4-switch Quartz
+// rings, 16-switch Jellyfish).
+type Architecture struct {
+	Name   string
+	Graph  *topology.Graph
+	Router routing.Router
+	// Model selects the switch model per node (Table 16: ULL for ToR,
+	// aggregation and Quartz switches; CCS for core switches).
+	Model func(topology.Node) netsim.SwitchModel
+	// VLB is non-nil when the architecture routes with Valiant load
+	// balancing (used by the Figure 20 comparison).
+	VLB *routing.VLB
+}
+
+// ArchParams sizes the simulated architectures. The zero value selects
+// the paper's configuration.
+type ArchParams struct {
+	// Pods is the number of pods / edge rings (default 4).
+	Pods int
+	// ToRsPerPod is ToR switches per pod; Quartz replacements use one
+	// 4-switch ring per pod (default 4).
+	ToRsPerPod int
+	// HostsPerToR is servers per rack (default 4).
+	HostsPerToR int
+}
+
+func (p *ArchParams) setDefaults() {
+	if p.Pods == 0 {
+		p.Pods = 4
+	}
+	if p.ToRsPerPod == 0 {
+		p.ToRsPerPod = 4
+	}
+	if p.HostsPerToR == 0 {
+		p.HostsPerToR = 4
+	}
+}
+
+// modelByTier returns ULL for edge/aggregation switches and CCS for
+// core switches — the paper's assignment (§7).
+func modelByTier(n topology.Node) netsim.SwitchModel {
+	if n.Tier == topology.TierCore {
+		return netsim.CiscoNexus7000
+	}
+	return netsim.Arista7150
+}
+
+// allULL returns the cut-through model for every switch (§7: "We use
+// ULL exclusively in Quartz").
+func allULL(topology.Node) netsim.SwitchModel { return netsim.Arista7150 }
+
+// ThreeTierTree builds §7's baseline (Figure 15(a)): ToRs connected to
+// two aggregation switches over 40 Gb/s, aggregation to two CCS cores
+// over 40 Gb/s, hosts at 10 Gb/s.
+func ThreeTierTree(p ArchParams) (*Architecture, error) {
+	p.setDefaults()
+	g, err := topology.NewThreeTierTree(topology.ThreeTierConfig{
+		Pods: p.Pods, ToRsPerPod: p.ToRsPerPod, AggsPerPod: 2, Cores: 2,
+		HostsPerToR: p.HostsPerToR,
+		AggLink:     topology.LinkSpec{Rate: 40 * sim.Gbps},
+		CoreLink:    topology.LinkSpec{Rate: 40 * sim.Gbps},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Architecture{
+		Name:   "three-tier tree",
+		Graph:  g,
+		Router: routing.NewECMPPerPacket(g),
+		Model:  modelByTier,
+	}, nil
+}
+
+// quartzRingSimSize is the simulated ring size: "Each simulated Quartz
+// ring consists of four switches; the size of the ring does not affect
+// performance" (§7).
+const quartzRingSimSize = 4
+
+// QuartzInCore builds Figure 15(b): the 3-tier structure with the core
+// switches replaced by one Quartz ring of four ULL switches meshed at
+// 40 Gb/s; each aggregation switch connects to two ring switches.
+func QuartzInCore(p ArchParams) (*Architecture, error) {
+	p.setDefaults()
+	g := topology.New("quartz-in-core")
+	// Core ring: full mesh of 4 ULL switches (TierToR tier marker would
+	// confuse the model function, so they are TierAgg-like "core ring"
+	// switches; use TierAgg so they get the ULL model).
+	ring := make([]topology.NodeID, quartzRingSimSize)
+	for i := range ring {
+		ring[i] = g.AddSwitch(fmt.Sprintf("qcore%d", i), topology.TierAgg, -1)
+	}
+	for i := 0; i < len(ring); i++ {
+		for j := i + 1; j < len(ring); j++ {
+			g.Connect(ring[i], ring[j], 40*sim.Gbps, topology.DefaultProp)
+		}
+	}
+	rack := 0
+	for pod := 0; pod < p.Pods; pod++ {
+		aggs := make([]topology.NodeID, 2)
+		for a := range aggs {
+			aggs[a] = g.AddSwitch(fmt.Sprintf("agg%d-%d", pod, a), topology.TierAgg, -1)
+			// Connect to two ring switches, spread across pods.
+			g.Connect(aggs[a], ring[(pod+a)%len(ring)], 40*sim.Gbps, topology.DefaultProp)
+			g.Connect(aggs[a], ring[(pod+a+1)%len(ring)], 40*sim.Gbps, topology.DefaultProp)
+		}
+		for t := 0; t < p.ToRsPerPod; t++ {
+			tor := g.AddSwitch(fmt.Sprintf("tor%d-%d", pod, t), topology.TierToR, rack)
+			for _, a := range aggs {
+				g.Connect(tor, a, 40*sim.Gbps, topology.DefaultProp)
+			}
+			for h := 0; h < p.HostsPerToR; h++ {
+				host := g.AddHost(fmt.Sprintf("h%d-%d", rack, h), rack)
+				g.Connect(host, tor, 10*sim.Gbps, topology.DefaultProp)
+			}
+			rack++
+		}
+	}
+	return &Architecture{
+		Name:   "quartz in core",
+		Graph:  g,
+		Router: routing.NewECMPPerPacket(g),
+		Model:  allULL,
+	}, nil
+}
+
+// QuartzInEdge builds Figure 15(c): the ToR and aggregation tiers are
+// replaced by Quartz rings (one 4-switch ring per pod); servers attach
+// at 10 Gb/s and the rings connect to the CCS cores at 40 Gb/s.
+func QuartzInEdge(p ArchParams) (*Architecture, error) {
+	p.setDefaults()
+	g := topology.New("quartz-in-edge")
+	cores := make([]topology.NodeID, 2)
+	for i := range cores {
+		cores[i] = g.AddSwitch(fmt.Sprintf("core%d", i), topology.TierCore, -1)
+	}
+	rack := 0
+	for pod := 0; pod < p.Pods; pod++ {
+		ring := make([]topology.NodeID, p.ToRsPerPod)
+		for i := range ring {
+			ring[i] = g.AddSwitch(fmt.Sprintf("qtor%d-%d", pod, i), topology.TierToR, rack)
+			for h := 0; h < p.HostsPerToR; h++ {
+				host := g.AddHost(fmt.Sprintf("h%d-%d", rack, h), rack)
+				g.Connect(host, ring[i], 10*sim.Gbps, topology.DefaultProp)
+			}
+			// Each ring switch runs two parallel 40 Gb/s uplinks to
+			// each core: the ring replaces both the ToR and the
+			// aggregation tier, so it owns the pod's full uplink
+			// capacity (Figure 15(c)).
+			for _, c := range cores {
+				g.Connect(ring[i], c, 40*sim.Gbps, topology.DefaultProp)
+				g.Connect(ring[i], c, 40*sim.Gbps, topology.DefaultProp)
+			}
+			rack++
+		}
+		for i := 0; i < len(ring); i++ {
+			for j := i + 1; j < len(ring); j++ {
+				g.Connect(ring[i], ring[j], 10*sim.Gbps, topology.DefaultProp)
+			}
+		}
+	}
+	return &Architecture{
+		Name:   "quartz in edge",
+		Graph:  g,
+		Router: routing.NewECMPPerPacket(g),
+		Model:  modelByTier,
+	}, nil
+}
+
+// QuartzInEdgeAndCore builds Figure 15(d): edge rings as in
+// QuartzInEdge, with the core replaced by a Quartz ring as in
+// QuartzInCore.
+func QuartzInEdgeAndCore(p ArchParams) (*Architecture, error) {
+	p.setDefaults()
+	g := topology.New("quartz-in-edge-and-core")
+	ringCore := make([]topology.NodeID, quartzRingSimSize)
+	for i := range ringCore {
+		ringCore[i] = g.AddSwitch(fmt.Sprintf("qcore%d", i), topology.TierCore, -1)
+	}
+	for i := 0; i < len(ringCore); i++ {
+		for j := i + 1; j < len(ringCore); j++ {
+			g.Connect(ringCore[i], ringCore[j], 40*sim.Gbps, topology.DefaultProp)
+		}
+	}
+	rack := 0
+	for pod := 0; pod < p.Pods; pod++ {
+		ring := make([]topology.NodeID, p.ToRsPerPod)
+		for i := range ring {
+			ring[i] = g.AddSwitch(fmt.Sprintf("qtor%d-%d", pod, i), topology.TierToR, rack)
+			for h := 0; h < p.HostsPerToR; h++ {
+				host := g.AddHost(fmt.Sprintf("h%d-%d", rack, h), rack)
+				g.Connect(host, ring[i], 10*sim.Gbps, topology.DefaultProp)
+			}
+			// Uplink to two core-ring switches.
+			g.Connect(ring[i], ringCore[(pod+i)%len(ringCore)], 40*sim.Gbps, topology.DefaultProp)
+			g.Connect(ring[i], ringCore[(pod+i+1)%len(ringCore)], 40*sim.Gbps, topology.DefaultProp)
+			rack++
+		}
+		for i := 0; i < len(ring); i++ {
+			for j := i + 1; j < len(ring); j++ {
+				g.Connect(ring[i], ring[j], 10*sim.Gbps, topology.DefaultProp)
+			}
+		}
+	}
+	return &Architecture{
+		Name:   "quartz in edge and core",
+		Graph:  g,
+		Router: routing.NewECMPPerPacket(g),
+		Model:  allULL,
+	}, nil
+}
+
+// Jellyfish builds §7's random baseline: 16 ULL switches, each
+// dedicating four 10 Gb/s links to other switches.
+func Jellyfish(p ArchParams, rng *rand.Rand) (*Architecture, error) {
+	p.setDefaults()
+	if rng == nil {
+		return nil, fmt.Errorf("core: jellyfish needs a Rand")
+	}
+	g, err := topology.NewJellyfish(topology.JellyfishConfig{
+		Switches:       p.Pods * p.ToRsPerPod,
+		HostsPerSwitch: p.HostsPerToR,
+		NetDegree:      4,
+		Rand:           rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Architecture{
+		Name:   "jellyfish",
+		Graph:  g,
+		Router: routing.NewECMPPerPacket(g),
+		Model:  allULL,
+	}, nil
+}
+
+// QuartzInJellyfish builds §7's sixth architecture: four Quartz rings
+// (one per pod), each dedicating four 10 Gb/s links to random other
+// rings (§4.3).
+func QuartzInJellyfish(p ArchParams, rng *rand.Rand) (*Architecture, error) {
+	p.setDefaults()
+	if rng == nil {
+		return nil, fmt.Errorf("core: quartz-in-jellyfish needs a Rand")
+	}
+	g := topology.New("quartz-in-jellyfish")
+	rings := make([][]topology.NodeID, p.Pods)
+	rack := 0
+	for pod := 0; pod < p.Pods; pod++ {
+		ring := make([]topology.NodeID, p.ToRsPerPod)
+		for i := range ring {
+			ring[i] = g.AddSwitch(fmt.Sprintf("q%d-%d", pod, i), topology.TierToR, rack)
+			for h := 0; h < p.HostsPerToR; h++ {
+				host := g.AddHost(fmt.Sprintf("h%d-%d", rack, h), rack)
+				g.Connect(host, ring[i], 10*sim.Gbps, topology.DefaultProp)
+			}
+			rack++
+		}
+		for i := 0; i < len(ring); i++ {
+			for j := i + 1; j < len(ring); j++ {
+				g.Connect(ring[i], ring[j], 10*sim.Gbps, topology.DefaultProp)
+			}
+		}
+		rings[pod] = ring
+	}
+	// Random inter-ring links: each ring gets 4 outgoing links to
+	// switches in other rings, attachment points round-robin.
+	for pod := range rings {
+		for l := 0; l < 4; l++ {
+			other := rng.Intn(len(rings) - 1)
+			if other >= pod {
+				other++
+			}
+			a := rings[pod][l%len(rings[pod])]
+			b := rings[other][rng.Intn(len(rings[other]))]
+			g.Connect(a, b, 10*sim.Gbps, topology.DefaultProp)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Architecture{
+		Name:   "quartz in jellyfish",
+		Graph:  g,
+		Router: routing.NewECMPPerPacket(g),
+		Model:  allULL,
+	}, nil
+}
+
+// WithVLB returns a copy of the architecture routing with VLB at the
+// given indirect fraction (only meaningful for mesh-based designs).
+func (a *Architecture) WithVLB(indirectFraction float64) (*Architecture, error) {
+	vlb, err := routing.NewVLB(a.Graph, indirectFraction)
+	if err != nil {
+		return nil, err
+	}
+	out := *a
+	out.Name = a.Name + "+vlb"
+	out.Router = vlb
+	out.VLB = vlb
+	return &out, nil
+}
+
+// TwoTierTreeArch builds the small-DC baseline of Table 8: ToRs under
+// cut-through root switches (§4.4 uses cut-through switches for the
+// edge and aggregation tiers of every tree configuration).
+func TwoTierTreeArch(p ArchParams) (*Architecture, error) {
+	p.setDefaults()
+	g, err := topology.NewTwoTierTree(topology.TreeConfig{
+		ToRs:        p.Pods * p.ToRsPerPod,
+		Roots:       2,
+		HostsPerToR: p.HostsPerToR,
+		UpLink:      topology.LinkSpec{Rate: 40 * sim.Gbps},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Architecture{
+		Name:   "two-tier tree",
+		Graph:  g,
+		Router: routing.NewECMPPerPacket(g),
+		Model:  allULL,
+	}, nil
+}
+
+// QuartzRingArch builds a single Quartz ring as the whole network of a
+// small DC (§4's first bullet): all ToR switches fully meshed.
+func QuartzRingArch(p ArchParams) (*Architecture, error) {
+	p.setDefaults()
+	g, err := topology.NewFullMesh(topology.MeshConfig{
+		Switches:       p.Pods * p.ToRsPerPod,
+		HostsPerSwitch: p.HostsPerToR,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Architecture{
+		Name:   "single Quartz ring",
+		Graph:  g,
+		Router: routing.NewECMPPerPacket(g),
+		Model:  allULL,
+	}, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/wdm"
+)
+
+// FiberCutImpact returns the logical switch pairs severed by cutting
+// fiber segment seg (joining ring switches seg and seg+1) of physical
+// ring fiber: every channel whose assigned arc traverses that segment
+// on that fiber dies (§3.5).
+func (r *Ring) FiberCutImpact(fiber, seg int) ([][2]int, error) {
+	m := r.Config.Switches
+	if seg < 0 || seg >= m {
+		return nil, fmt.Errorf("core: segment %d out of range [0,%d)", seg, m)
+	}
+	rings := r.Plan.Rings
+	if rings == 0 {
+		rings = 1
+	}
+	if fiber < 0 || fiber >= rings {
+		return nil, fmt.Errorf("core: fiber %d out of range [0,%d)", fiber, rings)
+	}
+	var severed [][2]int
+	for _, a := range r.Plan.Assignments {
+		if a.Ring != fiber {
+			continue
+		}
+		if arcCrossesSegment(m, a, seg) {
+			severed = append(severed, [2]int{a.S, a.T})
+		}
+	}
+	return severed, nil
+}
+
+// arcCrossesSegment reports whether the assignment's arc traverses
+// fiber segment seg.
+func arcCrossesSegment(m int, a wdm.Assignment, seg int) bool {
+	crossed := false
+	walk := func(from, to int, step int) {
+		for i := from; i != to; i = (i + step + m) % m {
+			link := i
+			if step < 0 {
+				link = (i - 1 + m) % m
+			}
+			if link == seg {
+				crossed = true
+			}
+		}
+	}
+	if a.Dir == wdm.Clockwise {
+		walk(a.S, a.T, 1)
+	} else {
+		walk(a.S, a.T, -1)
+	}
+	return crossed
+}
+
+// ApplyFiberCut fails, in a packet simulation built on this ring's
+// Graph, every logical mesh link whose channel the cut destroys. It
+// returns the severed pairs. Restore with RestoreFiberCut.
+func (r *Ring) ApplyFiberCut(net *netsim.Network, fiber, seg int) ([][2]int, error) {
+	return r.setFiberCut(net, fiber, seg, true)
+}
+
+// RestoreFiberCut reverses ApplyFiberCut.
+func (r *Ring) RestoreFiberCut(net *netsim.Network, fiber, seg int) error {
+	_, err := r.setFiberCut(net, fiber, seg, false)
+	return err
+}
+
+func (r *Ring) setFiberCut(net *netsim.Network, fiber, seg int, down bool) ([][2]int, error) {
+	if net.Graph() != r.Graph {
+		return nil, fmt.Errorf("core: network was not built on this ring's graph")
+	}
+	severed, err := r.FiberCutImpact(fiber, seg)
+	if err != nil {
+		return nil, err
+	}
+	sw := r.Graph.Switches()
+	for _, pair := range severed {
+		l, ok := r.Graph.FindLink(sw[pair[0]], sw[pair[1]])
+		if !ok {
+			return nil, fmt.Errorf("core: no mesh link for pair %v", pair)
+		}
+		if down {
+			err = net.FailLink(l.ID)
+		} else {
+			err = net.RestoreLink(l.ID)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return severed, nil
+}
+
+// DegradedRouter returns an ECMP router computed on the ring's mesh
+// with the given severed pairs' links removed — install it with
+// netsim.Network.SetRouter after a fiber cut so surviving traffic
+// reroutes over multi-hop logical paths.
+func (r *Ring) DegradedRouter(severed [][2]int) (routing.Router, error) {
+	dead := make(map[topology.LinkID]bool)
+	sw := r.Graph.Switches()
+	for _, pair := range severed {
+		l, ok := r.Graph.FindLink(sw[pair[0]], sw[pair[1]])
+		if !ok {
+			return nil, fmt.Errorf("core: no mesh link for pair %v", pair)
+		}
+		dead[l.ID] = true
+	}
+	return routing.NewECMPAvoiding(r.Graph, dead), nil
+}

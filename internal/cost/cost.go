@@ -1,0 +1,357 @@
+// Package cost models datacenter network hardware cost — the §4.4
+// configurator behind Table 8 of the Quartz paper. It prices complete
+// bills of materials for the paper's deployment options (2-tier tree,
+// 3-tier tree, single Quartz ring, Quartz in the edge, in the core, and
+// in both) at small/medium/large scale.
+//
+// The catalog prices are reconstructed 2014-era street prices for the
+// part classes the paper cites ([2]-[12]); Table 8 compares cost
+// *ratios* between topologies, and the catalog is calibrated so those
+// ratios match the paper (e.g. a single Quartz ring costs ~7% more per
+// server than a 2-tier tree at 500 servers).
+package cost
+
+import (
+	"fmt"
+
+	"github.com/quartz-dcn/quartz/internal/optics"
+	"github.com/quartz-dcn/quartz/internal/wdm"
+)
+
+// Catalog holds unit prices in USD.
+type Catalog struct {
+	// ULLSwitch is a 64-port 10 GbE cut-through switch (Arista
+	// 7150-class [4]).
+	ULLSwitch float64
+	// CoreChassis is the empty chassis+fabric+supervisors of a modular
+	// store-and-forward core switch (Nexus 7700-class [9]).
+	CoreChassis float64
+	// CorePortTenG is the per-port cost of populated core line cards.
+	CorePortTenG float64
+	// SFPPlus is a standard short-reach 10G transceiver (tree links).
+	SFPPlus float64
+	// DWDMTransceiver is a tunable 10G DWDM transceiver [7].
+	DWDMTransceiver float64
+	// Mux80 is an 80-channel DWDM mux/demux [8].
+	Mux80 float64
+	// Amplifier is an EDFA line amplifier [12].
+	Amplifier float64
+	// Attenuator is a fixed fiber attenuator [10].
+	Attenuator float64
+	// FiberCable is one cross-rack fiber run.
+	FiberCable float64
+	// CopperCable is one in-rack copper run.
+	CopperCable float64
+}
+
+// Default2014 is the calibrated catalog. Individual prices are plausible
+// 2014 street prices; the Table 8 comparisons depend only on their
+// ratios.
+var Default2014 = Catalog{
+	ULLSwitch:       14000,
+	CoreChassis:     120000,
+	CorePortTenG:    500,
+	SFPPlus:         30,
+	DWDMTransceiver: 125,
+	Mux80:           2000,
+	Amplifier:       1600,
+	Attenuator:      40,
+	FiberCable:      30,
+	CopperCable:     10,
+}
+
+// LineItem is one row of a bill of materials.
+type LineItem struct {
+	Part  string
+	Qty   int
+	Unit  float64
+	Total float64
+}
+
+// BOM is a priced bill of materials for one deployment.
+type BOM struct {
+	Name    string
+	Servers int
+	Items   []LineItem
+}
+
+func (b *BOM) add(part string, qty int, unit float64) {
+	if qty <= 0 {
+		return
+	}
+	b.Items = append(b.Items, LineItem{Part: part, Qty: qty, Unit: unit, Total: float64(qty) * unit})
+}
+
+// Total returns the BOM's total cost.
+func (b *BOM) Total() float64 {
+	t := 0.0
+	for _, it := range b.Items {
+		t += it.Total
+	}
+	return t
+}
+
+// PerServer returns cost per server.
+func (b *BOM) PerServer() float64 {
+	if b.Servers == 0 {
+		return 0
+	}
+	return b.Total() / float64(b.Servers)
+}
+
+func (b *BOM) String() string {
+	s := fmt.Sprintf("%s (%d servers): $%.0f total, $%.0f/server\n", b.Name, b.Servers, b.Total(), b.PerServer())
+	for _, it := range b.Items {
+		s += fmt.Sprintf("  %-28s x%-6d @ $%-8.0f = $%.0f\n", it.Part, it.Qty, it.Unit, it.Total)
+	}
+	return s
+}
+
+// Deployment-level constants shared by all configurations.
+const (
+	// ServersPerToR is the paper's running configuration: 64-port
+	// switches with a 32:32 split (§3.2, §3.4).
+	ServersPerToR = 32
+	// ULLPorts is the port count of the cut-through switch.
+	ULLPorts = 64
+	// CorePortsTenG is the 10G port count of one core chassis (Table 16:
+	// Nexus 7000, 768 10G ports).
+	CorePortsTenG = 768
+	// ToRUplinks is the uplink count of a tree ToR (32 servers with
+	// ~2.7:1 oversubscription, a typical 2014 design point).
+	ToRUplinks = 12
+	// AggCoreUplinks is the 10G-equivalent uplink count from one
+	// aggregation switch (or one edge ring switch) to the core tier.
+	AggCoreUplinks = 8
+)
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// TwoTierTree prices a 2-tier multi-root tree: ToRs with a 32:32
+// server/uplink split and enough 64-port root switches for the uplinks
+// (full provisioning, as the paper's small-DC baseline).
+func TwoTierTree(servers int, c Catalog) *BOM {
+	b := &BOM{Name: "two-tier tree", Servers: servers}
+	tors := ceilDiv(servers, ServersPerToR)
+	uplinksPerToR := ToRUplinks
+	roots := ceilDiv(tors*uplinksPerToR, ULLPorts)
+	b.add("ULL 64-port switch (ToR)", tors, c.ULLSwitch)
+	b.add("ULL 64-port switch (root)", roots, c.ULLSwitch)
+	uplinks := tors * uplinksPerToR
+	b.add("SFP+ transceiver", 2*uplinks, c.SFPPlus)
+	b.add("fiber cable (cross-rack)", uplinks, c.FiberCable)
+	b.add("copper cable (server)", servers, c.CopperCable)
+	return b
+}
+
+// QuartzRing prices a single Quartz ring replacing the whole network of
+// a small DC: M ToR switches in a WDM ring (§4's first bullet). It
+// fails if the server count needs a ring beyond the 35-switch fiber
+// limit.
+func QuartzRing(servers int, c Catalog) (*BOM, error) {
+	m := ceilDiv(servers, ServersPerToR)
+	if m > wdm.MaxRingSizeSingleFiber {
+		return nil, fmt.Errorf("cost: %d servers need a %d-switch ring, beyond the 35-switch fiber limit", servers, m)
+	}
+	b := &BOM{Name: "single Quartz ring", Servers: servers}
+	b.add("ULL 64-port switch (ToR)", m, c.ULLSwitch)
+	// One DWDM transceiver per peer per switch: full mesh.
+	transceivers := m * (m - 1)
+	b.add("DWDM transceiver", transceivers, c.DWDMTransceiver)
+	// Muxes per switch: enough 80-channel muxes for the channel count.
+	channels := wdm.OptimalChannels(m)
+	muxesPerSwitch := ceilDiv(channels, wdm.CommodityMuxChannels)
+	b.add("80-ch DWDM mux/demux", m*muxesPerSwitch, c.Mux80)
+	if budget, err := optics.PlanRing(m, optics.DefaultParts); err == nil {
+		b.add("EDFA amplifier", budget.Amplifiers*muxesPerSwitch, c.Amplifier)
+		b.add("attenuator", budget.Attenuators*muxesPerSwitch, c.Attenuator)
+	}
+	b.add("fiber cable (ring segment)", m*muxesPerSwitch, c.FiberCable)
+	b.add("copper cable (server)", servers, c.CopperCable)
+	return b, nil
+}
+
+// threeTierShape derives the paper-style 3-tier structure for a server
+// count: pods of 16 ToRs with 2 aggregation switches each, and core
+// chassis sized to terminate one 10G-equivalent uplink per aggregation
+// switch pair.
+type threeTierShape struct {
+	tors, pods, aggs, cores int
+}
+
+func shapeThreeTier(servers int) threeTierShape {
+	tors := ceilDiv(servers, ServersPerToR)
+	pods := ceilDiv(tors, 16)
+	aggs := pods * 2
+	// Each aggregation switch runs AggCoreUplinks 10G-equivalent
+	// uplinks to the core tier.
+	coreUplinks := aggs * AggCoreUplinks
+	cores := ceilDiv(coreUplinks, CorePortsTenG)
+	if cores < 2 {
+		cores = 2 // multi-root redundancy
+	}
+	return threeTierShape{tors: tors, pods: pods, aggs: aggs, cores: cores}
+}
+
+// ThreeTierTree prices the paper's 3-tier baseline for medium/large DCs.
+func ThreeTierTree(servers int, c Catalog) *BOM {
+	b := &BOM{Name: "three-tier tree", Servers: servers}
+	s := shapeThreeTier(servers)
+	b.add("ULL 64-port switch (ToR)", s.tors, c.ULLSwitch)
+	b.add("ULL 64-port switch (agg)", s.aggs, c.ULLSwitch)
+	b.add("core chassis", s.cores, c.CoreChassis)
+	b.add("core 10G port", s.aggs*AggCoreUplinks, c.CorePortTenG)
+	uplinks := s.tors*ToRUplinks + s.aggs*AggCoreUplinks
+	b.add("SFP+ transceiver", 2*uplinks, c.SFPPlus)
+	b.add("fiber cable (cross-rack)", uplinks, c.FiberCable)
+	b.add("copper cable (server)", servers, c.CopperCable)
+	return b
+}
+
+// quartzEdgeRingSize is the ring size used when Quartz replaces the
+// ToR+aggregation tiers: one ring per pod of 16 racks.
+const quartzEdgeRingSize = 16
+
+// QuartzEdge prices a 3-tier network whose edge (ToR + aggregation
+// tiers) is replaced by Quartz rings of 16 switches (§4.1, Figure
+// 15(c)). The core tier is unchanged.
+func QuartzEdge(servers int, c Catalog) *BOM {
+	b := &BOM{Name: "Quartz in edge", Servers: servers}
+	s := shapeThreeTier(servers)
+	rings := ceilDiv(s.tors, quartzEdgeRingSize)
+	m := quartzEdgeRingSize
+	b.add("ULL 64-port switch (ring ToR)", s.tors, c.ULLSwitch)
+	// Mesh transceivers within each ring.
+	b.add("DWDM transceiver", rings*m*(m-1), c.DWDMTransceiver)
+	channels := wdm.OptimalChannels(m)
+	muxesPerSwitch := ceilDiv(channels, wdm.CommodityMuxChannels)
+	b.add("80-ch DWDM mux/demux", rings*m*muxesPerSwitch, c.Mux80)
+	if budget, err := optics.PlanRing(m, optics.DefaultParts); err == nil {
+		b.add("EDFA amplifier", rings*budget.Amplifiers*muxesPerSwitch, c.Amplifier)
+		b.add("attenuator", rings*budget.Attenuators*muxesPerSwitch, c.Attenuator)
+	}
+	// Core tier sized as in the 3-tier baseline: each ring switch runs
+	// one core uplink, matching the aggregate uplink capacity.
+	coreUplinks := s.tors
+	b.add("core chassis", s.cores, c.CoreChassis)
+	b.add("core 10G port", coreUplinks, c.CorePortTenG)
+	b.add("SFP+ transceiver", 2*coreUplinks, c.SFPPlus)
+	b.add("fiber cable", coreUplinks+rings*m*muxesPerSwitch, c.FiberCable)
+	b.add("copper cable (server)", servers, c.CopperCable)
+	return b
+}
+
+// quartzCoreRingSize is the ring size replacing one core chassis: a
+// 33-switch ring mimics a 1056-port switch (§3.2).
+const quartzCoreRingSize = 33
+
+// QuartzCore prices a 3-tier network whose core chassis are replaced by
+// Quartz rings of 33 ULL switches (§4.2, Figure 15(b)).
+func QuartzCore(servers int, c Catalog) *BOM {
+	b := &BOM{Name: "Quartz in core", Servers: servers}
+	s := shapeThreeTier(servers)
+	b.add("ULL 64-port switch (ToR)", s.tors, c.ULLSwitch)
+	b.add("ULL 64-port switch (agg)", s.aggs, c.ULLSwitch)
+	quartzCores(b, s, c)
+	uplinks := s.tors*ToRUplinks + s.aggs*AggCoreUplinks
+	b.add("SFP+ transceiver", 2*uplinks, c.SFPPlus)
+	b.add("fiber cable (cross-rack)", uplinks, c.FiberCable)
+	b.add("copper cable (server)", servers, c.CopperCable)
+	return b
+}
+
+// quartzCores adds ring-based replacements for the core chassis.
+func quartzCores(b *BOM, s threeTierShape, c Catalog) {
+	m := quartzCoreRingSize
+	ringPorts := ServersPerToR * m // 1056 usable ports per ring
+	coreUplinks := s.aggs * AggCoreUplinks
+	rings := ceilDiv(coreUplinks, ringPorts)
+	b.add("ULL 64-port switch (core ring)", rings*m, c.ULLSwitch)
+	b.add("DWDM transceiver", rings*m*(m-1), c.DWDMTransceiver)
+	channels := wdm.OptimalChannels(m)
+	muxesPerSwitch := ceilDiv(channels, wdm.CommodityMuxChannels)
+	b.add("80-ch DWDM mux/demux", rings*m*muxesPerSwitch, c.Mux80)
+	if budget, err := optics.PlanRing(m, optics.DefaultParts); err == nil {
+		b.add("EDFA amplifier", rings*budget.Amplifiers*muxesPerSwitch, c.Amplifier)
+		b.add("attenuator", rings*budget.Attenuators*muxesPerSwitch, c.Attenuator)
+	}
+	b.add("fiber cable (ring segment)", rings*m*muxesPerSwitch, c.FiberCable)
+}
+
+// QuartzEdgeAndCore prices the full conversion: Quartz rings at the
+// edge and in the core (§4, Figure 15(d)).
+func QuartzEdgeAndCore(servers int, c Catalog) *BOM {
+	b := &BOM{Name: "Quartz in edge and core", Servers: servers}
+	s := shapeThreeTier(servers)
+	rings := ceilDiv(s.tors, quartzEdgeRingSize)
+	m := quartzEdgeRingSize
+	b.add("ULL 64-port switch (ring ToR)", s.tors, c.ULLSwitch)
+	b.add("DWDM transceiver (edge)", rings*m*(m-1), c.DWDMTransceiver)
+	channels := wdm.OptimalChannels(m)
+	muxesPerSwitch := ceilDiv(channels, wdm.CommodityMuxChannels)
+	b.add("80-ch DWDM mux/demux (edge)", rings*m*muxesPerSwitch, c.Mux80)
+	if budget, err := optics.PlanRing(m, optics.DefaultParts); err == nil {
+		b.add("EDFA amplifier (edge)", rings*budget.Amplifiers*muxesPerSwitch, c.Amplifier)
+		b.add("attenuator (edge)", rings*budget.Attenuators*muxesPerSwitch, c.Attenuator)
+	}
+	quartzCores(b, s, c)
+	coreUplinks := s.tors
+	b.add("SFP+ transceiver", 2*coreUplinks, c.SFPPlus)
+	b.add("fiber cable", coreUplinks+rings*m*muxesPerSwitch, c.FiberCable)
+	b.add("copper cable (server)", servers, c.CopperCable)
+	return b
+}
+
+// TrendRow projects the Quartz cost premium as WDM part prices fall
+// (Figure 1 of the paper: backbone DWDM cost per bit-km has dropped
+// exponentially since 1993, driven by fiber-to-the-home volume; §8
+// expects "the price difference will diminish as WDM shipping volumes
+// continue to rise").
+type TrendRow struct {
+	// Year is an offset from the catalog's base year (2014).
+	Year int
+	// WDMPriceFactor multiplies the optical parts (transceivers, muxes,
+	// amplifiers) of the base catalog.
+	WDMPriceFactor float64
+	// RingPremium is the small-DC Quartz ring's cost premium over the
+	// two-tier tree at that price level.
+	RingPremium float64
+	// EdgePremium is the medium-DC Quartz-in-edge premium.
+	EdgePremium float64
+}
+
+// WDMCostTrend sweeps the Figure 1 decline: optical part prices halving
+// roughly every `halvingYears` years, with switch and cable prices held
+// constant, over the given horizon. servers sizes the small and medium
+// comparisons (500 and 10k, as in Table 8).
+func WDMCostTrend(horizonYears, halvingYears int) ([]TrendRow, error) {
+	if horizonYears < 0 || halvingYears < 1 {
+		return nil, fmt.Errorf("cost: invalid trend horizon %d / halving %d", horizonYears, halvingYears)
+	}
+	var rows []TrendRow
+	for year := 0; year <= horizonYears; year += halvingYears {
+		factor := 1.0
+		for y := 0; y < year; y += halvingYears {
+			factor /= 2
+		}
+		c := Default2014
+		c.DWDMTransceiver *= factor
+		c.Mux80 *= factor
+		c.Amplifier *= factor
+		c.Attenuator *= factor
+		ring, err := QuartzRing(500, c)
+		if err != nil {
+			return nil, err
+		}
+		tree := TwoTierTree(500, c)
+		edge := QuartzEdge(10_000, c)
+		tri := ThreeTierTree(10_000, c)
+		rows = append(rows, TrendRow{
+			Year:           year,
+			WDMPriceFactor: factor,
+			RingPremium:    ring.PerServer()/tree.PerServer() - 1,
+			EdgePremium:    edge.PerServer()/tri.PerServer() - 1,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,166 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+)
+
+func ratio(a, b *BOM) float64 { return a.PerServer()/b.PerServer() - 1 }
+
+func TestTable8SmallDC(t *testing.T) {
+	// Paper: 500 servers, two-tier $589 vs Quartz ring $633 -> +7%.
+	c := Default2014
+	tree := TwoTierTree(500, c)
+	ring, err := QuartzRing(500, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.PerServer() < 450 || tree.PerServer() > 700 {
+		t.Errorf("two-tier $/server = %.0f, want in the paper's ballpark (~589)", tree.PerServer())
+	}
+	r := ratio(ring, tree)
+	if r < 0.02 || r > 0.15 {
+		t.Errorf("Quartz ring premium = %+.0f%%, paper reports +7%%", 100*r)
+	}
+}
+
+func TestTable8MediumDC(t *testing.T) {
+	// Paper: 10k servers, three-tier $544 vs Quartz in edge $612 -> +13%.
+	c := Default2014
+	tree := ThreeTierTree(10_000, c)
+	edge := QuartzEdge(10_000, c)
+	r := ratio(edge, tree)
+	if r < 0.05 || r > 0.20 {
+		t.Errorf("Quartz edge premium = %+.0f%%, paper reports +13%%", 100*r)
+	}
+}
+
+func TestTable8LargeDC(t *testing.T) {
+	// Paper: 100k servers, Quartz in core costs the same as the
+	// three-tier tree ($525 both), and edge+core costs +17%.
+	c := Default2014
+	tree := ThreeTierTree(100_000, c)
+	core := QuartzCore(100_000, c)
+	both := QuartzEdgeAndCore(100_000, c)
+	if r := ratio(core, tree); r < -0.05 || r > 0.05 {
+		t.Errorf("Quartz core premium = %+.1f%%, paper reports ~0%%", 100*r)
+	}
+	r := ratio(both, tree)
+	if r < 0.08 || r > 0.25 {
+		t.Errorf("Quartz edge+core premium = %+.0f%%, paper reports +17%%", 100*r)
+	}
+}
+
+func TestQuartzRingSizeLimit(t *testing.T) {
+	// 35 switches * 32 servers = 1120 is the most a single ring serves.
+	if _, err := QuartzRing(1120, Default2014); err != nil {
+		t.Errorf("1120 servers rejected: %v", err)
+	}
+	if _, err := QuartzRing(1121, Default2014); err == nil {
+		t.Error("1121 servers accepted for a single ring")
+	}
+}
+
+func TestBOMAccounting(t *testing.T) {
+	b := &BOM{Name: "test", Servers: 10}
+	b.add("widget", 3, 100)
+	b.add("nothing", 0, 5) // ignored
+	b.add("negative", -1, 5)
+	if len(b.Items) != 1 {
+		t.Fatalf("items = %d, want 1", len(b.Items))
+	}
+	if b.Total() != 300 {
+		t.Errorf("Total = %v, want 300", b.Total())
+	}
+	if b.PerServer() != 30 {
+		t.Errorf("PerServer = %v, want 30", b.PerServer())
+	}
+	if (&BOM{}).PerServer() != 0 {
+		t.Error("zero-server BOM should be 0 per server")
+	}
+	if !strings.Contains(b.String(), "widget") {
+		t.Error("String() missing line items")
+	}
+}
+
+func TestCostScalesWithServers(t *testing.T) {
+	c := Default2014
+	small := ThreeTierTree(10_000, c)
+	large := ThreeTierTree(100_000, c)
+	if large.Total() < 9*small.Total() {
+		t.Errorf("100k total $%.0f not ~10x the 10k total $%.0f", large.Total(), small.Total())
+	}
+	// Per-server cost falls slightly with scale (chassis amortization).
+	if large.PerServer() > small.PerServer() {
+		t.Errorf("per-server cost rose with scale: %.0f -> %.0f", small.PerServer(), large.PerServer())
+	}
+}
+
+func TestBOMsCoverExpectedParts(t *testing.T) {
+	c := Default2014
+	ring, err := QuartzRing(500, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := map[string]bool{}
+	for _, it := range ring.Items {
+		parts[it.Part] = true
+	}
+	for _, want := range []string{"ULL 64-port switch (ToR)", "DWDM transceiver", "80-ch DWDM mux/demux", "EDFA amplifier"} {
+		if !parts[want] {
+			t.Errorf("Quartz ring BOM missing %q", want)
+		}
+	}
+	// A 16-switch ring needs exactly 16*15 transceivers.
+	for _, it := range ring.Items {
+		if it.Part == "DWDM transceiver" && it.Qty != 16*15 {
+			t.Errorf("transceivers = %d, want 240", it.Qty)
+		}
+	}
+}
+
+func TestShapeThreeTier(t *testing.T) {
+	s := shapeThreeTier(10_000)
+	if s.tors != 313 {
+		t.Errorf("tors = %d, want 313", s.tors)
+	}
+	if s.pods != 20 || s.aggs != 40 {
+		t.Errorf("pods/aggs = %d/%d, want 20/40", s.pods, s.aggs)
+	}
+	if s.cores < 2 {
+		t.Errorf("cores = %d, want >= 2", s.cores)
+	}
+}
+
+func TestWDMCostTrend(t *testing.T) {
+	rows, err := WDMCostTrend(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (years 0,4,8,12)", len(rows))
+	}
+	// Premiums fall monotonically as WDM prices halve (§8's claim).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RingPremium >= rows[i-1].RingPremium {
+			t.Errorf("ring premium not falling: %.3f then %.3f", rows[i-1].RingPremium, rows[i].RingPremium)
+		}
+		if rows[i].EdgePremium >= rows[i-1].EdgePremium {
+			t.Errorf("edge premium not falling: %.3f then %.3f", rows[i-1].EdgePremium, rows[i].EdgePremium)
+		}
+	}
+	// Starting premium is the Table 8 figure; after three halvings the
+	// ring is nearly cost-neutral.
+	if rows[0].RingPremium < 0.02 {
+		t.Errorf("base ring premium = %.3f, want positive", rows[0].RingPremium)
+	}
+	if last := rows[len(rows)-1].RingPremium; last > rows[0].RingPremium/2 {
+		t.Errorf("premium after 12 years = %.3f, want well below the base %.3f", last, rows[0].RingPremium)
+	}
+	if _, err := WDMCostTrend(-1, 4); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	if _, err := WDMCostTrend(8, 0); err == nil {
+		t.Error("zero halving accepted")
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/core"
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+// The ablations isolate the design choices behind Quartz's results:
+// ring size (§7 claims it does not matter), cut-through switching,
+// the VLB split, and per-packet load balancing.
+
+// AblationRow is one configuration's measured mean latency.
+type AblationRow struct {
+	Config  string
+	Latency float64 // µs
+	CI      float64
+	Drops   uint64
+}
+
+// RenderAblation renders a generic ablation table.
+func RenderAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-34s %14s %10s\n", title, "configuration", "latency (us)", "drops")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %8.2f ±%4.2f %10d\n", r.Config, r.Latency, r.CI, r.Drops)
+	}
+	return b.String()
+}
+
+// meshScatterLatency measures one scatter task's latency on a mesh of m
+// switches with the given switch model and router.
+func meshScatterLatency(m, hostsPer int, model netsim.SwitchModel, seed int64) (AblationRow, error) {
+	g, err := topology.NewFullMesh(topology.MeshConfig{Switches: m, HostsPerSwitch: hostsPer})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	h := traffic.NewHarness()
+	net, err := netsim.New(netsim.Config{
+		Graph:       g,
+		Router:      routing.NewECMPPerPacket(g),
+		SwitchModel: func(topology.Node) netsim.SwitchModel { return model },
+		OnDeliver:   h.Deliver,
+	})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hosts := g.Hosts()
+	perm := rng.Perm(len(hosts))
+	sender := hosts[perm[0]]
+	var receivers []topology.NodeID
+	for _, i := range perm[1:13] {
+		receivers = append(receivers, hosts[i])
+	}
+	const end = 5 * sim.Millisecond
+	t := traffic.Scatter(net, sender, receivers, 30e3, 1, nil, rng)
+	if err := t.Start(end); err != nil {
+		return AblationRow{}, err
+	}
+	net.Engine().RunUntil(end + sim.Millisecond)
+	s := h.Latency(1)
+	return AblationRow{Latency: s.Mean(), CI: s.CI95(), Drops: net.Dropped()}, nil
+}
+
+// AblationRingSize tests the §7 claim that "the size of the ring does
+// not affect performance": a scatter task on meshes of 4..32 switches.
+func AblationRingSize(seed int64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, m := range []int{4, 8, 16, 32} {
+		row, err := meshScatterLatency(m, 4, netsim.Arista7150, seed)
+		if err != nil {
+			return nil, err
+		}
+		row.Config = fmt.Sprintf("quartz ring, %d switches", m)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationSwitchModel isolates the cut-through contribution: the same
+// mesh built from ULL cut-through switches versus CCS
+// store-and-forward chassis.
+func AblationSwitchModel(seed int64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, cfg := range []struct {
+		name  string
+		model netsim.SwitchModel
+	}{
+		{"mesh of ULL (380ns cut-through)", netsim.Arista7150},
+		{"mesh of CCS (6us store-and-forward)", netsim.CiscoNexus7000},
+	} {
+		row, err := meshScatterLatency(8, 4, cfg.model, seed)
+		if err != nil {
+			return nil, err
+		}
+		row.Config = cfg.name
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationVLBFraction sweeps the VLB indirect fraction on the Figure 20
+// pathological pattern at 45 Gb/s — just past the direct channel's
+// capacity — showing the adaptive tradeoff of §3.4: too little
+// spreading saturates the direct link, too much wastes capacity on
+// two-hop detours.
+func AblationVLBFraction(seed int64) ([]AblationRow, error) {
+	ring, err := fig20Ring()
+	if err != nil {
+		return nil, err
+	}
+	ull := func(topology.Node) netsim.SwitchModel { return netsim.Arista7150 }
+	var rows []AblationRow
+	for _, frac := range []float64{0, 0.125, 0.25, 0.5, 0.75, 1.0} {
+		var router routing.Router
+		var vlb *routing.VLB
+		if frac == 0 {
+			router = routing.NewECMPPerPacket(ring)
+		} else {
+			v, err := routing.NewVLB(ring, frac)
+			if err != nil {
+				return nil, err
+			}
+			router, vlb = v, v
+		}
+		mean, saturated, err := runFig20(ring, router, ull, vlb, 45*sim.Gbps, seed)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{
+			Config:  fmt.Sprintf("VLB indirect fraction %.3f", frac),
+			Latency: mean,
+		}
+		if saturated {
+			row.Config += " (saturated)"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationECMPMode compares per-flow ECMP pinning against per-packet
+// spraying on the three-tier tree under the Figure 17 scatter load:
+// pinned flows collide on the few core ports and inflate the tail.
+func AblationECMPMode(seed int64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, cfg := range []struct {
+		name      string
+		perPacket bool
+	}{
+		{"three-tier, per-flow ECMP", false},
+		{"three-tier, per-packet spraying", true},
+	} {
+		arch, err := core.ThreeTierTree(core.ArchParams{})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.perPacket {
+			arch.Router = routing.NewECMPPerPacket(arch.Graph)
+		} else {
+			arch.Router = routing.NewECMP(arch.Graph)
+		}
+		params := defaultFig17Params(ScatterKind)
+		mean, ci, err := runTasks(arch, ScatterKind, 6, false, params, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Config: cfg.name, Latency: mean, CI: ci})
+	}
+	return rows, nil
+}

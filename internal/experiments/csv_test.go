@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/sim"
+)
+
+func TestWriteCSVPlainRows(t *testing.T) {
+	rows := Figure5(6, 1)
+	var buf strings.Builder
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "RingSize,Greedy,Optimal" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != len(rows)+1 {
+		t.Errorf("lines = %d, want %d", len(lines), len(rows)+1)
+	}
+	if !strings.HasPrefix(lines[1], "2,1,1") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVMapColumns(t *testing.T) {
+	rows := []Figure17Row{
+		{Tasks: 1, Latency: map[string]float64{"tree": 9.5, "mesh": 3.1}, CI: map[string]float64{"tree": 0.1, "mesh": 0.05}},
+		{Tasks: 2, Latency: map[string]float64{"tree": 11.0, "mesh": 3.2}, CI: map[string]float64{"tree": 0.2, "mesh": 0.05}},
+	}
+	var buf strings.Builder
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "Tasks,Latency:mesh,Latency:tree,CI:mesh,CI:tree" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,3.1,9.5,0.05,0.1" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVSimTypes(t *testing.T) {
+	type row struct {
+		T    sim.Time
+		R    sim.Rate
+		Flag bool
+	}
+	rows := []row{{T: 2500 * sim.Nanosecond, R: 10 * sim.Gbps, Flag: true}}
+	var buf strings.Builder
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[1] != "2.500,10000000000,1" {
+		t.Errorf("row = %q (times in us, rates in bps, bools as 0/1)", lines[1])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteCSV(&buf, 42); err == nil {
+		t.Error("non-slice accepted")
+	}
+	if err := WriteCSV(&buf, []int{1}); err == nil {
+		t.Error("non-struct elements accepted")
+	}
+	if err := WriteCSV(&buf, []Figure5Row{}); err == nil {
+		t.Error("empty slice accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the Quartz
+// paper's evaluation. Each Figure*/Table* function builds the workload,
+// runs the appropriate simulator, and returns typed rows; String
+// helpers render paper-style ASCII tables. cmd/quartzbench and the
+// repository's benchmark suite are thin wrappers around this package.
+//
+// Every function takes an explicit seed: results are deterministic for
+// a given seed.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/analysis"
+	"github.com/quartz-dcn/quartz/internal/fault"
+	"github.com/quartz-dcn/quartz/internal/wdm"
+)
+
+// Figure5Row is one x-position of Figure 5: wavelengths required for a
+// ring size, by the greedy heuristic and by the ILP optimum.
+type Figure5Row struct {
+	RingSize int
+	// Greedy is the paper's heuristic (§3.1.1), measured.
+	Greedy int
+	// Optimal is the proven minimum — the value the paper's ILP
+	// computes (closed form, verified by branch-and-bound for small
+	// rings; see internal/wdm).
+	Optimal int
+}
+
+// Figure5 sweeps ring sizes 2..maxRing (the paper plots 1..41).
+func Figure5(maxRing int, seed int64) []Figure5Row {
+	rng := rand.New(rand.NewSource(seed))
+	var rows []Figure5Row
+	for m := 2; m <= maxRing; m++ {
+		g := wdm.Greedy(m, rng)
+		rows = append(rows, Figure5Row{
+			RingSize: m,
+			Greedy:   g.Channels,
+			Optimal:  wdm.OptimalChannels(m),
+		})
+	}
+	return rows
+}
+
+// RenderFigure5 renders the sweep with the 160-channel fiber limit
+// annotated (the paper's conclusion: maximum ring size 35).
+func RenderFigure5(rows []Figure5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: wavelengths required vs ring size (fiber limit %d channels)\n", wdm.MaxChannelsPerFiber)
+	fmt.Fprintf(&b, "%8s %22s %18s\n", "ring", "greedy approximation", "optimal (ILP)")
+	for _, r := range rows {
+		note := ""
+		if r.Optimal > wdm.MaxChannelsPerFiber {
+			note = "  over single-fiber limit"
+		}
+		fmt.Fprintf(&b, "%8d %22d %18d%s\n", r.RingSize, r.Greedy, r.Optimal, note)
+	}
+	fmt.Fprintf(&b, "maximum single-fiber ring size: %d\n", wdm.MaxRingSize(wdm.MaxChannelsPerFiber))
+	return b.String()
+}
+
+// Figure6 runs the fault-tolerance sweep of §3.5 on a 33-switch Quartz
+// deployment: 1..4 physical rings, 1..4 simultaneous fiber cuts.
+// Results are indexed [rings-1][cuts-1].
+func Figure6(trials int, seed int64) ([][]fault.Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return fault.Sweep(33, 4, 4, trials, rng)
+}
+
+// RenderFigure6 renders both panels of Figure 6.
+func RenderFigure6(grid [][]fault.Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 6 (top): percentage of bandwidth loss\n")
+	fmt.Fprintf(&b, "%8s", "rings")
+	for c := 1; c <= len(grid[0]); c++ {
+		fmt.Fprintf(&b, "%10s", fmt.Sprintf("%d cut(s)", c))
+	}
+	b.WriteByte('\n')
+	for r, row := range grid {
+		fmt.Fprintf(&b, "%8d", r+1)
+		for _, res := range row {
+			fmt.Fprintf(&b, "%9.1f%%", 100*res.AvgBandwidthLoss)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("Figure 6 (bottom): probability of network partition\n")
+	fmt.Fprintf(&b, "%8s", "rings")
+	for c := 1; c <= len(grid[0]); c++ {
+		fmt.Fprintf(&b, "%10s", fmt.Sprintf("%d cut(s)", c))
+	}
+	b.WriteByte('\n')
+	for r, row := range grid {
+		fmt.Fprintf(&b, "%8d", r+1)
+		for _, res := range row {
+			fmt.Fprintf(&b, "%10.4f", res.PartitionProb)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table9 recomputes the §5 topology comparison.
+func Table9(seed int64) ([]analysis.Row, error) {
+	return analysis.Table9(analysis.Table9Config{Rand: rand.New(rand.NewSource(seed))})
+}
+
+// RenderTable9 renders the comparison in the paper's column order.
+func RenderTable9(rows []analysis.Row) string {
+	var b strings.Builder
+	b.WriteString("Table 9: network structures with ~1k ports (64-port switches)\n")
+	fmt.Fprintf(&b, "%-12s %-28s %10s %8s %10s\n",
+		"Network", "Latency w/o congestion", "Switches", "Wiring", "Diversity")
+	for _, r := range rows {
+		lat := fmt.Sprintf("%.1fus (%d switch hops", r.Latency.Micros(), r.SwitchHops)
+		if r.ServerHops > 0 {
+			lat += fmt.Sprintf(" & %d server hop", r.ServerHops)
+		}
+		lat += ")"
+		wiring := fmt.Sprintf("%d", r.Wiring)
+		if r.WDMWiring > 0 {
+			wiring += fmt.Sprintf(" (%d w/ WDM)", r.WDMWiring)
+		}
+		fmt.Fprintf(&b, "%-12s %-28s %10d %8s %10d\n",
+			r.Network, lat, r.Switches, wiring, r.Diversity)
+	}
+	return b.String()
+}

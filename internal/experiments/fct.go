@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/tcp"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+// FCTRow reports short-flow completion times for one topology and
+// congestion-control mode.
+type FCTRow struct {
+	Topology string
+	Mode     tcp.Mode
+	// MeanUs and P99Us are flow completion times in microseconds.
+	MeanUs, P99Us float64
+	Flows         int
+}
+
+// FlowCompletion measures the completion time of short (15 KB) flows
+// that share the network with bulk TCP cross-traffic, on the prototype
+// tree and mesh wirings, under Reno and DCTCP. It combines the paper's
+// two latency levers: topology (the mesh removes the shared trunk) and
+// protocol (DCTCP keeps the remaining queues short) — quantifying
+// §2.1.4's claim that protocol fixes are "limited by the amount of
+// path diversity in the underlying network topology".
+func FlowCompletion(seed int64, flows int) ([]FCTRow, error) {
+	var rows []FCTRow
+	for _, quartz := range []bool{false, true} {
+		name := "two-tier tree"
+		if quartz {
+			name = "quartz mesh"
+		}
+		for _, mode := range []tcp.Mode{tcp.Reno, tcp.DCTCP} {
+			mean, p99, n, err := runFCT(quartz, mode, flows, seed)
+			if err != nil {
+				return nil, fmt.Errorf("fct %s/%v: %w", name, mode, err)
+			}
+			rows = append(rows, FCTRow{Topology: name, Mode: mode, MeanUs: mean, P99Us: p99, Flows: n})
+		}
+	}
+	return rows, nil
+}
+
+func runFCT(quartz bool, mode tcp.Mode, flows int, seed int64) (mean, p99 float64, n int, err error) {
+	g, hosts, _, err := prototype(quartz)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	h := traffic.NewHarness()
+	// The prototype's 1 Gb/s switches with ECN marking at 30 KB, as
+	// DCTCP recommends for gigabit links.
+	model := prototypeSwitch(g.Node(g.Switches()[0]))
+	model.ECNThresholdBytes = 30_000
+	net, err := netsim.New(netsim.Config{
+		Graph:       g,
+		Router:      routing.NewECMP(g),
+		SwitchModel: func(topology.Node) netsim.SwitchModel { return model },
+		Host:        netsim.HostModel{NICLatency: 10 * sim.Microsecond, ForwardLatency: 15 * sim.Microsecond, BufferBytes: 1 << 20},
+		OnDeliver:   h.Deliver,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Background: two bulk flows from S4's servers into the second
+	// server on S3 — through the shared trunk on the tree, around it on
+	// the mesh.
+	for i, src := range []topology.NodeID{hosts[4], hosts[5]} {
+		bulk, err := tcp.New(tcp.Config{
+			Net: net, Harness: h,
+			Src: src, Dst: hosts[3],
+			Flow: routing.FlowID(5000 + 10*i), Mode: mode,
+			DataTag: 500 + 2*i, AckTag: 501 + 2*i,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		bulk.Start()
+	}
+	// Foreground: sequential 15 KB flows from the first server on S2 to
+	// the first on S3 (the RPC pair of Figure 13).
+	var fcts metrics.Sample
+	eng := net.Engine()
+	done := 0
+	var launch func()
+	launch = func() {
+		if done >= flows {
+			return
+		}
+		tagBase := 1000 + 4*done
+		conn, cerr := tcp.New(tcp.Config{
+			Net: net, Harness: h,
+			Src: hosts[0], Dst: hosts[2],
+			Flow:    routing.FlowID(9000 + uint64(done)),
+			DataTag: tagBase, AckTag: tagBase + 1,
+			Bytes: 15_000, Mode: mode,
+			OnComplete: func(fct sim.Time) {
+				fcts.Add(fct.Micros())
+				done++
+				eng.After(50*sim.Microsecond, launch)
+			},
+		})
+		if cerr != nil {
+			err = cerr
+			eng.Stop()
+			return
+		}
+		conn.Start()
+	}
+	// Let the bulk flows ramp before measuring.
+	eng.After(5*sim.Millisecond, launch)
+	for done < flows && eng.Pending() > 0 {
+		eng.RunUntil(eng.Now() + 20*sim.Millisecond)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if eng.Now() > 30*sim.Second {
+			return 0, 0, 0, fmt.Errorf("short flows starved: %d/%d after %v", done, flows, eng.Now())
+		}
+	}
+	return fcts.Mean(), fcts.Percentile(99), fcts.N(), nil
+}
+
+// RenderFCT renders the comparison.
+func RenderFCT(rows []FCTRow) string {
+	var b strings.Builder
+	b.WriteString("Flow completion time: 15 KB flows under bulk TCP cross-traffic\n")
+	fmt.Fprintf(&b, "%-16s %-8s %12s %12s %8s\n", "topology", "cctrl", "mean (us)", "p99 (us)", "flows")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-8s %12.1f %12.1f %8d\n", r.Topology, r.Mode, r.MeanUs, r.P99Us, r.Flows)
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/flowsim"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+// Figure10Networks are the compared fabrics, in the figure's legend
+// order.
+var Figure10Networks = []string{
+	"full bisection", "quartz", "1/2 bisection", "1/4 bisection",
+}
+
+// Figure10Row is one traffic pattern's normalized throughput across the
+// four fabrics (normalized to the full-bisection result).
+type Figure10Row struct {
+	Pattern    string
+	Throughput map[string]float64
+}
+
+// figure10Scale sizes the §5.1 experiment: 9 racks of 8 servers with
+// 10 Gb/s NICs. Like the paper's 32:32 configuration, the mesh is
+// balanced: each switch has as many 10 Gb/s mesh links (M-1 = 8) as
+// servers.
+const (
+	fig10Switches = 9
+	fig10Hosts    = 8
+)
+
+// buildBisectionFabric models a tree fabric with the given bisection
+// fraction: each ToR's uplink trunk carries fraction * hosts * NIC.
+func buildBisectionFabric(fraction float64) (*topology.Graph, error) {
+	up := sim.Rate(fraction * fig10Hosts * 10 * float64(sim.Gbps))
+	g := topology.New(fmt.Sprintf("fabric(%.2f)", fraction))
+	core := g.AddSwitch("core", topology.TierCore, -1)
+	for r := 0; r < fig10Switches; r++ {
+		tor := g.AddSwitch(fmt.Sprintf("tor%d", r), topology.TierToR, r)
+		g.Connect(tor, core, up, topology.DefaultProp)
+		for h := 0; h < fig10Hosts; h++ {
+			host := g.AddHost(fmt.Sprintf("h%d-%d", r, h), r)
+			g.Connect(host, tor, 10*sim.Gbps, topology.DefaultProp)
+		}
+	}
+	return g, nil
+}
+
+// fig10Pairs builds the three §5.1 patterns' host pairs.
+func fig10Pairs(g *topology.Graph, rng *rand.Rand) map[string][][2]topology.NodeID {
+	return map[string][][2]topology.NodeID{
+		"Random Permutation": traffic.RandomPermutation(g.Hosts(), rng),
+		"Incast":             traffic.Incast(g.Hosts(), 10, rng),
+		"Rack Level Shuffle": traffic.RackShuffle(g, 3, rng),
+	}
+}
+
+// throughputOn allocates the pattern's flows on a fabric over single
+// shortest paths.
+func throughputOn(g *topology.Graph, pairs [][2]topology.NodeID) (float64, error) {
+	flows := make([]flowsim.Flow, 0, len(pairs))
+	for _, p := range pairs {
+		f, err := flowsim.ShortestPathFlow(g, p[0], p[1], 0)
+		if err != nil {
+			return 0, err
+		}
+		flows = append(flows, f)
+	}
+	alloc, err := flowsim.Allocate(g, flows)
+	if err != nil {
+		return 0, err
+	}
+	return alloc.Total(), nil
+}
+
+// throughputOnQuartz allocates the pattern on the mesh with adaptive
+// VLB: §3.4 notes the indirect fraction "can be adaptive depending on
+// the traffic characteristics", so the best split is selected per
+// pattern.
+func throughputOnQuartz(g *topology.Graph, pairs [][2]topology.NodeID) (float64, error) {
+	best := 0.0
+	for frac := 0.0; frac <= 1.0; frac += 0.125 {
+		flows := make([]flowsim.Flow, 0, len(pairs))
+		for _, p := range pairs {
+			f, err := flowsim.VLBFlow(g, p[0], p[1], 1-frac, 0)
+			if err != nil {
+				return 0, err
+			}
+			flows = append(flows, f)
+		}
+		alloc, err := flowsim.Allocate(g, flows)
+		if err != nil {
+			return 0, err
+		}
+		if t := alloc.Total(); t > best {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// Figure10 computes normalized throughput for the three traffic
+// patterns on the four fabrics (§5.1). Pair patterns are sampled
+// identically across fabrics (same seed), and throughput is normalized
+// to the full-bisection fabric.
+func Figure10(seed int64) ([]Figure10Row, error) {
+	mesh, err := topology.NewFullMesh(topology.MeshConfig{
+		Switches: fig10Switches, HostsPerSwitch: fig10Hosts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	full, err := buildBisectionFabric(1.0)
+	if err != nil {
+		return nil, err
+	}
+	half, err := buildBisectionFabric(0.5)
+	if err != nil {
+		return nil, err
+	}
+	quarter, err := buildBisectionFabric(0.25)
+	if err != nil {
+		return nil, err
+	}
+
+	patterns := []string{"Random Permutation", "Incast", "Rack Level Shuffle"}
+	var rows []Figure10Row
+	for _, pattern := range patterns {
+		// Throughput is normalized so the full-bisection fabric scores
+		// 1 (the figure's definition: "equals 1 if every server can
+		// send traffic at its full rate"; for fan-in patterns the
+		// receiver NIC is the binding ideal, which the full-bisection
+		// fabric achieves).
+		row := Figure10Row{Pattern: pattern, Throughput: map[string]float64{}}
+		base := 0.0
+		for _, netName := range Figure10Networks {
+			var g *topology.Graph
+			quartz := false
+			switch netName {
+			case "full bisection":
+				g = full
+			case "quartz":
+				g, quartz = mesh, true
+			case "1/2 bisection":
+				g = half
+			case "1/4 bisection":
+				g = quarter
+			}
+			// Regenerate the same pairs on this fabric's host IDs (all
+			// fabrics create hosts in the same rack-major order).
+			rng := rand.New(rand.NewSource(seed))
+			pairs := fig10Pairs(g, rng)[pattern]
+			var tp float64
+			var err error
+			if quartz {
+				tp, err = throughputOnQuartz(g, pairs)
+			} else {
+				tp, err = throughputOn(g, pairs)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", pattern, netName, err)
+			}
+			if netName == "full bisection" {
+				base = tp
+			}
+			row.Throughput[netName] = tp / base
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure10 renders the bar chart as a table.
+func RenderFigure10(rows []Figure10Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 10: normalized throughput (vs full bisection bandwidth)\n")
+	fmt.Fprintf(&b, "%-20s", "pattern")
+	for _, n := range Figure10Networks {
+		fmt.Fprintf(&b, "%16s", n)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s", r.Pattern)
+		for _, n := range Figure10Networks {
+			fmt.Fprintf(&b, "%16.2f", r.Throughput[n])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

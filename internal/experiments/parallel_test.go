@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCellRunsAll(t *testing.T) {
+	var count int64
+	seen := make([]int32, 100)
+	err := forEachCell(100, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt32(&seen[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("ran %d cells, want 100", count)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachCellPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := forEachCell(10, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestForEachCellZeroAndOne(t *testing.T) {
+	if err := forEachCell(0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Error(err)
+	}
+	ran := false
+	if err := forEachCell(1, func(i int) error { ran = true; return nil }); err != nil {
+		t.Error(err)
+	}
+	if !ran {
+		t.Error("single cell did not run")
+	}
+}

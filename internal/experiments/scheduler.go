@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/schedule"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+// SchedulerRow reports one topology's latency with and without a
+// Hedera/DeTail-style congestion-aware flow scheduler.
+type SchedulerRow struct {
+	Topology string
+	// Unscheduled and Scheduled are mean packet latencies in µs.
+	Unscheduled, Scheduled float64
+	// Moves is how many flow re-pins the scheduler performed.
+	Moves int
+	// Alternatives is the topology's path diversity between the hot
+	// endpoints.
+	Alternatives int
+}
+
+// SchedulerComparison makes §2.1.4's closing argument quantitative:
+// congestion-aware flow scheduling is "limited by the amount of path
+// diversity in the underlying network topology". The same overloaded
+// rack-pair workload runs on a single-root 2-tier tree (diversity 1 —
+// the scheduler has nowhere to move flows) and on a Quartz mesh
+// (diversity M-1 — the scheduler spreads the overload over two-hop
+// paths).
+func SchedulerComparison(seed int64) ([]SchedulerRow, error) {
+	var rows []SchedulerRow
+	for _, tc := range []struct {
+		name  string
+		build func() (*topology.Graph, error)
+	}{
+		{"two-tier tree (diversity 1)", func() (*topology.Graph, error) {
+			return topology.NewTwoTierTree(topology.TreeConfig{
+				ToRs: 4, Roots: 1, HostsPerToR: 2,
+				UpLink: topology.LinkSpec{Rate: 1 * sim.Gbps},
+			})
+		}},
+		{"quartz mesh (diversity 3)", func() (*topology.Graph, error) {
+			return topology.NewFullMesh(topology.MeshConfig{
+				Switches: 4, HostsPerSwitch: 2,
+				MeshLink: topology.LinkSpec{Rate: 1 * sim.Gbps},
+			})
+		}},
+	} {
+		g, err := tc.build()
+		if err != nil {
+			return nil, err
+		}
+		unsched, _, err := runSchedulerCase(g, false, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s unscheduled: %w", tc.name, err)
+		}
+		sched, moves, err := runSchedulerCase(g, true, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s scheduled: %w", tc.name, err)
+		}
+		sw := g.Switches()
+		var torA, torB topology.NodeID = -1, -1
+		for _, s := range sw {
+			switch g.Node(s).Rack {
+			case 0:
+				torA = s
+			case 1:
+				torB = s
+			}
+		}
+		rows = append(rows, SchedulerRow{
+			Topology:     tc.name,
+			Unscheduled:  unsched,
+			Scheduled:    sched,
+			Moves:        moves,
+			Alternatives: g.EdgeDisjointPaths(torA, torB),
+		})
+	}
+	return rows, nil
+}
+
+// runSchedulerCase overloads the rack-0 to rack-1 pair with two flows
+// whose aggregate exceeds the 1 Gb/s inter-switch capacity and measures
+// mean latency.
+func runSchedulerCase(g *topology.Graph, withScheduler bool, seed int64) (float64, int, error) {
+	router := schedule.NewRouter(g, routing.NewECMP(g))
+	h := traffic.NewHarness()
+	net, err := netsim.New(netsim.Config{
+		Graph:     g,
+		Router:    router,
+		OnDeliver: h.Deliver,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	srcs := g.HostsInRack(0)
+	dsts := g.HostsInRack(1)
+	rng := rand.New(rand.NewSource(seed))
+	const end = 10 * sim.Millisecond
+	var flows []schedule.FlowInfo
+	for i := range srcs {
+		st := &traffic.Stream{
+			Net: net, Src: srcs[i], Dst: dsts[i],
+			Flow: routing.FlowID(i + 1), RatePPS: 280e3, Size: 400, Tag: 1,
+			Rand: rand.New(rand.NewSource(rng.Int63())),
+		}
+		if err := st.Start(end); err != nil {
+			return 0, 0, err
+		}
+		flows = append(flows, schedule.FlowInfo{Flow: routing.FlowID(i + 1), Src: srcs[i], Dst: dsts[i]})
+	}
+	moves := 0
+	if withScheduler {
+		s := schedule.New(net, router, flows)
+		s.Start(end)
+		defer func() { moves = s.Moves() }()
+		net.Engine().RunUntil(end + 2*sim.Millisecond)
+		moves = s.Moves()
+	} else {
+		net.Engine().RunUntil(end + 2*sim.Millisecond)
+	}
+	return h.Latency(1).Mean(), moves, nil
+}
+
+// RenderScheduler renders the comparison.
+func RenderScheduler(rows []SchedulerRow) string {
+	var b strings.Builder
+	b.WriteString("Flow scheduling vs path diversity (§2.1.4): overloaded rack pair\n")
+	fmt.Fprintf(&b, "%-28s %14s %14s %8s %14s\n",
+		"topology", "no sched (us)", "sched (us)", "moves", "alternatives")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %14.1f %14.1f %8d %14d\n",
+			r.Topology, r.Unscheduled, r.Scheduled, r.Moves, r.Alternatives)
+	}
+	return b.String()
+}

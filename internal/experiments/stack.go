@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/core"
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+// StackRow is one end-to-end configuration of Table 2's component
+// menu: a host stack, a NIC, a switch generation, and a topology.
+type StackRow struct {
+	Config string
+	// RTTUs is the measured RPC round-trip time in microseconds.
+	RTTUs float64
+}
+
+// Host models from Table 2.
+var (
+	// standardHost: 15 µs OS stack + 2.5 µs commodity NIC per side.
+	standardHost = netsim.HostModel{
+		NICLatency:     17_500 * sim.Nanosecond, // stack + NIC, paid per send/receive
+		ForwardLatency: 15 * sim.Microsecond,
+		BufferBytes:    1 << 20,
+	}
+	// tunedHost: Chronos-style kernel bypass (1 µs) + FPGA NIC (0.5 µs).
+	tunedHost = netsim.HostModel{
+		NICLatency:     1_500 * sim.Nanosecond,
+		ForwardLatency: 15 * sim.Microsecond,
+		BufferBytes:    1 << 20,
+	}
+)
+
+// StackComparison reproduces §1/§2's claim that combining the
+// state-of-the-art components "can, in theory, result in an order of
+// magnitude reduction in end-to-end network latency" — and that the
+// architectural lever (Quartz) composes with them. Four cumulative
+// steps, measured as a cross-rack RPC round trip:
+//
+//  1. standard stack + standard NIC, store-and-forward switches, 3-tier
+//  2. tuned stack + tuned NIC, same network
+//  3. tuned hosts, cut-through switches, same topology
+//  4. tuned hosts, cut-through switches, Quartz mesh (2 hops)
+func StackComparison(seed int64) ([]StackRow, error) {
+	type step struct {
+		name   string
+		host   netsim.HostModel
+		arch   func() (*core.Architecture, error)
+		models func(*core.Architecture)
+	}
+	sf := netsim.SwitchModel{Name: "SF", Latency: 6 * sim.Microsecond, CutThrough: false, BufferBytes: 1 << 20}
+	steps := []step{
+		{
+			name: "standard stack+NIC, SF switches, 3-tier",
+			host: standardHost,
+			arch: func() (*core.Architecture, error) { return core.ThreeTierTree(core.ArchParams{}) },
+			models: func(a *core.Architecture) {
+				a.Model = func(topology.Node) netsim.SwitchModel { return sf }
+			},
+		},
+		{
+			name: "tuned stack+NIC, SF switches, 3-tier",
+			host: tunedHost,
+			arch: func() (*core.Architecture, error) { return core.ThreeTierTree(core.ArchParams{}) },
+			models: func(a *core.Architecture) {
+				a.Model = func(topology.Node) netsim.SwitchModel { return sf }
+			},
+		},
+		{
+			name: "tuned hosts, cut-through switches, 3-tier",
+			host: tunedHost,
+			arch: func() (*core.Architecture, error) { return core.ThreeTierTree(core.ArchParams{}) },
+			models: func(a *core.Architecture) {
+				a.Model = func(topology.Node) netsim.SwitchModel { return netsim.Arista7150 }
+			},
+		},
+		{
+			name: "tuned hosts, cut-through switches, quartz mesh",
+			host: tunedHost,
+			arch: func() (*core.Architecture, error) { return core.QuartzRingArch(core.ArchParams{}) },
+		},
+	}
+	var rows []StackRow
+	for _, st := range steps {
+		arch, err := st.arch()
+		if err != nil {
+			return nil, err
+		}
+		if st.models != nil {
+			st.models(arch)
+		}
+		h := traffic.NewHarness()
+		net, err := netsim.New(netsim.Config{
+			Graph:       arch.Graph,
+			Router:      arch.Router,
+			SwitchModel: arch.Model,
+			Host:        st.host,
+			OnDeliver:   h.Deliver,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hosts := arch.Graph.Hosts()
+		rpc := &traffic.RPC{
+			Net: net, Harness: h,
+			Client: hosts[0], Server: hosts[len(hosts)-1],
+			Count: 200, ReqTag: 1, ReplyTag: 2,
+		}
+		if err := rpc.Start(); err != nil {
+			return nil, err
+		}
+		net.Engine().Run()
+		rows = append(rows, StackRow{Config: st.name, RTTUs: rpc.RTT.Mean()})
+	}
+	return rows, nil
+}
+
+// RenderStack renders the cumulative comparison.
+func RenderStack(rows []StackRow) string {
+	var b strings.Builder
+	b.WriteString("Table 2 composition: cross-rack RPC round trip by component generation\n")
+	fmt.Fprintf(&b, "%-48s %12s %10s\n", "configuration", "RTT (us)", "speedup")
+	base := rows[0].RTTUs
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-48s %12.2f %9.1fx\n", r.Config, r.RTTUs, base/r.RTTUs)
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/core"
+	"github.com/quartz-dcn/quartz/internal/cost"
+)
+
+// Table8Row is one comparison of the §4.4 configurator: a baseline
+// topology against a Quartz deployment at one datacenter size and
+// utilization level.
+type Table8Row struct {
+	Size        string // "Small", "Medium", "Large"
+	Servers     int
+	Utilization string // "Low", "High"
+	Baseline    string
+	Quartz      string
+	// Cost per server, USD, from the calibrated 2014 parts catalog.
+	BaselineCostPerServer float64
+	QuartzCostPerServer   float64
+	// LatencyReduction is 1 - quartz/baseline mean latency, measured by
+	// the packet simulator under a global scatter workload.
+	LatencyReduction float64
+}
+
+// table8LoadTasks maps the utilization levels onto background task
+// counts for the §7-scale simulations: "low" corresponds to a mean core
+// utilization of ~50%, "high" to ~70-80%.
+var table8LoadTasks = map[string]int{"Low": 4, "High": 7}
+
+// table8Latency measures the mean global-scatter latency of an
+// architecture at one load level.
+func table8Latency(archName string, tasks int, seed int64) (float64, error) {
+	var arch *core.Architecture
+	var err error
+	switch archName {
+	case "two-tier tree":
+		arch, err = core.TwoTierTreeArch(core.ArchParams{})
+	case "single Quartz ring":
+		arch, err = core.QuartzRingArch(core.ArchParams{})
+	default:
+		arch, err = buildArch(archName, rand.New(rand.NewSource(seed)))
+	}
+	if err != nil {
+		return 0, err
+	}
+	params := defaultFig17Params(ScatterKind)
+	mean, _, err := runTasks(arch, ScatterKind, tasks, false, params, seed)
+	return mean, err
+}
+
+// Table8 reproduces the configurator comparison: cost per server from
+// the parts catalog and latency reduction from simulation, for the
+// paper's six scenarios.
+func Table8(seed int64) ([]Table8Row, error) {
+	c := cost.Default2014
+	type scenario struct {
+		size, util         string
+		servers            int
+		baseline, quartz   string
+		baseBOM, quartzBOM *cost.BOM
+	}
+	small := 500
+	medium := 10_000
+	large := 100_000
+
+	ringBOM, err := cost.QuartzRing(small, c)
+	if err != nil {
+		return nil, err
+	}
+	scenarios := []scenario{
+		{"Small", "Low", small, "two-tier tree", "single Quartz ring", cost.TwoTierTree(small, c), ringBOM},
+		{"Small", "High", small, "two-tier tree", "single Quartz ring", cost.TwoTierTree(small, c), ringBOM},
+		{"Medium", "Low", medium, "three-tier tree", "quartz in edge", cost.ThreeTierTree(medium, c), cost.QuartzEdge(medium, c)},
+		{"Medium", "High", medium, "three-tier tree", "quartz in edge", cost.ThreeTierTree(medium, c), cost.QuartzEdge(medium, c)},
+		{"Large", "Low", large, "three-tier tree", "quartz in core", cost.ThreeTierTree(large, c), cost.QuartzCore(large, c)},
+		{"Large", "High", large, "three-tier tree", "quartz in edge and core", cost.ThreeTierTree(large, c), cost.QuartzEdgeAndCore(large, c)},
+	}
+
+	var rows []Table8Row
+	for i, sc := range scenarios {
+		tasks := table8LoadTasks[sc.util]
+		baseLat, err := table8Latency(sc.baseline, tasks, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("table8 %s/%s baseline: %w", sc.size, sc.util, err)
+		}
+		quartzLat, err := table8Latency(sc.quartz, tasks, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("table8 %s/%s quartz: %w", sc.size, sc.util, err)
+		}
+		rows = append(rows, Table8Row{
+			Size:                  sc.size,
+			Servers:               sc.servers,
+			Utilization:           sc.util,
+			Baseline:              sc.baseline,
+			Quartz:                sc.quartz,
+			BaselineCostPerServer: sc.baseBOM.PerServer(),
+			QuartzCostPerServer:   sc.quartzBOM.PerServer(),
+			LatencyReduction:      1 - quartzLat/baseLat,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable8 renders the configurator table.
+func RenderTable8(rows []Table8Row) string {
+	var b strings.Builder
+	b.WriteString("Table 8: approximate cost and latency comparison\n")
+	fmt.Fprintf(&b, "%-8s %-6s %-18s %-24s %10s %18s\n",
+		"size", "util", "baseline", "quartz option", "reduction", "$/server (b vs q)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-6s %-18s %-24s %9.0f%% %9.0f vs %.0f\n",
+			fmt.Sprintf("%s(%d)", r.Size, r.Servers), r.Utilization,
+			r.Baseline, r.Quartz, 100*r.LatencyReduction,
+			r.BaselineCostPerServer, r.QuartzCostPerServer)
+	}
+	return b.String()
+}

@@ -1,0 +1,290 @@
+// Package fault evaluates Quartz ring resilience to fiber cuts (§3.5,
+// Figure 6 of the paper). A Quartz deployment carries its wavelength
+// channels on one or more physical fiber rings; a fiber cut on one ring
+// segment destroys every channel whose arc crosses that segment on that
+// ring. The package measures, by Monte-Carlo simulation:
+//
+//   - aggregate bandwidth loss: the fraction of logical mesh links
+//     (switch pairs) destroyed, and
+//   - partition probability: whether the surviving logical mesh (using
+//     multi-hop paths) still connects all switches.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/quartz-dcn/quartz/internal/wdm"
+)
+
+// Result summarizes a Monte-Carlo run.
+type Result struct {
+	// Rings is the number of physical fiber rings.
+	Rings int
+	// Cuts is the number of simultaneously failed fiber segments.
+	Cuts int
+	// Trials is the number of Monte-Carlo trials.
+	Trials int
+	// AvgBandwidthLoss is the mean fraction of logical links lost.
+	AvgBandwidthLoss float64
+	// PartitionProb is the fraction of trials in which the surviving
+	// logical mesh was disconnected.
+	PartitionProb float64
+}
+
+// model precomputes, for each channel assignment, the fiber segments it
+// crosses as a (ring, bitmask) pair. Ring sizes are <= 64 so a uint64
+// mask covers all segments.
+type model struct {
+	m     int
+	rings int
+	// arcs[i] is the segment mask of assignment i; arcRing[i] its ring.
+	arcs    []uint64
+	arcRing []int
+	pairs   [][2]int
+}
+
+func newModel(plan *wdm.Plan) (*model, error) {
+	if plan.M < 2 {
+		return nil, fmt.Errorf("fault: ring too small (M=%d)", plan.M)
+	}
+	if plan.M > 64 {
+		return nil, fmt.Errorf("fault: M=%d exceeds the 64-segment mask", plan.M)
+	}
+	rings := plan.Rings
+	if rings == 0 {
+		rings = 1
+	}
+	md := &model{m: plan.M, rings: rings}
+	for _, a := range plan.Assignments {
+		var mask uint64
+		// Walk the arc from S to T in its assigned direction, collecting
+		// fiber segment indices (segment i joins switch i and i+1).
+		switch a.Dir {
+		case wdm.Clockwise:
+			for i := a.S; i != a.T; i = (i + 1) % plan.M {
+				mask |= 1 << uint(i)
+			}
+		case wdm.CounterClockwise:
+			for i := a.S; i != a.T; i = (i - 1 + plan.M) % plan.M {
+				mask |= 1 << uint((i-1+plan.M)%plan.M)
+			}
+		}
+		md.arcs = append(md.arcs, mask)
+		md.arcRing = append(md.arcRing, a.Ring)
+		md.pairs = append(md.pairs, [2]int{a.S, a.T})
+	}
+	return md, nil
+}
+
+// Simulate runs trials of cutting `cuts` distinct fiber segments
+// (chosen uniformly over all rings' segments) on the given plan.
+func Simulate(plan *wdm.Plan, cuts, trials int, rng *rand.Rand) (Result, error) {
+	if cuts < 0 {
+		return Result{}, fmt.Errorf("fault: negative cuts")
+	}
+	if trials < 1 {
+		return Result{}, fmt.Errorf("fault: need at least one trial")
+	}
+	if rng == nil {
+		return Result{}, fmt.Errorf("fault: nil rng")
+	}
+	md, err := newModel(plan)
+	if err != nil {
+		return Result{}, err
+	}
+	totalFibers := md.rings * md.m
+	if cuts > totalFibers {
+		return Result{}, fmt.Errorf("fault: %d cuts exceed %d fiber segments", cuts, totalFibers)
+	}
+
+	res := Result{Rings: md.rings, Cuts: cuts, Trials: trials}
+	lossSum := 0.0
+	partitions := 0
+
+	cutMask := make([]uint64, md.rings)
+	parent := make([]int, md.m)
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	for t := 0; t < trials; t++ {
+		for r := range cutMask {
+			cutMask[r] = 0
+		}
+		// Sample `cuts` distinct fibers by rejection (cuts is tiny).
+		chosen := 0
+		for chosen < cuts {
+			f := rng.Intn(totalFibers)
+			r, seg := f/md.m, f%md.m
+			bit := uint64(1) << uint(seg)
+			if cutMask[r]&bit != 0 {
+				continue
+			}
+			cutMask[r] |= bit
+			chosen++
+		}
+		// Surviving logical links and connectivity.
+		for i := range parent {
+			parent[i] = i
+		}
+		lost := 0
+		comps := md.m
+		for i, mask := range md.arcs {
+			if mask&cutMask[md.arcRing[i]] != 0 {
+				lost++
+				continue
+			}
+			a, b := find(md.pairs[i][0]), find(md.pairs[i][1])
+			if a != b {
+				parent[a] = b
+				comps--
+			}
+		}
+		lossSum += float64(lost) / float64(len(md.arcs))
+		if comps > 1 {
+			partitions++
+		}
+	}
+	res.AvgBandwidthLoss = lossSum / float64(trials)
+	res.PartitionProb = float64(partitions) / float64(trials)
+	return res, nil
+}
+
+// Sweep reproduces Figure 6's grid: for each ring count 1..maxRings, it
+// builds the channel plan for a ring of the given size, splits it
+// across that many fibers, and simulates 1..maxCuts simultaneous cuts.
+// Results are indexed [rings-1][cuts-1].
+func Sweep(ringSize, maxRings, maxCuts, trials int, rng *rand.Rand) ([][]Result, error) {
+	if maxRings < 1 || maxCuts < 1 {
+		return nil, fmt.Errorf("fault: invalid sweep %dx%d", maxRings, maxCuts)
+	}
+	base := wdm.Greedy(ringSize, rng)
+	out := make([][]Result, maxRings)
+	for r := 1; r <= maxRings; r++ {
+		// Channels are dealt round-robin across r fibers; per-fiber
+		// capacity is whatever that requires (the paper's deployments
+		// add whole muxes per ring as needed).
+		per := (base.Channels + r - 1) / r
+		plan, err := wdm.SplitAcrossRings(base, r, per)
+		if err != nil {
+			return nil, err
+		}
+		out[r-1] = make([]Result, maxCuts)
+		for c := 1; c <= maxCuts; c++ {
+			res, err := Simulate(plan, c, trials, rng)
+			if err != nil {
+				return nil, err
+			}
+			out[r-1][c-1] = res
+		}
+	}
+	return out, nil
+}
+
+// AvailabilityParams describes a fiber failure/repair process for
+// steady-state availability analysis — the operational question behind
+// §3.5: with real failure and repair rates, how often is the mesh
+// degraded or partitioned?
+type AvailabilityParams struct {
+	// MTBFHours is each fiber segment's mean time between failures.
+	MTBFHours float64
+	// MTTRHours is the mean time to repair one cut.
+	MTTRHours float64
+	// Trials is the number of steady-state samples.
+	Trials int
+}
+
+// AvailabilityResult summarizes steady-state behaviour.
+type AvailabilityResult struct {
+	Rings int
+	// SegmentUnavailability is each fiber's independent probability of
+	// being down: MTTR / (MTBF + MTTR).
+	SegmentUnavailability float64
+	// MeanBandwidthLoss is the expected fraction of logical links down
+	// at a random instant.
+	MeanBandwidthLoss float64
+	// PartitionProb is the probability the logical mesh is partitioned
+	// at a random instant.
+	PartitionProb float64
+	// MeanConcurrentCuts is the expected number of simultaneously
+	// failed fibers.
+	MeanConcurrentCuts float64
+}
+
+// Availability samples the steady state of independent per-segment
+// failure/repair processes: each fiber segment is down independently
+// with probability MTTR/(MTBF+MTTR), the standard two-state Markov
+// availability model.
+func Availability(plan *wdm.Plan, p AvailabilityParams, rng *rand.Rand) (AvailabilityResult, error) {
+	if p.MTBFHours <= 0 || p.MTTRHours <= 0 {
+		return AvailabilityResult{}, fmt.Errorf("fault: MTBF and MTTR must be positive")
+	}
+	if p.Trials < 1 {
+		return AvailabilityResult{}, fmt.Errorf("fault: need at least one trial")
+	}
+	if rng == nil {
+		return AvailabilityResult{}, fmt.Errorf("fault: nil rng")
+	}
+	md, err := newModel(plan)
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+	unavail := p.MTTRHours / (p.MTBFHours + p.MTTRHours)
+	res := AvailabilityResult{Rings: md.rings, SegmentUnavailability: unavail}
+
+	cutMask := make([]uint64, md.rings)
+	parent := make([]int, md.m)
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	lossSum, cutsSum := 0.0, 0.0
+	partitions := 0
+	for t := 0; t < p.Trials; t++ {
+		cuts := 0
+		for r := 0; r < md.rings; r++ {
+			cutMask[r] = 0
+			for seg := 0; seg < md.m; seg++ {
+				if rng.Float64() < unavail {
+					cutMask[r] |= 1 << uint(seg)
+					cuts++
+				}
+			}
+		}
+		cutsSum += float64(cuts)
+		for i := range parent {
+			parent[i] = i
+		}
+		lost := 0
+		comps := md.m
+		for i, mask := range md.arcs {
+			if mask&cutMask[md.arcRing[i]] != 0 {
+				lost++
+				continue
+			}
+			a, b := find(md.pairs[i][0]), find(md.pairs[i][1])
+			if a != b {
+				parent[a] = b
+				comps--
+			}
+		}
+		lossSum += float64(lost) / float64(len(md.arcs))
+		if comps > 1 {
+			partitions++
+		}
+	}
+	res.MeanBandwidthLoss = lossSum / float64(p.Trials)
+	res.PartitionProb = float64(partitions) / float64(p.Trials)
+	res.MeanConcurrentCuts = cutsSum / float64(p.Trials)
+	return res, nil
+}

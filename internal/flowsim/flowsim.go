@@ -1,0 +1,345 @@
+// Package flowsim allocates bandwidth to flows with progressive
+// max-min water-filling, the standard fluid model for steady-state TCP
+// fair sharing. The Quartz paper uses this style of simulation to
+// compare aggregate throughput against ideal (full-bisection) networks
+// (§5.1, Figure 10).
+//
+// A flow follows one or more fixed paths (multipath flows split across
+// subflows, modelling ECMP/VLB). Each directed link has a capacity;
+// water-filling repeatedly finds the bottleneck link with the smallest
+// per-subflow fair share, freezes the subflows through it, and
+// continues until every subflow is frozen.
+package flowsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// DirLink identifies one direction of a topology link.
+type DirLink struct {
+	Link topology.LinkID
+	// From is the transmitting endpoint.
+	From topology.NodeID
+}
+
+// Subflow is one path of a flow with a share of the flow's traffic.
+type Subflow struct {
+	// Path is the node sequence from source to destination.
+	Path []topology.NodeID
+	// Weight is the fraction of the flow carried (weights of a flow
+	// should sum to 1).
+	Weight float64
+}
+
+// Flow is a demand between two hosts.
+type Flow struct {
+	Src, Dst topology.NodeID
+	// Subflows carry the traffic; at least one is required.
+	Subflows []Subflow
+	// Demand caps the flow's rate in bits/s; 0 means unbounded
+	// (limited only by the network).
+	Demand sim.Rate
+}
+
+// Allocation reports the outcome for each flow.
+type Allocation struct {
+	// Rates holds each flow's total achieved rate, in bits/s.
+	Rates []float64
+}
+
+// Allocate computes the max-min fair allocation for flows on g. Every
+// subflow's links are checked to exist in g.
+func Allocate(g *topology.Graph, flows []Flow) (*Allocation, error) {
+	type sub struct {
+		flow   int
+		links  []int // indices into capacity slice (2*link+dir)
+		weight float64
+		rate   float64
+		frozen bool
+	}
+
+	capacity := make([]float64, 2*g.NumLinks())
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(topology.LinkID(i))
+		capacity[2*i] = float64(l.Rate)
+		capacity[2*i+1] = float64(l.Rate)
+	}
+
+	dirIndex := func(from, to topology.NodeID) (int, error) {
+		for _, p := range g.Ports(from) {
+			if p.Peer == to {
+				idx := 2 * int(p.Link)
+				if g.Link(p.Link).B == from {
+					idx++
+				}
+				return idx, nil
+			}
+		}
+		return 0, fmt.Errorf("flowsim: no link %d-%d", from, to)
+	}
+
+	var subs []*sub
+	for fi, f := range flows {
+		if len(f.Subflows) == 0 {
+			return nil, fmt.Errorf("flowsim: flow %d has no subflows", fi)
+		}
+		totalW := 0.0
+		for si, sf := range f.Subflows {
+			if len(sf.Path) < 2 {
+				return nil, fmt.Errorf("flowsim: flow %d subflow %d path too short", fi, si)
+			}
+			if sf.Path[0] != f.Src || sf.Path[len(sf.Path)-1] != f.Dst {
+				return nil, fmt.Errorf("flowsim: flow %d subflow %d endpoints do not match flow", fi, si)
+			}
+			if sf.Weight <= 0 {
+				return nil, fmt.Errorf("flowsim: flow %d subflow %d non-positive weight", fi, si)
+			}
+			totalW += sf.Weight
+			s := &sub{flow: fi, weight: sf.Weight}
+			for h := 0; h+1 < len(sf.Path); h++ {
+				idx, err := dirIndex(sf.Path[h], sf.Path[h+1])
+				if err != nil {
+					return nil, fmt.Errorf("flow %d subflow %d hop %d: %w", fi, si, h, err)
+				}
+				s.links = append(s.links, idx)
+			}
+			subs = append(subs, s)
+		}
+		if math.Abs(totalW-1) > 1e-9 {
+			return nil, fmt.Errorf("flowsim: flow %d subflow weights sum to %v, want 1", fi, totalW)
+		}
+	}
+
+	// Demand-capped flows are modelled by a virtual access link of
+	// exactly the demand, shared by the flow's subflows.
+	demandCap := make([]float64, len(flows))
+	for fi, f := range flows {
+		if f.Demand > 0 {
+			demandCap[fi] = float64(f.Demand)
+		} else {
+			demandCap[fi] = math.Inf(1)
+		}
+		_ = fi
+	}
+
+	// Progressive filling on weighted subflows. In each round, compute
+	// for every unfrozen subflow the max rate each of its links allows
+	// (remaining capacity split by weight among unfrozen subflows), take
+	// the global minimum increment, apply it, and freeze saturated
+	// subflows. Link weights are recomputed from scratch each round:
+	// incremental maintenance leaves floating-point residue on fully
+	// frozen links, which can poison the level computation.
+	remaining := append([]float64(nil), capacity...)
+	linkWeight := make([]float64, len(capacity))
+	saturated := func(li int) bool {
+		return remaining[li] <= 1e-6*capacity[li]+1e-9
+	}
+	flowRate := make([]float64, len(flows))
+	flowFrozen := make([]bool, len(flows))
+
+	unfrozen := len(subs)
+	for unfrozen > 0 {
+		for i := range linkWeight {
+			linkWeight[i] = 0
+		}
+		fw := make([]float64, len(flows))
+		for _, s := range subs {
+			if s.frozen {
+				continue
+			}
+			fw[s.flow] += s.weight
+			for _, l := range s.links {
+				linkWeight[l] += s.weight
+			}
+		}
+		// Fair-share level: the smallest level at which either a link
+		// saturates or a flow hits its demand. Already-saturated links
+		// are excluded — their subflows freeze below regardless.
+		level := math.Inf(1)
+		argmin := -1
+		for li, w := range linkWeight {
+			if w <= 0 || saturated(li) {
+				continue
+			}
+			if l := remaining[li] / w; l < level {
+				level, argmin = l, li
+			}
+		}
+		for fi := range flows {
+			if flowFrozen[fi] || fw[fi] <= 0 {
+				continue
+			}
+			if headroom := demandCap[fi] - flowRate[fi]; headroom/fw[fi] < level {
+				level = headroom / fw[fi]
+			}
+		}
+		if math.IsInf(level, 1) {
+			break // nothing constrains the remaining subflows
+		}
+		if level < 0 {
+			level = 0
+		}
+		// Apply the increment.
+		for _, s := range subs {
+			if s.frozen {
+				continue
+			}
+			inc := s.weight * level
+			s.rate += inc
+			flowRate[s.flow] += inc
+			for _, l := range s.links {
+				remaining[l] -= inc
+			}
+		}
+		// Freeze demand-satisfied flows and subflows crossing saturated
+		// links.
+		for fi := range flows {
+			if !flowFrozen[fi] && flowRate[fi] >= demandCap[fi]-1e-6 {
+				flowFrozen[fi] = true
+			}
+		}
+		progressed := false
+		for _, s := range subs {
+			if s.frozen {
+				continue
+			}
+			done := flowFrozen[s.flow]
+			if !done {
+				for _, l := range s.links {
+					if saturated(l) {
+						done = true
+						break
+					}
+				}
+			}
+			if done {
+				s.frozen = true
+				unfrozen--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Numeric safety valve: force the bottleneck link closed so
+			// the loop always terminates.
+			if argmin < 0 {
+				break
+			}
+			remaining[argmin] = 0
+			for _, s := range subs {
+				if s.frozen {
+					continue
+				}
+				for _, l := range s.links {
+					if l == argmin {
+						s.frozen = true
+						unfrozen--
+						break
+					}
+				}
+			}
+		}
+	}
+	return &Allocation{Rates: flowRate}, nil
+}
+
+// Total returns the aggregate allocated rate.
+func (a *Allocation) Total() float64 {
+	t := 0.0
+	for _, r := range a.Rates {
+		t += r
+	}
+	return t
+}
+
+// Min returns the smallest flow rate (0 for an empty allocation).
+func (a *Allocation) Min() float64 {
+	if len(a.Rates) == 0 {
+		return 0
+	}
+	m := a.Rates[0]
+	for _, r := range a.Rates[1:] {
+		if r < m {
+			m = r
+		}
+	}
+	return m
+}
+
+// NormalizedThroughput returns Total divided by the sum of the flows'
+// ideal rates (their demands, or the given NIC rate for unbounded
+// flows) — the y-axis of Figure 10.
+func (a *Allocation) NormalizedThroughput(flows []Flow, nic sim.Rate) float64 {
+	ideal := 0.0
+	for _, f := range flows {
+		if f.Demand > 0 {
+			ideal += float64(f.Demand)
+		} else {
+			ideal += float64(nic)
+		}
+	}
+	if ideal == 0 {
+		return 0
+	}
+	return a.Total() / ideal
+}
+
+// ShortestPathFlow builds a single-subflow Flow along one shortest path.
+func ShortestPathFlow(g *topology.Graph, src, dst topology.NodeID, demand sim.Rate) (Flow, error) {
+	p := g.ShortestPath(src, dst, nil)
+	if p == nil {
+		return Flow{}, fmt.Errorf("flowsim: no path %d -> %d", src, dst)
+	}
+	return Flow{Src: src, Dst: dst, Demand: demand, Subflows: []Subflow{{Path: p, Weight: 1}}}, nil
+}
+
+// VLBFlow builds a Flow on a full mesh that splits traffic between the
+// direct path and two-hop detours through every other switch, the §3.4
+// configuration: directFrac on the direct path and the rest spread
+// evenly over the detours.
+func VLBFlow(g *topology.Graph, src, dst topology.NodeID, directFrac float64, demand sim.Rate) (Flow, error) {
+	if directFrac < 0 || directFrac > 1 {
+		return Flow{}, fmt.Errorf("flowsim: direct fraction %v out of range", directFrac)
+	}
+	sSw, dSw := g.ToRof(src), g.ToRof(dst)
+	f := Flow{Src: src, Dst: dst, Demand: demand}
+	if sSw == dSw {
+		f.Subflows = []Subflow{{Path: []topology.NodeID{src, sSw, dst}, Weight: 1}}
+		return f, nil
+	}
+	var mids []topology.NodeID
+	for _, sw := range g.Switches() {
+		if sw == sSw || sw == dSw {
+			continue
+		}
+		if _, ok := g.FindLink(sSw, sw); !ok {
+			continue
+		}
+		if _, ok := g.FindLink(sw, dSw); !ok {
+			continue
+		}
+		mids = append(mids, sw)
+	}
+	if len(mids) == 0 {
+		directFrac = 1
+	}
+	if directFrac > 0 {
+		f.Subflows = append(f.Subflows, Subflow{
+			Path:   []topology.NodeID{src, sSw, dSw, dst},
+			Weight: directFrac,
+		})
+	}
+	if directFrac < 1 {
+		w := (1 - directFrac) / float64(len(mids))
+		for _, mid := range mids {
+			f.Subflows = append(f.Subflows, Subflow{
+				Path:   []topology.NodeID{src, sSw, mid, dSw, dst},
+				Weight: w,
+			})
+		}
+	}
+	return f, nil
+}

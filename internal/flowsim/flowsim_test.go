@@ -1,0 +1,362 @@
+package flowsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// line builds h0 - s0 - s1 - h1 with 10 Gb/s links.
+func line(t testing.TB) (*topology.Graph, topology.NodeID, topology.NodeID) {
+	t.Helper()
+	g := topology.New("line")
+	s0 := g.AddSwitch("s0", topology.TierToR, 0)
+	s1 := g.AddSwitch("s1", topology.TierToR, 1)
+	h0 := g.AddHost("h0", 0)
+	h1 := g.AddHost("h1", 1)
+	g.Connect(h0, s0, 10*sim.Gbps, 0)
+	g.Connect(s0, s1, 10*sim.Gbps, 0)
+	g.Connect(s1, h1, 10*sim.Gbps, 0)
+	return g, h0, h1
+}
+
+func TestSingleFlowGetsLinkRate(t *testing.T) {
+	g, h0, h1 := line(t)
+	f, err := ShortestPathFlow(g, h0, h1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Allocate(g, []Flow{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Rates[0]; math.Abs(got-1e10) > 1e4 {
+		t.Errorf("rate = %v, want 10G", got)
+	}
+}
+
+func TestDemandCap(t *testing.T) {
+	g, h0, h1 := line(t)
+	f, err := ShortestPathFlow(g, h0, h1, 2*sim.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Allocate(g, []Flow{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Rates[0]; math.Abs(got-2e9) > 1e4 {
+		t.Errorf("rate = %v, want capped at 2G", got)
+	}
+}
+
+func TestFairSharingTwoFlows(t *testing.T) {
+	// Two hosts on s0 send to the same host on s1: the s0-s1 link (or
+	// the receiver's access link) splits evenly.
+	g := topology.New("share")
+	s0 := g.AddSwitch("s0", topology.TierToR, 0)
+	s1 := g.AddSwitch("s1", topology.TierToR, 1)
+	a0 := g.AddHost("a0", 0)
+	a1 := g.AddHost("a1", 0)
+	b := g.AddHost("b", 1)
+	g.Connect(a0, s0, 10*sim.Gbps, 0)
+	g.Connect(a1, s0, 10*sim.Gbps, 0)
+	g.Connect(s0, s1, 10*sim.Gbps, 0)
+	g.Connect(s1, b, 10*sim.Gbps, 0)
+	f0, _ := ShortestPathFlow(g, a0, b, 0)
+	f1, _ := ShortestPathFlow(g, a1, b, 0)
+	alloc, err := Allocate(g, []Flow{f0, f1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range alloc.Rates {
+		if math.Abs(r-5e9) > 1e5 {
+			t.Errorf("flow %d rate = %v, want 5G", i, r)
+		}
+	}
+}
+
+func TestMaxMinNotJustEqual(t *testing.T) {
+	// Classic max-min: flows A->C (long) and A->B, B->C (short) on a
+	// 3-node path with unit links. Long flow gets 1/2 on both links;
+	// short flows each get 1/2... actually with one long flow and one
+	// short flow per link, each link splits evenly: all get 5G. Add a
+	// second short flow on the first link to break symmetry: then the
+	// first link gives 10/3 each, and the long flow is frozen at 10/3,
+	// leaving the short flow on link 2 with 20/3.
+	g := topology.New("maxmin")
+	s0 := g.AddSwitch("s0", topology.TierToR, 0)
+	s1 := g.AddSwitch("s1", topology.TierToR, 1)
+	s2 := g.AddSwitch("s2", topology.TierToR, 2)
+	hA := g.AddHost("hA", 0)
+	hA2 := g.AddHost("hA2", 0)
+	hB := g.AddHost("hB", 1)
+	hC := g.AddHost("hC", 2)
+	g.Connect(hA, s0, 100*sim.Gbps, 0)
+	g.Connect(hA2, s0, 100*sim.Gbps, 0)
+	g.Connect(hB, s1, 100*sim.Gbps, 0)
+	g.Connect(hC, s2, 100*sim.Gbps, 0)
+	g.Connect(s0, s1, 10*sim.Gbps, 0)
+	g.Connect(s1, s2, 10*sim.Gbps, 0)
+
+	long := Flow{Src: hA, Dst: hC, Subflows: []Subflow{{Path: []topology.NodeID{hA, s0, s1, s2, hC}, Weight: 1}}}
+	short1 := Flow{Src: hA2, Dst: hB, Subflows: []Subflow{{Path: []topology.NodeID{hA2, s0, s1, hB}, Weight: 1}}}
+	short2 := Flow{Src: hB, Dst: hC, Subflows: []Subflow{{Path: []topology.NodeID{hB, s1, s2, hC}, Weight: 1}}}
+	// Second flow on the first link.
+	extra := Flow{Src: hA, Dst: hB, Subflows: []Subflow{{Path: []topology.NodeID{hA, s0, s1, hB}, Weight: 1}}}
+
+	alloc, err := Allocate(g, []Flow{long, short1, short2, extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := 1e10 / 3
+	if math.Abs(alloc.Rates[0]-third) > 1e5 {
+		t.Errorf("long flow = %v, want %v", alloc.Rates[0], third)
+	}
+	if math.Abs(alloc.Rates[1]-third) > 1e5 {
+		t.Errorf("short1 = %v, want %v", alloc.Rates[1], third)
+	}
+	want2 := 1e10 - third
+	if math.Abs(alloc.Rates[2]-want2) > 1e5 {
+		t.Errorf("short2 = %v, want %v (max-min, not equal shares)", alloc.Rates[2], want2)
+	}
+}
+
+func TestMultipathSubflows(t *testing.T) {
+	// Mesh of 3 switches, one flow split 50/50 between the direct path
+	// and the two-hop path: total = 10G direct + 10G indirect bottleneck
+	// halves... with only this flow, both paths are uncontended, so the
+	// flow should reach min(NIC, sum of path capacities) — but each
+	// subflow grows at its weight rate until a link saturates. The
+	// direct subflow (weight .5) saturates s0-s1 at 10G giving 10G? No:
+	// level rises until the first bottleneck: direct subflow rate = .5L,
+	// indirect = .5L; host link carries L. Host link (10G) saturates at
+	// L=10G: total flow rate 10G with 5G on each path.
+	g, err := topology.NewFullMesh(topology.MeshConfig{Switches: 3, HostsPerSwitch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	sw := g.Switches()
+	f := Flow{Src: hosts[0], Dst: hosts[1], Subflows: []Subflow{
+		{Path: []topology.NodeID{hosts[0], sw[0], sw[1], hosts[1]}, Weight: 0.5},
+		{Path: []topology.NodeID{hosts[0], sw[0], sw[2], sw[1], hosts[1]}, Weight: 0.5},
+	}}
+	alloc, err := Allocate(g, []Flow{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.Rates[0]-1e10) > 1e5 {
+		t.Errorf("multipath flow = %v, want 10G (NIC bound)", alloc.Rates[0])
+	}
+}
+
+func TestVLBFlowConstruction(t *testing.T) {
+	g, err := topology.NewFullMesh(topology.MeshConfig{Switches: 6, HostsPerSwitch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	f, err := VLBFlow(g, hosts[0], hosts[len(hosts)-1], 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 direct + 4 detours.
+	if len(f.Subflows) != 5 {
+		t.Fatalf("subflows = %d, want 5", len(f.Subflows))
+	}
+	w := 0.0
+	for _, sf := range f.Subflows {
+		w += sf.Weight
+	}
+	if math.Abs(w-1) > 1e-9 {
+		t.Errorf("weights sum to %v", w)
+	}
+	// Same-rack case.
+	f2, err := VLBFlow(g, hosts[0], hosts[1], 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Subflows) != 1 {
+		t.Errorf("same-rack subflows = %d, want 1", len(f2.Subflows))
+	}
+	if _, err := VLBFlow(g, hosts[0], hosts[2], 1.5, 0); err == nil {
+		t.Error("bad fraction accepted")
+	}
+}
+
+func TestVLBBeatsDirectOnHotPair(t *testing.T) {
+	// The pathological pattern of §7.2: many flows between one switch
+	// pair. Direct-only caps at the single inter-switch link; VLB
+	// spreads over detours and wins.
+	g, err := topology.NewFullMesh(topology.MeshConfig{
+		Switches: 4, HostsPerSwitch: 4,
+		MeshLink: topology.LinkSpec{Rate: 40 * sim.Gbps},
+		HostLink: topology.LinkSpec{Rate: 40 * sim.Gbps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.HostsInRack(0)
+	dst := g.HostsInRack(1)
+
+	var direct, vlb []Flow
+	for i := range src {
+		fd, err := ShortestPathFlow(g, src[i], dst[i], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct = append(direct, fd)
+		fv, err := VLBFlow(g, src[i], dst[i], 0.25, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vlb = append(vlb, fv)
+	}
+	ad, err := Allocate(g, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := Allocate(g, vlb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct: 4 flows share one 40G link -> 40G total.
+	if math.Abs(ad.Total()-4e10) > 1e6 {
+		t.Errorf("direct total = %v, want 40G", ad.Total())
+	}
+	// VLB: direct link + 2 two-hop paths -> up to 120G of switch-to-
+	// switch capacity; must beat direct-only clearly.
+	if av.Total() < 1.8*ad.Total() {
+		t.Errorf("VLB total = %v, direct = %v; expected VLB to roughly double", av.Total(), ad.Total())
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	g, h0, h1 := line(t)
+	cases := map[string]Flow{
+		"no subflows": {Src: h0, Dst: h1},
+		"short path":  {Src: h0, Dst: h1, Subflows: []Subflow{{Path: []topology.NodeID{h0}, Weight: 1}}},
+		"bad endpoints": {Src: h0, Dst: h1, Subflows: []Subflow{
+			{Path: []topology.NodeID{h1, g.Switches()[1], g.Switches()[0], h0}, Weight: 1}}},
+		"zero weight": {Src: h0, Dst: h1, Subflows: []Subflow{
+			{Path: []topology.NodeID{h0, g.Switches()[0], g.Switches()[1], h1}, Weight: 0}}},
+		"weights not 1": {Src: h0, Dst: h1, Subflows: []Subflow{
+			{Path: []topology.NodeID{h0, g.Switches()[0], g.Switches()[1], h1}, Weight: 0.5}}},
+		"nonexistent link": {Src: h0, Dst: h1, Subflows: []Subflow{
+			{Path: []topology.NodeID{h0, g.Switches()[1], h1}, Weight: 1}}},
+	}
+	for name, f := range cases {
+		if _, err := Allocate(g, []Flow{f}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestNormalizedThroughput(t *testing.T) {
+	g, h0, h1 := line(t)
+	f, _ := ShortestPathFlow(g, h0, h1, 0)
+	a, err := Allocate(g, []Flow{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt := a.NormalizedThroughput([]Flow{f}, 10*sim.Gbps)
+	if math.Abs(nt-1) > 1e-6 {
+		t.Errorf("normalized throughput = %v, want 1", nt)
+	}
+	if (&Allocation{}).NormalizedThroughput(nil, 10*sim.Gbps) != 0 {
+		t.Error("empty normalization should be 0")
+	}
+}
+
+func TestMinAndTotal(t *testing.T) {
+	a := &Allocation{Rates: []float64{3, 1, 2}}
+	if a.Min() != 1 || a.Total() != 6 {
+		t.Errorf("Min=%v Total=%v, want 1/6", a.Min(), a.Total())
+	}
+	empty := &Allocation{}
+	if empty.Min() != 0 {
+		t.Error("empty Min should be 0")
+	}
+}
+
+// TestAllocationFeasibilityProperty property-checks the core invariant:
+// no directed link ever carries more than its capacity, and every flow
+// respects its demand.
+func TestAllocationFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(5) + 3
+		g, err := topology.NewFullMesh(topology.MeshConfig{Switches: m, HostsPerSwitch: 2})
+		if err != nil {
+			return false
+		}
+		hosts := g.Hosts()
+		nFlows := rng.Intn(10) + 1
+		flows := make([]Flow, 0, nFlows)
+		for i := 0; i < nFlows; i++ {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			if src == dst {
+				continue
+			}
+			demand := sim.Rate(0)
+			if rng.Intn(2) == 0 {
+				demand = sim.Rate(rng.Intn(10)+1) * sim.Gbps
+			}
+			var fl Flow
+			var err error
+			if rng.Intn(2) == 0 {
+				fl, err = ShortestPathFlow(g, src, dst, demand)
+			} else {
+				fl, err = VLBFlow(g, src, dst, 0.5, demand)
+			}
+			if err != nil {
+				return false
+			}
+			flows = append(flows, fl)
+		}
+		if len(flows) == 0 {
+			return true
+		}
+		alloc, err := Allocate(g, flows)
+		if err != nil {
+			return false
+		}
+		// Check demands.
+		for i, f := range flows {
+			if f.Demand > 0 && alloc.Rates[i] > float64(f.Demand)*(1+1e-6) {
+				return false
+			}
+			if alloc.Rates[i] < 0 {
+				return false
+			}
+		}
+		// Recompute link loads from subflow definitions: total flow rate
+		// times subflow weight is the subflow rate only before freezing
+		// diverges... so instead check the weaker but meaningful
+		// invariant that no access link is overloaded: each host's
+		// egress carries at most its link rate.
+		egress := map[topology.NodeID]float64{}
+		for i, f := range flows {
+			egress[f.Src] += alloc.Rates[i]
+		}
+		for h, rate := range egress {
+			l, ok := g.FindLink(h, g.ToRof(h))
+			if !ok {
+				return false
+			}
+			if rate > float64(l.Rate)*(1+1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package metrics provides the statistics used to report experiment
+// results: online mean/variance (Welford), percentiles, histograms, and
+// 95% confidence intervals for the error bars of the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats accumulates scalar observations with O(1) memory using
+// Welford's online algorithm. The zero value is ready to use.
+type Stats struct {
+	n          int64
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add records one observation.
+func (s *Stats) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.hasExtrema || x < s.min {
+		s.min = x
+	}
+	if !s.hasExtrema || x > s.max {
+		s.max = x
+	}
+	s.hasExtrema = true
+}
+
+// N returns the number of observations.
+func (s *Stats) N() int64 { return s.n }
+
+// Mean returns the sample mean (NaN if empty).
+func (s *Stats) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Variance returns the unbiased sample variance (NaN if n < 2).
+func (s *Stats) Variance() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation (NaN if n < 2).
+func (s *Stats) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (NaN if empty).
+func (s *Stats) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation (NaN if empty).
+func (s *Stats) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean under the normal approximation (the paper reports 95% CIs as
+// error bars, §6.1). It returns 0 if n < 2.
+func (s *Stats) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g ±%.2g [%.3g, %.3g]", s.n, s.Mean(), s.CI95(), s.Min(), s.Max())
+}
+
+// Sample keeps all observations for percentile queries. The zero value
+// is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean (NaN if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics. NaN if empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Histogram counts observations into fixed-width bins over [lo, hi);
+// out-of-range values go to the under/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	Bins      []int64
+	Underflow int64
+	Overflow  int64
+	width     float64
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 || hi <= lo {
+		return nil, fmt.Errorf("metrics: invalid histogram [%v,%v) with %d bins", lo, hi, n)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int64, n), width: (hi - lo) / float64(n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		h.Bins[int((x-h.Lo)/h.width)]++
+	}
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, b := range h.Bins {
+		t += b
+	}
+	return t
+}
+
+// Point is one (x, y) pair of a figure series, with an optional error
+// bar half-width.
+type Point struct {
+	X, Y, Err float64
+}
+
+// Series is a labelled sequence of points — one line of a paper figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y, err float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, Err: err})
+}

@@ -1,0 +1,506 @@
+// Package netsim is a packet-level discrete-event network simulator,
+// rebuilt from the Quartz paper's description of its evaluation tool
+// (§7): hosts emit packets, switches forward them with either
+// cut-through or store-and-forward timing, and finite FIFO output
+// queues produce the congestion behaviour the paper measures.
+//
+// The two switch models of Table 16 are provided as CiscoNexus7000
+// (6 µs store-and-forward "CCS") and Arista7150 (380 ns cut-through
+// "ULL").
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// SwitchModel describes a switch's forwarding behaviour.
+type SwitchModel struct {
+	// Name labels the model in reports ("ULL", "CCS", ...).
+	Name string
+	// Latency is the forwarding latency: for cut-through switches the
+	// delay from head arrival to head departure; for store-and-forward
+	// the processing delay after the full frame arrives.
+	Latency sim.Time
+	// CutThrough selects cut-through forwarding.
+	CutThrough bool
+	// ECNThresholdBytes marks packets (Packet.Marked) when the output
+	// queue they join exceeds this depth — DCTCP-style explicit
+	// congestion notification (§2.1.4). Zero disables marking.
+	ECNThresholdBytes int
+	// ServiceTime is the per-packet forwarding occupancy of an output
+	// port: a store-and-forward chassis moves one frame through a port
+	// every ServiceTime even when the wire could go faster. Zero means
+	// wire-speed (cut-through ASICs).
+	ServiceTime sim.Time
+	// BufferBytes is the output-queue capacity per port; packets
+	// arriving at a full queue are dropped.
+	BufferBytes int
+}
+
+// Switch models of Table 16.
+var (
+	// CiscoNexus7000 is the paper's core switch (CCS): 6 µs
+	// store-and-forward, 768 10 Gb/s or 192 40 Gb/s ports. The 6 µs
+	// per-frame figure is modelled as output-port service time: a
+	// zero-load transit takes 6 µs and a port sustains one frame per
+	// 6 µs, which is what produces the congestion behaviour of the
+	// paper's three-tier baseline (§7.1).
+	CiscoNexus7000 = SwitchModel{
+		Name:        "CCS",
+		Latency:     0,
+		CutThrough:  false,
+		ServiceTime: 6 * sim.Microsecond,
+		BufferBytes: 2 << 20,
+	}
+	// Arista7150 is the paper's ultra-low-latency switch (ULL): 380 ns
+	// cut-through, 64 10 Gb/s or 16 40 Gb/s ports.
+	Arista7150 = SwitchModel{
+		Name:        "ULL",
+		Latency:     380 * sim.Nanosecond,
+		CutThrough:  true,
+		BufferBytes: 1 << 20,
+	}
+)
+
+// HostModel describes end-host behaviour.
+type HostModel struct {
+	// NICLatency is added once at send and once at receive (Table 2:
+	// 0.5 µs for a state-of-the-art NIC).
+	NICLatency sim.Time
+	// ForwardLatency is the OS stack delay when a *host* forwards a
+	// packet (server-centric topologies like BCube; Table 2 cites 15 µs
+	// for a standard network stack).
+	ForwardLatency sim.Time
+	// BufferBytes is the NIC output-queue capacity.
+	BufferBytes int
+}
+
+// DefaultHost matches the paper's simulations, which isolate network
+// latency: a low-latency NIC and the standard 15 µs stack penalty for
+// server-side forwarding.
+var DefaultHost = HostModel{
+	NICLatency:     500 * sim.Nanosecond,
+	ForwardLatency: 15 * sim.Microsecond,
+	BufferBytes:    1 << 20,
+}
+
+// NoWaypoint marks a packet that routes directly to its destination.
+const NoWaypoint topology.NodeID = -1
+
+// Packet is one simulated frame.
+type Packet struct {
+	ID      uint64
+	Flow    routing.FlowID
+	Src     topology.NodeID
+	Dst     topology.NodeID
+	Size    int // bytes on the wire
+	Created sim.Time
+	// Waypoint is a VLB intermediate switch, or NoWaypoint.
+	Waypoint topology.NodeID
+	// Tag lets workloads group deliveries (task index, request/reply).
+	Tag int
+	// UserData is carried untouched for transports (e.g. TCP sequence
+	// numbers).
+	UserData uint64
+	// Priority selects the output-queue class: 0 is served strictly
+	// before 1 (DeTail-style two-class scheduling, §2.1.4). Values
+	// above 1 are clamped.
+	Priority uint8
+	// Marked is set by ECN-enabled switches when the packet joined a
+	// queue above the marking threshold.
+	Marked bool
+	// Hops counts forwarding elements traversed (switches and
+	// forwarding hosts).
+	Hops int
+	// Path is the node sequence the packet traversed (source through
+	// destination), recorded only when Config.RecordPaths is set.
+	Path []topology.NodeID
+}
+
+// Delivery reports a packet reaching its destination host.
+type Delivery struct {
+	Packet  Packet
+	At      sim.Time
+	Latency sim.Time
+}
+
+// Drop reports a packet lost to a full queue or a routing failure.
+type Drop struct {
+	Packet Packet
+	At     sim.Time
+	Reason string
+}
+
+// Config assembles a Network.
+type Config struct {
+	Graph  *topology.Graph
+	Router routing.Router
+	// Engine to schedule on; New creates one when nil.
+	Engine *sim.Engine
+	// SwitchModel selects the model per switch; nil means Arista7150
+	// everywhere.
+	SwitchModel func(topology.Node) SwitchModel
+	// Host is the end-host model; zero value means DefaultHost.
+	Host HostModel
+	// OnDeliver and OnDrop are optional hooks.
+	OnDeliver func(Delivery)
+	OnDrop    func(Drop)
+	// RecordPaths attaches the traversed node sequence to every packet
+	// (Packet.Path) — for route validation and debugging; it allocates
+	// per hop, so leave it off in large runs.
+	RecordPaths bool
+}
+
+// maxHops aborts forwarding loops; no experiment topology has paths
+// anywhere near this long.
+const maxHops = 64
+
+// Network simulates packet forwarding on a topology.
+type Network struct {
+	eng    *sim.Engine
+	g      *topology.Graph
+	router routing.Router
+
+	models    []SwitchModel // per node; valid for switches
+	host      HostModel
+	dirs      []dirLink // 2*link + (0 if A->B else 1)
+	onDeliver func(Delivery)
+	onDrop    func(Drop)
+	record    bool
+
+	nextID    uint64
+	delivered uint64
+	dropped   uint64
+}
+
+// numPriorities is the number of output-queue classes per port.
+const numPriorities = 2
+
+// queued is one packet waiting at an output port.
+type queued struct {
+	p Packet
+	// ready is the earliest instant the transmitter may start (switch
+	// processing complete; may lie in the past for cut-through heads).
+	ready sim.Time
+	// tailIn is when the packet's tail fully arrived at this node: the
+	// retransmission cannot complete before it.
+	tailIn sim.Time
+	// ser is the outbound occupancy (wire serialization or the
+	// forwarding engine's per-frame service, whichever is longer).
+	ser sim.Time
+}
+
+// dirLink is one direction of a link: its own transmitter and
+// strict-priority output queues.
+type dirLink struct {
+	rate        sim.Rate
+	prop        sim.Time
+	queuedBytes int
+	capBytes    int
+	down        bool
+
+	queues [numPriorities][]queued
+	busy   bool
+	freeAt sim.Time
+
+	drops     uint64
+	txPackets uint64
+	txBytes   uint64
+	busyTime  sim.Time
+}
+
+// New builds a network simulator from cfg.
+func New(cfg Config) (*Network, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("netsim: nil graph")
+	}
+	if cfg.Router == nil {
+		return nil, fmt.Errorf("netsim: nil router")
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		// The calendar queue is ~2x faster than the binary heap on
+		// packet workloads and produces the identical event order.
+		eng = sim.NewCalendarEngine()
+	}
+	host := cfg.Host
+	if host == (HostModel{}) {
+		host = DefaultHost
+	}
+	n := &Network{
+		eng:       eng,
+		g:         cfg.Graph,
+		router:    cfg.Router,
+		host:      host,
+		onDeliver: cfg.OnDeliver,
+		onDrop:    cfg.OnDrop,
+		record:    cfg.RecordPaths,
+	}
+	n.models = make([]SwitchModel, cfg.Graph.NumNodes())
+	for i := 0; i < cfg.Graph.NumNodes(); i++ {
+		node := cfg.Graph.Node(topology.NodeID(i))
+		if node.Kind != topology.Switch {
+			continue
+		}
+		if cfg.SwitchModel != nil {
+			n.models[i] = cfg.SwitchModel(node)
+		} else {
+			n.models[i] = Arista7150
+		}
+	}
+	n.dirs = make([]dirLink, 2*cfg.Graph.NumLinks())
+	for i := 0; i < cfg.Graph.NumLinks(); i++ {
+		l := cfg.Graph.Link(topology.LinkID(i))
+		for d := 0; d < 2; d++ {
+			from := l.A
+			if d == 1 {
+				from = l.B
+			}
+			capBytes := n.bufferOf(from)
+			n.dirs[2*i+d] = dirLink{rate: l.Rate, prop: l.Prop, capBytes: capBytes}
+		}
+	}
+	return n, nil
+}
+
+func (n *Network) bufferOf(node topology.NodeID) int {
+	if n.g.Node(node).Kind == topology.Host {
+		return n.host.BufferBytes
+	}
+	return n.models[node].BufferBytes
+}
+
+// Engine returns the simulation engine driving this network.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Graph returns the simulated topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Delivered returns the count of packets delivered so far.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// Dropped returns the count of packets dropped so far.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Unicast injects a packet at its source host at the current simulation
+// time, routing directly to dst. It returns the packet ID.
+func (n *Network) Unicast(flow routing.FlowID, src, dst topology.NodeID, size, tag int) uint64 {
+	return n.Send(Packet{Flow: flow, Src: src, Dst: dst, Size: size, Tag: tag, Waypoint: NoWaypoint})
+}
+
+// Send injects a packet at its source host at the current simulation
+// time. The caller fills Flow, Src, Dst, Size, Tag and Waypoint
+// (NoWaypoint for direct routing); ID, Created and Hops are managed by
+// the network. It returns the packet ID.
+func (n *Network) Send(p Packet) uint64 {
+	if p.Size <= 0 {
+		panic(fmt.Sprintf("netsim: packet size %d", p.Size))
+	}
+	if n.g.Node(p.Src).Kind != topology.Host {
+		panic(fmt.Sprintf("netsim: source %d is not a host", p.Src))
+	}
+	n.nextID++
+	p.ID = n.nextID
+	p.Created = n.eng.Now()
+	p.Hops = 0
+	if n.record {
+		p.Path = append(p.Path[:0], p.Src)
+	}
+	if p.Src == p.Dst {
+		// Loopback: deliver after the stack round trip.
+		n.eng.After(2*n.host.NICLatency, func() { n.deliver(p) })
+		return p.ID
+	}
+	// NIC send-side latency, then onto the wire.
+	n.eng.After(n.host.NICLatency, func() {
+		n.forward(p.Src, p, n.eng.Now(), 0)
+	})
+	return p.ID
+}
+
+// forward routes packet p out of node at readyTime (the time its tail
+// is ready to begin serialization on the chosen output). serIn is the
+// serialization time of the inbound link (0 at the source host).
+func (n *Network) forward(node topology.NodeID, p Packet, readyTime sim.Time, serIn sim.Time) {
+	if p.Hops >= maxHops {
+		n.drop(p, "hop limit exceeded (routing loop?)")
+		return
+	}
+	if node == p.Waypoint {
+		p.Waypoint = NoWaypoint
+	}
+	port, err := n.router.NextPort(node, routing.PacketMeta{
+		Flow: p.Flow, Seq: p.ID, Src: p.Src, Dst: p.Dst, Waypoint: p.Waypoint,
+	})
+	if err != nil {
+		n.drop(p, "no route: "+err.Error())
+		return
+	}
+	link := n.g.Link(port.Link)
+	di := 2 * int(port.Link)
+	if link.B == node {
+		di++
+	}
+	dl := &n.dirs[di]
+	if dl.down {
+		dl.drops++
+		n.drop(p, fmt.Sprintf("link %d down", port.Link))
+		return
+	}
+	if dl.queuedBytes+p.Size > dl.capBytes {
+		dl.drops++
+		n.drop(p, fmt.Sprintf("queue full on link %d", port.Link))
+		return
+	}
+	if n.g.Node(node).Kind == topology.Switch {
+		if thresh := n.models[node].ECNThresholdBytes; thresh > 0 && dl.queuedBytes >= thresh {
+			p.Marked = true
+		}
+	}
+	dl.queuedBytes += p.Size
+	ser := dl.rate.Serialize(p.Size)
+	// Store-and-forward chassis ports are paced by the forwarding
+	// engine when that is slower than the wire.
+	if n.g.Node(node).Kind == topology.Switch {
+		if svc := n.models[node].ServiceTime; svc > ser {
+			ser = svc
+		}
+	}
+	pri := int(p.Priority)
+	if pri >= numPriorities {
+		pri = numPriorities - 1
+	}
+	dl.queues[pri] = append(dl.queues[pri], queued{
+		p: p, ready: readyTime, tailIn: n.eng.Now(), ser: ser,
+	})
+	if !dl.busy {
+		n.transmitNext(di)
+	}
+}
+
+// transmitNext starts the transmitter on the next queued packet,
+// serving strict priority order; it re-arms itself from the completion
+// event until the queues drain.
+func (n *Network) transmitNext(di int) {
+	dl := &n.dirs[di]
+	var item queued
+	found := false
+	for pri := 0; pri < numPriorities; pri++ {
+		if len(dl.queues[pri]) > 0 {
+			item = dl.queues[pri][0]
+			dl.queues[pri] = dl.queues[pri][1:]
+			found = true
+			break
+		}
+	}
+	if !found {
+		dl.busy = false
+		return
+	}
+	dl.busy = true
+	start := dl.freeAt
+	if item.ready > start {
+		start = item.ready
+	}
+	endTx := start + item.ser
+	if endTx < item.tailIn {
+		// A cut-through head start cannot let the tail leave before it
+		// has fully arrived.
+		endTx = item.tailIn
+	}
+	if now := n.eng.Now(); endTx < now {
+		endTx = now
+	}
+	dl.freeAt = endTx
+	dl.txPackets++
+	dl.txBytes += uint64(item.p.Size)
+	dl.busyTime += item.ser
+	l := n.g.Link(topology.LinkID(di / 2))
+	peer := l.A
+	if di%2 == 0 {
+		peer = l.B
+	}
+	p := item.p
+	size := p.Size
+	ser := item.ser
+	n.eng.Schedule(endTx, func() {
+		dl.queuedBytes -= size
+		n.transmitNext(di)
+	})
+	n.eng.Schedule(endTx+dl.prop, func() {
+		n.arrive(peer, p, ser)
+	})
+}
+
+// arrive handles the tail of packet p reaching node at the current
+// simulation time, having been serialized over serIn.
+func (n *Network) arrive(node topology.NodeID, p Packet, serIn sim.Time) {
+	now := n.eng.Now()
+	if n.record {
+		p.Path = append(p.Path, node)
+	}
+	if node == p.Dst {
+		p.Hops++
+		// NIC receive-side latency.
+		n.eng.After(n.host.NICLatency, func() { n.deliver(p) })
+		return
+	}
+	p.Hops++
+	if n.g.Node(node).Kind == topology.Host {
+		// Server-side forwarding (BCube-style): pay the OS stack.
+		n.eng.After(n.host.ForwardLatency, func() {
+			n.forward(node, p, n.eng.Now(), serIn)
+		})
+		return
+	}
+	m := &n.models[node]
+	var ready sim.Time
+	if m.CutThrough {
+		// The head arrived serIn ago and may leave m.Latency later. The
+		// tail cannot leave the output before it has arrived here;
+		// forward clamps the transmit completion to now.
+		ready = now - serIn + m.Latency
+	} else {
+		// Store-and-forward: wait for the full frame, then process.
+		ready = now + m.Latency
+	}
+	n.forward(node, p, ready, serIn)
+}
+
+func (n *Network) deliver(p Packet) {
+	n.delivered++
+	if n.onDeliver != nil {
+		n.onDeliver(Delivery{Packet: p, At: n.eng.Now(), Latency: n.eng.Now() - p.Created})
+	}
+}
+
+func (n *Network) drop(p Packet, reason string) {
+	n.dropped++
+	if n.onDrop != nil {
+		n.onDrop(Drop{Packet: p, At: n.eng.Now(), Reason: reason})
+	}
+}
+
+// LinkDrops returns the number of packets dropped at the queue of the
+// given link in the direction from the given node.
+func (n *Network) LinkDrops(link topology.LinkID, from topology.NodeID) uint64 {
+	di := 2 * int(link)
+	if n.g.Link(link).B == from {
+		di++
+	}
+	return n.dirs[di].drops
+}
+
+// QueuedBytes returns the bytes currently queued on the given link in
+// the direction from the given node.
+func (n *Network) QueuedBytes(link topology.LinkID, from topology.NodeID) int {
+	di := 2 * int(link)
+	if n.g.Link(link).B == from {
+		di++
+	}
+	return n.dirs[di].queuedBytes
+}

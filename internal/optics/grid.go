@@ -1,0 +1,76 @@
+package optics
+
+import (
+	"fmt"
+)
+
+// The ITU-T G.694.1 DWDM grid: channels on a fixed frequency grid
+// anchored at 193.1 THz. The paper's parts are 80-channel C-band
+// mux/demuxes at 50 GHz spacing [8]; CWDM (the prototype's 1470/1490/
+// 1510 nm SFPs) uses the coarse 20 nm grid of G.694.2.
+
+// GridSpacing is a DWDM channel spacing.
+type GridSpacing int
+
+// Standard spacings.
+const (
+	// Spacing50GHz is the 80-channel C-band grid of the paper's muxes.
+	Spacing50GHz GridSpacing = 50
+	// Spacing100GHz is the coarser 40-channel grid.
+	Spacing100GHz GridSpacing = 100
+)
+
+// speedOfLight in metres per second.
+const speedOfLight = 299_792_458.0
+
+// anchorTHz is the ITU grid anchor frequency.
+const anchorTHz = 193.1
+
+// ChannelFrequencyTHz returns the centre frequency of channel index i
+// (0-based, counting up from the anchor) on the given grid.
+func ChannelFrequencyTHz(i int, spacing GridSpacing) float64 {
+	return anchorTHz + float64(i)*float64(spacing)/1000.0
+}
+
+// ChannelWavelengthNm returns the centre wavelength in nanometres of
+// channel index i on the given grid.
+func ChannelWavelengthNm(i int, spacing GridSpacing) float64 {
+	fTHz := ChannelFrequencyTHz(i, spacing)
+	return speedOfLight / (fTHz * 1e12) * 1e9
+}
+
+// CBand is the conventional band amplified by EDFAs: roughly
+// 1530-1565 nm. The paper's 80-channel muxes and amplifiers operate
+// here.
+const (
+	CBandMinNm = 1530.0
+	CBandMaxNm = 1565.0
+)
+
+// InCBand reports whether channel i of the grid lies in the C-band.
+// The anchor (193.1 THz, ~1552.5 nm) sits inside the band; positive
+// indices move toward 1530 nm, negative toward 1565 nm.
+func InCBand(i int, spacing GridSpacing) bool {
+	nm := ChannelWavelengthNm(i, spacing)
+	return nm >= CBandMinNm && nm <= CBandMaxNm
+}
+
+// MaxCBandChannels returns how many grid channels fit in the C-band at
+// the given spacing — ~87 at 50 GHz, which is why commodity muxes ship
+// 80 of them (§3.1).
+func MaxCBandChannels(spacing GridSpacing) int {
+	n := 0
+	for i := -200; i <= 200; i++ {
+		if InCBand(i, spacing) {
+			n++
+		}
+	}
+	return n
+}
+
+// ChannelLabel renders a channel in the conventional "C-band index +
+// wavelength" form, e.g. "ch 12 (1547.72 nm, 193.70 THz)".
+func ChannelLabel(i int, spacing GridSpacing) string {
+	return fmt.Sprintf("ch %d (%.2f nm, %.2f THz)",
+		i, ChannelWavelengthNm(i, spacing), ChannelFrequencyTHz(i, spacing))
+}

@@ -1,0 +1,115 @@
+package routing
+
+import (
+	"fmt"
+
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// KSP routes over the k shortest loop-free paths between each
+// source-ToR/destination pair, pinning each flow to one of them by
+// hash — Jellyfish's k-shortest-path routing (Table 9 notes its path
+// diversity "depends on the chosen routing algorithm, k-shortest-path
+// or ECMP").
+//
+// Unlike ECMP, the alternatives need not be equal length: KSP trades a
+// slightly longer path for congestion spreading on irregular
+// topologies. Paths are precomputed per (source switch, destination
+// host); forwarding follows the pinned path hop by hop.
+type KSP struct {
+	g *topology.Graph
+	k int
+	// paths[key] lists up to k node sequences from a source switch to a
+	// destination host, inclusive.
+	paths map[pathKey][][]topology.NodeID
+}
+
+type pathKey struct {
+	src topology.NodeID // source ToR switch
+	dst topology.NodeID // destination host
+}
+
+// NewKSP precomputes up to k shortest paths from every ToR switch to
+// every host. Memory grows with switches x hosts x k; intended for the
+// analysis- and simulation-scale topologies of this repository.
+func NewKSP(g *topology.Graph, k int) (*KSP, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("routing: ksp needs k >= 1, got %d", k)
+	}
+	r := &KSP{g: g, k: k, paths: make(map[pathKey][][]topology.NodeID)}
+	for _, sw := range g.Switches() {
+		for _, h := range g.Hosts() {
+			if g.ToRof(h) == sw {
+				// Deliver directly (single hop to the host).
+				r.paths[pathKey{sw, h}] = [][]topology.NodeID{{sw, h}}
+				continue
+			}
+			ps := KShortestPaths(g, sw, h, k)
+			if len(ps) == 0 {
+				return nil, fmt.Errorf("routing: ksp: no path from switch %d to host %d", sw, h)
+			}
+			r.paths[pathKey{sw, h}] = ps
+		}
+	}
+	return r, nil
+}
+
+// Name implements Router.
+func (r *KSP) Name() string { return fmt.Sprintf("ksp(%d)", r.k) }
+
+// NextPort implements Router. The flow's pinned path is the hash-chosen
+// one from its source switch; at an intermediate node the packet
+// follows the suffix of that path. If the node is not on the pinned
+// path (possible only after a mid-flight router swap), it falls back to
+// the node's own best path set.
+func (r *KSP) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error) {
+	if r.g.Node(n).Kind == topology.Host {
+		// Source host: forward to its ToR.
+		for _, p := range r.g.Ports(n) {
+			if r.g.Node(p.Peer).Kind == topology.Switch {
+				return p, nil
+			}
+		}
+		return topology.Port{}, fmt.Errorf("routing: ksp: host %d has no uplink", n)
+	}
+	srcSw := n
+	if r.g.Node(pkt.Src).Kind == topology.Host {
+		srcSw = r.g.ToRof(pkt.Src)
+	}
+	ps, ok := r.paths[pathKey{srcSw, pkt.Dst}]
+	if !ok || len(ps) == 0 {
+		return topology.Port{}, fmt.Errorf("routing: ksp: no paths from %d to %d", srcSw, pkt.Dst)
+	}
+	path := ps[hashFlow(pkt.Flow, 0)%uint64(len(ps))]
+	// Find n on the pinned path and forward to the successor.
+	for i, node := range path[:len(path)-1] {
+		if node == n {
+			return r.portTo(n, path[i+1])
+		}
+	}
+	// Off-path (e.g. the flow was rerouted): restart from n's own set.
+	ps, ok = r.paths[pathKey{n, pkt.Dst}]
+	if !ok || len(ps) == 0 {
+		return topology.Port{}, fmt.Errorf("routing: ksp: node %d off-path to %d", n, pkt.Dst)
+	}
+	path = ps[hashFlow(pkt.Flow, n)%uint64(len(ps))]
+	if len(path) < 2 {
+		return topology.Port{}, fmt.Errorf("routing: ksp: degenerate path at %d", n)
+	}
+	return r.portTo(n, path[1])
+}
+
+func (r *KSP) portTo(n, next topology.NodeID) (topology.Port, error) {
+	for _, p := range r.g.Ports(n) {
+		if p.Peer == next {
+			return p, nil
+		}
+	}
+	return topology.Port{}, fmt.Errorf("routing: ksp: missing link %d-%d", n, next)
+}
+
+// PathCount returns how many alternatives the router holds for a
+// source switch / destination host pair (for diversity analysis).
+func (r *KSP) PathCount(srcSwitch, dstHost topology.NodeID) int {
+	return len(r.paths[pathKey{srcSwitch, dstHost}])
+}

@@ -1,0 +1,135 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+func TestKSPDeliversOnJellyfish(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := topology.NewJellyfish(topology.JellyfishConfig{
+		Switches: 10, HostsPerSwitch: 2, NetDegree: 3, Rand: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewKSP(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "ksp(4)" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	hosts := g.Hosts()
+	// Walk many flows between many pairs; all must arrive loop-free.
+	for trial := 0; trial < 40; trial++ {
+		src := hosts[trial%len(hosts)]
+		dst := hosts[(trial*7+5)%len(hosts)]
+		if src == dst {
+			continue
+		}
+		pkt := PacketMeta{Flow: FlowID(trial), Src: src, Dst: dst, Waypoint: -1}
+		n := g.ToRof(src)
+		seen := map[topology.NodeID]bool{}
+		for hops := 0; ; hops++ {
+			if hops > 16 {
+				t.Fatalf("flow %d looping", trial)
+			}
+			if seen[n] {
+				t.Fatalf("flow %d revisits %d", trial, n)
+			}
+			seen[n] = true
+			port, err := r.NextPort(n, pkt)
+			if err != nil {
+				t.Fatalf("flow %d at %d: %v", trial, n, err)
+			}
+			if port.Peer == dst {
+				break
+			}
+			n = port.Peer
+		}
+	}
+}
+
+func TestKSPUsesMultiplePaths(t *testing.T) {
+	// Ring of 6 switches: two paths between opposite switches; with
+	// k=2, different flows should take both.
+	g := topology.New("ring6")
+	var sw [6]topology.NodeID
+	for i := range sw {
+		sw[i] = g.AddSwitch("s", topology.TierToR, i)
+	}
+	for i := range sw {
+		g.Connect(sw[i], sw[(i+1)%6], 1e9, 0)
+	}
+	h0 := g.AddHost("h0", 0)
+	h3 := g.AddHost("h3", 3)
+	g.Connect(h0, sw[0], 1e9, 0)
+	g.Connect(h3, sw[3], 1e9, 0)
+	r, err := NewKSP(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PathCount(sw[0], h3); got != 2 {
+		t.Fatalf("PathCount = %d, want 2", got)
+	}
+	firstHops := map[topology.NodeID]bool{}
+	for f := 0; f < 32; f++ {
+		port, err := r.NextPort(sw[0], PacketMeta{Flow: FlowID(f), Src: h0, Dst: h3, Waypoint: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstHops[port.Peer] = true
+	}
+	if len(firstHops) != 2 {
+		t.Errorf("32 flows used first hops %v, want both ring directions", firstHops)
+	}
+}
+
+func TestKSPSameRackDelivery(t *testing.T) {
+	g := mesh(t, 3, 2)
+	r, err := NewKSP(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.HostsInRack(0)
+	port, err := r.NextPort(g.ToRof(hosts[0]), PacketMeta{Flow: 1, Src: hosts[0], Dst: hosts[1], Waypoint: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port.Peer != hosts[1] {
+		t.Errorf("same-rack next hop = %d, want the host", port.Peer)
+	}
+}
+
+func TestKSPHostSource(t *testing.T) {
+	g := mesh(t, 3, 1)
+	r, err := NewKSP(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	port, err := r.NextPort(hosts[0], PacketMeta{Flow: 1, Src: hosts[0], Dst: hosts[2], Waypoint: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Node(port.Peer).Kind != topology.Switch {
+		t.Errorf("host forwarded to %v, want its ToR", port.Peer)
+	}
+}
+
+func TestKSPErrors(t *testing.T) {
+	g := mesh(t, 3, 1)
+	if _, err := NewKSP(g, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	r, err := NewKSP(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NextPort(g.Switches()[0], PacketMeta{Flow: 1, Src: g.Hosts()[0], Dst: 999, Waypoint: -1}); err == nil {
+		t.Error("unknown destination accepted")
+	}
+}

@@ -1,0 +1,411 @@
+// Package routing implements the forwarding strategies the Quartz paper
+// evaluates: ECMP over equal-cost shortest paths, Valiant load balancing
+// (VLB) on full meshes, L2 spanning-tree forwarding (the prototype's
+// Ethernet baseline), and Yen's k-shortest-paths (for Jellyfish-style
+// analysis).
+//
+// A Router answers one question for the packet simulator: given the
+// switch a packet is at and the packet's flow and destination, which
+// output port should carry it? Routers precompute their tables from a
+// topology.Graph and are immutable (and goroutine-safe) afterwards.
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// FlowID identifies a flow for ECMP hashing: packets of one flow follow
+// one path.
+type FlowID uint64
+
+// PacketMeta carries the routing-relevant fields of a packet.
+type PacketMeta struct {
+	Flow FlowID
+	// Seq is the packet's unique sequence number; per-packet ECMP
+	// spraying hashes it together with Flow.
+	Seq uint64
+	Src topology.NodeID
+	Dst topology.NodeID
+	// Waypoint, if >= 0, is a VLB intermediate switch the packet must
+	// visit before heading to Dst. The router clears it (conceptually)
+	// once the packet reaches the waypoint; the simulator stores it.
+	Waypoint topology.NodeID
+}
+
+// Router selects output ports.
+type Router interface {
+	// NextPort returns the port on which node n should forward the
+	// packet. Reaching the destination host is included: when n is the
+	// destination's ToR, the returned port is the host link. It returns
+	// an error if no route exists.
+	NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error)
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// hashFlow mixes a flow ID with a node ID so different switches make
+// independent ECMP choices (64-bit splitmix-style finalizer).
+func hashFlow(f FlowID, n topology.NodeID) uint64 {
+	x := uint64(f) ^ (uint64(n) * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ECMP routes every packet along a shortest path, choosing among
+// equal-cost next hops by flow hash. On a full mesh this always selects
+// the single direct path (§3.4 of the paper).
+type ECMP struct {
+	g *topology.Graph
+	// next[dst][n] lists n's shortest-path ports toward dst.
+	next map[topology.NodeID][][]topology.Port
+	// perPacket sprays individual packets over the equal-cost set
+	// instead of pinning whole flows. The paper's simulator sprays
+	// (§7.1 reports no difference between ECMP and VLB on the mesh,
+	// and the tree's smooth congestion curves require load spreading
+	// finer than per-flow).
+	perPacket bool
+}
+
+// NewECMP precomputes shortest-path next hops toward every host.
+// Packets of one flow are pinned to one path.
+func NewECMP(g *topology.Graph) *ECMP {
+	e := &ECMP{g: g, next: make(map[topology.NodeID][][]topology.Port, len(g.Hosts()))}
+	for _, h := range g.Hosts() {
+		e.next[h] = g.AllShortestNextHops(h)
+	}
+	return e
+}
+
+// NewECMPPerPacket is NewECMP with per-packet spraying over the
+// equal-cost set.
+func NewECMPPerPacket(g *topology.Graph) *ECMP {
+	e := NewECMP(g)
+	e.perPacket = true
+	return e
+}
+
+// NewECMPAvoiding precomputes shortest-path next hops on the graph with
+// the given links treated as failed — the router a control plane would
+// install after detecting those failures.
+func NewECMPAvoiding(g *topology.Graph, dead map[topology.LinkID]bool) *ECMP {
+	e := &ECMP{g: g, next: make(map[topology.NodeID][][]topology.Port, len(g.Hosts()))}
+	for _, h := range g.Hosts() {
+		e.next[h] = g.AllShortestNextHopsAvoiding(h, dead)
+	}
+	return e
+}
+
+// Name implements Router.
+func (e *ECMP) Name() string {
+	if e.perPacket {
+		return "ecmp-spray"
+	}
+	return "ecmp"
+}
+
+// NextPort implements Router.
+func (e *ECMP) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error) {
+	table, ok := e.next[pkt.Dst]
+	if !ok {
+		return topology.Port{}, fmt.Errorf("routing: ecmp: unknown destination %d", pkt.Dst)
+	}
+	choices := table[n]
+	if len(choices) == 0 {
+		return topology.Port{}, fmt.Errorf("routing: ecmp: no route from %d to %d", n, pkt.Dst)
+	}
+	key := pkt.Flow
+	if e.perPacket {
+		key ^= FlowID(pkt.Seq * 0x9E3779B97F4A7C15)
+	}
+	return choices[hashFlow(key, n)%uint64(len(choices))], nil
+}
+
+// VLB implements Valiant load balancing on a full mesh of ToR switches
+// (§3.4): a fraction of flows detour through a random intermediate
+// switch (two-hop path), the rest use the direct path. The simulator
+// assigns waypoints at flow creation with ChooseWaypoint; forwarding
+// itself is shortest-path toward the waypoint and then the destination.
+type VLB struct {
+	ecmp *ECMP
+	g    *topology.Graph
+	// IndirectFraction is the fraction of flows sent over two-hop paths.
+	indirectFraction float64
+	switches         []topology.NodeID
+	// distTo[sw] holds hop distances from every node to switch sw, for
+	// waypoint forwarding.
+	distTo map[topology.NodeID][]int
+}
+
+// NewVLB builds a VLB router over g (which should be a full mesh of ToR
+// switches) detouring the given fraction of flows, 0 <= fraction <= 1.
+func NewVLB(g *topology.Graph, indirectFraction float64) (*VLB, error) {
+	if indirectFraction < 0 || indirectFraction > 1 {
+		return nil, fmt.Errorf("routing: vlb fraction %v out of [0,1]", indirectFraction)
+	}
+	v := &VLB{
+		ecmp:             NewECMP(g),
+		g:                g,
+		indirectFraction: indirectFraction,
+		switches:         g.Switches(),
+		distTo:           make(map[topology.NodeID][]int, len(g.Switches())),
+	}
+	for _, sw := range v.switches {
+		v.distTo[sw] = g.BFSDist(sw, nil)
+	}
+	return v, nil
+}
+
+// Name implements Router.
+func (v *VLB) Name() string { return fmt.Sprintf("vlb(%.2f)", v.indirectFraction) }
+
+// ChooseWaypoint picks the VLB intermediate for a new flow from src to
+// dst, or -1 for the direct path. rng drives the indirect/direct choice
+// and the intermediate selection.
+func (v *VLB) ChooseWaypoint(src, dst topology.NodeID, rng *rand.Rand) topology.NodeID {
+	if rng.Float64() >= v.indirectFraction {
+		return -1
+	}
+	sSw, dSw := v.g.ToRof(src), v.g.ToRof(dst)
+	// Pick a random switch that is neither endpoint's ToR.
+	candidates := 0
+	for _, sw := range v.switches {
+		if sw != sSw && sw != dSw {
+			candidates++
+		}
+	}
+	if candidates == 0 {
+		return -1
+	}
+	pick := rng.Intn(candidates)
+	for _, sw := range v.switches {
+		if sw == sSw || sw == dSw {
+			continue
+		}
+		if pick == 0 {
+			return sw
+		}
+		pick--
+	}
+	return -1
+}
+
+// NextPort implements Router. Packets with a waypoint are routed toward
+// the waypoint switch first; the simulator clears the waypoint when the
+// packet transits it.
+func (v *VLB) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error) {
+	if pkt.Waypoint >= 0 && n != pkt.Waypoint {
+		// Route toward the waypoint switch along switch links.
+		return v.towardSwitch(n, pkt)
+	}
+	return v.ecmp.NextPort(n, pkt)
+}
+
+// towardSwitch forwards along a shortest path to the waypoint switch.
+func (v *VLB) towardSwitch(n topology.NodeID, pkt PacketMeta) (topology.Port, error) {
+	dist, ok := v.distTo[pkt.Waypoint]
+	if !ok {
+		return topology.Port{}, fmt.Errorf("routing: vlb: waypoint %d is not a switch", pkt.Waypoint)
+	}
+	if dist[n] <= 0 {
+		return topology.Port{}, fmt.Errorf("routing: vlb: no path from %d to waypoint %d", n, pkt.Waypoint)
+	}
+	var choices []topology.Port
+	for _, p := range v.g.Ports(n) {
+		if dist[p.Peer] == dist[n]-1 {
+			choices = append(choices, p)
+		}
+	}
+	if len(choices) == 0 {
+		return topology.Port{}, fmt.Errorf("routing: vlb: stuck at %d toward waypoint %d", n, pkt.Waypoint)
+	}
+	return choices[hashFlow(pkt.Flow, n)%uint64(len(choices))], nil
+}
+
+// SpanningTree forwards along a single spanning tree rooted at a chosen
+// switch — classic L2 Ethernet behaviour, the baseline the prototype
+// compares against (§3.4, §6). All traffic between different subtrees
+// funnels through the root.
+type SpanningTree struct {
+	g    *topology.Graph
+	root topology.NodeID
+	// parent[n] is the port from n toward the root; undefined at root.
+	parent []topology.Port
+	// inTree marks the links in the tree.
+	inTree map[topology.LinkID]bool
+	name   string
+}
+
+// NewSpanningTree builds a BFS spanning tree rooted at root.
+func NewSpanningTree(g *topology.Graph, root topology.NodeID) (*SpanningTree, error) {
+	if g.Node(root).Kind != topology.Switch {
+		return nil, fmt.Errorf("routing: spanning tree root %d is not a switch", root)
+	}
+	st := &SpanningTree{
+		g:      g,
+		root:   root,
+		parent: make([]topology.Port, g.NumNodes()),
+		inTree: make(map[topology.LinkID]bool),
+		name:   fmt.Sprintf("stp(root=%s)", g.Node(root).Name),
+	}
+	for i := range st.parent {
+		st.parent[i] = topology.Port{Link: -1, Peer: -1}
+	}
+	seen := make([]bool, g.NumNodes())
+	seen[root] = true
+	queue := []topology.NodeID{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, p := range g.Ports(n) {
+			if seen[p.Peer] {
+				continue
+			}
+			seen[p.Peer] = true
+			st.parent[p.Peer] = topology.Port{Link: p.Link, Peer: n}
+			st.inTree[p.Link] = true
+			queue = append(queue, p.Peer)
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("routing: node %d unreachable from spanning tree root", i)
+		}
+	}
+	return st, nil
+}
+
+// Name implements Router.
+func (st *SpanningTree) Name() string { return st.name }
+
+// NextPort implements Router: forward up toward the root until the
+// destination is in the subtree below, then down. Implemented by walking
+// tree hops: from n, the next hop is the unique tree neighbor that is
+// closer to dst in the tree.
+func (st *SpanningTree) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error) {
+	if n == pkt.Dst {
+		return topology.Port{}, fmt.Errorf("routing: stp: already at destination %d", n)
+	}
+	// Is dst in the subtree under one of n's tree children? Walk up from
+	// dst to root; if we hit n, the previous hop tells us the child port.
+	prev := pkt.Dst
+	for cur := pkt.Dst; ; {
+		if cur == n {
+			// Forward down toward prev.
+			for _, p := range st.g.Ports(n) {
+				if p.Peer == prev && st.inTree[p.Link] {
+					return p, nil
+				}
+			}
+			return topology.Port{}, fmt.Errorf("routing: stp: missing tree link %d->%d", n, prev)
+		}
+		if cur == st.root {
+			break
+		}
+		prev = cur
+		cur = st.parent[cur].Peer
+	}
+	// dst is not below n: forward up.
+	if n == st.root {
+		return topology.Port{}, fmt.Errorf("routing: stp: no route from root to %d", pkt.Dst)
+	}
+	up := st.parent[n]
+	for _, p := range st.g.Ports(n) {
+		if p.Link == up.Link {
+			return p, nil
+		}
+	}
+	return topology.Port{}, fmt.Errorf("routing: stp: missing uplink at %d", n)
+}
+
+// TreeLinks returns the set of links used by the spanning tree.
+func (st *SpanningTree) TreeLinks() map[topology.LinkID]bool { return st.inTree }
+
+// KShortestPaths returns up to k loop-free shortest paths (by hop count)
+// from src to dst using Yen's algorithm. Paths are returned in
+// non-decreasing length order. Used for Jellyfish-style path diversity
+// analysis and k-shortest-path ECMP.
+func KShortestPaths(g *topology.Graph, src, dst topology.NodeID, k int) [][]topology.NodeID {
+	if k <= 0 {
+		return nil
+	}
+	first := g.ShortestPath(src, dst, nil)
+	if first == nil {
+		return nil
+	}
+	paths := [][]topology.NodeID{first}
+	var candidates [][]topology.NodeID
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		// For each spur node in the previous path...
+		for i := 0; i < len(last)-1; i++ {
+			spur := last[i]
+			rootPath := last[:i+1]
+			// Remove links used by previous paths sharing this root.
+			dead := make(map[topology.LinkID]bool)
+			for _, p := range paths {
+				if len(p) > i && equalPath(p[:i+1], rootPath) {
+					if l, ok := g.FindLink(p[i], p[i+1]); ok {
+						dead[l.ID] = true
+						// Parallel links between the same pair count as
+						// the same hop for loop-free purposes.
+						for _, port := range g.Ports(p[i]) {
+							if port.Peer == p[i+1] {
+								dead[port.Link] = true
+							}
+						}
+					}
+				}
+			}
+			// Remove root path nodes (except spur) by killing their links.
+			for _, n := range rootPath[:len(rootPath)-1] {
+				for _, port := range g.Ports(n) {
+					dead[port.Link] = true
+				}
+			}
+			spurPath := g.ShortestPath(spur, dst, dead)
+			if spurPath == nil {
+				continue
+			}
+			total := append(append([]topology.NodeID{}, rootPath[:len(rootPath)-1]...), spurPath...)
+			if !containsPath(paths, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool { return len(candidates[i]) < len(candidates[j]) })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func equalPath(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(set [][]topology.NodeID, p []topology.NodeID) bool {
+	for _, q := range set {
+		if equalPath(q, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package routing
+
+import (
+	"fmt"
+
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// SPAIN exposes multiple paths over commodity Ethernet by precomputing
+// a set of VLANs, each carrying its own spanning tree, and pinning each
+// flow to one VLAN — the mechanism of Mudigonda et al. that the paper's
+// prototype uses to steer traffic (§6: "we use the technique introduced
+// in SPAIN to expose alternative network paths to the application...
+// the spanning trees for the VLANs are rooted at different switches").
+//
+// On a full mesh, a tree rooted at switch R reaches every other switch
+// in one hop, so the VLAN set {tree rooted at each switch} exposes both
+// the direct path (VLAN rooted at either endpoint) and every two-hop
+// detour (VLAN rooted at an intermediate switch).
+type SPAIN struct {
+	g     *topology.Graph
+	trees []*SpanningTree
+	name  string
+}
+
+// NewSPAIN builds one spanning-tree VLAN rooted at each of the given
+// switches. With roots == nil, every switch in the graph roots a VLAN
+// (the prototype's four-VLAN configuration on its four switches).
+func NewSPAIN(g *topology.Graph, roots []topology.NodeID) (*SPAIN, error) {
+	if roots == nil {
+		roots = g.Switches()
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("routing: spain needs at least one VLAN root")
+	}
+	s := &SPAIN{g: g, name: fmt.Sprintf("spain(%d vlans)", len(roots))}
+	for _, r := range roots {
+		st, err := NewSpanningTree(g, r)
+		if err != nil {
+			return nil, fmt.Errorf("routing: spain VLAN rooted at %d: %w", r, err)
+		}
+		s.trees = append(s.trees, st)
+	}
+	return s, nil
+}
+
+// Name implements Router.
+func (s *SPAIN) Name() string { return s.name }
+
+// VLANs returns the number of spanning trees.
+func (s *SPAIN) VLANs() int { return len(s.trees) }
+
+// vlanFor pins a flow to one VLAN. The source host selects the VLAN in
+// SPAIN (each VLAN is a virtual interface); the hash stands in for that
+// selection.
+func (s *SPAIN) vlanFor(f FlowID) *SpanningTree {
+	return s.trees[hashFlow(f, -1)%uint64(len(s.trees))]
+}
+
+// NextPort implements Router by forwarding within the flow's VLAN tree.
+func (s *SPAIN) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error) {
+	return s.vlanFor(pkt.Flow).NextPort(n, pkt)
+}
+
+// PathLength returns the number of switch hops flow f takes between two
+// hosts — for tests and path diversity analysis.
+func (s *SPAIN) PathLength(f FlowID, src, dst topology.NodeID) (int, error) {
+	n := s.g.ToRof(src)
+	pkt := PacketMeta{Flow: f, Src: src, Dst: dst, Waypoint: -1}
+	hops := 0
+	for {
+		hops++
+		if hops > 64 {
+			return 0, fmt.Errorf("routing: spain: flow %d loops", f)
+		}
+		port, err := s.NextPort(n, pkt)
+		if err != nil {
+			return 0, err
+		}
+		if port.Peer == dst {
+			return hops, nil
+		}
+		n = port.Peer
+	}
+}

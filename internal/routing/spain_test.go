@@ -1,0 +1,98 @@
+package routing
+
+import (
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+func TestSPAINPrototypeConfiguration(t *testing.T) {
+	// The §6 prototype: 4 fully meshed switches, one VLAN rooted at
+	// each, so applications can pick the direct two-switch path or a
+	// specific three-switch detour.
+	g := mesh(t, 4, 2)
+	s, err := NewSPAIN(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VLANs() != 4 {
+		t.Fatalf("VLANs = %d, want 4", s.VLANs())
+	}
+	if s.Name() != "spain(4 vlans)" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	hosts := g.Hosts()
+	src, dst := hosts[0], hosts[7] // racks 0 and 3
+	// Across many flows both 2-switch (direct) and 3-switch (detour)
+	// paths appear, and nothing longer.
+	lengths := map[int]int{}
+	for f := 0; f < 64; f++ {
+		hops, err := s.PathLength(FlowID(f), src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lengths[hops]++
+	}
+	if lengths[2] == 0 {
+		t.Error("no flow used the direct two-switch path")
+	}
+	if lengths[3] == 0 {
+		t.Error("no flow used a three-switch detour")
+	}
+	for hops := range lengths {
+		if hops > 3 {
+			t.Errorf("flow took %d switch hops on a 4-mesh", hops)
+		}
+	}
+}
+
+func TestSPAINDelivery(t *testing.T) {
+	// All flows must arrive regardless of VLAN, on any topology.
+	g, err := topology.NewTwoTierTree(topology.TreeConfig{ToRs: 4, Roots: 2, HostsPerToR: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSPAIN(g, g.SwitchesInTier(topology.TierAgg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	for f := 0; f < 16; f++ {
+		if _, err := s.PathLength(FlowID(f), hosts[0], hosts[7]); err != nil {
+			t.Fatalf("flow %d: %v", f, err)
+		}
+	}
+}
+
+func TestSPAINErrors(t *testing.T) {
+	g := mesh(t, 3, 1)
+	if _, err := NewSPAIN(g, []topology.NodeID{}); err == nil {
+		t.Error("empty root set accepted")
+	}
+	if _, err := NewSPAIN(g, []topology.NodeID{g.Hosts()[0]}); err == nil {
+		t.Error("host root accepted")
+	}
+}
+
+func TestSPAINFlowPinning(t *testing.T) {
+	g := mesh(t, 4, 1)
+	s, err := NewSPAIN(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	// The same flow always takes the same path length.
+	first, err := s.PathLength(7, hosts[0], hosts[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := s.PathLength(7, hosts[0], hosts[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("flow 7 flapped between %d and %d hops", first, again)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// eventQueue abstracts the engine's pending-event store. Both
+// implementations order events by (time, schedule sequence), so the
+// engine behaves identically regardless of the queue chosen.
+type eventQueue interface {
+	push(event)
+	// pop removes and returns the earliest event; callers check len
+	// first via size.
+	pop() event
+	// peekAt returns the earliest event's timestamp.
+	peekAt() Time
+	size() int
+}
+
+// heapQueue is the default binary-heap implementation.
+type heapQueue struct {
+	h eventHeap
+}
+
+func (q *heapQueue) push(e event) { heap.Push(&q.h, e) }
+func (q *heapQueue) pop() event   { return heap.Pop(&q.h).(event) }
+func (q *heapQueue) peekAt() Time { return q.h[0].at }
+func (q *heapQueue) size() int    { return len(q.h) }
+
+// calendarQueue is a classic calendar-queue event store (Brown 1988):
+// events hash into day buckets by timestamp; dequeue scans the current
+// day. For workloads whose event horizon is dense and roughly uniform —
+// packet simulations are — enqueue and dequeue approach O(1). The
+// structure resizes itself to keep about one event per bucket.
+type calendarQueue struct {
+	buckets  []([]event)
+	width    Time // day width
+	dayStart Time // start time of the current day
+	day      int  // current bucket index
+	n        int
+	resizeUp int
+	resizeDn int
+}
+
+// newCalendarQueue returns a calendar queue tuned for picosecond
+// packet workloads: the initial day width matches a few hundred
+// nanoseconds of virtual time.
+func newCalendarQueue() *calendarQueue {
+	q := &calendarQueue{}
+	q.init(64, 256*Nanosecond, 0)
+	return q
+}
+
+func (q *calendarQueue) init(nbuckets int, width, start Time) {
+	q.buckets = make([][]event, nbuckets)
+	q.width = width
+	q.dayStart = start - start%width
+	if start < 0 {
+		q.dayStart = 0
+	}
+	q.day = int(q.dayStart/width) % nbuckets
+	q.resizeUp = 2 * nbuckets
+	q.resizeDn = nbuckets/2 - 2
+}
+
+func (q *calendarQueue) bucketFor(at Time) int {
+	return int(at/q.width) % len(q.buckets)
+}
+
+func (q *calendarQueue) push(e event) {
+	b := q.bucketFor(e.at)
+	lst := q.buckets[b]
+	// Insert keeping the bucket sorted by (at, seq); buckets stay short
+	// so linear insertion wins over anything clever.
+	i := len(lst)
+	for i > 0 && (lst[i-1].at > e.at || (lst[i-1].at == e.at && lst[i-1].seq > e.seq)) {
+		i--
+	}
+	lst = append(lst, event{})
+	copy(lst[i+1:], lst[i:])
+	lst[i] = e
+	q.buckets[b] = lst
+	q.n++
+	if q.n > q.resizeUp {
+		q.resize(len(q.buckets) * 2)
+	}
+}
+
+func (q *calendarQueue) pop() event {
+	for {
+		// Scan forward from the current day for the next event that
+		// belongs to the current year window.
+		for i := 0; i < len(q.buckets); i++ {
+			b := (q.day + i) % len(q.buckets)
+			dayStart := q.dayStart + Time(i)*q.width
+			lst := q.buckets[b]
+			if len(lst) > 0 && lst[0].at < dayStart+q.width {
+				e := lst[0]
+				q.buckets[b] = lst[1:]
+				q.n--
+				q.day = b
+				q.dayStart = dayStart
+				if q.n < q.resizeDn && len(q.buckets) > 64 {
+					q.resize(len(q.buckets) / 2)
+				}
+				return e
+			}
+		}
+		// Nothing in this year: jump to the globally earliest event.
+		min := Time(1)<<62 - 1
+		found := false
+		for _, lst := range q.buckets {
+			if len(lst) > 0 && lst[0].at < min {
+				min = lst[0].at
+				found = true
+			}
+		}
+		if !found {
+			panic("sim: pop on empty calendar queue")
+		}
+		q.dayStart = min - min%q.width
+		q.day = q.bucketFor(q.dayStart)
+	}
+}
+
+func (q *calendarQueue) peekAt() Time {
+	// Used only to decide whether to stop before `end`; a full scan is
+	// acceptable because RunUntil calls it once per event anyway, and
+	// the common case finds the event in the current day.
+	for i := 0; i < len(q.buckets); i++ {
+		b := (q.day + i) % len(q.buckets)
+		dayStart := q.dayStart + Time(i)*q.width
+		lst := q.buckets[b]
+		if len(lst) > 0 && lst[0].at < dayStart+q.width {
+			return lst[0].at
+		}
+	}
+	min := Time(1)<<62 - 1
+	for _, lst := range q.buckets {
+		if len(lst) > 0 && lst[0].at < min {
+			min = lst[0].at
+		}
+	}
+	return min
+}
+
+func (q *calendarQueue) size() int { return q.n }
+
+// resize rebuilds the calendar with a new bucket count and a day width
+// estimated from the current event spread.
+func (q *calendarQueue) resize(nbuckets int) {
+	var all []event
+	for _, lst := range q.buckets {
+		all = append(all, lst...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return all[i].seq < all[j].seq
+	})
+	width := q.width
+	if len(all) > 2 {
+		span := all[len(all)-1].at - all[0].at
+		if w := span / Time(len(all)); w > 0 {
+			width = w
+		}
+	}
+	start := q.dayStart
+	if len(all) > 0 && all[0].at < start {
+		start = all[0].at
+	}
+	q.init(nbuckets, width, start)
+	q.n = 0
+	for _, e := range all {
+		b := q.bucketFor(e.at)
+		q.buckets[b] = append(q.buckets[b], e)
+		q.n++
+	}
+}

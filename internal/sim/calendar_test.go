@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCalendarMatchesHeapOrder: both queue implementations must run any
+// random schedule in exactly the same order.
+func TestCalendarMatchesHeapOrder(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		count := int(n%500) + 1
+		run := func(e *Engine) []int {
+			rng := rand.New(rand.NewSource(seed))
+			var order []int
+			for i := 0; i < count; i++ {
+				i := i
+				at := Time(rng.Int63n(int64(10 * Microsecond)))
+				e.Schedule(at, func() { order = append(order, i) })
+			}
+			e.Run()
+			return order
+		}
+		a := run(NewEngine())
+		b := run(NewCalendarEngine())
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCalendarNestedAndSparse exercises resizing and sparse year jumps.
+func TestCalendarNestedAndSparse(t *testing.T) {
+	e := NewCalendarEngine()
+	var hits []Time
+	// A sparse far-future event forces a year jump.
+	e.Schedule(3*Second, func() { hits = append(hits, e.Now()) })
+	// A dense burst forces an upward resize.
+	for i := 0; i < 1000; i++ {
+		at := Time(i) * 100 * Nanosecond
+		e.Schedule(at, func() { hits = append(hits, e.Now()) })
+	}
+	// Nested scheduling from within events.
+	e.Schedule(50*Microsecond, func() {
+		e.After(10*Microsecond, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 1002 {
+		t.Fatalf("ran %d events, want 1002", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i] < hits[i-1] {
+			t.Fatalf("out of order at %d: %v then %v", i, hits[i-1], hits[i])
+		}
+	}
+	if hits[len(hits)-1] != 3*Second {
+		t.Errorf("last event at %v, want 3s", hits[len(hits)-1])
+	}
+}
+
+func TestCalendarRunUntil(t *testing.T) {
+	e := NewCalendarEngine()
+	ran := 0
+	for _, at := range []Time{10, 20, 30} {
+		e.Schedule(at, func() { ran++ })
+	}
+	e.RunUntil(20)
+	if ran != 2 || e.Now() != 20 {
+		t.Errorf("ran=%d now=%v, want 2/20", ran, e.Now())
+	}
+	e.Run()
+	if ran != 3 {
+		t.Errorf("ran=%d, want 3", ran)
+	}
+}
+
+func BenchmarkHeapEngine(b *testing.B) {
+	benchEngine(b, NewEngine)
+}
+
+func BenchmarkCalendarEngine(b *testing.B) {
+	benchEngine(b, NewCalendarEngine)
+}
+
+// benchEngine models a packet-simulation profile: a rolling horizon of
+// ~1000 pending events, each rescheduling a successor.
+func benchEngine(b *testing.B, mk func() *Engine) {
+	b.Helper()
+	e := mk()
+	rng := rand.New(rand.NewSource(1))
+	live := 0
+	var spawn func()
+	spawn = func() {
+		if live < b.N {
+			live++
+			e.After(Time(rng.Int63n(int64(Microsecond))), spawn)
+		}
+	}
+	for i := 0; i < 1000 && i < b.N; i++ {
+		spawn()
+	}
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,118 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives every packet-level experiment in this repository. It
+// maintains a virtual clock with picosecond resolution and a binary-heap
+// event queue with deterministic FIFO tie-breaking, so a simulation run is
+// a pure function of its inputs and seed.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Time is a point in virtual time, measured in integer picoseconds.
+//
+// Picoseconds are fine enough that the serialization time of any frame at
+// any line rate used in the paper (1, 10, 40, 100 Gb/s) is an exact
+// integer: one bit at 100 Gb/s is exactly 10 ps. int64 picoseconds cover
+// about 106 days of virtual time, far beyond any experiment here.
+type Time int64
+
+// Duration constants, following the naming of the time package.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanos returns the time as a floating-point number of nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// Duration converts t to a time.Duration, rounding to nanoseconds.
+func (t Time) Duration() time.Duration {
+	return time.Duration(t / Nanosecond * Time(time.Nanosecond))
+}
+
+// String formats the time with an appropriate SI unit.
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond || t <= -Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromDuration converts a time.Duration to a Time.
+func FromDuration(d time.Duration) Time {
+	return Time(d.Nanoseconds()) * Nanosecond
+}
+
+// Rate is a data rate in bits per second.
+type Rate int64
+
+// Common line rates.
+const (
+	Kbps Rate = 1e3
+	Mbps Rate = 1e6
+	Gbps Rate = 1e9
+)
+
+// String formats the rate with an appropriate SI unit.
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps && r%Gbps == 0:
+		return fmt.Sprintf("%dGbps", r/Gbps)
+	case r >= Mbps && r%Mbps == 0:
+		return fmt.Sprintf("%dMbps", r/Mbps)
+	case r >= Kbps && r%Kbps == 0:
+		return fmt.Sprintf("%dKbps", r/Kbps)
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}
+
+// Serialize returns the time to transmit size bytes at rate r.
+// It panics if r is not positive.
+func (r Rate) Serialize(sizeBytes int) Time {
+	if r <= 0 {
+		panic("sim: Serialize on non-positive rate")
+	}
+	bits := int64(sizeBytes) * 8
+	// bits * ps-per-second / bits-per-second. bits is at most a few
+	// hundred thousand for any real frame, so bits*1e12 fits in int64.
+	return Time(bits * int64(Second) / int64(r))
+}
+
+// BytesIn returns how many bytes rate r can carry in duration d.
+func (r Rate) BytesIn(d Time) int64 {
+	if r < 0 || d < 0 {
+		panic("sim: BytesIn with negative rate or duration")
+	}
+	// r*d can exceed int64 (10 Gb/s over one second is 1e22 bit-ps), so
+	// compute the product in 128 bits before dividing back down.
+	hi, lo := bits.Mul64(uint64(r), uint64(d))
+	q, _ := bits.Div64(hi, lo, uint64(Second))
+	return int64(q / 8)
+}

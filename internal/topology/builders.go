@@ -1,0 +1,510 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/quartz-dcn/quartz/internal/sim"
+)
+
+// LinkSpec gives the rate and propagation delay for one class of links.
+type LinkSpec struct {
+	Rate sim.Rate
+	Prop sim.Time
+}
+
+// Default propagation delay for intra-datacenter links: 50 m of fiber at
+// ~5 ns/m.
+const DefaultProp = 250 * sim.Nanosecond
+
+// MeshConfig describes a full mesh of ToR switches — the logical topology
+// of a Quartz ring (§3 of the paper).
+type MeshConfig struct {
+	// Switches is the number of ToR switches (M, the ring size).
+	Switches int
+	// HostsPerSwitch is n, the number of server-facing ports used.
+	HostsPerSwitch int
+	// HostLink and MeshLink give the link classes; zero rates default to
+	// 10 Gb/s.
+	HostLink LinkSpec
+	MeshLink LinkSpec
+	// TrunksPerPair creates this many parallel links between each switch
+	// pair (default 1). A Quartz switch pair may be allocated several
+	// wavelengths.
+	TrunksPerPair int
+}
+
+func (c *MeshConfig) setDefaults() {
+	if c.HostLink.Rate == 0 {
+		c.HostLink.Rate = 10 * sim.Gbps
+	}
+	if c.MeshLink.Rate == 0 {
+		c.MeshLink.Rate = 10 * sim.Gbps
+	}
+	if c.HostLink.Prop == 0 {
+		c.HostLink.Prop = DefaultProp
+	}
+	if c.MeshLink.Prop == 0 {
+		c.MeshLink.Prop = DefaultProp
+	}
+	if c.TrunksPerPair == 0 {
+		c.TrunksPerPair = 1
+	}
+}
+
+// NewFullMesh builds a full mesh of ToR switches with hosts attached —
+// the logical view of a single Quartz ring.
+func NewFullMesh(cfg MeshConfig) (*Graph, error) {
+	if cfg.Switches < 1 {
+		return nil, fmt.Errorf("topology: mesh needs >=1 switch, got %d", cfg.Switches)
+	}
+	if cfg.HostsPerSwitch < 0 {
+		return nil, fmt.Errorf("topology: negative hosts per switch")
+	}
+	cfg.setDefaults()
+	g := New(fmt.Sprintf("mesh(M=%d,n=%d)", cfg.Switches, cfg.HostsPerSwitch))
+	sw := make([]NodeID, cfg.Switches)
+	for i := range sw {
+		sw[i] = g.AddSwitch(fmt.Sprintf("tor%d", i), TierToR, i)
+		for h := 0; h < cfg.HostsPerSwitch; h++ {
+			host := g.AddHost(fmt.Sprintf("h%d-%d", i, h), i)
+			g.Connect(host, sw[i], cfg.HostLink.Rate, cfg.HostLink.Prop)
+		}
+	}
+	for i := 0; i < len(sw); i++ {
+		for j := i + 1; j < len(sw); j++ {
+			for t := 0; t < cfg.TrunksPerPair; t++ {
+				g.Connect(sw[i], sw[j], cfg.MeshLink.Rate, cfg.MeshLink.Prop)
+			}
+		}
+	}
+	return g, nil
+}
+
+// TreeConfig describes a 2-tier multi-root tree: ToR switches each
+// connected to every root (aggregation) switch.
+type TreeConfig struct {
+	ToRs           int
+	Roots          int
+	HostsPerToR    int
+	UplinksPerRoot int // parallel links from each ToR to each root (default 1)
+	HostLink       LinkSpec
+	UpLink         LinkSpec
+}
+
+// NewTwoTierTree builds a 2-tier multi-root tree.
+func NewTwoTierTree(cfg TreeConfig) (*Graph, error) {
+	if cfg.ToRs < 1 || cfg.Roots < 1 {
+		return nil, fmt.Errorf("topology: 2-tier tree needs >=1 ToR and root, got %d/%d", cfg.ToRs, cfg.Roots)
+	}
+	if cfg.HostLink.Rate == 0 {
+		cfg.HostLink.Rate = 10 * sim.Gbps
+	}
+	if cfg.UpLink.Rate == 0 {
+		cfg.UpLink.Rate = 40 * sim.Gbps
+	}
+	if cfg.HostLink.Prop == 0 {
+		cfg.HostLink.Prop = DefaultProp
+	}
+	if cfg.UpLink.Prop == 0 {
+		cfg.UpLink.Prop = DefaultProp
+	}
+	if cfg.UplinksPerRoot == 0 {
+		cfg.UplinksPerRoot = 1
+	}
+	g := New(fmt.Sprintf("two-tier(tors=%d,roots=%d)", cfg.ToRs, cfg.Roots))
+	roots := make([]NodeID, cfg.Roots)
+	for i := range roots {
+		roots[i] = g.AddSwitch(fmt.Sprintf("root%d", i), TierAgg, -1)
+	}
+	for i := 0; i < cfg.ToRs; i++ {
+		tor := g.AddSwitch(fmt.Sprintf("tor%d", i), TierToR, i)
+		for h := 0; h < cfg.HostsPerToR; h++ {
+			host := g.AddHost(fmt.Sprintf("h%d-%d", i, h), i)
+			g.Connect(host, tor, cfg.HostLink.Rate, cfg.HostLink.Prop)
+		}
+		for _, r := range roots {
+			for u := 0; u < cfg.UplinksPerRoot; u++ {
+				g.Connect(tor, r, cfg.UpLink.Rate, cfg.UpLink.Prop)
+			}
+		}
+	}
+	return g, nil
+}
+
+// ThreeTierConfig describes the paper's baseline 3-tier multi-root tree
+// (Figure 15(a)): pods of ToR switches under aggregation switches, with
+// aggregation switches connected to core switches.
+type ThreeTierConfig struct {
+	// Pods is the number of aggregation pods.
+	Pods int
+	// ToRsPerPod is the number of ToR switches in each pod.
+	ToRsPerPod int
+	// AggsPerPod is the number of aggregation switches per pod; each ToR
+	// connects to all of them (the paper uses 2).
+	AggsPerPod int
+	// Cores is the number of core switches; each aggregation switch
+	// connects to all of them (the paper uses 2).
+	Cores int
+	// HostsPerToR is the number of servers per rack.
+	HostsPerToR int
+	HostLink    LinkSpec // default 10 Gb/s
+	AggLink     LinkSpec // ToR-to-agg, default 40 Gb/s
+	CoreLink    LinkSpec // agg-to-core, default 40 Gb/s
+}
+
+func (c *ThreeTierConfig) setDefaults() {
+	if c.HostLink.Rate == 0 {
+		c.HostLink.Rate = 10 * sim.Gbps
+	}
+	if c.AggLink.Rate == 0 {
+		c.AggLink.Rate = 40 * sim.Gbps
+	}
+	if c.CoreLink.Rate == 0 {
+		c.CoreLink.Rate = 40 * sim.Gbps
+	}
+	if c.HostLink.Prop == 0 {
+		c.HostLink.Prop = DefaultProp
+	}
+	if c.AggLink.Prop == 0 {
+		c.AggLink.Prop = DefaultProp
+	}
+	if c.CoreLink.Prop == 0 {
+		c.CoreLink.Prop = DefaultProp
+	}
+}
+
+// NewThreeTierTree builds a 3-tier multi-root tree.
+func NewThreeTierTree(cfg ThreeTierConfig) (*Graph, error) {
+	if cfg.Pods < 1 || cfg.ToRsPerPod < 1 || cfg.AggsPerPod < 1 || cfg.Cores < 1 {
+		return nil, fmt.Errorf("topology: invalid 3-tier config %+v", cfg)
+	}
+	cfg.setDefaults()
+	g := New(fmt.Sprintf("three-tier(pods=%d,tors=%d,aggs=%d,cores=%d)",
+		cfg.Pods, cfg.ToRsPerPod, cfg.AggsPerPod, cfg.Cores))
+	cores := make([]NodeID, cfg.Cores)
+	for i := range cores {
+		cores[i] = g.AddSwitch(fmt.Sprintf("core%d", i), TierCore, -1)
+	}
+	rack := 0
+	for p := 0; p < cfg.Pods; p++ {
+		aggs := make([]NodeID, cfg.AggsPerPod)
+		for a := range aggs {
+			aggs[a] = g.AddSwitch(fmt.Sprintf("agg%d-%d", p, a), TierAgg, -1)
+			for _, c := range cores {
+				g.Connect(aggs[a], c, cfg.CoreLink.Rate, cfg.CoreLink.Prop)
+			}
+		}
+		for t := 0; t < cfg.ToRsPerPod; t++ {
+			tor := g.AddSwitch(fmt.Sprintf("tor%d-%d", p, t), TierToR, rack)
+			for h := 0; h < cfg.HostsPerToR; h++ {
+				host := g.AddHost(fmt.Sprintf("h%d-%d", rack, h), rack)
+				g.Connect(host, tor, cfg.HostLink.Rate, cfg.HostLink.Prop)
+			}
+			for _, a := range aggs {
+				g.Connect(tor, a, cfg.AggLink.Rate, cfg.AggLink.Prop)
+			}
+			rack++
+		}
+	}
+	return g, nil
+}
+
+// NewFatTree builds the k-ary Fat-Tree of Al-Fares et al.: k pods, each
+// with k/2 edge and k/2 aggregation switches; (k/2)^2 core switches;
+// (k/2)^2 * k hosts. k must be even and >= 2. All links share one rate.
+func NewFatTree(k int, link LinkSpec) (*Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity must be even and >=2, got %d", k)
+	}
+	if link.Rate == 0 {
+		link.Rate = 10 * sim.Gbps
+	}
+	if link.Prop == 0 {
+		link.Prop = DefaultProp
+	}
+	g := New(fmt.Sprintf("fat-tree(k=%d)", k))
+	half := k / 2
+	cores := make([]NodeID, half*half)
+	for i := range cores {
+		cores[i] = g.AddSwitch(fmt.Sprintf("core%d", i), TierCore, -1)
+	}
+	rack := 0
+	for p := 0; p < k; p++ {
+		aggs := make([]NodeID, half)
+		for a := range aggs {
+			aggs[a] = g.AddSwitch(fmt.Sprintf("agg%d-%d", p, a), TierAgg, -1)
+			// Aggregation switch a in each pod connects to core group a.
+			for c := 0; c < half; c++ {
+				g.Connect(aggs[a], cores[a*half+c], link.Rate, link.Prop)
+			}
+		}
+		for e := 0; e < half; e++ {
+			edge := g.AddSwitch(fmt.Sprintf("edge%d-%d", p, e), TierToR, rack)
+			for _, a := range aggs {
+				g.Connect(edge, a, link.Rate, link.Prop)
+			}
+			for h := 0; h < half; h++ {
+				host := g.AddHost(fmt.Sprintf("h%d-%d", rack, h), rack)
+				g.Connect(host, edge, link.Rate, link.Prop)
+			}
+			rack++
+		}
+	}
+	return g, nil
+}
+
+// NewBCube builds a BCube(n, k) of Guo et al.: n-port hosts... more
+// precisely, level-k BCube with n-port switches. Hosts have k+1 links;
+// there are n^(k+1) hosts and (k+1)*n^k switches. BCube is
+// server-centric: switches never connect to switches, and multi-hop
+// forwarding goes through hosts.
+func NewBCube(n, k int, link LinkSpec) (*Graph, error) {
+	if n < 2 || k < 0 {
+		return nil, fmt.Errorf("topology: bcube needs n>=2, k>=0, got n=%d k=%d", n, k)
+	}
+	if link.Rate == 0 {
+		link.Rate = 10 * sim.Gbps
+	}
+	if link.Prop == 0 {
+		link.Prop = DefaultProp
+	}
+	g := New(fmt.Sprintf("bcube(n=%d,k=%d)", n, k))
+	numHosts := 1
+	for i := 0; i <= k; i++ {
+		numHosts *= n
+	}
+	hosts := make([]NodeID, numHosts)
+	for i := range hosts {
+		// A host's rack is its BCube-0 group: hosts sharing a level-0
+		// switch.
+		hosts[i] = g.AddHost(fmt.Sprintf("h%d", i), i/n)
+	}
+	// Level l has n^k switches; switch j at level l connects to the n
+	// hosts whose address agrees with j in all digits except digit l.
+	numSwitchesPerLevel := numHosts / n
+	pow := 1 // n^l
+	for l := 0; l <= k; l++ {
+		for j := 0; j < numSwitchesPerLevel; j++ {
+			rack := -1
+			if l == 0 {
+				rack = j
+			}
+			sw := g.AddSwitch(fmt.Sprintf("sw%d-%d", l, j), TierToR, rack)
+			// j encodes all digits except digit l. Reconstruct the host
+			// addresses: low = j mod n^l gives digits below l, high =
+			// j div n^l gives digits above l.
+			low := j % pow
+			high := j / pow
+			for d := 0; d < n; d++ {
+				host := hosts[high*pow*n+d*pow+low]
+				g.Connect(host, sw, link.Rate, link.Prop)
+			}
+		}
+		pow *= n
+	}
+	return g, nil
+}
+
+// JellyfishConfig describes a Jellyfish random regular graph of ToR
+// switches (Singla et al.).
+type JellyfishConfig struct {
+	Switches       int
+	HostsPerSwitch int
+	// NetDegree is the number of switch-to-switch ports per switch (r in
+	// the paper).
+	NetDegree int
+	HostLink  LinkSpec
+	NetLink   LinkSpec
+	// Rand seeds the random graph; required.
+	Rand *rand.Rand
+}
+
+// NewJellyfish builds a random regular graph of switches using the
+// Jellyfish construction: repeatedly join random port pairs, fixing up
+// non-regular leftovers with edge swaps.
+func NewJellyfish(cfg JellyfishConfig) (*Graph, error) {
+	if cfg.Switches < 2 {
+		return nil, fmt.Errorf("topology: jellyfish needs >=2 switches, got %d", cfg.Switches)
+	}
+	if cfg.NetDegree < 1 || cfg.NetDegree >= cfg.Switches {
+		return nil, fmt.Errorf("topology: jellyfish net degree %d invalid for %d switches", cfg.NetDegree, cfg.Switches)
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("topology: jellyfish requires a seeded *rand.Rand")
+	}
+	if cfg.HostLink.Rate == 0 {
+		cfg.HostLink.Rate = 10 * sim.Gbps
+	}
+	if cfg.NetLink.Rate == 0 {
+		cfg.NetLink.Rate = 10 * sim.Gbps
+	}
+	if cfg.HostLink.Prop == 0 {
+		cfg.HostLink.Prop = DefaultProp
+	}
+	if cfg.NetLink.Prop == 0 {
+		cfg.NetLink.Prop = DefaultProp
+	}
+	g := New(fmt.Sprintf("jellyfish(sw=%d,r=%d)", cfg.Switches, cfg.NetDegree))
+	sw := make([]NodeID, cfg.Switches)
+	for i := range sw {
+		sw[i] = g.AddSwitch(fmt.Sprintf("sw%d", i), TierToR, i)
+		for h := 0; h < cfg.HostsPerSwitch; h++ {
+			host := g.AddHost(fmt.Sprintf("h%d-%d", i, h), i)
+			g.Connect(host, sw[i], cfg.HostLink.Rate, cfg.HostLink.Prop)
+		}
+	}
+	// Random regular graph via pairing with retry. adj tracks
+	// switch-switch adjacency to avoid parallel links and self-loops.
+	free := make([]int, cfg.Switches) // remaining network ports per switch
+	for i := range free {
+		free[i] = cfg.NetDegree
+	}
+	adj := make([]map[int]bool, cfg.Switches)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	connect := func(a, b int) {
+		g.Connect(sw[a], sw[b], cfg.NetLink.Rate, cfg.NetLink.Prop)
+		adj[a][b], adj[b][a] = true, true
+		free[a]--
+		free[b]--
+	}
+	var open []int // switches with free ports
+	refresh := func() {
+		open = open[:0]
+		for i, f := range free {
+			if f > 0 {
+				open = append(open, i)
+			}
+		}
+	}
+	refresh()
+	stall := 0
+	for len(open) > 1 && stall < 1000 {
+		a := open[cfg.Rand.Intn(len(open))]
+		b := open[cfg.Rand.Intn(len(open))]
+		if a == b || adj[a][b] {
+			stall++
+			continue
+		}
+		connect(a, b)
+		stall = 0
+		refresh()
+	}
+	// Fix-up: if ports remain on switches that are all mutually
+	// connected, break a random existing switch link (x,y) where x,y are
+	// not adjacent to the stuck switches, and rewire.
+	for {
+		refresh()
+		if len(open) == 0 {
+			break
+		}
+		if len(open) == 1 && free[open[0]] == 1 {
+			// One odd port left over: acceptable, leave it unused.
+			break
+		}
+		a := open[0]
+		// Find a link (x,y) with x,y both non-adjacent to a.
+		rewired := false
+		links := g.links
+		for tries := 0; tries < 4*len(links); tries++ {
+			l := links[cfg.Rand.Intn(len(links))]
+			na, nb := g.Node(l.A), g.Node(l.B)
+			if na.Kind != Switch || nb.Kind != Switch {
+				continue
+			}
+			x, y := na.Rack, nb.Rack // rack == switch index by construction
+			if x == a || y == a || adj[a][x] || adj[a][y] {
+				continue
+			}
+			// Remove link l and connect a-x and a-y.
+			g.removeLink(l.ID)
+			delete(adj[x], y)
+			delete(adj[y], x)
+			free[x]++
+			free[y]++
+			connect(a, x)
+			if free[a] > 0 {
+				connect(a, y)
+			}
+			rewired = true
+			break
+		}
+		if !rewired {
+			break // give up; graph is still connected and nearly regular
+		}
+	}
+	if cc := g.ConnectedComponents(nil); cc != 1 {
+		return nil, fmt.Errorf("topology: jellyfish construction disconnected (%d components); use another seed", cc)
+	}
+	return g, nil
+}
+
+// removeLink deletes link id from the graph, renumbering the last link
+// into its place. Only builders use it.
+func (g *Graph) removeLink(id LinkID) {
+	l := g.links[id]
+	drop := func(n NodeID) {
+		ports := g.ports[n]
+		for i, p := range ports {
+			if p.Link == id {
+				g.ports[n] = append(ports[:i], ports[i+1:]...)
+				break
+			}
+		}
+	}
+	drop(l.A)
+	drop(l.B)
+	last := LinkID(len(g.links) - 1)
+	if id != last {
+		moved := g.links[last]
+		moved.ID = id
+		g.links[id] = moved
+		for _, n := range []NodeID{moved.A, moved.B} {
+			for i, p := range g.ports[n] {
+				if p.Link == last {
+					g.ports[n][i].Link = id
+				}
+			}
+		}
+	}
+	g.links = g.links[:last]
+}
+
+// NewDCell builds a level-1 DCell (Guo et al., the paper's §2.1.5
+// server-centric example): n+1 cells of n servers, each cell with its
+// own n-port mini-switch, and one direct server-to-server link per cell
+// pair — server (i, j-1) connects to server (j, i) for i < j. Every
+// server uses two ports (switch + one inter-cell link), and inter-cell
+// forwarding transits a server, paying the OS-stack delay the paper
+// calls out for server-centric designs.
+func NewDCell(n int, link LinkSpec) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: dcell needs n >= 2, got %d", n)
+	}
+	if link.Rate == 0 {
+		link.Rate = 10 * sim.Gbps
+	}
+	if link.Prop == 0 {
+		link.Prop = DefaultProp
+	}
+	g := New(fmt.Sprintf("dcell(n=%d)", n))
+	cells := n + 1
+	servers := make([][]NodeID, cells)
+	for c := 0; c < cells; c++ {
+		sw := g.AddSwitch(fmt.Sprintf("sw%d", c), TierToR, c)
+		servers[c] = make([]NodeID, n)
+		for s := 0; s < n; s++ {
+			host := g.AddHost(fmt.Sprintf("h%d-%d", c, s), c)
+			servers[c][s] = host
+			g.Connect(host, sw, link.Rate, link.Prop)
+		}
+	}
+	for i := 0; i < cells; i++ {
+		for j := i + 1; j < cells; j++ {
+			g.Connect(servers[i][j-1], servers[j][i], link.Rate, link.Prop)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,46 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format: switches as boxes
+// (core tier shaded), hosts as small circles, link labels carrying the
+// rate. Useful for eyeballing generated topologies:
+//
+//	go run ./cmd/topoinfo -mesh 8 -dot | dot -Tsvg > mesh.svg
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", sanitizeID(g.Name))
+	b.WriteString("  layout=neato;\n  overlap=false;\n  splines=true;\n")
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(NodeID(i))
+		switch {
+		case n.Kind == Host:
+			fmt.Fprintf(&b, "  n%d [label=%q shape=circle width=0.3 fontsize=8];\n", i, n.Name)
+		case n.Tier == TierCore:
+			fmt.Fprintf(&b, "  n%d [label=%q shape=box style=filled fillcolor=lightgray];\n", i, n.Name)
+		default:
+			fmt.Fprintf(&b, "  n%d [label=%q shape=box];\n", i, n.Name)
+		}
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(LinkID(i))
+		fmt.Fprintf(&b, "  n%d -- n%d [label=%q fontsize=8];\n", l.A, l.B, l.Rate.String())
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeID makes a string safe as a DOT identifier payload.
+func sanitizeID(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,76 @@
+package topology
+
+import (
+	"fmt"
+
+	"github.com/quartz-dcn/quartz/internal/sim"
+)
+
+// DualToRConfig describes the §3.2 scaling variant: two ToR switches
+// per rack, every server dual-homed to both, and one direct inter-rack
+// link per rack pair — the longest server-to-server path is still two
+// switches, and 64-port switches reach 2080 ports over 65 racks.
+type DualToRConfig struct {
+	// Racks is the number of racks (R). Each rack pair gets exactly one
+	// direct link, split evenly between each rack's two switches, so
+	// each switch carries ceil((R-1)/2) inter-rack links.
+	Racks int
+	// HostsPerRack is the number of dual-homed servers per rack.
+	HostsPerRack int
+	HostLink     LinkSpec
+	MeshLink     LinkSpec
+}
+
+// NewDualToRMesh builds the dual-ToR rack mesh. Rack i's switches are
+// named a<i> and b<i>; the link for rack pair (i, j) with
+// (j-i) mod R in 1..ceil((R-1)/2) runs a<i> -> b<j>, which gives every
+// switch an equal share and guarantees a two-switch path between any
+// two servers: either a_i-b_j or a_j-b_i exists for every pair.
+func NewDualToRMesh(cfg DualToRConfig) (*Graph, error) {
+	if cfg.Racks < 2 {
+		return nil, fmt.Errorf("topology: dual-ToR mesh needs >= 2 racks, got %d", cfg.Racks)
+	}
+	if cfg.HostsPerRack < 0 {
+		return nil, fmt.Errorf("topology: negative hosts per rack")
+	}
+	if cfg.HostLink.Rate == 0 {
+		cfg.HostLink.Rate = 10 * sim.Gbps
+	}
+	if cfg.MeshLink.Rate == 0 {
+		cfg.MeshLink.Rate = 10 * sim.Gbps
+	}
+	if cfg.HostLink.Prop == 0 {
+		cfg.HostLink.Prop = DefaultProp
+	}
+	if cfg.MeshLink.Prop == 0 {
+		cfg.MeshLink.Prop = DefaultProp
+	}
+	g := New(fmt.Sprintf("dual-tor-mesh(racks=%d,n=%d)", cfg.Racks, cfg.HostsPerRack))
+	a := make([]NodeID, cfg.Racks)
+	b := make([]NodeID, cfg.Racks)
+	for r := 0; r < cfg.Racks; r++ {
+		a[r] = g.AddSwitch(fmt.Sprintf("a%d", r), TierToR, r)
+		b[r] = g.AddSwitch(fmt.Sprintf("b%d", r), TierToR, r)
+		for h := 0; h < cfg.HostsPerRack; h++ {
+			host := g.AddHost(fmt.Sprintf("h%d-%d", r, h), r)
+			g.Connect(host, a[r], cfg.HostLink.Rate, cfg.HostLink.Prop)
+			g.Connect(host, b[r], cfg.HostLink.Rate, cfg.HostLink.Prop)
+		}
+	}
+	half := (cfg.Racks - 1 + 1) / 2 // ceil((R-1)/2)
+	for i := 0; i < cfg.Racks; i++ {
+		for d := 1; d <= half; d++ {
+			j := (i + d) % cfg.Racks
+			if cfg.Racks%2 == 0 && d == half && i >= cfg.Racks/2 {
+				// Even rack counts: the diametral pairing would be
+				// created twice; keep only the first half's links.
+				continue
+			}
+			if j == i {
+				continue
+			}
+			g.Connect(a[i], b[j], cfg.MeshLink.Rate, cfg.MeshLink.Prop)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDualToRMeshPaper2080(t *testing.T) {
+	// §3.2: 65 racks x 32 dual-homed servers = 2080 ports, with every
+	// 64-port switch exactly full (32 host + 32 inter-rack links) and
+	// the longest path between any two servers two switches.
+	g, err := NewDualToRMesh(DualToRConfig{Racks: 65, HostsPerRack: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Hosts()); got != 2080 {
+		t.Fatalf("hosts = %d, want 2080", got)
+	}
+	if got := len(g.Switches()); got != 130 {
+		t.Fatalf("switches = %d, want 130", got)
+	}
+	for _, s := range g.Switches() {
+		if d := g.Degree(s); d != 64 {
+			t.Fatalf("switch %s degree = %d, want 64", g.Node(s).Name, d)
+		}
+	}
+	// One link per rack pair: 65*64/2 = 2080 inter-rack links plus
+	// 2*2080 host links.
+	if got, want := g.NumLinks(), 65*64/2+2*2080; got != want {
+		t.Errorf("links = %d, want %d", got, want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDualToRMeshTwoSwitchPaths(t *testing.T) {
+	g, err := NewDualToRMesh(DualToRConfig{Racks: 9, HostsPerRack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	// Host diameter 3 means h-switch-switch-h: two switches max.
+	if d := g.Diameter(hosts); d != 3 {
+		t.Errorf("host diameter = %d, want 3 (two switches)", d)
+	}
+}
+
+func TestDualToRMeshEvenRacks(t *testing.T) {
+	g, err := NewDualToRMesh(DualToRConfig{Racks: 8, HostsPerRack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8*7/2 = 28 inter-rack links + 2 per host.
+	if got, want := g.NumLinks(), 28+2*16; got != want {
+		t.Errorf("links = %d, want %d", got, want)
+	}
+	if d := g.Diameter(g.Hosts()); d != 3 {
+		t.Errorf("host diameter = %d, want 3", d)
+	}
+}
+
+func TestDualToRMeshErrors(t *testing.T) {
+	if _, err := NewDualToRMesh(DualToRConfig{Racks: 1}); err == nil {
+		t.Error("1 rack accepted")
+	}
+	if _, err := NewDualToRMesh(DualToRConfig{Racks: 3, HostsPerRack: -1}); err == nil {
+		t.Error("negative hosts accepted")
+	}
+}
+
+// TestDualToRMeshProperty: for any rack count, every rack pair has
+// exactly one inter-rack link and every host pair is at most 3 hops.
+func TestDualToRMeshProperty(t *testing.T) {
+	f := func(rr uint8) bool {
+		r := int(rr%12) + 2
+		g, err := NewDualToRMesh(DualToRConfig{Racks: r, HostsPerRack: 1})
+		if err != nil {
+			return false
+		}
+		// Count inter-rack links per rack pair.
+		pairs := map[[2]int]int{}
+		for i := 0; i < g.NumLinks(); i++ {
+			l := g.Link(LinkID(i))
+			na, nb := g.Node(l.A), g.Node(l.B)
+			if na.Kind != Switch || nb.Kind != Switch {
+				continue
+			}
+			ra, rb := na.Rack, nb.Rack
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			pairs[[2]int{ra, rb}]++
+		}
+		if len(pairs) != r*(r-1)/2 {
+			return false
+		}
+		for _, c := range pairs {
+			if c != 1 {
+				return false
+			}
+		}
+		return g.Diameter(g.Hosts()) <= 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDCellStructure(t *testing.T) {
+	// DCell_1 with n=4: 5 cells x 4 servers = 20 servers, 5 switches,
+	// 10 inter-cell links, every server exactly 2 links.
+	g, err := NewDCell(4, LinkSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Hosts()); got != 20 {
+		t.Errorf("hosts = %d, want 20", got)
+	}
+	if got := len(g.Switches()); got != 5 {
+		t.Errorf("switches = %d, want 5", got)
+	}
+	if got := g.NumLinks(); got != 20+10 {
+		t.Errorf("links = %d, want 30", got)
+	}
+	for _, h := range g.Hosts() {
+		if d := g.Degree(h); d != 2 {
+			t.Fatalf("server %s degree = %d, want 2", g.Node(h).Name, d)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Cross-cell shortest paths transit at least one server (the
+	// server-centric forwarding penalty of §2.1.5): the worst case is
+	// 2 switch hops + 1-2 server hops.
+	hosts := g.Hosts()
+	srcCell0 := hosts[0]
+	dstCell4 := hosts[len(hosts)-1]
+	path := g.ShortestPath(srcCell0, dstCell4, nil)
+	serverHops := 0
+	for _, node := range path[1 : len(path)-1] {
+		if g.Node(node).Kind == Host {
+			serverHops++
+		}
+	}
+	if serverHops < 1 {
+		t.Errorf("cross-cell path %v transits no servers", path)
+	}
+	if d := g.Diameter(g.Hosts()); d > 7 {
+		t.Errorf("diameter = %d, want <= 7", d)
+	}
+	if _, err := NewDCell(1, LinkSpec{}); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestDCellForwardingPaysStackDelay(t *testing.T) {
+	// One packet between cells must pay the 15 us server-forwarding
+	// penalty in the packet simulator — the §2.1.5 argument made
+	// concrete. (Exercised here at the topology level: the shortest
+	// path includes a host, which netsim charges ForwardLatency for;
+	// see netsim's TestServerForwardingPaysStackLatency.)
+	g, err := NewDCell(3, LinkSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick two servers in different cells with no direct link.
+	hosts := g.Hosts()
+	var src, dst NodeID = hosts[0], -1
+	for _, h := range hosts {
+		if g.Node(h).Rack != g.Node(src).Rack {
+			if _, direct := g.FindLink(src, h); !direct {
+				dst = h
+				break
+			}
+		}
+	}
+	if dst < 0 {
+		t.Fatal("no indirect cross-cell pair found")
+	}
+	path := g.ShortestPath(src, dst, nil)
+	hostsOnPath := 0
+	for _, n := range path[1 : len(path)-1] {
+		if g.Node(n).Kind == Host {
+			hostsOnPath++
+		}
+	}
+	if hostsOnPath == 0 {
+		t.Errorf("path %v avoids server forwarding; DCell cannot", path)
+	}
+}

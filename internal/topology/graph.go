@@ -1,0 +1,289 @@
+// Package topology models datacenter network topologies as graphs of
+// hosts and switches, and provides builders for the network structures the
+// Quartz paper analyzes: full mesh, 2-tier and 3-tier trees, Fat-Tree,
+// BCube, and Jellyfish.
+//
+// A Graph is a static description of nodes and links; the packet simulator
+// (internal/netsim), routing (internal/routing), flow allocator
+// (internal/flowsim), and analysis (internal/analysis) packages all
+// consume this representation.
+package topology
+
+import (
+	"fmt"
+
+	"github.com/quartz-dcn/quartz/internal/sim"
+)
+
+// NodeID identifies a node within one Graph. IDs are dense, starting at 0.
+type NodeID int
+
+// LinkID identifies an undirected link within one Graph.
+type LinkID int
+
+// Kind distinguishes hosts from switches.
+type Kind uint8
+
+// Node kinds.
+const (
+	Host Kind = iota
+	Switch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case Switch:
+		return "switch"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Tier classifies a switch's role in a hierarchical network. Hosts have
+// TierNone. Flat topologies (mesh, Jellyfish) use TierToR for all
+// switches.
+type Tier uint8
+
+// Switch tiers.
+const (
+	TierNone Tier = iota
+	TierToR
+	TierAgg
+	TierCore
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierNone:
+		return "none"
+	case TierToR:
+		return "tor"
+	case TierAgg:
+		return "agg"
+	case TierCore:
+		return "core"
+	default:
+		return fmt.Sprintf("Tier(%d)", uint8(t))
+	}
+}
+
+// Node is a host or switch in the topology.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	Tier Tier
+	Name string
+	// Rack groups nodes for locality-aware workloads: a host shares its
+	// ToR switch's rack number. -1 means no rack affinity (core tier).
+	Rack int
+}
+
+// Link is an undirected link between two nodes. The packet simulator
+// treats it as two independent simplex channels of the same rate.
+type Link struct {
+	ID   LinkID
+	A, B NodeID
+	Rate sim.Rate
+	// Prop is the one-way propagation delay.
+	Prop sim.Time
+}
+
+// Other returns the endpoint of l that is not n.
+// It panics if n is not an endpoint of l.
+func (l Link) Other(n NodeID) NodeID {
+	switch n {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	}
+	panic(fmt.Sprintf("topology: node %d not on link %d (%d-%d)", n, l.ID, l.A, l.B))
+}
+
+// Port is one end of a link as seen from a node: the link and the peer.
+type Port struct {
+	Link LinkID
+	Peer NodeID
+}
+
+// Graph is a static network topology. Build one with New and the Add*
+// methods, or use a builder such as NewFatTree. Graphs are cheap to share
+// read-only; mutation is not goroutine-safe.
+type Graph struct {
+	// Name describes the topology, e.g. "fat-tree(k=8)".
+	Name string
+
+	nodes []Node
+	links []Link
+	ports [][]Port // ports[n] lists n's attachments
+
+	hosts    []NodeID
+	switches []NodeID
+}
+
+// New returns an empty graph with the given descriptive name.
+func New(name string) *Graph {
+	return &Graph{Name: name}
+}
+
+// AddHost adds a host in the given rack and returns its ID.
+func (g *Graph) AddHost(name string, rack int) NodeID {
+	return g.addNode(Node{Kind: Host, Tier: TierNone, Name: name, Rack: rack})
+}
+
+// AddSwitch adds a switch at the given tier and rack (-1 for none) and
+// returns its ID.
+func (g *Graph) AddSwitch(name string, tier Tier, rack int) NodeID {
+	return g.addNode(Node{Kind: Switch, Tier: tier, Name: name, Rack: rack})
+}
+
+func (g *Graph) addNode(n Node) NodeID {
+	n.ID = NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, n)
+	g.ports = append(g.ports, nil)
+	if n.Kind == Host {
+		g.hosts = append(g.hosts, n.ID)
+	} else {
+		g.switches = append(g.switches, n.ID)
+	}
+	return n.ID
+}
+
+// Connect links nodes a and b with the given rate and propagation delay
+// and returns the link's ID. Self-links are rejected; parallel links are
+// allowed (they model link aggregates and multi-fiber trunks).
+func (g *Graph) Connect(a, b NodeID, rate sim.Rate, prop sim.Time) LinkID {
+	if a == b {
+		panic(fmt.Sprintf("topology: self-link on node %d", a))
+	}
+	if !g.valid(a) || !g.valid(b) {
+		panic(fmt.Sprintf("topology: connect %d-%d with unknown node", a, b))
+	}
+	if rate <= 0 {
+		panic(fmt.Sprintf("topology: connect %d-%d with rate %d", a, b, rate))
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, A: a, B: b, Rate: rate, Prop: prop})
+	g.ports[a] = append(g.ports[a], Port{Link: id, Peer: b})
+	g.ports[b] = append(g.ports[b], Port{Link: id, Peer: a})
+	return id
+}
+
+func (g *Graph) valid(n NodeID) bool { return n >= 0 && int(n) < len(g.nodes) }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of undirected links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+
+// Ports returns the ports of node n. The returned slice is owned by the
+// graph and must not be modified.
+func (g *Graph) Ports(n NodeID) []Port { return g.ports[n] }
+
+// Degree returns the number of links attached to n.
+func (g *Graph) Degree(n NodeID) int { return len(g.ports[n]) }
+
+// Hosts returns the IDs of all hosts, in creation order. The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) Hosts() []NodeID { return g.hosts }
+
+// Switches returns the IDs of all switches, in creation order. The
+// returned slice is owned by the graph and must not be modified.
+func (g *Graph) Switches() []NodeID { return g.switches }
+
+// SwitchesInTier returns the switches at the given tier.
+func (g *Graph) SwitchesInTier(t Tier) []NodeID {
+	var out []NodeID
+	for _, s := range g.switches {
+		if g.nodes[s].Tier == t {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// HostsInRack returns all hosts in the given rack.
+func (g *Graph) HostsInRack(rack int) []NodeID {
+	var out []NodeID
+	for _, h := range g.hosts {
+		if g.nodes[h].Rack == rack {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ToRof returns the switch a host attaches to. Hosts attached to multiple
+// switches (dual-homed) return the first. It panics if h is not a host or
+// has no uplink.
+func (g *Graph) ToRof(h NodeID) NodeID {
+	if g.nodes[h].Kind != Host {
+		panic(fmt.Sprintf("topology: ToRof(%d): not a host", h))
+	}
+	for _, p := range g.ports[h] {
+		if g.nodes[p.Peer].Kind == Switch {
+			return p.Peer
+		}
+	}
+	panic(fmt.Sprintf("topology: host %d has no switch uplink", h))
+}
+
+// FindLink returns a link between a and b, if any.
+func (g *Graph) FindLink(a, b NodeID) (Link, bool) {
+	for _, p := range g.ports[a] {
+		if p.Peer == b {
+			return g.links[p.Link], true
+		}
+	}
+	return Link{}, false
+}
+
+// CrossRackLinks counts links whose endpoints are in different racks
+// (or touch a rackless node). The paper uses this as its wiring
+// complexity metric: cables that must leave a rack.
+func (g *Graph) CrossRackLinks() int {
+	n := 0
+	for _, l := range g.links {
+		ra, rb := g.nodes[l.A].Rack, g.nodes[l.B].Rack
+		if ra != rb || ra == -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: every host has at least one
+// link, every node referenced by a link exists, and the graph is
+// connected (if it has any nodes).
+func (g *Graph) Validate() error {
+	for _, h := range g.hosts {
+		if len(g.ports[h]) == 0 {
+			return fmt.Errorf("topology %q: host %s has no links", g.Name, g.nodes[h].Name)
+		}
+	}
+	for _, l := range g.links {
+		if !g.valid(l.A) || !g.valid(l.B) {
+			return fmt.Errorf("topology %q: link %d references unknown node", g.Name, l.ID)
+		}
+	}
+	if len(g.nodes) > 0 {
+		if cc := g.ConnectedComponents(nil); cc != 1 {
+			return fmt.Errorf("topology %q: %d connected components, want 1", g.Name, cc)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s: %d hosts, %d switches, %d links",
+		g.Name, len(g.hosts), len(g.switches), len(g.links))
+}

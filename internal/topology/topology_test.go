@@ -1,0 +1,564 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/quartz-dcn/quartz/internal/sim"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := New("test")
+	s0 := g.AddSwitch("s0", TierToR, 0)
+	s1 := g.AddSwitch("s1", TierToR, 1)
+	h0 := g.AddHost("h0", 0)
+	h1 := g.AddHost("h1", 1)
+	g.Connect(h0, s0, 10*sim.Gbps, DefaultProp)
+	g.Connect(h1, s1, 10*sim.Gbps, DefaultProp)
+	l := g.Connect(s0, s1, 40*sim.Gbps, DefaultProp)
+
+	if g.NumNodes() != 4 || g.NumLinks() != 3 {
+		t.Fatalf("got %d nodes %d links, want 4/3", g.NumNodes(), g.NumLinks())
+	}
+	if got := g.ToRof(h0); got != s0 {
+		t.Errorf("ToRof(h0) = %d, want %d", got, s0)
+	}
+	if g.Link(l).Other(s0) != s1 || g.Link(l).Other(s1) != s0 {
+		t.Errorf("Link.Other wrong")
+	}
+	if len(g.Hosts()) != 2 || len(g.Switches()) != 2 {
+		t.Errorf("hosts/switches = %d/%d, want 2/2", len(g.Hosts()), len(g.Switches()))
+	}
+	if _, ok := g.FindLink(s0, s1); !ok {
+		t.Errorf("FindLink(s0,s1) not found")
+	}
+	if _, ok := g.FindLink(h0, h1); ok {
+		t.Errorf("FindLink(h0,h1) found nonexistent link")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Only the switch-switch link crosses racks.
+	if got := g.CrossRackLinks(); got != 1 {
+		t.Errorf("CrossRackLinks = %d, want 1", got)
+	}
+}
+
+func TestConnectPanics(t *testing.T) {
+	g := New("test")
+	n := g.AddSwitch("s", TierToR, 0)
+	for name, fn := range map[string]func(){
+		"self-link":    func() { g.Connect(n, n, sim.Gbps, 0) },
+		"unknown node": func() { g.Connect(n, 99, sim.Gbps, 0) },
+		"zero rate":    func() { m := g.AddSwitch("m", TierToR, 0); g.Connect(n, m, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFullMesh(t *testing.T) {
+	g, err := NewFullMesh(MeshConfig{Switches: 6, HostsPerSwitch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Switches()); got != 6 {
+		t.Fatalf("switches = %d, want 6", got)
+	}
+	if got := len(g.Hosts()); got != 24 {
+		t.Fatalf("hosts = %d, want 24", got)
+	}
+	// 6*5/2 = 15 mesh links + 24 host links.
+	if got := g.NumLinks(); got != 39 {
+		t.Fatalf("links = %d, want 39", got)
+	}
+	// Every switch pair directly connected: switch-graph diameter 1.
+	if d := g.Diameter(g.Switches()); d != 1 {
+		t.Errorf("mesh switch diameter = %d, want 1", d)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullMeshTrunks(t *testing.T) {
+	g, err := NewFullMesh(MeshConfig{Switches: 4, HostsPerSwitch: 1, TrunksPerPair: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4*3/2*3 = 18 mesh links + 4 host links.
+	if got := g.NumLinks(); got != 22 {
+		t.Fatalf("links = %d, want 22", got)
+	}
+}
+
+func TestFullMeshErrors(t *testing.T) {
+	if _, err := NewFullMesh(MeshConfig{Switches: 0}); err == nil {
+		t.Error("0 switches accepted")
+	}
+	if _, err := NewFullMesh(MeshConfig{Switches: 2, HostsPerSwitch: -1}); err == nil {
+		t.Error("negative hosts accepted")
+	}
+}
+
+func TestTwoTierTree(t *testing.T) {
+	g, err := NewTwoTierTree(TreeConfig{ToRs: 16, Roots: 1, HostsPerToR: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 9's 2-tier entry: 17 switches for ~1k hosts.
+	if got := len(g.Switches()); got != 17 {
+		t.Errorf("switches = %d, want 17", got)
+	}
+	if got := len(g.Hosts()); got != 960 {
+		t.Errorf("hosts = %d, want 960", got)
+	}
+	// Wiring complexity: 16 ToR-root links cross racks.
+	if got := g.CrossRackLinks(); got != 16 {
+		t.Errorf("cross-rack links = %d, want 16", got)
+	}
+	// Host-to-host worst case: h -> tor -> root -> tor -> h = 4 hops.
+	if d := g.Diameter(g.Hosts()); d != 4 {
+		t.Errorf("host diameter = %d, want 4", d)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeTierTree(t *testing.T) {
+	g, err := NewThreeTierTree(ThreeTierConfig{
+		Pods: 4, ToRsPerPod: 4, AggsPerPod: 2, Cores: 2, HostsPerToR: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSwitches := 2 + 4*2 + 4*4 // cores + aggs + tors
+	if got := len(g.Switches()); got != wantSwitches {
+		t.Errorf("switches = %d, want %d", got, wantSwitches)
+	}
+	if got := len(g.Hosts()); got != 128 {
+		t.Errorf("hosts = %d, want 128", got)
+	}
+	// Cross-pod host path: h-tor-agg-core-agg-tor-h = 6 hops.
+	if d := g.Diameter(g.Hosts()); d != 6 {
+		t.Errorf("host diameter = %d, want 6", d)
+	}
+	if got := len(g.SwitchesInTier(TierCore)); got != 2 {
+		t.Errorf("core switches = %d, want 2", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	for _, k := range []int{4, 8} {
+		g, err := NewFatTree(k, LinkSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := k / 2
+		if got, want := len(g.Hosts()), k*half*half; got != want {
+			t.Errorf("k=%d: hosts = %d, want %d", k, got, want)
+		}
+		if got, want := len(g.Switches()), half*half+k*k; got != want {
+			t.Errorf("k=%d: switches = %d, want %d", k, got, want)
+		}
+		// Fat-tree total links: hosts + edge-agg (k*half*half) + agg-core.
+		wantLinks := k * half * half * 3
+		if got := g.NumLinks(); got != wantLinks {
+			t.Errorf("k=%d: links = %d, want %d", k, got, wantLinks)
+		}
+		if d := g.Diameter(g.Hosts()); d != 6 {
+			t.Errorf("k=%d: host diameter = %d, want 6", k, d)
+		}
+		if err := g.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := NewFatTree(3, LinkSpec{}); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := NewFatTree(0, LinkSpec{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestFatTreePathDiversity(t *testing.T) {
+	// Edge-disjoint paths between two edge switches are bounded by each
+	// switch's k/2 uplinks, and the fat-tree achieves that bound: 4 for
+	// k=8 (Table 9's value of 32 comes from 64-port switches).
+	g, err := NewFatTree(8, LinkSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.SwitchesInTier(TierToR)
+	// First edge switch of pod 0 and pod 1 (4 edges per pod).
+	got := g.EdgeDisjointPaths(edges[0], edges[4])
+	if got != 4 {
+		t.Errorf("fat-tree k=8 edge-disjoint paths = %d, want 4", got)
+	}
+}
+
+func TestBCube(t *testing.T) {
+	// BCube(4,1): 16 hosts, 8 switches, each host 2 links.
+	g, err := NewBCube(4, 1, LinkSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Hosts()); got != 16 {
+		t.Errorf("hosts = %d, want 16", got)
+	}
+	if got := len(g.Switches()); got != 8 {
+		t.Errorf("switches = %d, want 8", got)
+	}
+	for _, h := range g.Hosts() {
+		if d := g.Degree(h); d != 2 {
+			t.Errorf("host %d degree = %d, want 2", h, d)
+		}
+	}
+	for _, s := range g.Switches() {
+		if d := g.Degree(s); d != 4 {
+			t.Errorf("switch %d degree = %d, want 4", s, d)
+		}
+	}
+	// Two hosts sharing no switch are exactly 4 hops apart
+	// (h-sw-h-sw-h... in BCube(4,1): h0 and h5 differ in both digits).
+	hosts := g.Hosts()
+	dist := g.BFSDist(hosts[0], nil)
+	if dist[hosts[5]] != 4 {
+		t.Errorf("bcube dist(h0,h5) = %d, want 4", dist[hosts[5]])
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewBCube(1, 1, LinkSpec{}); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestJellyfish(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, err := NewJellyfish(JellyfishConfig{
+		Switches: 24, HostsPerSwitch: 40, NetDegree: 10, Rand: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Switches()); got != 24 {
+		t.Errorf("switches = %d, want 24", got)
+	}
+	if got := len(g.Hosts()); got != 960 {
+		t.Errorf("hosts = %d, want 960", got)
+	}
+	// All switches should have close to NetDegree network links.
+	short := 0
+	for i, s := range g.Switches() {
+		netLinks := 0
+		for _, p := range g.Ports(s) {
+			if g.Node(p.Peer).Kind == Switch {
+				netLinks++
+			}
+		}
+		if netLinks > 10 {
+			t.Errorf("switch %d has %d net links, want <=10", i, netLinks)
+		}
+		if netLinks < 10 {
+			short += 10 - netLinks
+		}
+	}
+	if short > 2 {
+		t.Errorf("%d unused network ports, want <=2", short)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJellyfishErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewJellyfish(JellyfishConfig{Switches: 1, NetDegree: 1, Rand: rng}); err == nil {
+		t.Error("1 switch accepted")
+	}
+	if _, err := NewJellyfish(JellyfishConfig{Switches: 4, NetDegree: 4, Rand: rng}); err == nil {
+		t.Error("degree >= switches accepted")
+	}
+	if _, err := NewJellyfish(JellyfishConfig{Switches: 4, NetDegree: 2}); err == nil {
+		t.Error("nil Rand accepted")
+	}
+}
+
+func TestJellyfishDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g, err := NewJellyfish(JellyfishConfig{
+			Switches: 12, HostsPerSwitch: 2, NetDegree: 4,
+			Rand: rand.New(rand.NewSource(7)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := build(), build()
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatalf("same seed, different link counts: %d vs %d", a.NumLinks(), b.NumLinks())
+	}
+	for i := 0; i < a.NumLinks(); i++ {
+		la, lb := a.Link(LinkID(i)), b.Link(LinkID(i))
+		if la.A != lb.A || la.B != lb.B {
+			t.Fatalf("same seed, link %d differs: %v vs %v", i, la, lb)
+		}
+	}
+}
+
+func TestBFSDistAndShortestPath(t *testing.T) {
+	// Path graph: s0 - s1 - s2 - s3.
+	g := New("path")
+	var sw [4]NodeID
+	for i := range sw {
+		sw[i] = g.AddSwitch("s", TierToR, i)
+	}
+	var links [3]LinkID
+	for i := 0; i < 3; i++ {
+		links[i] = g.Connect(sw[i], sw[i+1], sim.Gbps, 0)
+	}
+	dist := g.BFSDist(sw[0], nil)
+	for i, want := range []int{0, 1, 2, 3} {
+		if dist[sw[i]] != want {
+			t.Errorf("dist[s%d] = %d, want %d", i, dist[sw[i]], want)
+		}
+	}
+	p := g.ShortestPath(sw[0], sw[3], nil)
+	if len(p) != 4 || p[0] != sw[0] || p[3] != sw[3] {
+		t.Errorf("ShortestPath = %v", p)
+	}
+	// Failing the middle link disconnects s0 from s3.
+	dead := map[LinkID]bool{links[1]: true}
+	if g.ShortestPath(sw[0], sw[3], dead) != nil {
+		t.Error("path found across dead link")
+	}
+	if g.Connected([]NodeID{sw[0], sw[3]}, dead) {
+		t.Error("Connected across dead link")
+	}
+	if cc := g.ConnectedComponents(dead); cc != 2 {
+		t.Errorf("components with dead middle link = %d, want 2", cc)
+	}
+	if p := g.ShortestPath(sw[2], sw[2], nil); len(p) != 1 || p[0] != sw[2] {
+		t.Errorf("self path = %v, want [s2]", p)
+	}
+}
+
+func TestEdgeDisjointPathsRing(t *testing.T) {
+	// A ring of 5 switches has exactly 2 edge-disjoint paths between any
+	// pair.
+	g := New("ring")
+	var sw [5]NodeID
+	for i := range sw {
+		sw[i] = g.AddSwitch("s", TierToR, i)
+	}
+	for i := range sw {
+		g.Connect(sw[i], sw[(i+1)%5], sim.Gbps, 0)
+	}
+	for i := 1; i < 5; i++ {
+		if got := g.EdgeDisjointPaths(sw[0], sw[i]); got != 2 {
+			t.Errorf("ring diversity s0-s%d = %d, want 2", i, got)
+		}
+	}
+	if got := g.EdgeDisjointPaths(sw[0], sw[0]); got != 0 {
+		t.Errorf("self diversity = %d, want 0", got)
+	}
+}
+
+func TestEdgeDisjointPathsMesh(t *testing.T) {
+	// In a full mesh of M switches, diversity between two switches is
+	// M-1 (direct + M-2 two-hop paths).
+	g, err := NewFullMesh(MeshConfig{Switches: 8, HostsPerSwitch: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := g.Switches()
+	if got := g.EdgeDisjointPaths(sw[0], sw[5]); got != 7 {
+		t.Errorf("mesh-8 diversity = %d, want 7", got)
+	}
+}
+
+func TestAvgShortestPath(t *testing.T) {
+	g, err := NewFullMesh(MeshConfig{Switches: 5, HostsPerSwitch: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.AvgShortestPath(g.Switches()); got != 1.0 {
+		t.Errorf("mesh avg path = %v, want 1.0", got)
+	}
+	if !math.IsNaN(g.AvgShortestPath(nil)) {
+		t.Error("empty set should be NaN")
+	}
+}
+
+func TestAllShortestNextHops(t *testing.T) {
+	// Diamond: a-b, a-c, b-d, c-d. From a to d there are two equal-cost
+	// next hops (b and c).
+	g := New("diamond")
+	a := g.AddSwitch("a", TierToR, 0)
+	b := g.AddSwitch("b", TierToR, 1)
+	c := g.AddSwitch("c", TierToR, 2)
+	d := g.AddSwitch("d", TierToR, 3)
+	g.Connect(a, b, sim.Gbps, 0)
+	g.Connect(a, c, sim.Gbps, 0)
+	g.Connect(b, d, sim.Gbps, 0)
+	g.Connect(c, d, sim.Gbps, 0)
+	next := g.AllShortestNextHops(d)
+	if len(next[a]) != 2 {
+		t.Errorf("a has %d next hops to d, want 2", len(next[a]))
+	}
+	if len(next[b]) != 1 || next[b][0].Peer != d {
+		t.Errorf("b next hops = %v, want [d]", next[b])
+	}
+	if next[d] != nil {
+		t.Errorf("dst has next hops %v, want none", next[d])
+	}
+}
+
+func TestLinksBetweenSets(t *testing.T) {
+	g, err := NewFullMesh(MeshConfig{Switches: 6, HostsPerSwitch: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := g.Switches()
+	setA := map[NodeID]bool{sw[0]: true, sw[1]: true, sw[2]: true}
+	// Bisection of a 6-mesh: 3*3 = 9 links cross.
+	if got := g.LinksBetweenSets(setA); got != 9 {
+		t.Errorf("bisection links = %d, want 9", got)
+	}
+}
+
+// TestMeshPropertyInvariants property-checks mesh construction: for any
+// valid (M, n), switch count, host count, link count, and diameter are
+// as predicted.
+func TestMeshPropertyInvariants(t *testing.T) {
+	f := func(m, n uint8) bool {
+		M := int(m%20) + 2
+		N := int(n % 8)
+		g, err := NewFullMesh(MeshConfig{Switches: M, HostsPerSwitch: N})
+		if err != nil {
+			return false
+		}
+		wantLinks := M*(M-1)/2 + M*N
+		if g.NumLinks() != wantLinks || len(g.Hosts()) != M*N {
+			return false
+		}
+		return g.Diameter(g.Switches()) == 1 && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBCubePropertyInvariants property-checks BCube sizes.
+func TestBCubePropertyInvariants(t *testing.T) {
+	f := func(nn, kk uint8) bool {
+		n := int(nn%4) + 2 // 2..5
+		k := int(kk % 3)   // 0..2
+		g, err := NewBCube(n, k, LinkSpec{})
+		if err != nil {
+			return false
+		}
+		hosts := 1
+		for i := 0; i <= k; i++ {
+			hosts *= n
+		}
+		if len(g.Hosts()) != hosts {
+			return false
+		}
+		if len(g.Switches()) != (k+1)*hosts/n {
+			return false
+		}
+		for _, h := range g.Hosts() {
+			if g.Degree(h) != k+1 {
+				return false
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindTierStrings(t *testing.T) {
+	if Host.String() != "host" || Switch.String() != "switch" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown Kind string wrong")
+	}
+	for tier, want := range map[Tier]string{
+		TierNone: "none", TierToR: "tor", TierAgg: "agg", TierCore: "core", Tier(9): "Tier(9)",
+	} {
+		if tier.String() != want {
+			t.Errorf("Tier %d string = %q, want %q", tier, tier.String(), want)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, err := NewFullMesh(MeshConfig{Switches: 3, HostsPerSwitch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph", "n0 --", "shape=box", "shape=circle", "10Gbps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Every node and link appears.
+	if got := strings.Count(out, "--"); got != g.NumLinks() {
+		t.Errorf("DOT has %d edges, want %d", got, g.NumLinks())
+	}
+}
+
+func TestEstimateBisection(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	// Full-bisection leaf-spine: 8 ToRs x 4 hosts, 4 roots, 32 uplinks.
+	// Any balanced bisection cuts >= 16 uplinks (half the fabric).
+	tree, err := NewTwoTierTree(TreeConfig{ToRs: 8, Roots: 4, HostsPerToR: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := tree.EstimateBisection(200, rng)
+	if cut < 8 || cut > 24 {
+		t.Errorf("leaf-spine bisection estimate = %d, want ~16", cut)
+	}
+	// A mesh of 8 switches: the best host bisection groups whole racks:
+	// 4x4 = 16 mesh links cross.
+	mesh, err := NewFullMesh(MeshConfig{Switches: 8, HostsPerSwitch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcut := mesh.EstimateBisection(400, rng)
+	if mcut < 16 || mcut > 28 {
+		t.Errorf("mesh-8 bisection estimate = %d, want >= 16 (rack-aligned cut)", mcut)
+	}
+	// Degenerate inputs.
+	if got := mesh.EstimateBisection(0, rng); got != 0 {
+		t.Errorf("0 trials = %d, want 0", got)
+	}
+	if got := mesh.EstimateBisection(10, nil); got != 0 {
+		t.Errorf("nil rng = %d, want 0", got)
+	}
+}

@@ -1,0 +1,169 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+)
+
+// TraceEvent is one packet of a recorded workload: an injection time
+// and endpoints given as host indices into Graph.Hosts().
+type TraceEvent struct {
+	// At is the injection time.
+	At sim.Time
+	// Src and Dst index into the topology's host list.
+	Src, Dst int
+	// Size is the packet size in bytes.
+	Size int
+	// Flow groups packets for ECMP; 0 lets the replayer derive one from
+	// the (src, dst) pair.
+	Flow routing.FlowID
+	// Tag groups deliveries in the harness (default 1).
+	Tag int
+}
+
+// ParseTrace reads a CSV trace: `at_us,src,dst,size[,flow[,tag]]` with
+// an optional header row. Events need not be sorted; the replayer
+// sorts them.
+func ParseTrace(r io.Reader) ([]TraceEvent, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var events []TraceEvent
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && len(rec) > 0 {
+			if _, err := strconv.ParseFloat(rec[0], 64); err != nil {
+				continue // header row
+			}
+		}
+		if len(rec) < 4 {
+			return nil, fmt.Errorf("traffic: trace line %d: need at least 4 fields, got %d", line, len(rec))
+		}
+		atUs, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d: bad time %q", line, rec[0])
+		}
+		ints := make([]int, 0, 5)
+		for _, f := range rec[1:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: trace line %d: bad field %q", line, f)
+			}
+			ints = append(ints, v)
+		}
+		ev := TraceEvent{
+			At:   sim.Time(atUs * float64(sim.Microsecond)),
+			Src:  ints[0],
+			Dst:  ints[1],
+			Size: ints[2],
+			Tag:  1,
+		}
+		if len(ints) > 3 {
+			ev.Flow = routing.FlowID(ints[3])
+		}
+		if len(ints) > 4 {
+			ev.Tag = ints[4]
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// WriteTrace writes events as CSV with a header, the inverse of
+// ParseTrace — for synthesizing shareable workloads from the built-in
+// generators.
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_us", "src", "dst", "size", "flow", "tag"}); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		rec := []string{
+			strconv.FormatFloat(ev.At.Micros(), 'f', 3, 64),
+			strconv.Itoa(ev.Src),
+			strconv.Itoa(ev.Dst),
+			strconv.Itoa(ev.Size),
+			strconv.FormatUint(uint64(ev.Flow), 10),
+			strconv.Itoa(ev.Tag),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Replay schedules every trace event onto the network. Events are
+// sorted by time; host indices are resolved against the network's
+// topology. It returns the number of packets scheduled.
+func Replay(net *netsim.Network, events []TraceEvent) (int, error) {
+	hosts := net.Graph().Hosts()
+	sorted := make([]TraceEvent, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	eng := net.Engine()
+	now := eng.Now()
+	for i, ev := range sorted {
+		if ev.Src < 0 || ev.Src >= len(hosts) || ev.Dst < 0 || ev.Dst >= len(hosts) {
+			return 0, fmt.Errorf("traffic: trace event %d: host index out of range (%d hosts)", i, len(hosts))
+		}
+		if ev.Size <= 0 {
+			return 0, fmt.Errorf("traffic: trace event %d: size %d", i, ev.Size)
+		}
+		if ev.At < 0 {
+			return 0, fmt.Errorf("traffic: trace event %d: negative time", i)
+		}
+		p := netsim.Packet{
+			Flow: ev.Flow,
+			Src:  hosts[ev.Src], Dst: hosts[ev.Dst],
+			Size: ev.Size, Tag: ev.Tag, Waypoint: netsim.NoWaypoint,
+		}
+		if p.Flow == 0 {
+			p.Flow = routing.FlowID(ev.Src)<<20 | routing.FlowID(ev.Dst)
+		}
+		at := now + ev.At
+		eng.Schedule(at, func() { net.Send(p) })
+	}
+	return len(sorted), nil
+}
+
+// SynthesizeTrace renders a set of Poisson streams into a trace — the
+// bridge from the built-in generators to a shareable file. ratePPS and
+// size apply to every (src, dst) pair; duration bounds the trace.
+func SynthesizeTrace(pairs [][2]int, ratePPS float64, size int, duration sim.Time, rng interface{ ExpFloat64() float64 }) ([]TraceEvent, error) {
+	if ratePPS <= 0 || size <= 0 || duration <= 0 {
+		return nil, fmt.Errorf("traffic: invalid synthesis parameters")
+	}
+	meanGap := float64(sim.Second) / ratePPS
+	var events []TraceEvent
+	for i, pr := range pairs {
+		at := sim.Time(0)
+		for {
+			at += sim.Time(rng.ExpFloat64() * meanGap)
+			if at >= duration {
+				break
+			}
+			events = append(events, TraceEvent{
+				At: at, Src: pr[0], Dst: pr[1], Size: size,
+				Flow: routing.FlowID(i + 1), Tag: 1,
+			})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
+	return events, nil
+}

@@ -1,0 +1,110 @@
+package traffic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	events := []TraceEvent{
+		{At: 10 * sim.Microsecond, Src: 0, Dst: 3, Size: 400, Flow: 7, Tag: 2},
+		{At: 5 * sim.Microsecond, Src: 1, Dst: 2, Size: 1500, Flow: 8, Tag: 1},
+	}
+	var buf strings.Builder
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("parsed %d events, want 2", len(back))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Errorf("event %d: %+v != %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestParseTraceHeaderAndErrors(t *testing.T) {
+	good := "at_us,src,dst,size\n1.5,0,1,400\n"
+	events, err := ParseTrace(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].At != 1500*sim.Nanosecond || events[0].Tag != 1 {
+		t.Errorf("parsed %+v", events)
+	}
+	for name, bad := range map[string]string{
+		"short row": "1.0,0,1\n",
+		"bad time":  "abc,0,1,400\n2.0,x,1,400\n",
+		"bad field": "1.0,zero,1,400\n",
+	} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSynthesizeAndReplay(t *testing.T) {
+	net, h, g := meshNet(t, 4, 2)
+	rng := rand.New(rand.NewSource(3))
+	events, err := SynthesizeTrace([][2]int{{0, 5}, {2, 7}}, 1e5, 400, 5*sim.Millisecond, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 500 {
+		t.Fatalf("synthesized %d events, want ~1000", len(events))
+	}
+	// Events sorted by time.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("events not sorted")
+		}
+	}
+	n, err := Replay(net, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(events) {
+		t.Errorf("scheduled %d, want %d", n, len(events))
+	}
+	net.Engine().Run()
+	if got := h.Latency(1).N(); got != int64(len(events)) {
+		t.Errorf("delivered %d, want %d", got, len(events))
+	}
+	_ = g
+}
+
+func TestReplayValidation(t *testing.T) {
+	net, _, _ := meshNet(t, 3, 1)
+	cases := map[string][]TraceEvent{
+		"bad src":  {{At: 0, Src: 99, Dst: 0, Size: 400}},
+		"bad dst":  {{At: 0, Src: 0, Dst: -1, Size: 400}},
+		"bad size": {{At: 0, Src: 0, Dst: 1, Size: 0}},
+		"bad time": {{At: -5, Src: 0, Dst: 1, Size: 400}},
+	}
+	for name, evs := range cases {
+		if _, err := Replay(net, evs); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SynthesizeTrace(nil, 0, 400, sim.Second, rng); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := SynthesizeTrace(nil, 100, 0, sim.Second, rng); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := SynthesizeTrace(nil, 100, 400, 0, rng); err == nil {
+		t.Error("zero duration accepted")
+	}
+}

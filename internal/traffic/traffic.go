@@ -1,0 +1,424 @@
+// Package traffic generates the workloads of the Quartz paper's
+// evaluation: Poisson packet streams, scatter / gather / scatter-gather
+// tasks (§7.1), bursty cross-traffic and closed-loop RPCs (§6.1,
+// Figure 14), the pathological switch-pair pattern (§7.2, Figure 20),
+// and the flow-level pair patterns of Figure 10 (random permutation,
+// incast, rack-level shuffle).
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// PacketSize is the paper's simulation packet size (§7): 400 bytes.
+const PacketSize = 400
+
+// Harness multiplexes delivery events to per-tag statistics and
+// handlers. Wire its Deliver method into netsim.Config.OnDeliver.
+type Harness struct {
+	lat      map[int]*metrics.Stats
+	handlers map[int]func(netsim.Delivery)
+}
+
+// NewHarness returns an empty harness.
+func NewHarness() *Harness {
+	return &Harness{
+		lat:      make(map[int]*metrics.Stats),
+		handlers: make(map[int]func(netsim.Delivery)),
+	}
+}
+
+// Deliver records the delivery latency under the packet's tag and runs
+// any registered handler. Pass this to netsim.Config.OnDeliver.
+func (h *Harness) Deliver(d netsim.Delivery) {
+	s, ok := h.lat[d.Packet.Tag]
+	if !ok {
+		s = &metrics.Stats{}
+		h.lat[d.Packet.Tag] = s
+	}
+	s.Add(d.Latency.Micros())
+	if fn, ok := h.handlers[d.Packet.Tag]; ok {
+		fn(d)
+	}
+}
+
+// Handle registers fn to run on every delivery with the given tag.
+func (h *Harness) Handle(tag int, fn func(netsim.Delivery)) {
+	h.handlers[tag] = fn
+}
+
+// Latency returns the latency statistics (in microseconds) for a tag.
+// The returned Stats is live; it is nil-safe to query a tag that never
+// delivered (an empty Stats is returned).
+func (h *Harness) Latency(tag int) *metrics.Stats {
+	if s, ok := h.lat[tag]; ok {
+		return s
+	}
+	return &metrics.Stats{}
+}
+
+// Stream is an open-loop Poisson packet stream between two hosts.
+type Stream struct {
+	Net  *netsim.Network
+	Src  topology.NodeID
+	Dst  topology.NodeID
+	Flow routing.FlowID
+	// RatePPS is the mean packet rate.
+	RatePPS float64
+	// Size is the packet size in bytes (PacketSize when zero).
+	Size int
+	Tag  int
+	// VLB, when non-nil, assigns each packet a waypoint (per-packet
+	// Valiant spreading, §3.4).
+	VLB *routing.VLB
+	// Rand drives arrivals and VLB choices; required.
+	Rand *rand.Rand
+}
+
+// Start schedules the stream's Poisson arrivals from now until the
+// given absolute time.
+func (s *Stream) Start(until sim.Time) error {
+	if s.Rand == nil {
+		return fmt.Errorf("traffic: stream needs a Rand")
+	}
+	if s.RatePPS <= 0 {
+		return fmt.Errorf("traffic: stream rate %v pps", s.RatePPS)
+	}
+	if s.Size == 0 {
+		s.Size = PacketSize
+	}
+	meanGapPs := float64(sim.Second) / s.RatePPS
+	eng := s.Net.Engine()
+	var tick func()
+	tick = func() {
+		if eng.Now() >= until {
+			return
+		}
+		p := netsim.Packet{
+			Flow: s.Flow, Src: s.Src, Dst: s.Dst,
+			Size: s.Size, Tag: s.Tag, Waypoint: netsim.NoWaypoint,
+		}
+		if s.VLB != nil {
+			p.Waypoint = s.VLB.ChooseWaypoint(s.Src, s.Dst, s.Rand)
+		}
+		s.Net.Send(p)
+		eng.After(sim.Time(s.Rand.ExpFloat64()*meanGapPs), tick)
+	}
+	eng.After(sim.Time(s.Rand.ExpFloat64()*meanGapPs), tick)
+	return nil
+}
+
+// Task is a scatter, gather, or scatter-gather task instance.
+type Task struct {
+	streams []*Stream
+}
+
+// Add appends a stream to the task.
+func (t *Task) Add(s *Stream) { t.streams = append(t.streams, s) }
+
+// Streams returns the number of streams in the task.
+func (t *Task) Streams() int { return len(t.streams) }
+
+// Start begins all of the task's streams.
+func (t *Task) Start(until sim.Time) error {
+	for _, s := range t.streams {
+		if err := s.Start(until); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flowBase spreads flow IDs so concurrent tasks hash independently.
+func flowBase(tag int) routing.FlowID { return routing.FlowID(tag) << 20 }
+
+// Scatter builds a task in which sender concurrently streams packets to
+// every receiver (§7.1) at perDestPPS packets per second each.
+func Scatter(net *netsim.Network, sender topology.NodeID, receivers []topology.NodeID,
+	perDestPPS float64, tag int, vlb *routing.VLB, rng *rand.Rand) *Task {
+	t := &Task{}
+	for i, r := range receivers {
+		t.streams = append(t.streams, &Stream{
+			Net: net, Src: sender, Dst: r,
+			Flow: flowBase(tag) + routing.FlowID(i), RatePPS: perDestPPS,
+			Tag: tag, VLB: vlb,
+			Rand: rand.New(rand.NewSource(rng.Int63())),
+		})
+	}
+	return t
+}
+
+// Gather builds a task in which every sender concurrently streams
+// packets to one receiver (§7.1).
+func Gather(net *netsim.Network, senders []topology.NodeID, receiver topology.NodeID,
+	perSrcPPS float64, tag int, vlb *routing.VLB, rng *rand.Rand) *Task {
+	t := &Task{}
+	for i, s := range senders {
+		t.streams = append(t.streams, &Stream{
+			Net: net, Src: s, Dst: receiver,
+			Flow: flowBase(tag) + routing.FlowID(i), RatePPS: perSrcPPS,
+			Tag: tag, VLB: vlb,
+			Rand: rand.New(rand.NewSource(rng.Int63())),
+		})
+	}
+	return t
+}
+
+// ScatterGather builds a scatter task whose receivers send a reply
+// packet back for every request received (§7.1). Requests are tagged
+// reqTag, replies replyTag; the round-trip mean is the sum of the two
+// tags' latency means. The handler is registered on h.
+func ScatterGather(net *netsim.Network, h *Harness, sender topology.NodeID,
+	receivers []topology.NodeID, perDestPPS float64, reqTag, replyTag int,
+	vlb *routing.VLB, rng *rand.Rand) *Task {
+	t := Scatter(net, sender, receivers, perDestPPS, reqTag, vlb, rng)
+	replyRand := rand.New(rand.NewSource(rng.Int63()))
+	var replyFlow routing.FlowID
+	h.Handle(reqTag, func(d netsim.Delivery) {
+		reply := netsim.Packet{
+			Flow: flowBase(replyTag) + replyFlow%1024,
+			Src:  d.Packet.Dst, Dst: d.Packet.Src,
+			Size: d.Packet.Size, Tag: replyTag, Waypoint: netsim.NoWaypoint,
+		}
+		replyFlow++
+		if vlb != nil {
+			reply.Waypoint = vlb.ChooseWaypoint(reply.Src, reply.Dst, replyRand)
+		}
+		net.Send(reply)
+	})
+	return t
+}
+
+// RPC runs a closed-loop request/response exchange: one request in
+// flight at a time, reply sent immediately on request delivery, next
+// request sent on reply delivery (the prototype's Thrift "Hello World"
+// RPC, §6.1). Round-trip times land in rttMicros.
+type RPC struct {
+	Net       *netsim.Network
+	Harness   *Harness
+	Client    topology.NodeID
+	Server    topology.NodeID
+	ReqSize   int
+	ReplySize int
+	// Count is the number of RPCs to issue (the paper uses 10,000).
+	Count int
+	// ReqTag/ReplyTag must be unique in the harness.
+	ReqTag, ReplyTag int
+	// Priority is the queueing class of the RPC's own packets (0 is
+	// served first); BackgroundPriority is unused by RPC itself but
+	// mirrors the class its competition runs at, for experiment code
+	// symmetry.
+	Priority, BackgroundPriority uint8
+
+	// RTT accumulates round-trip times in microseconds.
+	RTT metrics.Stats
+
+	sent    int
+	started sim.Time
+}
+
+// Start registers handlers and issues the first request.
+func (r *RPC) Start() error {
+	if r.Count <= 0 {
+		return fmt.Errorf("traffic: rpc count %d", r.Count)
+	}
+	if r.ReqSize == 0 {
+		r.ReqSize = 128
+	}
+	if r.ReplySize == 0 {
+		r.ReplySize = 128
+	}
+	r.Harness.Handle(r.ReqTag, func(d netsim.Delivery) {
+		r.Net.Send(netsim.Packet{
+			Flow: flowBase(r.ReplyTag), Src: r.Server, Dst: r.Client,
+			Size: r.ReplySize, Tag: r.ReplyTag, Waypoint: netsim.NoWaypoint,
+			Priority: r.Priority,
+		})
+	})
+	r.Harness.Handle(r.ReplyTag, func(d netsim.Delivery) {
+		r.RTT.Add((d.At - r.started).Micros())
+		if r.sent < r.Count {
+			r.issue()
+		}
+	})
+	r.issue()
+	return nil
+}
+
+func (r *RPC) issue() {
+	r.sent++
+	r.started = r.Net.Engine().Now()
+	r.Net.Send(netsim.Packet{
+		Flow: flowBase(r.ReqTag), Src: r.Client, Dst: r.Server,
+		Size: r.ReqSize, Tag: r.ReqTag, Waypoint: netsim.NoWaypoint,
+		Priority: r.Priority,
+	})
+}
+
+// Bursty generates the prototype experiment's cross-traffic (§6.1):
+// bursts of BurstLen packets back-to-back, separated by idle intervals
+// sized to average the target bandwidth.
+type Bursty struct {
+	Net      *netsim.Network
+	Src, Dst topology.NodeID
+	Flow     routing.FlowID
+	// Bandwidth is the target average rate.
+	Bandwidth sim.Rate
+	// Size is the packet size (1500 when zero — bulk traffic).
+	Size int
+	// BurstLen is packets per burst (20 in the paper).
+	BurstLen int
+	Tag      int
+	// Priority is the queueing class of the burst packets.
+	Priority uint8
+	Rand     *rand.Rand
+}
+
+// Start schedules bursts until the given absolute time.
+func (b *Bursty) Start(until sim.Time) error {
+	if b.Bandwidth <= 0 {
+		return fmt.Errorf("traffic: bursty bandwidth %v", b.Bandwidth)
+	}
+	if b.Size == 0 {
+		b.Size = 1500
+	}
+	if b.BurstLen == 0 {
+		b.BurstLen = 20
+	}
+	if b.Rand == nil {
+		return fmt.Errorf("traffic: bursty needs a Rand")
+	}
+	burstBits := float64(b.BurstLen) * float64(b.Size) * 8
+	periodPs := burstBits / float64(b.Bandwidth) * float64(sim.Second)
+	eng := b.Net.Engine()
+	var tick func()
+	tick = func() {
+		if eng.Now() >= until {
+			return
+		}
+		for i := 0; i < b.BurstLen; i++ {
+			b.Net.Send(netsim.Packet{
+				Flow: b.Flow, Src: b.Src, Dst: b.Dst,
+				Size: b.Size, Tag: b.Tag, Waypoint: netsim.NoWaypoint,
+				Priority: b.Priority,
+			})
+		}
+		// Randomize the phase a little so concurrent bursty sources do
+		// not synchronize (the paper's sources are unsynchronized).
+		jitter := 0.5 + b.Rand.Float64()
+		eng.After(sim.Time(periodPs*jitter), tick)
+	}
+	eng.After(sim.Time(periodPs*b.Rand.Float64()), tick)
+	return nil
+}
+
+// Pairs of hosts for the flow-level patterns of Figure 10.
+
+// RandomPermutation pairs every host with a distinct random partner:
+// each host sends to exactly one host and receives from exactly one.
+func RandomPermutation(hosts []topology.NodeID, rng *rand.Rand) [][2]topology.NodeID {
+	n := len(hosts)
+	perm := rng.Perm(n)
+	// Fix any fixed points by swapping with a neighbour.
+	for i := 0; i < n; i++ {
+		if perm[i] == i {
+			j := (i + 1) % n
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	out := make([][2]topology.NodeID, 0, n)
+	for i, p := range perm {
+		if i == p {
+			continue // single-host corner case
+		}
+		out = append(out, [2]topology.NodeID{hosts[i], hosts[p]})
+	}
+	return out
+}
+
+// Incast gives every host fanIn senders at random locations (the
+// MapReduce shuffle stage of §5.1). Senders are spread round-robin so
+// each host sends approximately fanIn flows.
+func Incast(hosts []topology.NodeID, fanIn int, rng *rand.Rand) [][2]topology.NodeID {
+	var out [][2]topology.NodeID
+	n := len(hosts)
+	for _, dst := range hosts {
+		for k := 0; k < fanIn; k++ {
+			src := hosts[rng.Intn(n)]
+			for src == dst {
+				src = hosts[rng.Intn(n)]
+			}
+			out = append(out, [2]topology.NodeID{src, dst})
+		}
+	}
+	return out
+}
+
+// RackShuffle sends from every host in each rack to hosts in a few
+// other racks (VM-migration style load balancing, §5.1). The pattern
+// is built from racksPerSource random rack rotations so that every
+// host sends exactly one flow and receives exactly one flow — the
+// congestion is purely from rack-level concentration, not receiver
+// collisions.
+func RackShuffle(g *topology.Graph, racksPerSource int, rng *rand.Rand) [][2]topology.NodeID {
+	rackSet := map[int][]topology.NodeID{}
+	var rackIDs []int
+	for _, h := range g.Hosts() {
+		r := g.Node(h).Rack
+		if _, ok := rackSet[r]; !ok {
+			rackIDs = append(rackIDs, r)
+		}
+		rackSet[r] = append(rackSet[r], h)
+	}
+	R := len(rackIDs)
+	if R < 2 {
+		return nil
+	}
+	if racksPerSource > R-1 {
+		racksPerSource = R - 1
+	}
+	// Distinct non-zero rack rotations: rotation k maps rack i to rack
+	// (i + shift[k]) mod R, a bijection, so host slot j of each rack
+	// receives exactly one flow per rotation class.
+	shifts := rng.Perm(R - 1)[:racksPerSource]
+	var out [][2]topology.NodeID
+	for ri, rack := range rackIDs {
+		srcs := rackSet[rack]
+		for j, src := range srcs {
+			shift := shifts[j%racksPerSource] + 1
+			target := rackIDs[(ri+shift)%R]
+			dsts := rackSet[target]
+			out = append(out, [2]topology.NodeID{src, dsts[j%len(dsts)]})
+		}
+	}
+	return out
+}
+
+// Pathological builds the §7.2 stress pattern: count flows from hosts
+// under one switch to hosts under another, at aggregate bandwidth
+// total. Returns per-flow streams (open-loop Poisson of 400 B packets).
+func Pathological(net *netsim.Network, srcs, dsts []topology.NodeID,
+	total sim.Rate, tag int, vlb *routing.VLB, rng *rand.Rand) (*Task, error) {
+	if len(srcs) == 0 || len(srcs) != len(dsts) {
+		return nil, fmt.Errorf("traffic: pathological needs equal non-empty src/dst sets")
+	}
+	perFlow := float64(total) / float64(len(srcs))
+	pps := perFlow / (PacketSize * 8)
+	t := &Task{}
+	for i := range srcs {
+		t.streams = append(t.streams, &Stream{
+			Net: net, Src: srcs[i], Dst: dsts[i],
+			Flow: flowBase(tag) + routing.FlowID(i), RatePPS: pps,
+			Tag: tag, VLB: vlb,
+			Rand: rand.New(rand.NewSource(rng.Int63())),
+		})
+	}
+	return t, nil
+}

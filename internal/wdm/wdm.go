@@ -1,0 +1,321 @@
+// Package wdm solves the Quartz wavelength (channel) assignment problem
+// of §3.1: give every pair of switches on a physical ring of size M a
+// dedicated wavelength such that no wavelength is used twice on any
+// fiber link, minimizing the number of distinct wavelengths.
+//
+// Three solvers are provided:
+//
+//   - Greedy: the paper's longest-path-first heuristic (§3.1.1).
+//   - ExactBranchBound: an exact solver equivalent to the paper's ILP,
+//     practical for small rings.
+//   - Optimal: an iterated-greedy conflict-graph colouring search that
+//     targets OptimalChannels, the closed-form proven minimum (the
+//     value the paper's ILP computes).
+//
+// Ring conventions: nodes are 0..M-1 around the ring; fiber link i joins
+// node i and node (i+1) mod M. A clockwise arc starting at node s with
+// length L covers links s, s+1, ..., s+L-1 (mod M).
+package wdm
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Direction of travel around the ring.
+type Direction uint8
+
+// Arc directions.
+const (
+	Clockwise Direction = iota
+	CounterClockwise
+)
+
+func (d Direction) String() string {
+	if d == Clockwise {
+		return "cw"
+	}
+	return "ccw"
+}
+
+// Assignment dedicates one wavelength channel to one switch pair.
+type Assignment struct {
+	// S, T are the pair's endpoints, S < T.
+	S, T int
+	// Dir is the direction of the arc from S to T.
+	Dir Direction
+	// Channel is the wavelength index, 0-based.
+	Channel int
+	// Ring is the physical fiber ring carrying this channel (0 unless
+	// the plan has been split across multiple rings; §3.5).
+	Ring int
+}
+
+// Plan is a complete channel assignment for a ring of M switches.
+type Plan struct {
+	// M is the ring size (number of switches).
+	M int
+	// Channels is the number of distinct wavelengths used per ring.
+	Channels int
+	// Rings is the number of physical fiber rings (1 unless split).
+	Rings int
+	// Assignments has one entry per unordered switch pair.
+	Assignments []Assignment
+}
+
+// arcLinks calls fn for each fiber link index covered by the arc from s
+// to t in direction dir on a ring of size m.
+func arcLinks(m, s, t int, dir Direction, fn func(link int)) {
+	switch dir {
+	case Clockwise:
+		for i := s; i != t; i = (i + 1) % m {
+			fn(i)
+		}
+	case CounterClockwise:
+		for i := s; i != t; i = (i - 1 + m) % m {
+			fn((i - 1 + m) % m)
+		}
+	}
+}
+
+// arcLen returns the number of links in the arc from s to t going dir.
+func arcLen(m, s, t int, dir Direction) int {
+	if dir == Clockwise {
+		return (t - s + m) % m
+	}
+	return (s - t + m) % m
+}
+
+// LowerBound returns a simple link-load lower bound on the number of
+// wavelengths for all-pairs traffic on a ring of M switches: the total
+// fiber-link demand of shortest-arc routing divided by the M links. It
+// is tight for odd M and one or two below the true optimum for even M
+// (see OptimalChannels).
+func LowerBound(m int) int {
+	if m < 2 {
+		return 0
+	}
+	k := m / 2
+	if m%2 == 1 {
+		return k * (k + 1) / 2
+	}
+	// Forced (non-diametral) load per link plus the averaged diametral
+	// load, rounded up.
+	return k*(k-1)/2 + (k+1)/2
+}
+
+// OptimalChannels returns the provably minimum number of wavelengths for
+// all-pairs communication on a ring of M switches — the value the
+// paper's ILP computes. The closed form is the classical all-to-all
+// ring RWA result:
+//
+//	M odd:         (M^2-1)/8
+//	M ≡ 2 (mod 4): (M^2+4)/8
+//	M ≡ 0 (mod 4): M^2/8 + 1
+//
+// The even cases exceed the naive load bound because the M/2 diametral
+// pairs cannot be split without stacking three deep somewhere (for
+// example, M=4 provably needs 3 channels, not 2). ExactBranchBound
+// verifies this formula for every M it can reach, and TestOptimal*
+// cross-checks the colouring solver against it.
+func OptimalChannels(m int) int {
+	if m < 2 {
+		return 0
+	}
+	switch {
+	case m%2 == 1:
+		return (m*m - 1) / 8
+	case m%4 == 2:
+		return (m*m + 4) / 8
+	default:
+		return m*m/8 + 1
+	}
+}
+
+// Pairs returns all unordered pairs of a ring of size m in (s,t) order.
+func Pairs(m int) [][2]int {
+	var out [][2]int
+	for s := 0; s < m; s++ {
+		for t := s + 1; t < m; t++ {
+			out = append(out, [2]int{s, t})
+		}
+	}
+	return out
+}
+
+// Validate checks the two invariants of §3.1: (1) every unordered pair
+// has exactly one assigned channel along one arc, and (2) on every fiber
+// link of every ring, a wavelength is used at most once.
+func (p *Plan) Validate() error {
+	if p.M < 2 {
+		if len(p.Assignments) != 0 {
+			return fmt.Errorf("wdm: ring of %d has %d assignments", p.M, len(p.Assignments))
+		}
+		return nil
+	}
+	rings := p.Rings
+	if rings == 0 {
+		rings = 1
+	}
+	seen := make(map[[2]int]bool, len(p.Assignments))
+	type slot struct{ ring, link, ch int }
+	used := make(map[slot][2]int, len(p.Assignments)*p.M/4)
+	for _, a := range p.Assignments {
+		if a.S < 0 || a.T >= p.M || a.S >= a.T {
+			return fmt.Errorf("wdm: bad pair (%d,%d) for M=%d", a.S, a.T, p.M)
+		}
+		if a.Channel < 0 || a.Channel >= p.Channels {
+			return fmt.Errorf("wdm: pair (%d,%d) uses channel %d outside [0,%d)", a.S, a.T, a.Channel, p.Channels)
+		}
+		if a.Ring < 0 || a.Ring >= rings {
+			return fmt.Errorf("wdm: pair (%d,%d) on ring %d outside [0,%d)", a.S, a.T, a.Ring, rings)
+		}
+		key := [2]int{a.S, a.T}
+		if seen[key] {
+			return fmt.Errorf("wdm: pair (%d,%d) assigned twice", a.S, a.T)
+		}
+		seen[key] = true
+		var conflict error
+		arcLinks(p.M, a.S, a.T, a.Dir, func(link int) {
+			s := slot{a.Ring, link, a.Channel}
+			if other, clash := used[s]; clash && conflict == nil {
+				conflict = fmt.Errorf("wdm: channel %d reused on ring %d link %d by (%d,%d) and (%d,%d)",
+					a.Channel, a.Ring, link, other[0], other[1], a.S, a.T)
+			}
+			used[s] = key
+		})
+		if conflict != nil {
+			return conflict
+		}
+	}
+	if want := p.M * (p.M - 1) / 2; len(seen) != want {
+		return fmt.Errorf("wdm: %d pairs assigned, want %d", len(seen), want)
+	}
+	return nil
+}
+
+// MaxLinkLoad returns the maximum number of channels traversing any one
+// fiber link in the plan (per ring).
+func (p *Plan) MaxLinkLoad() int {
+	rings := p.Rings
+	if rings == 0 {
+		rings = 1
+	}
+	load := make([][]int, rings)
+	for r := range load {
+		load[r] = make([]int, p.M)
+	}
+	max := 0
+	for _, a := range p.Assignments {
+		arcLinks(p.M, a.S, a.T, a.Dir, func(link int) {
+			load[a.Ring][link]++
+			if load[a.Ring][link] > max {
+				max = load[a.Ring][link]
+			}
+		})
+	}
+	return max
+}
+
+// ChannelFor returns the assignment covering the unordered pair (s,t).
+func (p *Plan) ChannelFor(s, t int) (Assignment, bool) {
+	if s > t {
+		s, t = t, s
+	}
+	for _, a := range p.Assignments {
+		if a.S == s && a.T == t {
+			return a, true
+		}
+	}
+	return Assignment{}, false
+}
+
+// shortestDirections routes every pair along its shorter arc, breaking
+// diametral ties (even M) by alternating directions so the load stays
+// balanced. It returns the per-pair directions in Pairs(m) order.
+func shortestDirections(m int) []Direction {
+	pairs := Pairs(m)
+	dirs := make([]Direction, len(pairs))
+	diametral := 0
+	for i, pr := range pairs {
+		cw := arcLen(m, pr[0], pr[1], Clockwise)
+		ccw := arcLen(m, pr[0], pr[1], CounterClockwise)
+		switch {
+		case cw < ccw:
+			dirs[i] = Clockwise
+		case ccw < cw:
+			dirs[i] = CounterClockwise
+		default:
+			// Diametral pair: alternate to balance the two half-rings.
+			if diametral%2 == 0 {
+				dirs[i] = Clockwise
+			} else {
+				dirs[i] = CounterClockwise
+			}
+			diametral++
+		}
+	}
+	return dirs
+}
+
+// Hops returns the number of ring hops (fiber segments) the assignment's
+// arc spans on a ring of size m.
+func (a Assignment) Hops(m int) int {
+	return arcLen(m, a.S, a.T, a.Dir)
+}
+
+// LinkLoads returns, per physical ring, the number of channels crossing
+// each fiber link.
+func (p *Plan) LinkLoads() [][]int {
+	rings := p.Rings
+	if rings == 0 {
+		rings = 1
+	}
+	load := make([][]int, rings)
+	for r := range load {
+		load[r] = make([]int, p.M)
+	}
+	for _, a := range p.Assignments {
+		arcLinks(p.M, a.S, a.T, a.Dir, func(l int) { load[a.Ring][l]++ })
+	}
+	return load
+}
+
+// RenderChannelMap draws the plan as text: for rings of up to 16
+// switches, a wavelength-by-link occupancy grid ('#' = channel crosses
+// the link); for all sizes, per-link load bars. Intended for the
+// wavelengths planning CLI.
+func (p *Plan) RenderChannelMap() string {
+	var b strings.Builder
+	rings := p.Rings
+	if rings == 0 {
+		rings = 1
+	}
+	if p.M <= 16 {
+		for r := 0; r < rings; r++ {
+			fmt.Fprintf(&b, "ring %d occupancy (rows: wavelengths, cols: fiber links 0..%d):\n", r, p.M-1)
+			grid := make([][]byte, p.Channels)
+			for ch := range grid {
+				grid[ch] = bytes.Repeat([]byte{'.'}, p.M)
+			}
+			for _, a := range p.Assignments {
+				if a.Ring != r {
+					continue
+				}
+				arcLinks(p.M, a.S, a.T, a.Dir, func(l int) { grid[a.Channel][l] = '#' })
+			}
+			for ch, row := range grid {
+				fmt.Fprintf(&b, "  λ%-3d %s\n", ch, row)
+			}
+		}
+	}
+	loads := p.LinkLoads()
+	for r, row := range loads {
+		fmt.Fprintf(&b, "ring %d per-link load:\n", r)
+		for l, n := range row {
+			fmt.Fprintf(&b, "  link %2d-%-2d %3d %s\n", l, (l+1)%p.M, n, strings.Repeat("*", n))
+		}
+	}
+	return b.String()
+}

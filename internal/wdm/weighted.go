@@ -1,0 +1,182 @@
+package wdm
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Demand gives a switch pair a channel multiplicity: hot pairs can be
+// allocated several dedicated wavelengths, trading ring capacity for
+// lower oversubscription on specific rack pairs — the flexible n:k
+// tradeoff of §3 taken per-pair.
+type Demand struct {
+	S, T int
+	// Channels is the number of wavelengths to dedicate (>= 1).
+	Channels int
+}
+
+// GreedyWeighted runs the longest-path-first greedy assignment with
+// per-pair channel multiplicities. Pairs not listed in demands get one
+// channel each; listed pairs get the requested count. Every allocated
+// channel appears as its own Assignment (so a pair with multiplicity 3
+// has three entries differing only in Channel/Ring).
+func GreedyWeighted(m int, demands []Demand, rng *rand.Rand) (*Plan, error) {
+	if m < 2 {
+		return &Plan{M: m, Rings: 1}, nil
+	}
+	mult := make(map[[2]int]int)
+	for _, d := range demands {
+		s, t := d.S, d.T
+		if s > t {
+			s, t = t, s
+		}
+		if s < 0 || t >= m || s == t {
+			return nil, fmt.Errorf("wdm: demand pair (%d,%d) invalid for M=%d", d.S, d.T, m)
+		}
+		if d.Channels < 1 {
+			return nil, fmt.Errorf("wdm: demand pair (%d,%d) wants %d channels", d.S, d.T, d.Channels)
+		}
+		mult[[2]int{s, t}] = d.Channels
+	}
+
+	pairs := Pairs(m)
+	dirs := shortestDirections(m)
+	type arc struct {
+		idx  int // into pairs/dirs
+		len  int
+		copy int
+	}
+	var arcs []arc
+	for i, pr := range pairs {
+		n := 1
+		if c, ok := mult[[2]int{pr[0], pr[1]}]; ok {
+			n = c
+		}
+		l := arcLen(m, pr[0], pr[1], dirs[i])
+		for c := 0; c < n; c++ {
+			arcs = append(arcs, arc{idx: i, len: l, copy: c})
+		}
+	}
+	sort.SliceStable(arcs, func(i, j int) bool { return arcs[i].len > arcs[j].len })
+	start := 0
+	if rng != nil {
+		start = rng.Intn(m)
+	}
+	sort.SliceStable(arcs, func(i, j int) bool {
+		if arcs[i].len != arcs[j].len {
+			return arcs[i].len > arcs[j].len
+		}
+		si := (pairs[arcs[i].idx][0] - start + m) % m
+		sj := (pairs[arcs[j].idx][0] - start + m) % m
+		return si < sj
+	})
+
+	var usage [][]bool
+	assigned := make([]Assignment, 0, len(arcs))
+	for _, a := range arcs {
+		pr := pairs[a.idx]
+		dir := dirs[a.idx]
+		// For extra copies beyond the first, alternate direction so a
+		// hot pair's channels split across both sides of the ring.
+		if a.copy%2 == 1 {
+			dir ^= 1
+		}
+		ch := -1
+		for c := 0; c < len(usage); c++ {
+			free := true
+			arcLinks(m, pr[0], pr[1], dir, func(link int) {
+				if usage[c][link] {
+					free = false
+				}
+			})
+			if free {
+				ch = c
+				break
+			}
+		}
+		if ch == -1 {
+			usage = append(usage, make([]bool, m))
+			ch = len(usage) - 1
+		}
+		arcLinks(m, pr[0], pr[1], dir, func(link int) { usage[ch][link] = true })
+		assigned = append(assigned, Assignment{S: pr[0], T: pr[1], Dir: dir, Channel: ch})
+	}
+	return &Plan{M: m, Channels: len(usage), Rings: 1, Assignments: assigned}, nil
+}
+
+// ValidateWeighted checks a weighted plan: every pair has at least one
+// channel, listed pairs have exactly their multiplicity, and no
+// wavelength is reused on a fiber link of the same ring.
+func (p *Plan) ValidateWeighted(demands []Demand) error {
+	want := make(map[[2]int]int)
+	for s := 0; s < p.M; s++ {
+		for t := s + 1; t < p.M; t++ {
+			want[[2]int{s, t}] = 1
+		}
+	}
+	for _, d := range demands {
+		s, t := d.S, d.T
+		if s > t {
+			s, t = t, s
+		}
+		want[[2]int{s, t}] = d.Channels
+	}
+	got := make(map[[2]int]int)
+	rings := p.Rings
+	if rings == 0 {
+		rings = 1
+	}
+	type slot struct{ ring, link, ch int }
+	used := make(map[slot]bool)
+	for _, a := range p.Assignments {
+		got[[2]int{a.S, a.T}]++
+		conflict := false
+		arcLinks(p.M, a.S, a.T, a.Dir, func(link int) {
+			s := slot{a.Ring, link, a.Channel}
+			if used[s] {
+				conflict = true
+			}
+			used[s] = true
+		})
+		if conflict {
+			return fmt.Errorf("wdm: channel %d reused on a fiber link (pair %d-%d)", a.Channel, a.S, a.T)
+		}
+	}
+	for pr, w := range want {
+		if got[pr] != w {
+			return fmt.Errorf("wdm: pair (%d,%d) has %d channels, want %d", pr[0], pr[1], got[pr], w)
+		}
+	}
+	return nil
+}
+
+// planJSON is the serialized form of a Plan.
+type planJSON struct {
+	M           int          `json:"ringSize"`
+	Channels    int          `json:"channels"`
+	Rings       int          `json:"physicalRings"`
+	Assignments []Assignment `json:"assignments"`
+}
+
+// MarshalJSON serializes the plan; wavelength planning is a one-time,
+// design-time activity (§3.1.1: performed "by the device manufacturer
+// at the factory"), so plans are meant to be stored and shipped.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(planJSON{M: p.M, Channels: p.Channels, Rings: p.Rings, Assignments: p.Assignments})
+}
+
+// UnmarshalJSON deserializes and validates structural bounds; call
+// Validate for the full §3.1 invariants.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var pj planJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	if pj.M < 0 || pj.Channels < 0 || pj.Rings < 0 {
+		return fmt.Errorf("wdm: negative fields in serialized plan")
+	}
+	p.M, p.Channels, p.Rings, p.Assignments = pj.M, pj.Channels, pj.Rings, pj.Assignments
+	return nil
+}

@@ -1,0 +1,248 @@
+package wdm
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyWeightedMatchesPlainWhenUniform(t *testing.T) {
+	p, err := GreedyWeighted(12, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Greedy(12, nil)
+	if p.Channels != plain.Channels {
+		t.Errorf("uniform weighted = %d channels, plain greedy = %d", p.Channels, plain.Channels)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyWeightedHotPair(t *testing.T) {
+	demands := []Demand{{S: 0, T: 6, Channels: 4}}
+	p, err := GreedyWeighted(12, demands, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateWeighted(demands); err != nil {
+		t.Fatal(err)
+	}
+	// 4 channels for (0,6), one for everyone else.
+	count := 0
+	cw, ccw := 0, 0
+	for _, a := range p.Assignments {
+		if a.S == 0 && a.T == 6 {
+			count++
+			if a.Dir == Clockwise {
+				cw++
+			} else {
+				ccw++
+			}
+		}
+	}
+	if count != 4 {
+		t.Errorf("hot pair has %d channels, want 4", count)
+	}
+	// Copies alternate direction to balance ring halves.
+	if cw != 2 || ccw != 2 {
+		t.Errorf("hot-pair directions cw=%d ccw=%d, want 2/2", cw, ccw)
+	}
+	// Extra channels cost extra wavelengths but not absurdly many.
+	base := Greedy(12, nil).Channels
+	if p.Channels < base {
+		t.Errorf("weighted channels %d below uniform %d", p.Channels, base)
+	}
+	if p.Channels > base+8 {
+		t.Errorf("weighted channels %d far above uniform %d", p.Channels, base)
+	}
+}
+
+func TestGreedyWeightedErrors(t *testing.T) {
+	if _, err := GreedyWeighted(8, []Demand{{S: 0, T: 9, Channels: 1}}, nil); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+	if _, err := GreedyWeighted(8, []Demand{{S: 3, T: 3, Channels: 1}}, nil); err == nil {
+		t.Error("self pair accepted")
+	}
+	if _, err := GreedyWeighted(8, []Demand{{S: 0, T: 1, Channels: 0}}, nil); err == nil {
+		t.Error("zero multiplicity accepted")
+	}
+}
+
+func TestValidateWeightedCatchesWrongMultiplicity(t *testing.T) {
+	p, err := GreedyWeighted(6, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim pair (0,1) should have had 2 channels.
+	if err := p.ValidateWeighted([]Demand{{S: 0, T: 1, Channels: 2}}); err == nil {
+		t.Error("wrong multiplicity validated")
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	orig := Greedy(10, rand.New(rand.NewSource(3)))
+	split, err := SplitAcrossRings(orig, 2, (orig.Channels+1)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.M != split.M || back.Channels != split.Channels || back.Rings != split.Rings {
+		t.Errorf("round trip header: %+v vs %+v", back, split)
+	}
+	if len(back.Assignments) != len(split.Assignments) {
+		t.Fatalf("assignments %d vs %d", len(back.Assignments), len(split.Assignments))
+	}
+	for i := range back.Assignments {
+		if back.Assignments[i] != split.Assignments[i] {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Bad payloads rejected.
+	if err := json.Unmarshal([]byte(`{"ringSize":-1}`), &back); err == nil {
+		t.Error("negative ring size accepted")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &back); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+// TestGreedyWeightedProperty: for random demand sets, the plan
+// validates and dedicates the right multiplicities.
+func TestGreedyWeightedProperty(t *testing.T) {
+	f := func(mm uint8, seed int64) bool {
+		m := int(mm%12) + 4
+		rng := rand.New(rand.NewSource(seed))
+		var demands []Demand
+		for i := 0; i < rng.Intn(4); i++ {
+			s := rng.Intn(m)
+			tt := rng.Intn(m)
+			if s == tt {
+				continue
+			}
+			demands = append(demands, Demand{S: s, T: tt, Channels: rng.Intn(3) + 1})
+		}
+		// Deduplicate pairs (last write wins in the map anyway, but the
+		// validator expects consistent demands).
+		seen := map[[2]int]bool{}
+		var clean []Demand
+		for _, d := range demands {
+			s, tt := d.S, d.T
+			if s > tt {
+				s, tt = tt, s
+			}
+			if seen[[2]int{s, tt}] {
+				continue
+			}
+			seen[[2]int{s, tt}] = true
+			clean = append(clean, d)
+		}
+		p, err := GreedyWeighted(m, clean, rng)
+		if err != nil {
+			return false
+		}
+		return p.ValidateWeighted(clean) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpandPlanMinimalDisruption(t *testing.T) {
+	old := Greedy(12, nil)
+	plan, stats, err := ExpandPlan(old, 16, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.From != 12 || stats.To != 16 {
+		t.Errorf("stats = %+v", stats)
+	}
+	oldPairs := 12 * 11 / 2
+	if stats.Kept+stats.Retuned != oldPairs {
+		t.Errorf("kept %d + retuned %d != %d old pairs", stats.Kept, stats.Retuned, oldPairs)
+	}
+	if stats.Added != 16*15/2-oldPairs {
+		t.Errorf("added = %d, want %d", stats.Added, 16*15/2-oldPairs)
+	}
+	// The point of in-place expansion: a majority of existing channels
+	// survive untouched (only splice-crossing arcs retune).
+	if stats.Kept <= stats.Retuned {
+		t.Errorf("kept %d <= retuned %d; expansion should preserve most channels", stats.Kept, stats.Retuned)
+	}
+	// Every kept assignment is bit-identical to the old plan's.
+	oldByPair := map[[2]int]Assignment{}
+	for _, a := range old.Assignments {
+		oldByPair[[2]int{a.S, a.T}] = a
+	}
+	kept := 0
+	for _, a := range plan.Assignments {
+		if o, ok := oldByPair[[2]int{a.S, a.T}]; ok && o.Channel == a.Channel && o.Dir == a.Dir {
+			kept++
+		}
+	}
+	if kept < stats.Kept {
+		t.Errorf("only %d assignments actually identical, stats claim %d", kept, stats.Kept)
+	}
+	if stats.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestExpandPlanErrors(t *testing.T) {
+	old := Greedy(8, nil)
+	if _, _, err := ExpandPlan(old, 8, nil); err == nil {
+		t.Error("non-growing expansion accepted")
+	}
+	split, err := SplitAcrossRings(old, 2, old.Channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExpandPlan(split, 10, nil); err == nil {
+		t.Error("multi-ring plan accepted")
+	}
+	bad := &Plan{M: 4, Channels: 1, Rings: 1}
+	if _, _, err := ExpandPlan(bad, 6, nil); err == nil {
+		t.Error("invalid input plan accepted")
+	}
+}
+
+// TestExpandPlanProperty: any expansion of any greedy plan validates,
+// and channel growth stays near the fresh-plan greedy count.
+func TestExpandPlanProperty(t *testing.T) {
+	f := func(mm, grow uint8, seed int64) bool {
+		m := int(mm%14) + 4
+		to := m + int(grow%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		old := Greedy(m, rng)
+		plan, stats, err := ExpandPlan(old, to, rng)
+		if err != nil {
+			return false
+		}
+		if plan.Validate() != nil {
+			return false
+		}
+		// Incremental planning pays a bounded premium over planning the
+		// larger ring from scratch.
+		fresh := Greedy(to, rng)
+		return stats.ChannelsAfter <= fresh.Channels*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

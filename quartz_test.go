@@ -1,0 +1,142 @@
+package quartz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewRingFacade(t *testing.T) {
+	// The paper's flagship configuration: 33 switches x 32 servers
+	// mimicking a 1056-port switch (§3.2) on two fiber rings (§3.5).
+	ring, err := NewRing(RingConfig{Switches: 33, HostsPerSwitch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Ports() != 1056 {
+		t.Errorf("Ports = %d, want 1056", ring.Ports())
+	}
+	if ring.PhysicalRings() != 2 {
+		t.Errorf("PhysicalRings = %d, want 2", ring.PhysicalRings())
+	}
+	if err := ring.Plan.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxPortsFacade(t *testing.T) {
+	ports, m := MaxPortsSingleRing(64)
+	if ports != 1056 || m != 33 {
+		t.Errorf("MaxPortsSingleRing(64) = %d@%d, want 1056@33", ports, m)
+	}
+	if MaxRingSize(160) != 35 {
+		t.Errorf("MaxRingSize(160) = %d, want 35", MaxRingSize(160))
+	}
+}
+
+func TestChannelHelpersFacade(t *testing.T) {
+	if OptimalChannels(33) != 136 {
+		t.Errorf("OptimalChannels(33) = %d, want 136", OptimalChannels(33))
+	}
+	plan := GreedyChannels(8, rand.New(rand.NewSource(1)))
+	if err := plan.Validate(); err != nil {
+		t.Error(err)
+	}
+	exact, err := ExactChannels(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Channels != OptimalChannels(6) {
+		t.Errorf("exact(6) = %d, want %d", exact.Channels, OptimalChannels(6))
+	}
+}
+
+func TestAmplifierFacade(t *testing.T) {
+	budget, err := PlanAmplifiers(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget.Amplifiers != 12 {
+		t.Errorf("24-ring amplifiers = %d, want 12 (§3.3)", budget.Amplifiers)
+	}
+}
+
+func TestFiberCutsFacade(t *testing.T) {
+	plan := GreedyChannels(33, rand.New(rand.NewSource(2)))
+	res, err := SimulateFiberCuts(plan, 1, 500, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionProb != 0 {
+		t.Errorf("single cut partitioned the mesh: %v", res.PartitionProb)
+	}
+}
+
+func TestArchitectureBuildersFacade(t *testing.T) {
+	tree, err := ThreeTierTree(ArchParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tree.Name, "tree") {
+		t.Errorf("name = %q", tree.Name)
+	}
+	qec, err := QuartzInEdgeAndCore(ArchParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qec.Graph.Hosts()) != len(tree.Graph.Hosts()) {
+		t.Errorf("host counts differ: %d vs %d", len(qec.Graph.Hosts()), len(tree.Graph.Hosts()))
+	}
+	jf, err := Jellyfish(ArchParams{}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jf.Graph.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExperimentEntrypointsFacade(t *testing.T) {
+	if rows := Figure5(10, 1); len(rows) != 9 {
+		t.Errorf("Figure5 rows = %d, want 9", len(rows))
+	}
+	rows, err := Table9(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Errorf("Table9 rows = %d, want 5", len(rows))
+	}
+}
+
+func TestExtendedFacade(t *testing.T) {
+	// Dual-ToR scaling variant.
+	g, err := NewDualToRMesh(DualToRConfig{Racks: 5, HostsPerRack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Hosts()) != 10 {
+		t.Errorf("dual-ToR hosts = %d, want 10", len(g.Hosts()))
+	}
+	// Expansion.
+	plan := GreedyChannels(8, rand.New(rand.NewSource(1)))
+	grown, stats, err := ExpandPlan(plan, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.M != 10 || stats.Kept == 0 {
+		t.Errorf("expansion stats = %+v", stats)
+	}
+	// Weighted channels.
+	wp, err := GreedyWeightedChannels(8, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp.Channels != plan.Channels {
+		t.Errorf("uniform weighted = %d channels, plain = %d", wp.Channels, plan.Channels)
+	}
+	// Modes exported.
+	if Reno.String() != "reno" || DCTCP.String() != "dctcp" {
+		t.Error("TCP mode exports wrong")
+	}
+}
