@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The simulator's hot packages under the race detector: the event engine
+# and the packet-level network simulator (including the probe hooks).
+race:
+	$(GO) test -race ./internal/sim/... ./internal/netsim/...
+
+# Tier-1 verify recipe (see ROADMAP.md): build + vet + full tests + race
+# pass on the simulator core.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...

@@ -6,9 +6,13 @@
 //	quartzbench [-run all|fig1|fig5|fig6|fig10|fig14|fig14tcp|fig17|fig18|fig20|
 //	                  table2|table8|table9|table16|validate|stack|fct|oversub|sched|prio|ablations]
 //	            [-seed N] [-trials N] [-tasks N] [-rpcs N] [-csv DIR]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment is deterministic for a given seed; -csv additionally
-// writes the data-bearing experiments' rows as CSV files.
+// writes the data-bearing experiments' rows as CSV files. -cpuprofile
+// and -memprofile write pprof profiles covering the selected
+// experiments — the instrument for the simulator's own hot paths
+// (`go tool pprof` reads them).
 package main
 
 import (
@@ -16,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/quartz-dcn/quartz/internal/cost"
@@ -23,12 +29,14 @@ import (
 )
 
 var (
-	run    = flag.String("run", "all", "experiment to run: all, fig1, fig5, fig6, fig10, fig14, fig14tcp, fig17, fig18, fig20, table2, table8, table9, table16, stack, fct, oversub, ablations")
-	seed   = flag.Int64("seed", 2014, "random seed")
-	trials = flag.Int("trials", 5000, "Monte-Carlo trials (fig6)")
-	tasks  = flag.Int("tasks", 8, "maximum concurrent tasks (fig17/fig18)")
-	rpcs   = flag.Int("rpcs", 2000, "RPCs per point (fig14)")
-	csvDir = flag.String("csv", "", "also write each experiment's rows as CSV files into this directory")
+	run        = flag.String("run", "all", "experiment to run: all, fig1, fig5, fig6, fig10, fig14, fig14tcp, fig17, fig18, fig20, table2, table8, table9, table16, stack, fct, oversub, ablations")
+	seed       = flag.Int64("seed", 2014, "random seed")
+	trials     = flag.Int("trials", 5000, "Monte-Carlo trials (fig6)")
+	tasks      = flag.Int("tasks", 8, "maximum concurrent tasks (fig17/fig18)")
+	rpcs       = flag.Int("rpcs", 2000, "RPCs per point (fig14)")
+	csvDir     = flag.String("csv", "", "also write each experiment's rows as CSV files into this directory")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 )
 
 // exportCSV writes rows to <csvDir>/<name>.csv when -csv is set.
@@ -53,6 +61,33 @@ func exportCSV(name string, rows interface{}) error {
 
 func main() {
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is sharp
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)
+			}
+		}()
+	}
 	which := strings.ToLower(*run)
 	ran := false
 	for _, e := range experimentsList() {

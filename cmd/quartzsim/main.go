@@ -1,23 +1,34 @@
 // Command quartzsim runs ad-hoc packet-level simulations on the
 // architectures of the paper: pick a design, a workload, and a load
-// level, and get latency statistics and the hottest ports.
+// level, and get latency statistics, the hottest ports, and — on
+// request — per-packet traces and periodic queue-depth samples.
 //
 // Usage:
 //
 //	quartzsim [-arch NAME] [-workload scatter|gather|scattergather|permutation]
 //	          [-tasks N] [-pps N] [-fanout N] [-ms N] [-seed N] [-hot N]
+//	          [-trace FILE] [-trace-max N] [-probe-interval US] [-probe-out FILE]
 //
 // Architectures: tree3 (three-tier), tree2 (two-tier), ring (single
 // Quartz ring), core (Quartz in core), edge (Quartz in edge), edgecore
 // (Quartz in edge and core), jellyfish, qjellyfish (Quartz rings in a
 // Jellyfish graph).
+//
+// Observability: -trace records every packet's lifecycle
+// (enqueue/transmit/deliver/drop) to FILE; -probe-interval samples every
+// directed link's queue depth and utilization each US microseconds of
+// virtual time, written to -probe-out. Both emit CSV, or JSON when the
+// file name ends in .json. A run-telemetry summary (events processed,
+// peak calendar size, wall-clock event rate) always prints at the end.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"github.com/quartz-dcn/quartz/internal/core"
 	"github.com/quartz-dcn/quartz/internal/netsim"
@@ -29,8 +40,8 @@ import (
 
 var (
 	archName = flag.String("arch", "edgecore", "architecture: tree3, tree2, ring, core, edge, edgecore, jellyfish, qjellyfish")
-	workload = flag.String("workload", "scatter", "workload: scatter, gather, scattergather, permutation, trace")
-	trace    = flag.String("trace", "", "CSV trace file to replay (workload=trace): at_us,src,dst,size[,flow[,tag]]")
+	workload = flag.String("workload", "scatter", "workload: scatter, gather, scattergather, permutation, replay")
+	replay   = flag.String("replay", "", "CSV trace file to replay (workload=replay): at_us,src,dst,size[,flow[,tag]]")
 	failLink = flag.Int("faillink", -1, "fail this link ID at the start of the run")
 	tasks    = flag.Int("tasks", 4, "concurrent tasks")
 	pps      = flag.Float64("pps", 20e3, "packets per second per stream")
@@ -38,7 +49,26 @@ var (
 	ms       = flag.Int("ms", 10, "measured milliseconds of virtual time")
 	seed     = flag.Int64("seed", 1, "random seed")
 	hot      = flag.Int("hot", 5, "show the N hottest ports")
+
+	traceOut  = flag.String("trace", "", "record per-packet lifecycle events to this file (CSV, or JSON if it ends in .json)")
+	traceMax  = flag.Int("trace-max", 100_000, "keep at most N trace events (0 = unbounded)")
+	probeUS   = flag.Int64("probe-interval", 0, "sample queue depth/utilization every N microseconds (0 = off)")
+	probeOut  = flag.String("probe-out", "", "write queue samples to this file (CSV, or JSON if it ends in .json); default: per-port summary on stdout")
+	telemetry = flag.Bool("telemetry", true, "print the run-telemetry summary")
 )
+
+// emit writes obs to path, picking JSON when the extension says so.
+func emit(path string, writeCSV, writeJSON func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return writeJSON(f)
+	}
+	return writeCSV(f)
+}
 
 func buildArch() (*core.Architecture, error) {
 	rng := rand.New(rand.NewSource(*seed))
@@ -73,6 +103,10 @@ func main() {
 		os.Exit(2)
 	}
 	h := traffic.NewHarness()
+	var recorder *netsim.TraceRecorder
+	if *traceOut != "" {
+		recorder = netsim.NewTraceRecorder(*traceMax)
+	}
 	net, err := netsim.New(netsim.Config{
 		Graph:       arch.Graph,
 		Router:      arch.Router,
@@ -86,6 +120,22 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed + 1))
 	hosts := arch.Graph.Hosts()
 	end := sim.Time(*ms) * sim.Millisecond
+
+	var probes []netsim.Probe
+	if recorder != nil {
+		probes = append(probes, recorder)
+	}
+	var sampler *netsim.QueueSampler
+	if *probeUS > 0 {
+		sampler = netsim.NewQueueSampler(net, sim.Time(*probeUS)*sim.Microsecond)
+		sampler.Start(end)
+		probes = append(probes, sampler)
+	} else if *probeOut != "" {
+		fmt.Fprintln(os.Stderr, "quartzsim: -probe-out has no effect without -probe-interval")
+	}
+	if p := netsim.Probes(probes...); p != nil {
+		net.SetProbe(p)
+	}
 
 	pick := func(k int) []topology.NodeID {
 		perm := rng.Perm(len(hosts))
@@ -108,8 +158,11 @@ func main() {
 			t = traffic.Gather(net, rest, sender, *pps, tag, arch.VLB, rng)
 		case "scattergather":
 			t = traffic.ScatterGather(net, h, sender, rest, *pps, tag, tag+1, arch.VLB, rng)
-		case "trace":
-			f, err := os.Open(*trace)
+		case "replay":
+			if *replay == "" {
+				return fmt.Errorf("-workload replay requires -replay FILE")
+			}
+			f, err := os.Open(*replay)
 			if err != nil {
 				return err
 			}
@@ -122,7 +175,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("replaying %d trace events from %s\n", n, *trace)
+			fmt.Printf("replaying %d trace events from %s\n", n, *replay)
 			tags = append(tags, 1) // ParseTrace defaults tags to 1
 			return nil
 		case "permutation":
@@ -150,7 +203,7 @@ func main() {
 		fmt.Printf("link %d failed for the whole run\n", *failLink)
 	}
 	n := *tasks
-	if *workload == "permutation" || *workload == "trace" {
+	if *workload == "permutation" || *workload == "replay" {
 		n = 1
 	}
 	for i := 0; i < n; i++ {
@@ -182,5 +235,64 @@ func main() {
 				from.Name, to.Name, ps.Packets, ps.Bytes,
 				100*ps.Utilization(net.Engine().Now()), ps.Drops)
 		}
+	}
+
+	if recorder != nil {
+		if err := emit(*traceOut, recorder.WriteCSV, recorder.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "quartzsim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s", len(recorder.Events()), *traceOut)
+		if tr := recorder.Truncated(); tr > 0 {
+			fmt.Printf(" (%d more dropped by -trace-max %d)", tr, *traceMax)
+		}
+		fmt.Println()
+	}
+	if sampler != nil {
+		if *probeOut != "" {
+			if err := emit(*probeOut, sampler.WriteCSV, sampler.WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "quartzsim: writing samples: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d queue samples to %s\n", len(sampler.Samples()), *probeOut)
+		} else {
+			// No output file: summarize the deepest queues inline.
+			fmt.Printf("\nqueue depth by port (sampled every %d us; deepest %d):\n", *probeUS, *hot)
+			type portPeak struct {
+				ref  netsim.PortRef
+				peak int
+			}
+			peaks := make([]portPeak, 0, arch.Graph.NumLinks()*2)
+			for i := 0; i < arch.Graph.NumLinks(); i++ {
+				l := arch.Graph.Link(topology.LinkID(i))
+				for _, from := range []topology.NodeID{l.A, l.B} {
+					ref := netsim.PortRef{Link: l.ID, From: from}
+					peaks = append(peaks, portPeak{ref, sampler.PeakDepth(ref)})
+				}
+			}
+			for i := 0; i < len(peaks); i++ { // selection sort: tiny n
+				max := i
+				for j := i + 1; j < len(peaks); j++ {
+					if peaks[j].peak > peaks[max].peak {
+						max = j
+					}
+				}
+				peaks[i], peaks[max] = peaks[max], peaks[i]
+			}
+			shown := *hot
+			if shown > len(peaks) {
+				shown = len(peaks)
+			}
+			for _, pp := range peaks[:shown] {
+				st := sampler.DepthStats(pp.ref)
+				from := arch.Graph.Node(pp.ref.From)
+				to := arch.Graph.Node(arch.Graph.Link(pp.ref.Link).Other(pp.ref.From))
+				fmt.Printf("  %-10s -> %-10s  peak %7d B  mean %9.1f B over %d samples\n",
+					from.Name, to.Name, pp.peak, st.Mean(), st.N())
+			}
+		}
+	}
+	if *telemetry {
+		fmt.Printf("\ntelemetry: %s\n", net.Telemetry())
 	}
 }

@@ -56,6 +56,47 @@ func ExamplePlanAmplifiers() {
 	// 12 amplifiers, one per 2 switches
 }
 
+// ExampleTraceRecorder drives the observability layer end to end: plan
+// a small ring, attach a trace-recording probe to the packet simulator,
+// send one packet across the mesh, and read back its recorded
+// lifecycle — each hop's queue join and transmission, then the
+// delivery, with the traversed path.
+func ExampleTraceRecorder() {
+	ring, err := quartz.NewRing(quartz.RingConfig{Switches: 4, HostsPerSwitch: 2})
+	if err != nil {
+		panic(err)
+	}
+	tr := quartz.NewTraceRecorder(64)
+	net, err := quartz.NewNetwork(quartz.NetworkConfig{
+		Graph:       ring.Graph,
+		Router:      quartz.NewECMP(ring.Graph),
+		RecordPaths: true,
+		Probe:       tr,
+	})
+	if err != nil {
+		panic(err)
+	}
+	hosts := ring.Graph.Hosts()
+	id := net.Unicast(1, hosts[0], hosts[len(hosts)-1], 400, 0)
+	net.Engine().Run()
+
+	for _, e := range tr.PacketEvents(id) {
+		fmt.Printf("%s hop=%d\n", e.Op, e.Hops)
+	}
+	// ECMP on the mesh takes the direct channel (§3.4): source host,
+	// two switches, destination host.
+	fmt.Println("nodes on path:", len(tr.Path(id)))
+	// Output:
+	// enqueue hop=0
+	// transmit hop=0
+	// enqueue hop=1
+	// transmit hop=1
+	// enqueue hop=2
+	// transmit hop=2
+	// deliver hop=3
+	// nodes on path: 4
+}
+
 // ExampleSimulateFiberCuts shows §3.5's headline: one cut never
 // partitions the logical mesh.
 func ExampleSimulateFiberCuts() {

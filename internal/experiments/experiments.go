@@ -1,8 +1,9 @@
 // Package experiments regenerates every table and figure of the Quartz
-// paper's evaluation. Each Figure*/Table* function builds the workload,
-// runs the appropriate simulator, and returns typed rows; String
-// helpers render paper-style ASCII tables. cmd/quartzbench and the
-// repository's benchmark suite are thin wrappers around this package.
+// paper's evaluation (§5–§7: Figures 5–20, Tables 8 and 9). Each
+// Figure*/Table* function builds the workload, runs the appropriate
+// simulator, and returns typed rows; String helpers render paper-style
+// ASCII tables. cmd/quartzbench and the repository's benchmark suite
+// are thin wrappers around this package.
 //
 // Every function takes an explicit seed: results are deterministic for
 // a given seed.

@@ -40,6 +40,75 @@ func TestForEachCellPropagatesError(t *testing.T) {
 	}
 }
 
+func TestForEachCellFewerCellsThanWorkers(t *testing.T) {
+	// n below GOMAXPROCS exercises the worker clamp: every cell must
+	// still run exactly once and errors must still propagate.
+	for n := 2; n <= 4; n++ {
+		var count int64
+		seen := make([]int32, n)
+		if err := forEachCell(n, func(i int) error {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count != int64(n) {
+			t.Errorf("n=%d: ran %d cells", n, count)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Errorf("n=%d: cell %d ran %d times", n, i, c)
+			}
+		}
+		boom := errors.New("boom")
+		err := forEachCell(n, func(i int) error {
+			if i == n-1 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("n=%d: err = %v, want boom", n, err)
+		}
+	}
+}
+
+func TestForEachCellSerialError(t *testing.T) {
+	// n == 1 takes the serial path; the error must stop the loop there.
+	boom := errors.New("boom")
+	ran := 0
+	err := forEachCell(1, func(i int) error {
+		ran++
+		return boom
+	})
+	if !errors.Is(err, boom) || ran != 1 {
+		t.Errorf("err = %v after %d runs, want boom after 1", err, ran)
+	}
+}
+
+func TestForEachCellKeepsFirstError(t *testing.T) {
+	// Every cell fails; exactly one of their errors must surface and it
+	// must be one of the returned values, not a zero value.
+	errs := make([]error, 50)
+	for i := range errs {
+		errs[i] = errors.New("boom")
+	}
+	err := forEachCell(len(errs), func(i int) error { return errs[i] })
+	if err == nil {
+		t.Fatal("err = nil, want one of the cell errors")
+	}
+	found := false
+	for _, e := range errs {
+		if errors.Is(err, e) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("err = %v, not one of the cells' errors", err)
+	}
+}
+
 func TestForEachCellZeroAndOne(t *testing.T) {
 	if err := forEachCell(0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
 		t.Error(err)

@@ -1,6 +1,8 @@
 // Package metrics provides the statistics used to report experiment
 // results: online mean/variance (Welford), percentiles, histograms, and
-// 95% confidence intervals for the error bars of the paper's figures.
+// the 95% confidence intervals the Quartz paper draws as error bars on
+// its evaluation figures (§6.1, §7.1). The observability probes of
+// internal/netsim aggregate their queue-depth samples with these types.
 package metrics
 
 import (

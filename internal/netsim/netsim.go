@@ -7,6 +7,12 @@
 // The two switch models of Table 16 are provided as CiscoNexus7000
 // (6 µs store-and-forward "CCS") and Arista7150 (380 ns cut-through
 // "ULL").
+//
+// Observability: a Probe (Config.Probe / Network.SetProbe) sees every
+// enqueue, transmission, delivery, and drop; TraceRecorder keeps a
+// bounded per-packet trace, QueueSampler takes periodic queue-depth and
+// utilization samples, and Network.Telemetry summarizes a run. With no
+// probe attached the hooks cost one nil check each.
 package netsim
 
 import (
@@ -149,6 +155,10 @@ type Config struct {
 	// OnDeliver and OnDrop are optional hooks.
 	OnDeliver func(Delivery)
 	OnDrop    func(Drop)
+	// Probe observes the full packet lifecycle (enqueue, transmit,
+	// deliver, drop); nil — the default — costs nothing. Combine
+	// several with Probes.
+	Probe Probe
 	// RecordPaths attaches the traversed node sequence to every packet
 	// (Packet.Path) — for route validation and debugging; it allocates
 	// per hop, so leave it off in large runs.
@@ -170,6 +180,7 @@ type Network struct {
 	dirs      []dirLink // 2*link + (0 if A->B else 1)
 	onDeliver func(Delivery)
 	onDrop    func(Drop)
+	probe     Probe
 	record    bool
 
 	nextID    uint64
@@ -238,6 +249,7 @@ func New(cfg Config) (*Network, error) {
 		host:      host,
 		onDeliver: cfg.OnDeliver,
 		onDrop:    cfg.OnDrop,
+		probe:     cfg.Probe,
 		record:    cfg.RecordPaths,
 	}
 	n.models = make([]SwitchModel, cfg.Graph.NumNodes())
@@ -276,6 +288,10 @@ func (n *Network) bufferOf(node topology.NodeID) int {
 
 // Engine returns the simulation engine driving this network.
 func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// SetProbe attaches a lifecycle observer (nil detaches it); it replaces
+// any probe set via Config.Probe. Use Probes to combine several.
+func (n *Network) SetProbe(p Probe) { n.probe = p }
 
 // Graph returns the simulated topology.
 func (n *Network) Graph() *topology.Graph { return n.g }
@@ -377,6 +393,12 @@ func (n *Network) forward(node topology.NodeID, p Packet, readyTime sim.Time, se
 	dl.queues[pri] = append(dl.queues[pri], queued{
 		p: p, ready: readyTime, tailIn: n.eng.Now(), ser: ser,
 	})
+	if n.probe != nil {
+		n.probe.PacketEnqueued(QueueEvent{
+			At: n.eng.Now(), Port: PortRef{Link: port.Link, From: node},
+			QueuedBytes: dl.queuedBytes, Packet: p,
+		})
+	}
 	if !dl.busy {
 		n.transmitNext(di)
 	}
@@ -427,6 +449,13 @@ func (n *Network) transmitNext(di int) {
 	p := item.p
 	size := p.Size
 	ser := item.ser
+	if n.probe != nil {
+		// QueuedBytes reflects the depth once this packet's tail leaves,
+		// which is also when At falls.
+		n.probe.PacketTransmitted(QueueEvent{
+			At: endTx, Port: n.portRef(di), QueuedBytes: dl.queuedBytes - size, Packet: p,
+		})
+	}
 	n.eng.Schedule(endTx, func() {
 		dl.queuedBytes -= size
 		n.transmitNext(di)
@@ -473,15 +502,27 @@ func (n *Network) arrive(node topology.NodeID, p Packet, serIn sim.Time) {
 
 func (n *Network) deliver(p Packet) {
 	n.delivered++
-	if n.onDeliver != nil {
-		n.onDeliver(Delivery{Packet: p, At: n.eng.Now(), Latency: n.eng.Now() - p.Created})
+	if n.onDeliver != nil || n.probe != nil {
+		d := Delivery{Packet: p, At: n.eng.Now(), Latency: n.eng.Now() - p.Created}
+		if n.onDeliver != nil {
+			n.onDeliver(d)
+		}
+		if n.probe != nil {
+			n.probe.PacketDelivered(d)
+		}
 	}
 }
 
 func (n *Network) drop(p Packet, reason string) {
 	n.dropped++
-	if n.onDrop != nil {
-		n.onDrop(Drop{Packet: p, At: n.eng.Now(), Reason: reason})
+	if n.onDrop != nil || n.probe != nil {
+		d := Drop{Packet: p, At: n.eng.Now(), Reason: reason}
+		if n.onDrop != nil {
+			n.onDrop(d)
+		}
+		if n.probe != nil {
+			n.probe.PacketDropped(d)
+		}
 	}
 }
 

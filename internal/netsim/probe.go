@@ -1,0 +1,490 @@
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// PortRef identifies one directed link: the link and its transmitting
+// endpoint.
+type PortRef struct {
+	Link topology.LinkID
+	From topology.NodeID
+}
+
+// QueueEvent describes one packet passing through an output queue.
+type QueueEvent struct {
+	// At is the event's virtual time: for enqueues the instant the
+	// packet joined the queue; for transmissions the instant its tail
+	// left the port (which may lie after the probe call — the
+	// transmitter commits to the completion time when it dequeues).
+	At   sim.Time
+	Port PortRef
+	// QueuedBytes is the queue's depth after the event.
+	QueuedBytes int
+	Packet      Packet
+}
+
+// Probe observes the packet lifecycle inside a Network: every queue
+// join, every transmission, every delivery, every drop. Attach one via
+// Config.Probe or Network.SetProbe. With no probe attached each hook
+// site costs a single nil check, so the default is effectively free
+// (see BenchmarkProbeOverhead).
+//
+// Probes run synchronously inside the event loop and must not call
+// back into the Network or Engine.
+type Probe interface {
+	// PacketEnqueued fires when a packet joins an output queue.
+	PacketEnqueued(QueueEvent)
+	// PacketTransmitted fires when the transmitter dequeues a packet;
+	// QueueEvent.At is the transmit-completion time.
+	PacketTransmitted(QueueEvent)
+	// PacketDelivered fires when a packet reaches its destination host.
+	PacketDelivered(Delivery)
+	// PacketDropped fires when a packet is lost (full queue, failed
+	// link, no route, hop limit).
+	PacketDropped(Drop)
+}
+
+// multiProbe fans lifecycle events out to several probes in order.
+type multiProbe []Probe
+
+func (m multiProbe) PacketEnqueued(e QueueEvent) {
+	for _, p := range m {
+		p.PacketEnqueued(e)
+	}
+}
+func (m multiProbe) PacketTransmitted(e QueueEvent) {
+	for _, p := range m {
+		p.PacketTransmitted(e)
+	}
+}
+func (m multiProbe) PacketDelivered(d Delivery) {
+	for _, p := range m {
+		p.PacketDelivered(d)
+	}
+}
+func (m multiProbe) PacketDropped(d Drop) {
+	for _, p := range m {
+		p.PacketDropped(d)
+	}
+}
+
+// Probes combines several probes into one; events fan out in argument
+// order. Nil entries are skipped; with zero non-nil probes it returns
+// nil (no probe).
+func Probes(ps ...Probe) Probe {
+	var m multiProbe
+	for _, p := range ps {
+		if p != nil {
+			m = append(m, p)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	}
+	return m
+}
+
+// TraceOp is the kind of a TraceEvent.
+type TraceOp uint8
+
+const (
+	TraceEnqueue TraceOp = iota
+	TraceTransmit
+	TraceDeliver
+	TraceDrop
+)
+
+func (op TraceOp) String() string {
+	switch op {
+	case TraceEnqueue:
+		return "enqueue"
+	case TraceTransmit:
+		return "transmit"
+	case TraceDeliver:
+		return "deliver"
+	case TraceDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("TraceOp(%d)", uint8(op))
+}
+
+// TraceEvent is one recorded step of a packet's life.
+type TraceEvent struct {
+	At     sim.Time
+	Op     TraceOp
+	Packet uint64
+	Flow   routing.FlowID
+	// Link and From locate the output port (enqueue/transmit); both are
+	// -1 for deliveries and for drops that never reached a queue.
+	Link topology.LinkID
+	From topology.NodeID
+	// Hops is the packet's hop count at the time of the event.
+	Hops int
+	// Reason is set on drops.
+	Reason string
+}
+
+// TraceRecorder is a bounded per-packet trace: it implements Probe and
+// keeps the first max lifecycle events of a run, with per-packet
+// lookup. Deliveries carry the packet's traversed hop list when the
+// Network was built with Config.RecordPaths.
+type TraceRecorder struct {
+	max    int
+	events []TraceEvent
+	// paths holds the hop list of delivered packets (RecordPaths only),
+	// capped by the same event bound.
+	paths     map[uint64][]topology.NodeID
+	truncated uint64
+}
+
+// NewTraceRecorder returns a recorder that keeps at most max events
+// (max <= 0 means an unbounded trace — only for small runs).
+func NewTraceRecorder(max int) *TraceRecorder {
+	return &TraceRecorder{max: max, paths: make(map[uint64][]topology.NodeID)}
+}
+
+func (t *TraceRecorder) add(e TraceEvent) bool {
+	if t.max > 0 && len(t.events) >= t.max {
+		t.truncated++
+		return false
+	}
+	t.events = append(t.events, e)
+	return true
+}
+
+// PacketEnqueued implements Probe.
+func (t *TraceRecorder) PacketEnqueued(e QueueEvent) {
+	t.add(TraceEvent{At: e.At, Op: TraceEnqueue, Packet: e.Packet.ID, Flow: e.Packet.Flow,
+		Link: e.Port.Link, From: e.Port.From, Hops: e.Packet.Hops})
+}
+
+// PacketTransmitted implements Probe.
+func (t *TraceRecorder) PacketTransmitted(e QueueEvent) {
+	t.add(TraceEvent{At: e.At, Op: TraceTransmit, Packet: e.Packet.ID, Flow: e.Packet.Flow,
+		Link: e.Port.Link, From: e.Port.From, Hops: e.Packet.Hops})
+}
+
+// PacketDelivered implements Probe.
+func (t *TraceRecorder) PacketDelivered(d Delivery) {
+	ok := t.add(TraceEvent{At: d.At, Op: TraceDeliver, Packet: d.Packet.ID, Flow: d.Packet.Flow,
+		Link: -1, From: -1, Hops: d.Packet.Hops})
+	if ok && len(d.Packet.Path) > 0 {
+		t.paths[d.Packet.ID] = append([]topology.NodeID(nil), d.Packet.Path...)
+	}
+}
+
+// PacketDropped implements Probe.
+func (t *TraceRecorder) PacketDropped(d Drop) {
+	t.add(TraceEvent{At: d.At, Op: TraceDrop, Packet: d.Packet.ID, Flow: d.Packet.Flow,
+		Link: -1, From: -1, Hops: d.Packet.Hops, Reason: d.Reason})
+}
+
+// Events returns the recorded trace in event order. The slice is live;
+// do not mutate it.
+func (t *TraceRecorder) Events() []TraceEvent { return t.events }
+
+// Truncated reports how many events the bound discarded.
+func (t *TraceRecorder) Truncated() uint64 { return t.truncated }
+
+// PacketEvents returns the recorded events of one packet, in order.
+func (t *TraceRecorder) PacketEvents(id uint64) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range t.events {
+		if e.Packet == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Path returns the hop list of a delivered packet (nil unless the
+// Network records paths — Config.RecordPaths).
+func (t *TraceRecorder) Path(id uint64) []topology.NodeID { return t.paths[id] }
+
+// WriteCSV writes the trace as CSV with a header row:
+// at_ps,op,packet,flow,link,from,hops,reason.
+func (t *TraceRecorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "at_ps,op,packet,flow,link,from,hops,reason"); err != nil {
+		return err
+	}
+	for _, e := range t.events {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%s\n",
+			int64(e.At), e.Op, e.Packet, e.Flow, e.Link, e.From, e.Hops, e.Reason); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceJSON is the JSON wire form of one trace event.
+type traceJSON struct {
+	AtPs   int64  `json:"at_ps"`
+	Op     string `json:"op"`
+	Packet uint64 `json:"packet"`
+	Flow   uint64 `json:"flow"`
+	Link   int64  `json:"link"`
+	From   int64  `json:"from"`
+	Hops   int    `json:"hops"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// WriteJSON writes the trace as a JSON array of event objects.
+func (t *TraceRecorder) WriteJSON(w io.Writer) error {
+	out := make([]traceJSON, 0, len(t.events))
+	for _, e := range t.events {
+		out = append(out, traceJSON{
+			AtPs: int64(e.At), Op: e.Op.String(), Packet: e.Packet,
+			Flow: uint64(e.Flow), Link: int64(e.Link), From: int64(e.From),
+			Hops: e.Hops, Reason: e.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// QueueSample is one periodic observation of a directed link.
+type QueueSample struct {
+	At   sim.Time
+	Port PortRef
+	// QueuedBytes is the instantaneous output-queue depth.
+	QueuedBytes int
+	// Utilization is the port's busy fraction over the sample interval
+	// just ended.
+	Utilization float64
+}
+
+// QueueSampler periodically samples directed links' queue depth and
+// utilization, and aggregates per-port depth statistics with
+// metrics.Stats. It also implements Probe to track each port's
+// high-water queue depth exactly (event-driven, between samples).
+//
+// Ports that were idle over a whole interval (empty queue, zero
+// utilization) produce no sample row — on large topologies most ports
+// are idle most of the time and recording them would swamp the trace —
+// but their DepthStats still count every tick. Use Watch to restrict
+// sampling to specific ports.
+//
+// Create one with NewQueueSampler, optionally attach it as a probe for
+// exact peaks, and call Start(until) before running the engine.
+type QueueSampler struct {
+	net      *Network
+	interval sim.Time
+	// watch restricts sampling to these directed-link indices (empty
+	// means every port).
+	watch []int
+
+	samples []QueueSample
+	// depth aggregates sampled queue depths per directed link index.
+	depth []metrics.Stats
+	// peak is the exact per-port high-water mark, maintained by the
+	// Probe hooks when the sampler is attached as one.
+	peak []int
+	// lastBusy remembers each port's cumulative busy time at the
+	// previous tick, to report per-interval utilization.
+	lastBusy []sim.Time
+}
+
+// NewQueueSampler returns a sampler for n ticking every interval of
+// virtual time.
+func NewQueueSampler(n *Network, interval sim.Time) *QueueSampler {
+	if interval <= 0 {
+		panic(fmt.Sprintf("netsim: sampler interval %v", interval))
+	}
+	return &QueueSampler{
+		net:      n,
+		interval: interval,
+		depth:    make([]metrics.Stats, len(n.dirs)),
+		peak:     make([]int, len(n.dirs)),
+		lastBusy: make([]sim.Time, len(n.dirs)),
+	}
+}
+
+// Watch restricts sampling to the given ports; by default every
+// directed link is sampled. Call before Start.
+func (s *QueueSampler) Watch(ports ...PortRef) {
+	s.watch = s.watch[:0]
+	for _, p := range ports {
+		s.watch = append(s.watch, s.net.dirIndex(p))
+	}
+}
+
+// Start schedules periodic sampling on the network's engine until the
+// given virtual time (inclusive). Call it before running the engine.
+func (s *QueueSampler) Start(until sim.Time) {
+	eng := s.net.Engine()
+	var tick func()
+	tick = func() {
+		s.sample(eng.Now())
+		if eng.Now()+s.interval <= until {
+			eng.After(s.interval, tick)
+		}
+	}
+	eng.After(s.interval, tick)
+}
+
+// sample records one observation per watched directed link.
+func (s *QueueSampler) sample(now sim.Time) {
+	if len(s.watch) > 0 {
+		for _, i := range s.watch {
+			s.sampleOne(i, now)
+		}
+		return
+	}
+	for i := range s.net.dirs {
+		s.sampleOne(i, now)
+	}
+}
+
+func (s *QueueSampler) sampleOne(i int, now sim.Time) {
+	dl := &s.net.dirs[i]
+	util := (dl.busyTime - s.lastBusy[i]).Seconds() / s.interval.Seconds()
+	if util > 1 {
+		util = 1 // a frame mid-flight can straddle the tick
+	}
+	s.lastBusy[i] = dl.busyTime
+	s.depth[i].Add(float64(dl.queuedBytes))
+	if dl.queuedBytes > s.peak[i] {
+		s.peak[i] = dl.queuedBytes
+	}
+	if dl.queuedBytes == 0 && util == 0 {
+		return // idle interval: no row
+	}
+	s.samples = append(s.samples, QueueSample{
+		At: now, Port: s.net.portRef(i), QueuedBytes: dl.queuedBytes, Utilization: util,
+	})
+}
+
+// PacketEnqueued implements Probe: it keeps the exact high-water mark,
+// which periodic sampling alone would miss.
+func (s *QueueSampler) PacketEnqueued(e QueueEvent) {
+	i := s.net.dirIndex(e.Port)
+	if e.QueuedBytes > s.peak[i] {
+		s.peak[i] = e.QueuedBytes
+	}
+}
+
+// PacketTransmitted implements Probe (no-op).
+func (s *QueueSampler) PacketTransmitted(QueueEvent) {}
+
+// PacketDelivered implements Probe (no-op).
+func (s *QueueSampler) PacketDelivered(Delivery) {}
+
+// PacketDropped implements Probe (no-op).
+func (s *QueueSampler) PacketDropped(Drop) {}
+
+// Samples returns every recorded sample in time order. The slice is
+// live; do not mutate it.
+func (s *QueueSampler) Samples() []QueueSample { return s.samples }
+
+// DepthStats returns the sampled queue-depth statistics of one port.
+func (s *QueueSampler) DepthStats(p PortRef) *metrics.Stats {
+	return &s.depth[s.net.dirIndex(p)]
+}
+
+// PeakDepth returns the port's high-water queue depth: exact when the
+// sampler is attached as a Probe, else the largest sampled depth.
+func (s *QueueSampler) PeakDepth(p PortRef) int { return s.peak[s.net.dirIndex(p)] }
+
+// WriteCSV writes the samples as CSV with a header row:
+// at_ps,link,from,queued_bytes,utilization.
+func (s *QueueSampler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "at_ps,link,from,queued_bytes,utilization"); err != nil {
+		return err
+	}
+	for _, smp := range s.samples {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.6f\n",
+			int64(smp.At), smp.Port.Link, smp.Port.From, smp.QueuedBytes, smp.Utilization); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampleJSON is the JSON wire form of one queue sample.
+type sampleJSON struct {
+	AtPs        int64   `json:"at_ps"`
+	Link        int64   `json:"link"`
+	From        int64   `json:"from"`
+	QueuedBytes int     `json:"queued_bytes"`
+	Utilization float64 `json:"utilization"`
+}
+
+// WriteJSON writes the samples as a JSON array of sample objects.
+func (s *QueueSampler) WriteJSON(w io.Writer) error {
+	out := make([]sampleJSON, 0, len(s.samples))
+	for _, smp := range s.samples {
+		out = append(out, sampleJSON{
+			AtPs: int64(smp.At), Link: int64(smp.Port.Link), From: int64(smp.Port.From),
+			QueuedBytes: smp.QueuedBytes, Utilization: smp.Utilization,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// RunTelemetry summarizes one simulation run end to end: engine work
+// (events, calendar high-water mark, wall-clock rate) plus the
+// network's packet counters.
+type RunTelemetry struct {
+	// Events is the number of simulator events processed.
+	Events uint64
+	// PeakPending is the event queue's high-water mark.
+	PeakPending int
+	// Wall is real time spent in the event loop.
+	Wall time.Duration
+	// EventsPerSec is the wall-clock event rate.
+	EventsPerSec float64
+	// Delivered and Dropped count packets.
+	Delivered, Dropped uint64
+}
+
+func (t RunTelemetry) String() string {
+	return fmt.Sprintf("%d events (peak calendar %d) in %v (%.3g ev/s); %d delivered, %d dropped",
+		t.Events, t.PeakPending, t.Wall.Round(time.Microsecond), t.EventsPerSec, t.Delivered, t.Dropped)
+}
+
+// Telemetry reports the run so far.
+func (n *Network) Telemetry() RunTelemetry {
+	et := n.eng.Telemetry()
+	return RunTelemetry{
+		Events:       et.Events,
+		PeakPending:  et.PeakPending,
+		Wall:         et.Wall,
+		EventsPerSec: et.EventsPerSecond(),
+		Delivered:    n.delivered,
+		Dropped:      n.dropped,
+	}
+}
+
+// portRef maps a directed-link index back to its (link, from) identity.
+func (n *Network) portRef(di int) PortRef {
+	l := n.g.Link(topology.LinkID(di / 2))
+	from := l.A
+	if di%2 == 1 {
+		from = l.B
+	}
+	return PortRef{Link: l.ID, From: from}
+}
+
+// dirIndex maps a PortRef to the directed-link index.
+func (n *Network) dirIndex(p PortRef) int {
+	di := 2 * int(p.Link)
+	if n.g.Link(p.Link).B == p.From {
+		di++
+	}
+	return di
+}

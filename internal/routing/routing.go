@@ -1,8 +1,9 @@
 // Package routing implements the forwarding strategies the Quartz paper
-// evaluates: ECMP over equal-cost shortest paths, Valiant load balancing
-// (VLB) on full meshes, L2 spanning-tree forwarding (the prototype's
-// Ethernet baseline), and Yen's k-shortest-paths (for Jellyfish-style
-// analysis).
+// evaluates (§3.4): ECMP over equal-cost shortest paths and Valiant load
+// balancing (VLB) on full meshes — the two mesh strategies of §3.4 and
+// Figure 20 — plus L2 spanning-tree forwarding (the §6 prototype's
+// Ethernet baseline), SPAIN multi-VLAN multipath (§6), and Yen's
+// k-shortest-paths (for §5 Jellyfish-style analysis).
 //
 // A Router answers one question for the packet simulator: given the
 // switch a packet is at and the packet's flow and destination, which

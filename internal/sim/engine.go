@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 )
 
 // event is a scheduled callback.
@@ -32,6 +33,34 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
+// EventProbe observes the engine's event loop. Event is called after
+// every processed event with the virtual time it ran at and the number
+// of events still pending. With no probe attached the loop pays a
+// single nil check per event.
+type EventProbe interface {
+	Event(at Time, pending int)
+}
+
+// Telemetry summarizes a run: how much work the engine did and how fast
+// the wall clock saw it go.
+type Telemetry struct {
+	// Events is the number of events processed so far.
+	Events uint64
+	// PeakPending is the high-water mark of the event queue — the
+	// largest calendar/heap the run ever held.
+	PeakPending int
+	// Wall is the real time spent inside Run/RunUntil.
+	Wall time.Duration
+}
+
+// EventsPerSecond returns the wall-clock event rate (0 before any run).
+func (t Telemetry) EventsPerSecond() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.Events) / t.Wall.Seconds()
+}
+
 // Engine is a single-threaded discrete-event simulator.
 //
 // Events scheduled for the same instant run in the order they were
@@ -44,6 +73,9 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 	ran     uint64
+	peak    int
+	wall    time.Duration
+	probe   EventProbe
 }
 
 // NewEngine returns an engine with the clock at zero, backed by a
@@ -68,6 +100,15 @@ func (e *Engine) Processed() uint64 { return e.ran }
 // Pending reports how many events are waiting in the queue.
 func (e *Engine) Pending() int { return e.queue.size() }
 
+// SetProbe attaches an event-loop observer (nil detaches it).
+func (e *Engine) SetProbe(p EventProbe) { e.probe = p }
+
+// Telemetry reports the run so far: events processed, the queue's
+// high-water mark, and wall-clock time spent in Run/RunUntil.
+func (e *Engine) Telemetry() Telemetry {
+	return Telemetry{Events: e.ran, PeakPending: e.peak, Wall: e.wall}
+}
+
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // (before Now) panics: it would silently reorder causality.
 func (e *Engine) Schedule(at Time, fn func()) {
@@ -76,6 +117,9 @@ func (e *Engine) Schedule(at Time, fn func()) {
 	}
 	e.seq++
 	e.queue.push(event{at: at, seq: e.seq, fn: fn})
+	if s := e.queue.size(); s > e.peak {
+		e.peak = s
+	}
 }
 
 // After runs fn delay after the current time.
@@ -99,6 +143,7 @@ func (e *Engine) Run() {
 // exactly end are processed.
 func (e *Engine) RunUntil(end Time) {
 	e.stopped = false
+	start := time.Now()
 	for e.queue.size() > 0 && !e.stopped {
 		if e.queue.peekAt() > end {
 			break
@@ -107,7 +152,11 @@ func (e *Engine) RunUntil(end Time) {
 		e.now = ev.at
 		e.ran++
 		ev.fn()
+		if e.probe != nil {
+			e.probe.Event(e.now, e.queue.size())
+		}
 	}
+	e.wall += time.Since(start)
 	if e.now < end && end < Time(1)<<62-1 {
 		e.now = end
 	}

@@ -1,9 +1,13 @@
-// Package sim provides a deterministic discrete-event simulation engine.
+// Package sim provides a deterministic discrete-event simulation engine —
+// the core of the packet-level simulator the Quartz paper built for its
+// §7 evaluation ("we implemented a packet level simulator").
 //
 // The engine drives every packet-level experiment in this repository. It
 // maintains a virtual clock with picosecond resolution and a binary-heap
 // event queue with deterministic FIFO tie-breaking, so a simulation run is
-// a pure function of its inputs and seed.
+// a pure function of its inputs and seed. An EventProbe can observe the
+// event loop, and Telemetry reports run throughput and the queue's
+// high-water mark.
 package sim
 
 import (

@@ -1,7 +1,8 @@
 // Package topology models datacenter network topologies as graphs of
 // hosts and switches, and provides builders for the network structures the
-// Quartz paper analyzes: full mesh, 2-tier and 3-tier trees, Fat-Tree,
-// BCube, and Jellyfish.
+// Quartz paper analyzes (§4, §5, Table 9): full mesh (the Quartz logical
+// topology, §3), 2-tier and 3-tier trees, Fat-Tree, BCube, Jellyfish, and
+// the §3.2 dual-ToR scaling variant.
 //
 // A Graph is a static description of nodes and links; the packet simulator
 // (internal/netsim), routing (internal/routing), flow allocator

@@ -67,6 +67,8 @@ type (
 	Rate = sim.Rate
 	// Network is the packet-level simulator.
 	Network = netsim.Network
+	// NetworkConfig assembles a Network for NewNetwork.
+	NetworkConfig = netsim.Config
 	// SwitchModel describes switch forwarding behaviour.
 	SwitchModel = netsim.SwitchModel
 	// Router selects forwarding ports.
@@ -74,6 +76,52 @@ type (
 	// ChannelPlan is a wavelength assignment for a ring.
 	ChannelPlan = wdm.Plan
 )
+
+// Observability: probes, tracing, and run telemetry for the packet
+// simulator. Attach a Probe via NetworkConfig.Probe or
+// Network.SetProbe; see internal/netsim for the concrete probes.
+type (
+	// Probe observes the packet lifecycle (enqueue, transmit, deliver,
+	// drop) inside a Network.
+	Probe = netsim.Probe
+	// PortRef identifies one directed link (link + transmitting node).
+	PortRef = netsim.PortRef
+	// QueueEvent is one packet passing through an output queue.
+	QueueEvent = netsim.QueueEvent
+	// Delivery reports a packet reaching its destination host.
+	Delivery = netsim.Delivery
+	// Drop reports a lost packet.
+	Drop = netsim.Drop
+	// TraceRecorder is a bounded per-packet lifecycle trace (a Probe).
+	TraceRecorder = netsim.TraceRecorder
+	// TraceEvent is one recorded step of a packet's life.
+	TraceEvent = netsim.TraceEvent
+	// QueueSampler periodically samples queue depth and utilization.
+	QueueSampler = netsim.QueueSampler
+	// QueueSample is one periodic observation of a directed link.
+	QueueSample = netsim.QueueSample
+	// RunTelemetry summarizes a run: events, peak calendar, wall rate,
+	// packet counters.
+	RunTelemetry = netsim.RunTelemetry
+)
+
+// NewNetwork builds a packet-level network simulator from cfg.
+func NewNetwork(cfg NetworkConfig) (*Network, error) { return netsim.New(cfg) }
+
+// NewTraceRecorder returns a Probe recording at most max lifecycle
+// events (enqueue/transmit/deliver/drop with timestamps and, with
+// NetworkConfig.RecordPaths, delivered hop lists).
+func NewTraceRecorder(max int) *TraceRecorder { return netsim.NewTraceRecorder(max) }
+
+// NewQueueSampler returns a periodic queue-depth/link-utilization
+// sampler for n; call Start(until) before running the engine, and
+// attach it as a Probe for exact per-port peak depths.
+func NewQueueSampler(n *Network, interval Time) *QueueSampler {
+	return netsim.NewQueueSampler(n, interval)
+}
+
+// Probes combines several probes into one; events fan out in order.
+func Probes(ps ...Probe) Probe { return netsim.Probes(ps...) }
 
 // Time and rate units.
 const (
@@ -194,6 +242,9 @@ var GreedyWeightedChannels = wdm.GreedyWeighted
 
 // Routing strategies beyond ECMP/VLB.
 var (
+	// NewECMP routes over all equal-cost shortest paths with per-flow
+	// pinning (§3.4; on a full mesh it always picks the direct hop).
+	NewECMP = routing.NewECMP
 	// NewSPAIN builds the prototype's multi-VLAN multipath (§6).
 	NewSPAIN = routing.NewSPAIN
 	// NewKSP routes over k shortest loop-free paths (Jellyfish).
