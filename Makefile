@@ -11,10 +11,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The simulator's hot packages under the race detector: the event engine
-# and the packet-level network simulator (including the probe hooks).
+# The simulator's hot packages under the race detector: the event
+# engine, the packet-level network simulator (including the probe and
+# fault-injection hooks), and the routers (Reroute mutates live tables).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/netsim/...
+	$(GO) test -race ./internal/sim/... ./internal/netsim/... ./internal/routing/...
 
 # Tier-1 verify recipe (see ROADMAP.md): build + vet + full tests + race
 # pass on the simulator core.

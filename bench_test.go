@@ -1,6 +1,7 @@
 package quartz
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,7 @@ func BenchmarkFigure5(b *testing.B) {
 
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		grid, err := experiments.Figure6(2000, benchSeed)
+		grid, err := experiments.Figure6(context.Background(), 2000, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func BenchmarkTable9(b *testing.B) {
 
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure10(benchSeed)
+		rows, err := experiments.Figure10(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkFigure14(b *testing.B) {
 func benchFigure17(b *testing.B, kind experiments.TaskKind, tasks int, panel string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure17(kind, tasks, benchSeed)
+		rows, err := experiments.Figure17(context.Background(), kind, tasks, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func BenchmarkFigure17ScatterGather(b *testing.B) {
 func benchFigure18(b *testing.B, kind experiments.TaskKind, tasks int, panel string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure18(kind, tasks, benchSeed)
+		rows, err := experiments.Figure18(context.Background(), kind, tasks, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func BenchmarkFigure18ScatterGather(b *testing.B) {
 
 func BenchmarkFigure20(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure20(benchSeed)
+		rows, err := experiments.Figure20(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,33 +3,39 @@
 //
 // Usage:
 //
-//	quartzbench [-run all|fig1|fig5|fig6|fig10|fig14|fig14tcp|fig17|fig18|fig20|
-//	                  table2|table8|table9|table16|validate|stack|fct|oversub|sched|prio|ablations]
+//	quartzbench [-run all|<name>] [-list]
 //	            [-seed N] [-trials N] [-tasks N] [-rpcs N] [-csv DIR]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
-// Each experiment is deterministic for a given seed; -csv additionally
-// writes the data-bearing experiments' rows as CSV files. -cpuprofile
-// and -memprofile write pprof profiles covering the selected
-// experiments — the instrument for the simulator's own hot paths
-// (`go tool pprof` reads them).
+// The experiment set comes from the experiments registry
+// (experiments.All); -list prints it. Each experiment is deterministic
+// for a given seed; -csv additionally writes the data-bearing
+// experiments' rows as CSV files. -cpuprofile and -memprofile write
+// pprof profiles covering the selected experiments — the instrument for
+// the simulator's own hot paths (`go tool pprof` reads them).
+// Interrupting the run (SIGINT/SIGTERM) cancels the in-flight
+// experiment's context.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"syscall"
 
-	"github.com/quartz-dcn/quartz/internal/cost"
 	"github.com/quartz-dcn/quartz/internal/experiments"
 )
 
 var (
-	run        = flag.String("run", "all", "experiment to run: all, fig1, fig5, fig6, fig10, fig14, fig14tcp, fig17, fig18, fig20, table2, table8, table9, table16, stack, fct, oversub, ablations")
+	run        = flag.String("run", "all", "experiment to run: all, or a name from -list")
+	list       = flag.Bool("list", false, "print the experiment registry and exit")
 	seed       = flag.Int64("seed", 2014, "random seed")
 	trials     = flag.Int("trials", 5000, "Monte-Carlo trials (fig6)")
 	tasks      = flag.Int("tasks", 8, "maximum concurrent tasks (fig17/fig18)")
@@ -59,8 +65,19 @@ func exportCSV(name string, rows interface{}) error {
 	return nil
 }
 
+func printRegistry() {
+	fmt.Printf("%-10s %-8s %s\n", "name", "section", "title")
+	for _, e := range experiments.All() {
+		fmt.Printf("%-10s %-8s %s\n", e.Name, e.Section, e.Title)
+	}
+}
+
 func main() {
 	flag.Parse()
+	if *list {
+		printRegistry()
+		return
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -88,247 +105,41 @@ func main() {
 			}
 		}()
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	params := experiments.Params{Seed: *seed, Trials: *trials, Tasks: *tasks, RPCs: *rpcs}
+
 	which := strings.ToLower(*run)
 	ran := false
-	for _, e := range experimentsList() {
-		if which != "all" && which != e.name {
+	for _, e := range experiments.All() {
+		if which != "all" && which != e.Name {
 			continue
 		}
 		ran = true
-		fmt.Printf("==> %s\n", e.title)
-		if err := e.fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "quartzbench: %s: %v\n", e.name, err)
+		fmt.Printf("==> %s\n", e.Title)
+		out, err := e.Run(ctx, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: %s: %v\n", e.Name, err)
 			os.Exit(1)
+		}
+		fmt.Print(out.Text)
+		names := make([]string, 0, len(out.CSV))
+		for name := range out.CSV {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := exportCSV(name, out.CSV[name]); err != nil {
+				fmt.Fprintf(os.Stderr, "quartzbench: %s: %v\n", e.Name, err)
+				os.Exit(1)
+			}
 		}
 		fmt.Println()
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "quartzbench: unknown experiment %q\n", *run)
-		flag.Usage()
+		printRegistry()
 		os.Exit(2)
 	}
 }
-
-type experiment struct {
-	name  string
-	title string
-	fn    func() error
-}
-
-func experimentsList() []experiment {
-	return []experiment{
-		{"table2", "Table 2: network latency components", func() error {
-			fmt.Print(table2)
-			return nil
-		}},
-		{"fig5", "Figure 5: optimal wavelength assignment", func() error {
-			rows := experiments.Figure5(41, *seed)
-			fmt.Print(experiments.RenderFigure5(rows))
-			return exportCSV("figure5", rows)
-		}},
-		{"fig6", "Figure 6: fault tolerance under fiber cuts", func() error {
-			grid, err := experiments.Figure6(*trials, *seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderFigure6(grid))
-			return nil
-		}},
-		{"table8", "Table 8: cost and latency configurator", func() error {
-			rows, err := experiments.Table8(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderTable8(rows))
-			return exportCSV("table8", rows)
-		}},
-		{"table9", "Table 9: topology comparison at ~1k ports", func() error {
-			rows, err := experiments.Table9(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderTable9(rows))
-			return exportCSV("table9", rows)
-		}},
-		{"fig10", "Figure 10: normalized throughput", func() error {
-			rows, err := experiments.Figure10(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderFigure10(rows))
-			return nil
-		}},
-		{"fig14", "Figure 14: prototype cross-traffic experiment", func() error {
-			rows, err := experiments.Figure14Sweep(*seed, *rpcs)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderFigure14(rows))
-			return exportCSV("figure14", rows)
-		}},
-		{"fig17", "Figure 17: global task latency", func() error {
-			for _, kc := range []struct {
-				kind  experiments.TaskKind
-				n     int
-				label string
-			}{
-				{experiments.ScatterKind, *tasks, "Figure 17(a): scatter"},
-				{experiments.GatherKind, *tasks, "Figure 17(b): gather"},
-				{experiments.ScatterGatherKind, min(*tasks, 4), "Figure 17(c): scatter/gather"},
-			} {
-				rows, err := experiments.Figure17(kc.kind, kc.n, *seed)
-				if err != nil {
-					return err
-				}
-				fmt.Print(experiments.RenderFigure17(kc.label, experiments.Figure17Architectures, rows))
-				name := "figure17-" + strings.ReplaceAll(kc.kind.String(), "/", "-")
-				if err := exportCSV(name, rows); err != nil {
-					return err
-				}
-			}
-			return nil
-		}},
-		{"fig18", "Figure 18: localized task latency", func() error {
-			for _, kc := range []struct {
-				kind  experiments.TaskKind
-				n     int
-				label string
-			}{
-				{experiments.ScatterKind, min(*tasks, 6), "Figure 18(a): localized scatter"},
-				{experiments.GatherKind, min(*tasks, 6), "Figure 18(b): localized gather"},
-				{experiments.ScatterGatherKind, min(*tasks, 5), "Figure 18(c): localized scatter/gather"},
-			} {
-				rows, err := experiments.Figure18(kc.kind, kc.n, *seed)
-				if err != nil {
-					return err
-				}
-				fmt.Print(experiments.RenderFigure17(kc.label, experiments.Figure18Architectures, rows))
-			}
-			return nil
-		}},
-		{"fig20", "Figure 20: pathological traffic pattern", func() error {
-			rows, err := experiments.Figure20(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderFigure20(rows))
-			return exportCSV("figure20", rows)
-		}},
-		{"table16", "Table 16: simulated switch models", func() error {
-			fmt.Print(table16)
-			return nil
-		}},
-		{"fig14tcp", "Figure 14 (extension): bulk TCP cross-traffic", func() error {
-			rows, err := experiments.Figure14TCP(*seed, *rpcs)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderFigure14TCP(rows))
-			return nil
-		}},
-		{"oversub", "Oversubscription tradeoff (§3): n:k port split", func() error {
-			rows, err := experiments.OversubscriptionSweep(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderOversub(rows))
-			return nil
-		}},
-		{"stack", "Table 2 composition: order-of-magnitude stack walk", func() error {
-			rows, err := experiments.StackComparison(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderStack(rows))
-			return nil
-		}},
-		{"fig1", "Figure 1 extrapolation: Quartz premium vs WDM price decline", func() error {
-			rows, err := cost.WDMCostTrend(12, 4)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%6s %12s %14s %14s\n", "year", "WDM price", "ring premium", "edge premium")
-			for _, r := range rows {
-				fmt.Printf("%6d %11.0f%% %13.1f%% %13.1f%%\n",
-					2014+r.Year, 100*r.WDMPriceFactor, 100*r.RingPremium, 100*r.EdgePremium)
-			}
-			return nil
-		}},
-		{"fct", "Extension: short-flow completion times (topology x protocol)", func() error {
-			rows, err := experiments.FlowCompletion(*seed, 150)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderFCT(rows))
-			return nil
-		}},
-		{"sched", "Extension: flow scheduling vs path diversity (§2.1.4)", func() error {
-			rows, err := experiments.SchedulerComparison(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderScheduler(rows))
-			return nil
-		}},
-		{"validate", "Simulator validation against queueing theory (§7)", func() error {
-			rows, err := experiments.SimulatorValidation(*seed, 150_000)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderValidation(rows))
-			return nil
-		}},
-		{"prio", "Extension: priority queueing vs topology (DeTail, §2.1.4)", func() error {
-			rows, err := experiments.PriorityComparison(*seed, *rpcs)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderPriority(rows))
-			return nil
-		}},
-		{"ablations", "Ablations: ring size, switch model, VLB fraction, ECMP mode", func() error {
-			rs, err := experiments.AblationRingSize(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderAblation("ring size", rs))
-			sm, err := experiments.AblationSwitchModel(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderAblation("switch model", sm))
-			vf, err := experiments.AblationVLBFraction(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderAblation("VLB fraction at 45 Gb/s", vf))
-			em, err := experiments.AblationECMPMode(*seed)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderAblation("ECMP mode", em))
-			return nil
-		}},
-	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-const table2 = `Table 2: network latencies of different components
-component          standard        state of the art
-OS network stack   15 us           1 - 4 us
-NIC                2.5 - 32 us     0.5 us
-Switch             6 us            0.5 us (380 ns modelled)
-Congestion         50 us           (workload dependent)
-`
-
-const table16 = `Table 16: switches used in the simulations
-switch                    latency     ports
-Cisco Nexus 7000 (CCS)    6 us        768 x 10G or 192 x 40G
-Arista 7150S-64 (ULL)     380 ns      64 x 10G or 16 x 40G
-`

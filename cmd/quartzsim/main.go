@@ -7,12 +7,25 @@
 //
 //	quartzsim [-arch NAME] [-workload scatter|gather|scattergather|permutation]
 //	          [-tasks N] [-pps N] [-fanout N] [-ms N] [-seed N] [-hot N]
+//	          [-fail SPEC] [-fail-detect DUR] [-fail-policy drop|detour]
 //	          [-trace FILE] [-trace-max N] [-probe-interval US] [-probe-out FILE]
 //
 // Architectures: tree3 (three-tier), tree2 (two-tier), ring (single
 // Quartz ring), core (Quartz in core), edge (Quartz in edge), edgecore
 // (Quartz in edge and core), jellyfish, qjellyfish (Quartz rings in a
 // Jellyfish graph).
+//
+// Fault injection: -fail schedules failures at virtual times mid-run.
+// SPEC is semicolon-separated clauses of the form
+// kind:target@time[,repair@time], where kind:target is one of
+// link:<id>, switch:<name-or-id>, or fiber:<fiber>.<segment> (fiber
+// cuts need -arch ring), and times are Go durations from the start of
+// the run. Example:
+//
+//	-fail 'link:3@2ms,repair@10ms;fiber:0.1@5ms'
+//
+// Routes reconverge -fail-detect after each transition; -fail-policy
+// picks whether packets queued on a cut link are dropped or detoured.
 //
 // Observability: -trace records every packet's lifecycle
 // (enqueue/transmit/deliver/drop) to FILE; -probe-interval samples every
@@ -28,7 +41,9 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/quartz-dcn/quartz/internal/core"
 	"github.com/quartz-dcn/quartz/internal/netsim"
@@ -39,16 +54,19 @@ import (
 )
 
 var (
-	archName = flag.String("arch", "edgecore", "architecture: tree3, tree2, ring, core, edge, edgecore, jellyfish, qjellyfish")
-	workload = flag.String("workload", "scatter", "workload: scatter, gather, scattergather, permutation, replay")
-	replay   = flag.String("replay", "", "CSV trace file to replay (workload=replay): at_us,src,dst,size[,flow[,tag]]")
-	failLink = flag.Int("faillink", -1, "fail this link ID at the start of the run")
-	tasks    = flag.Int("tasks", 4, "concurrent tasks")
-	pps      = flag.Float64("pps", 20e3, "packets per second per stream")
-	fanout   = flag.Int("fanout", 12, "receivers (or senders) per task")
-	ms       = flag.Int("ms", 10, "measured milliseconds of virtual time")
-	seed     = flag.Int64("seed", 1, "random seed")
-	hot      = flag.Int("hot", 5, "show the N hottest ports")
+	archName   = flag.String("arch", "edgecore", "architecture: tree3, tree2, ring, core, edge, edgecore, jellyfish, qjellyfish")
+	workload   = flag.String("workload", "scatter", "workload: scatter, gather, scattergather, permutation, replay")
+	replay     = flag.String("replay", "", "CSV trace file to replay (workload=replay): at_us,src,dst,size[,flow[,tag]]")
+	failLink   = flag.Int("faillink", -1, "fail this link ID at the start of the run (deprecated; see -fail)")
+	failSpec   = flag.String("fail", "", "fault schedule: 'kind:target@time[,repair@time];...' e.g. 'link:3@2ms,repair@10ms'")
+	failDetect = flag.Duration("fail-detect", time.Millisecond, "detection delay before routes reconverge around a fault")
+	failPolicy = flag.String("fail-policy", "drop", "in-flight packets on a cut link: drop or detour")
+	tasks      = flag.Int("tasks", 4, "concurrent tasks")
+	pps        = flag.Float64("pps", 20e3, "packets per second per stream")
+	fanout     = flag.Int("fanout", 12, "receivers (or senders) per task")
+	ms         = flag.Int("ms", 10, "measured milliseconds of virtual time")
+	seed       = flag.Int64("seed", 1, "random seed")
+	hot        = flag.Int("hot", 5, "show the N hottest ports")
 
 	traceOut  = flag.String("trace", "", "record per-packet lifecycle events to this file (CSV, or JSON if it ends in .json)")
 	traceMax  = flag.Int("trace-max", 100_000, "keep at most N trace events (0 = unbounded)")
@@ -68,6 +86,102 @@ func emit(path string, writeCSV, writeJSON func(w io.Writer) error) error {
 		return writeJSON(f)
 	}
 	return writeCSV(f)
+}
+
+// parseSimTime converts a Go duration string to virtual time.
+func parseSimTime(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative time %v", d)
+	}
+	return sim.Time(d.Nanoseconds()) * sim.Nanosecond, nil
+}
+
+// findSwitch resolves a -fail switch target: a switch name or a numeric
+// node ID.
+func findSwitch(g *topology.Graph, target string) (topology.NodeID, error) {
+	for _, s := range g.Switches() {
+		if g.Node(s).Name == target {
+			return s, nil
+		}
+	}
+	if id, err := strconv.Atoi(target); err == nil && id >= 0 && id < g.NumNodes() {
+		if g.Node(topology.NodeID(id)).Kind == topology.Switch {
+			return topology.NodeID(id), nil
+		}
+	}
+	return 0, fmt.Errorf("no switch %q", target)
+}
+
+// parseFailSpec parses the -fail grammar: semicolon-separated clauses
+// of kind:target@time[,repair@time].
+func parseFailSpec(spec string, g *topology.Graph) ([]netsim.FaultEvent, error) {
+	var events []netsim.FaultEvent
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		main, repairPart, hasRepair := strings.Cut(clause, ",")
+		kindTarget, atStr, ok := strings.Cut(main, "@")
+		if !ok {
+			return nil, fmt.Errorf("clause %q: missing @time", clause)
+		}
+		var ev netsim.FaultEvent
+		var err error
+		if ev.At, err = parseSimTime(atStr); err != nil {
+			return nil, fmt.Errorf("clause %q: bad time: %v", clause, err)
+		}
+		if hasRepair {
+			rs, ok := strings.CutPrefix(strings.TrimSpace(repairPart), "repair@")
+			if !ok {
+				return nil, fmt.Errorf("clause %q: expected repair@time after the comma", clause)
+			}
+			if ev.RepairAt, err = parseSimTime(rs); err != nil {
+				return nil, fmt.Errorf("clause %q: bad repair time: %v", clause, err)
+			}
+		}
+		kind, target, ok := strings.Cut(strings.TrimSpace(kindTarget), ":")
+		if !ok {
+			return nil, fmt.Errorf("clause %q: expected kind:target", clause)
+		}
+		switch kind {
+		case "link":
+			id, err := strconv.Atoi(target)
+			if err != nil {
+				return nil, fmt.Errorf("clause %q: bad link ID %q", clause, target)
+			}
+			ev.Kind = netsim.FaultLink
+			ev.Link = topology.LinkID(id)
+		case "switch":
+			ev.Kind = netsim.FaultSwitch
+			if ev.Switch, err = findSwitch(g, target); err != nil {
+				return nil, fmt.Errorf("clause %q: %v", clause, err)
+			}
+		case "fiber":
+			fs, ss, ok := strings.Cut(target, ".")
+			if !ok {
+				return nil, fmt.Errorf("clause %q: fiber target must be <fiber>.<segment>", clause)
+			}
+			if ev.Fiber, err = strconv.Atoi(fs); err != nil {
+				return nil, fmt.Errorf("clause %q: bad fiber %q", clause, fs)
+			}
+			if ev.Segment, err = strconv.Atoi(ss); err != nil {
+				return nil, fmt.Errorf("clause %q: bad segment %q", clause, ss)
+			}
+			ev.Kind = netsim.FaultFiber
+		default:
+			return nil, fmt.Errorf("clause %q: unknown fault kind %q (link, switch, fiber)", clause, kind)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("-fail %q: no clauses", spec)
+	}
+	return events, nil
 }
 
 func buildArch() (*core.Architecture, error) {
@@ -201,6 +315,51 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("link %d failed for the whole run\n", *failLink)
+	}
+	if *failSpec != "" {
+		events, err := parseFailSpec(*failSpec, arch.Graph)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+			os.Exit(2)
+		}
+		var policy netsim.ReroutePolicy
+		switch *failPolicy {
+		case "drop":
+			policy = netsim.DropInFlight
+		case "detour":
+			policy = netsim.DetourInFlight
+		default:
+			fmt.Fprintf(os.Stderr, "quartzsim: unknown -fail-policy %q (drop or detour)\n", *failPolicy)
+			os.Exit(2)
+		}
+		fi := net.Faults()
+		if arch.Ring != nil {
+			if _, err := arch.Ring.AttachFaults(net); err != nil {
+				fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fi.OnChange = func(c netsim.FaultChange) {
+			if c.Reconverged {
+				fmt.Printf("[%v] routes reconverged (%d links down)\n", c.At, c.DeadLinks)
+				return
+			}
+			verb := "fail"
+			if c.Repair {
+				verb = "repair"
+			}
+			fmt.Printf("[%v] %s: %s (%d links, %d down)\n", c.At, verb, c.Event, len(c.Links), c.DeadLinks)
+		}
+		detect := sim.Time(failDetect.Nanoseconds()) * sim.Nanosecond
+		if err := fi.Apply(netsim.FaultSchedule{
+			Events:         events,
+			DetectionDelay: detect,
+			Policy:         policy,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fault schedule: %d event(s), detection %v, policy %s\n", len(events), detect, *failPolicy)
 	}
 	n := *tasks
 	if *workload == "permutation" || *workload == "replay" {

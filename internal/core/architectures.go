@@ -25,6 +25,10 @@ type Architecture struct {
 	// VLB is non-nil when the architecture routes with Valiant load
 	// balancing (used by the Figure 20 comparison).
 	VLB *routing.VLB
+	// Ring is the planned Quartz ring behind the architecture, when it
+	// is a single ring (QuartzRingArch): it carries the wavelength plan
+	// that fiber-cut fault injection resolves against.
+	Ring *Ring
 }
 
 // ArchParams sizes the simulated architectures. The zero value selects
@@ -337,10 +341,13 @@ func TwoTierTreeArch(p ArchParams) (*Architecture, error) {
 }
 
 // QuartzRingArch builds a single Quartz ring as the whole network of a
-// small DC (§4's first bullet): all ToR switches fully meshed.
+// small DC (§4's first bullet): all ToR switches fully meshed. The
+// architecture carries the full ring plan (Architecture.Ring) — channel
+// assignments and fiber split — so fiber-segment fault injection can
+// resolve a physical cut to the exact severed mesh links (§3.5).
 func QuartzRingArch(p ArchParams) (*Architecture, error) {
 	p.setDefaults()
-	g, err := topology.NewFullMesh(topology.MeshConfig{
+	ring, err := NewRing(RingConfig{
 		Switches:       p.Pods * p.ToRsPerPod,
 		HostsPerSwitch: p.HostsPerToR,
 	})
@@ -349,8 +356,9 @@ func QuartzRingArch(p ArchParams) (*Architecture, error) {
 	}
 	return &Architecture{
 		Name:   "single Quartz ring",
-		Graph:  g,
-		Router: routing.NewECMPPerPacket(g),
+		Graph:  ring.Graph,
+		Router: routing.NewECMPPerPacket(ring.Graph),
 		Model:  allULL,
+		Ring:   ring,
 	}, nil
 }

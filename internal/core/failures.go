@@ -60,9 +60,45 @@ func arcCrossesSegment(m int, a wdm.Assignment, seg int) bool {
 	return crossed
 }
 
+// FiberLinks resolves a fiber-segment cut to the logical mesh links it
+// severs — FiberCutImpact mapped onto the ring's Graph. It is the
+// canonical netsim.FaultSchedule.FiberLinks resolver; AttachFaults
+// installs it.
+func (r *Ring) FiberLinks(fiber, seg int) ([]topology.LinkID, error) {
+	severed, err := r.FiberCutImpact(fiber, seg)
+	if err != nil {
+		return nil, err
+	}
+	sw := r.Graph.Switches()
+	links := make([]topology.LinkID, 0, len(severed))
+	for _, pair := range severed {
+		l, ok := r.Graph.FindLink(sw[pair[0]], sw[pair[1]])
+		if !ok {
+			return nil, fmt.Errorf("core: no mesh link for pair %v", pair)
+		}
+		links = append(links, l.ID)
+	}
+	return links, nil
+}
+
+// AttachFaults returns the network's fault injector with this ring's
+// fiber resolver installed, so scheduled netsim.FaultFiber events kill
+// exactly the §3.5-severed wavelength links. The network must have been
+// built on the ring's Graph.
+func (r *Ring) AttachFaults(net *netsim.Network) (*netsim.FaultInjector, error) {
+	if net.Graph() != r.Graph {
+		return nil, fmt.Errorf("core: network was not built on this ring's graph")
+	}
+	fi := net.Faults()
+	fi.SetFiberResolver(r.FiberLinks)
+	return fi, nil
+}
+
 // ApplyFiberCut fails, in a packet simulation built on this ring's
 // Graph, every logical mesh link whose channel the cut destroys. It
-// returns the severed pairs. Restore with RestoreFiberCut.
+// returns the severed pairs. Restore with RestoreFiberCut. For cuts at
+// virtual times mid-run, with detection delay and reconvergence, use
+// AttachFaults and a netsim.FaultSchedule instead.
 func (r *Ring) ApplyFiberCut(net *netsim.Network, fiber, seg int) ([][2]int, error) {
 	return r.setFiberCut(net, fiber, seg, true)
 }

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -65,10 +66,11 @@ func RenderFigure5(rows []Figure5Row) string {
 
 // Figure6 runs the fault-tolerance sweep of §3.5 on a 33-switch Quartz
 // deployment: 1..4 physical rings, 1..4 simultaneous fiber cuts.
-// Results are indexed [rings-1][cuts-1].
-func Figure6(trials int, seed int64) ([][]fault.Result, error) {
+// Results are indexed [rings-1][cuts-1]. Cancelling ctx aborts the
+// sweep between cells.
+func Figure6(ctx context.Context, trials int, seed int64) ([][]fault.Result, error) {
 	rng := rand.New(rand.NewSource(seed))
-	return fault.Sweep(33, 4, 4, trials, rng)
+	return fault.Sweep(ctx, 33, 4, 4, trials, rng)
 }
 
 // RenderFigure6 renders both panels of Figure 6.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestFigure5GreedyTracksOptimal(t *testing.T) {
 }
 
 func TestFigure6HeadlineClaims(t *testing.T) {
-	grid, err := Figure6(2000, 2)
+	grid, err := Figure6(context.Background(), 2000, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestTable9Renders(t *testing.T) {
 }
 
 func TestFigure10QuartzBetweenHalfAndFull(t *testing.T) {
-	rows, err := Figure10(42)
+	rows, err := Figure10(context.Background(), 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestFigure14TreeSensitiveQuartzFlat(t *testing.T) {
 }
 
 func TestFigure17ScatterOrdering(t *testing.T) {
-	rows, err := Figure17(ScatterKind, 8, 5)
+	rows, err := Figure17(context.Background(), ScatterKind, 8, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestFigure17ScatterOrdering(t *testing.T) {
 }
 
 func TestFigure17GatherSimilarToScatter(t *testing.T) {
-	rows, err := Figure17(GatherKind, 4, 5)
+	rows, err := Figure17(context.Background(), GatherKind, 4, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestFigure17GatherSimilarToScatter(t *testing.T) {
 }
 
 func TestFigure17ScatterGatherJump(t *testing.T) {
-	rows, err := Figure17(ScatterGatherKind, 4, 5)
+	rows, err := Figure17(context.Background(), ScatterGatherKind, 4, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestFigure17ScatterGatherJump(t *testing.T) {
 }
 
 func TestFigure18LocalityClaims(t *testing.T) {
-	rows, err := Figure18(ScatterKind, 6, 5)
+	rows, err := Figure18(context.Background(), ScatterKind, 6, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestFigure18LocalityClaims(t *testing.T) {
 }
 
 func TestFigure20Claims(t *testing.T) {
-	rows, err := Figure20(3)
+	rows, err := Figure20(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -106,8 +107,12 @@ func throughputOnQuartz(g *topology.Graph, pairs [][2]topology.NodeID) (float64,
 // Figure10 computes normalized throughput for the three traffic
 // patterns on the four fabrics (§5.1). Pair patterns are sampled
 // identically across fabrics (same seed), and throughput is normalized
-// to the full-bisection fabric.
-func Figure10(seed int64) ([]Figure10Row, error) {
+// to the full-bisection fabric. Cancelling ctx aborts between
+// pattern/fabric cells.
+func Figure10(ctx context.Context, seed int64) ([]Figure10Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mesh, err := topology.NewFullMesh(topology.MeshConfig{
 		Switches: fig10Switches, HostsPerSwitch: fig10Hosts,
 	})
@@ -138,6 +143,9 @@ func Figure10(seed int64) ([]Figure10Row, error) {
 		row := Figure10Row{Pattern: pattern, Throughput: map[string]float64{}}
 		base := 0.0
 		for _, netName := range Figure10Networks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			var g *topology.Graph
 			quartz := false
 			switch netName {

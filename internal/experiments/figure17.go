@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -236,18 +237,20 @@ func runTasks(arch *core.Architecture, kind TaskKind, n int, local bool, params 
 }
 
 // Figure17 sweeps 1..maxTasks concurrent global tasks of the given
-// kind across the five §7 architectures (Figure 17 a/b/c).
-func Figure17(kind TaskKind, maxTasks int, seed int64) ([]Figure17Row, error) {
-	return figureTasks(kind, maxTasks, false, Figure17Architectures, seed)
+// kind across the five §7 architectures (Figure 17 a/b/c). Cancelling
+// ctx stops dispatching cells and returns ctx.Err().
+func Figure17(ctx context.Context, kind TaskKind, maxTasks int, seed int64) ([]Figure17Row, error) {
+	return figureTasks(ctx, kind, maxTasks, false, Figure17Architectures, seed)
 }
 
 // Figure18 sweeps one localized task plus 0..maxTasks-1 global
-// cross-traffic tasks (Figure 18 a/b/c).
-func Figure18(kind TaskKind, maxTasks int, seed int64) ([]Figure17Row, error) {
-	return figureTasks(kind, maxTasks, true, Figure18Architectures, seed)
+// cross-traffic tasks (Figure 18 a/b/c). Cancelling ctx stops
+// dispatching cells and returns ctx.Err().
+func Figure18(ctx context.Context, kind TaskKind, maxTasks int, seed int64) ([]Figure17Row, error) {
+	return figureTasks(ctx, kind, maxTasks, true, Figure18Architectures, seed)
 }
 
-func figureTasks(kind TaskKind, maxTasks int, local bool, archs []string, seed int64) ([]Figure17Row, error) {
+func figureTasks(ctx context.Context, kind TaskKind, maxTasks int, local bool, archs []string, seed int64) ([]Figure17Row, error) {
 	params := defaultFig17Params(kind)
 	rows := make([]Figure17Row, maxTasks)
 	for n := 1; n <= maxTasks; n++ {
@@ -266,7 +269,7 @@ func figureTasks(kind TaskKind, maxTasks int, local bool, archs []string, seed i
 		}
 	}
 	var mu sync.Mutex
-	err := forEachCell(len(cells), func(i int) error {
+	err := forEachCell(ctx, len(cells), func(i int) error {
 		c := cells[i]
 		arch, err := buildArch(c.name, rand.New(rand.NewSource(seed)))
 		if err != nil {

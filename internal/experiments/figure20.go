@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -117,8 +118,11 @@ func runFig20(g *topology.Graph, router routing.Router, model func(topology.Node
 // Figure20 sweeps aggregate S1→S2 traffic from 10 to 50 Gb/s over the
 // three systems of §7.2: a non-blocking core switch, Quartz with ECMP
 // (direct paths only), and Quartz with VLB (40% of traffic detoured
-// over the two-hop paths).
-func Figure20(seed int64) ([]Figure20Row, error) {
+// over the two-hop paths). Cancelling ctx aborts between load levels.
+func Figure20(ctx context.Context, seed int64) ([]Figure20Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ring, err := fig20Ring()
 	if err != nil {
 		return nil, err
@@ -134,6 +138,9 @@ func Figure20(seed int64) ([]Figure20Row, error) {
 
 	var rows []Figure20Row
 	for gbps := 10; gbps <= 50; gbps += 10 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		agg := sim.Rate(gbps) * sim.Gbps
 		nb, _, err := runFig20(star, routing.NewECMPPerPacket(star), starModel, nil, agg, seed)
 		if err != nil {

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/core"
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+// FigureF6Dynamic is the dynamic companion to Figure 6 (§3.5): instead
+// of Monte-Carlo counting which channels a fiber cut destroys, it runs
+// the packet simulator through an actual cut — permutation traffic on a
+// single Quartz ring, one fiber segment severed mid-run and repaired
+// later — and measures throughput and latency before, during, and
+// after, with the blackhole window set by the detection delay.
+
+// Timing of the experiment (virtual time).
+const (
+	figF6Window    = 500 * sim.Microsecond
+	figF6Duration  = 10 * sim.Millisecond
+	figF6CutAt     = 3 * sim.Millisecond
+	figF6RepairAt  = 7 * sim.Millisecond
+	figF6Detection = 500 * sim.Microsecond
+)
+
+// FigureF6Window is one measurement window.
+type FigureF6Window struct {
+	Start sim.Time
+	// Phase is where the window falls relative to the cut: "before",
+	// "blackhole" (cut but not yet reconverged), "rerouted" (routes
+	// avoid the severed links), or "repaired".
+	Phase     string
+	Delivered int
+	Dropped   int
+	// ThroughputGbps is delivered goodput over the window.
+	ThroughputGbps float64
+	// MeanLatencyUS is the mean delivery latency in the window (0 when
+	// nothing was delivered).
+	MeanLatencyUS float64
+}
+
+// FigureF6Result is the full run.
+type FigureF6Result struct {
+	Windows []FigureF6Window
+	// SeveredLinks is how many logical mesh links the cut destroyed.
+	SeveredLinks int
+	// Changes logs the fault transitions (cut, repair, reconvergences).
+	Changes []netsim.FaultChange
+	// TotalDelivered and TotalDropped count the whole run.
+	TotalDelivered, TotalDropped uint64
+}
+
+// FigureF6Dynamic runs permutation traffic across a single Quartz ring
+// (QuartzRingArch), cuts fiber 0 segment 0 at 3 ms, repairs it at 7 ms,
+// and reports 500 µs windows. Routes reconverge 500 µs after each
+// transition. Deterministic for a given seed.
+func FigureF6Dynamic(ctx context.Context, seed int64) (*FigureF6Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	arch, err := core.QuartzRingArch(core.ArchParams{})
+	if err != nil {
+		return nil, err
+	}
+	numWindows := int(figF6Duration / figF6Window)
+	res := &FigureF6Result{Windows: make([]FigureF6Window, numWindows)}
+	latSum := make([]float64, numWindows)
+	window := func(at sim.Time) int {
+		i := int(at / figF6Window)
+		if i >= numWindows {
+			i = numWindows - 1
+		}
+		return i
+	}
+	net, err := netsim.New(netsim.Config{
+		Graph:       arch.Graph,
+		Router:      arch.Router,
+		SwitchModel: arch.Model,
+		OnDeliver: func(d netsim.Delivery) {
+			i := window(d.At)
+			res.Windows[i].Delivered++
+			res.Windows[i].ThroughputGbps += float64(d.Packet.Size) * 8
+			latSum[i] += d.Latency.Micros()
+		},
+		OnDrop: func(d netsim.Drop) {
+			res.Windows[window(d.At)].Dropped++
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fi, err := arch.Ring.AttachFaults(net)
+	if err != nil {
+		return nil, err
+	}
+	fi.OnChange = func(c netsim.FaultChange) {
+		res.Changes = append(res.Changes, c)
+	}
+	severed, err := arch.Ring.FiberLinks(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.SeveredLinks = len(severed)
+	if err := fi.Apply(netsim.FaultSchedule{
+		Events: []netsim.FaultEvent{{
+			Kind: netsim.FaultFiber, Fiber: 0, Segment: 0,
+			At: figF6CutAt, RepairAt: figF6RepairAt,
+		}},
+		DetectionDelay: figF6Detection,
+		Policy:         netsim.DropInFlight,
+	}); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	hosts := arch.Graph.Hosts()
+	task := &traffic.Task{}
+	for i, pr := range traffic.RandomPermutation(hosts, rng) {
+		task.Add(&traffic.Stream{
+			Net: net, Src: pr[0], Dst: pr[1],
+			Flow: routing.FlowID(1<<20 + i), RatePPS: 20e3, Size: 1500, Tag: 1,
+			Rand: rand.New(rand.NewSource(rng.Int63())),
+		})
+	}
+	if err := task.Start(figF6Duration); err != nil {
+		return nil, err
+	}
+	// Poll for cancellation at window granularity; a cancelled run stops
+	// the engine and reports ctx.Err.
+	eng := net.Engine()
+	var watch func()
+	watch = func() {
+		if ctx.Err() != nil {
+			eng.Stop()
+			return
+		}
+		if eng.Now()+figF6Window < figF6Duration {
+			eng.After(figF6Window, watch)
+		}
+	}
+	eng.After(figF6Window, watch)
+	eng.RunUntil(figF6Duration + 2*sim.Millisecond)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	for i := range res.Windows {
+		w := &res.Windows[i]
+		w.Start = sim.Time(i) * figF6Window
+		switch {
+		case w.Start < figF6CutAt:
+			w.Phase = "before"
+		case w.Start < figF6CutAt+figF6Detection:
+			w.Phase = "blackhole"
+		case w.Start < figF6RepairAt:
+			w.Phase = "rerouted"
+		default:
+			w.Phase = "repaired"
+		}
+		w.ThroughputGbps /= figF6Window.Seconds() * 1e9
+		if w.Delivered > 0 {
+			w.MeanLatencyUS = latSum[i] / float64(w.Delivered)
+		}
+	}
+	res.TotalDelivered = net.Delivered()
+	res.TotalDropped = net.Dropped()
+	return res, nil
+}
+
+// RenderFigureF6 renders the windows as a table.
+func RenderFigureF6(res *FigureF6Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure F6 (dynamic): fiber cut at %v, repair at %v, reconvergence after %v (%d links severed)\n",
+		figF6CutAt, figF6RepairAt, figF6Detection, res.SeveredLinks)
+	fmt.Fprintf(&b, "%10s %11s %10s %8s %12s %12s\n",
+		"t (us)", "phase", "delivered", "dropped", "gbps", "latency(us)")
+	for _, w := range res.Windows {
+		fmt.Fprintf(&b, "%10.0f %11s %10d %8d %12.2f %12.2f\n",
+			w.Start.Micros(), w.Phase, w.Delivered, w.Dropped, w.ThroughputGbps, w.MeanLatencyUS)
+	}
+	fmt.Fprintf(&b, "total: %d delivered, %d dropped\n", res.TotalDelivered, res.TotalDropped)
+	return b.String()
+}

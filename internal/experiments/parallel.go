@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -9,13 +10,22 @@ import (
 // returns the first error. Each experiment cell is an independent
 // simulation with its own engine and seed, so the sweeps parallelize
 // perfectly; results must be written to disjoint slots by index.
-func forEachCell(n int, fn func(i int) error) error {
+//
+// Cancelling ctx stops dispatching new cells; cells already running
+// finish, and ctx.Err() is returned. A nil ctx means no cancellation.
+func forEachCell(ctx context.Context, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -43,10 +53,18 @@ func forEachCell(n int, fn func(i int) error) error {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case next <- i:
+		}
 	}
 	close(next)
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
 }

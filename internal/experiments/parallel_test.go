@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -9,7 +10,7 @@ import (
 func TestForEachCellRunsAll(t *testing.T) {
 	var count int64
 	seen := make([]int32, 100)
-	err := forEachCell(100, func(i int) error {
+	err := forEachCell(context.Background(), 100, func(i int) error {
 		atomic.AddInt64(&count, 1)
 		atomic.AddInt32(&seen[i], 1)
 		return nil
@@ -29,7 +30,7 @@ func TestForEachCellRunsAll(t *testing.T) {
 
 func TestForEachCellPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	err := forEachCell(10, func(i int) error {
+	err := forEachCell(context.Background(), 10, func(i int) error {
 		if i == 7 {
 			return boom
 		}
@@ -46,7 +47,7 @@ func TestForEachCellFewerCellsThanWorkers(t *testing.T) {
 	for n := 2; n <= 4; n++ {
 		var count int64
 		seen := make([]int32, n)
-		if err := forEachCell(n, func(i int) error {
+		if err := forEachCell(context.Background(), n, func(i int) error {
 			atomic.AddInt64(&count, 1)
 			atomic.AddInt32(&seen[i], 1)
 			return nil
@@ -62,7 +63,7 @@ func TestForEachCellFewerCellsThanWorkers(t *testing.T) {
 			}
 		}
 		boom := errors.New("boom")
-		err := forEachCell(n, func(i int) error {
+		err := forEachCell(context.Background(), n, func(i int) error {
 			if i == n-1 {
 				return boom
 			}
@@ -78,7 +79,7 @@ func TestForEachCellSerialError(t *testing.T) {
 	// n == 1 takes the serial path; the error must stop the loop there.
 	boom := errors.New("boom")
 	ran := 0
-	err := forEachCell(1, func(i int) error {
+	err := forEachCell(context.Background(), 1, func(i int) error {
 		ran++
 		return boom
 	})
@@ -94,7 +95,7 @@ func TestForEachCellKeepsFirstError(t *testing.T) {
 	for i := range errs {
 		errs[i] = errors.New("boom")
 	}
-	err := forEachCell(len(errs), func(i int) error { return errs[i] })
+	err := forEachCell(context.Background(), len(errs), func(i int) error { return errs[i] })
 	if err == nil {
 		t.Fatal("err = nil, want one of the cell errors")
 	}
@@ -110,14 +111,30 @@ func TestForEachCellKeepsFirstError(t *testing.T) {
 }
 
 func TestForEachCellZeroAndOne(t *testing.T) {
-	if err := forEachCell(0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+	if err := forEachCell(context.Background(), 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
 		t.Error(err)
 	}
 	ran := false
-	if err := forEachCell(1, func(i int) error { ran = true; return nil }); err != nil {
+	if err := forEachCell(context.Background(), 1, func(i int) error { ran = true; return nil }); err != nil {
 		t.Error(err)
 	}
 	if !ran {
 		t.Error("single cell did not run")
+	}
+}
+
+func TestForEachCellHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int64(0)
+	err := forEachCell(ctx, 100, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if atomic.LoadInt64(&ran) == 100 {
+		t.Error("cancelled context still ran every cell")
 	}
 }

@@ -1,0 +1,357 @@
+// Registry of every reproduced table and figure. cmd/quartzbench
+// iterates All() instead of hand-maintaining a switch; tests walk it to
+// check no exported Figure*/Table* entrypoint is left unregistered.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/cost"
+)
+
+// Params carries the knobs shared by the experiment runners. Zero
+// values are replaced by DefaultParams' fields.
+type Params struct {
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Trials is the Monte-Carlo trial count (Figure 6).
+	Trials int
+	// Tasks caps concurrent tasks (Figures 17/18).
+	Tasks int
+	// RPCs is the RPC count per point (Figure 14 and extensions).
+	RPCs int
+}
+
+// DefaultParams returns the values quartzbench uses by default.
+func DefaultParams() Params {
+	return Params{Seed: 2014, Trials: 5000, Tasks: 8, RPCs: 2000}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	if p.Trials == 0 {
+		p.Trials = d.Trials
+	}
+	if p.Tasks == 0 {
+		p.Tasks = d.Tasks
+	}
+	if p.RPCs == 0 {
+		p.RPCs = d.RPCs
+	}
+	return p
+}
+
+// Output is what one experiment produced: rendered text plus any
+// CSV-exportable row sets, keyed by file stem (e.g. "figure5").
+type Output struct {
+	Text string
+	CSV  map[string]interface{}
+}
+
+// Experiment is one registry entry.
+type Experiment struct {
+	// Name is the CLI selector (quartzbench -run <name>).
+	Name string
+	// Title is the heading printed above the output.
+	Title string
+	// Section is the paper section the experiment reproduces ("ext."
+	// entries go beyond the paper).
+	Section string
+	// Covers lists the exported Figure*/Table* functions this entry
+	// exercises; the registry completeness test checks their union.
+	Covers []string
+	// Run executes the experiment. Implementations honor ctx where the
+	// underlying runner does.
+	Run func(ctx context.Context, p Params) (Output, error)
+}
+
+// Find returns the experiment registered under name (case-insensitive).
+func Find(name string) (Experiment, bool) {
+	name = strings.ToLower(name)
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// All returns the registry in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			Name: "table2", Title: "Table 2: network latency components", Section: "§2.1",
+			Run: func(context.Context, Params) (Output, error) {
+				return Output{Text: table2Text}, nil
+			},
+		},
+		{
+			Name: "fig5", Title: "Figure 5: optimal wavelength assignment", Section: "§3.3",
+			Covers: []string{"Figure5"},
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows := Figure5(41, p.Seed)
+				return Output{Text: RenderFigure5(rows), CSV: map[string]interface{}{"figure5": rows}}, nil
+			},
+		},
+		{
+			Name: "fig6", Title: "Figure 6: fault tolerance under fiber cuts", Section: "§3.5",
+			Covers: []string{"Figure6"},
+			Run: func(ctx context.Context, p Params) (Output, error) {
+				grid, err := Figure6(ctx, p.Trials, p.Seed)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderFigure6(grid)}, nil
+			},
+		},
+		{
+			Name: "f6dynamic", Title: "Figure 6 (dynamic): mid-run fiber cut and reconvergence", Section: "§3.5",
+			Covers: []string{"FigureF6Dynamic"},
+			Run: func(ctx context.Context, p Params) (Output, error) {
+				res, err := FigureF6Dynamic(ctx, p.Seed)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderFigureF6(res), CSV: map[string]interface{}{"figuref6": res.Windows}}, nil
+			},
+		},
+		{
+			Name: "table8", Title: "Table 8: cost and latency configurator", Section: "§4.2",
+			Covers: []string{"Table8"},
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows, err := Table8(p.Seed)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderTable8(rows), CSV: map[string]interface{}{"table8": rows}}, nil
+			},
+		},
+		{
+			Name: "table9", Title: "Table 9: topology comparison at ~1k ports", Section: "§5",
+			Covers: []string{"Table9"},
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows, err := Table9(p.Seed)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderTable9(rows), CSV: map[string]interface{}{"table9": rows}}, nil
+			},
+		},
+		{
+			Name: "fig10", Title: "Figure 10: normalized throughput", Section: "§5.1",
+			Covers: []string{"Figure10"},
+			Run: func(ctx context.Context, p Params) (Output, error) {
+				rows, err := Figure10(ctx, p.Seed)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderFigure10(rows)}, nil
+			},
+		},
+		{
+			Name: "fig14", Title: "Figure 14: prototype cross-traffic experiment", Section: "§6.1",
+			Covers: []string{"Figure14", "Figure14Sweep"},
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows, err := Figure14Sweep(p.Seed, p.RPCs)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderFigure14(rows), CSV: map[string]interface{}{"figure14": rows}}, nil
+			},
+		},
+		{
+			Name: "fig17", Title: "Figure 17: global task latency", Section: "§7.1",
+			Covers: []string{"Figure17"},
+			Run: func(ctx context.Context, p Params) (Output, error) {
+				out := Output{CSV: map[string]interface{}{}}
+				var b strings.Builder
+				for _, kc := range []struct {
+					kind  TaskKind
+					n     int
+					label string
+				}{
+					{ScatterKind, p.Tasks, "Figure 17(a): scatter"},
+					{GatherKind, p.Tasks, "Figure 17(b): gather"},
+					{ScatterGatherKind, min(p.Tasks, 4), "Figure 17(c): scatter/gather"},
+				} {
+					rows, err := Figure17(ctx, kc.kind, kc.n, p.Seed)
+					if err != nil {
+						return Output{}, err
+					}
+					b.WriteString(RenderFigure17(kc.label, Figure17Architectures, rows))
+					out.CSV["figure17-"+strings.ReplaceAll(kc.kind.String(), "/", "-")] = rows
+				}
+				out.Text = b.String()
+				return out, nil
+			},
+		},
+		{
+			Name: "fig18", Title: "Figure 18: localized task latency", Section: "§7.1",
+			Covers: []string{"Figure18"},
+			Run: func(ctx context.Context, p Params) (Output, error) {
+				var b strings.Builder
+				for _, kc := range []struct {
+					kind  TaskKind
+					n     int
+					label string
+				}{
+					{ScatterKind, min(p.Tasks, 6), "Figure 18(a): localized scatter"},
+					{GatherKind, min(p.Tasks, 6), "Figure 18(b): localized gather"},
+					{ScatterGatherKind, min(p.Tasks, 5), "Figure 18(c): localized scatter/gather"},
+				} {
+					rows, err := Figure18(ctx, kc.kind, kc.n, p.Seed)
+					if err != nil {
+						return Output{}, err
+					}
+					b.WriteString(RenderFigure17(kc.label, Figure18Architectures, rows))
+				}
+				return Output{Text: b.String()}, nil
+			},
+		},
+		{
+			Name: "fig20", Title: "Figure 20: pathological traffic pattern", Section: "§7.2",
+			Covers: []string{"Figure20"},
+			Run: func(ctx context.Context, p Params) (Output, error) {
+				rows, err := Figure20(ctx, p.Seed)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderFigure20(rows), CSV: map[string]interface{}{"figure20": rows}}, nil
+			},
+		},
+		{
+			Name: "table16", Title: "Table 16: simulated switch models", Section: "§7",
+			Run: func(context.Context, Params) (Output, error) {
+				return Output{Text: table16Text}, nil
+			},
+		},
+		{
+			Name: "fig14tcp", Title: "Figure 14 (extension): bulk TCP cross-traffic", Section: "§6 ext.",
+			Covers: []string{"Figure14TCP"},
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows, err := Figure14TCP(p.Seed, p.RPCs)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderFigure14TCP(rows)}, nil
+			},
+		},
+		{
+			Name: "oversub", Title: "Oversubscription tradeoff (§3): n:k port split", Section: "§3.2",
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows, err := OversubscriptionSweep(p.Seed)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderOversub(rows)}, nil
+			},
+		},
+		{
+			Name: "stack", Title: "Table 2 composition: order-of-magnitude stack walk", Section: "§2.1",
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows, err := StackComparison(p.Seed)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderStack(rows)}, nil
+			},
+		},
+		{
+			Name: "fig1", Title: "Figure 1 extrapolation: Quartz premium vs WDM price decline", Section: "§1",
+			Run: func(context.Context, Params) (Output, error) {
+				rows, err := cost.WDMCostTrend(12, 4)
+				if err != nil {
+					return Output{}, err
+				}
+				var b strings.Builder
+				fmt.Fprintf(&b, "%6s %12s %14s %14s\n", "year", "WDM price", "ring premium", "edge premium")
+				for _, r := range rows {
+					fmt.Fprintf(&b, "%6d %11.0f%% %13.1f%% %13.1f%%\n",
+						2014+r.Year, 100*r.WDMPriceFactor, 100*r.RingPremium, 100*r.EdgePremium)
+				}
+				return Output{Text: b.String()}, nil
+			},
+		},
+		{
+			Name: "fct", Title: "Extension: short-flow completion times (topology x protocol)", Section: "ext.",
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows, err := FlowCompletion(p.Seed, 150)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderFCT(rows)}, nil
+			},
+		},
+		{
+			Name: "sched", Title: "Extension: flow scheduling vs path diversity (§2.1.4)", Section: "§2.1.4",
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows, err := SchedulerComparison(p.Seed)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderScheduler(rows)}, nil
+			},
+		},
+		{
+			Name: "validate", Title: "Simulator validation against queueing theory (§7)", Section: "§7",
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows, err := SimulatorValidation(p.Seed, 150_000)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderValidation(rows)}, nil
+			},
+		},
+		{
+			Name: "prio", Title: "Extension: priority queueing vs topology (DeTail, §2.1.4)", Section: "§2.1.4",
+			Run: func(_ context.Context, p Params) (Output, error) {
+				rows, err := PriorityComparison(p.Seed, p.RPCs)
+				if err != nil {
+					return Output{}, err
+				}
+				return Output{Text: RenderPriority(rows)}, nil
+			},
+		},
+		{
+			Name: "ablations", Title: "Ablations: ring size, switch model, VLB fraction, ECMP mode", Section: "ext.",
+			Run: func(_ context.Context, p Params) (Output, error) {
+				var b strings.Builder
+				for _, part := range []struct {
+					label string
+					fn    func(int64) ([]AblationRow, error)
+				}{
+					{"ring size", AblationRingSize},
+					{"switch model", AblationSwitchModel},
+					{"VLB fraction at 45 Gb/s", AblationVLBFraction},
+					{"ECMP mode", AblationECMPMode},
+				} {
+					rows, err := part.fn(p.Seed)
+					if err != nil {
+						return Output{}, err
+					}
+					b.WriteString(RenderAblation(part.label, rows))
+				}
+				return Output{Text: b.String()}, nil
+			},
+		},
+	}
+}
+
+const table2Text = `Table 2: network latencies of different components
+component          standard        state of the art
+OS network stack   15 us           1 - 4 us
+NIC                2.5 - 32 us     0.5 us
+Switch             6 us            0.5 us (380 ns modelled)
+Congestion         50 us           (workload dependent)
+`
+
+const table16Text = `Table 16: switches used in the simulations
+switch                    latency     ports
+Cisco Nexus 7000 (CCS)    6 us        768 x 10G or 192 x 40G
+Arista 7150S-64 (ULL)     380 ns      64 x 10G or 16 x 40G
+`

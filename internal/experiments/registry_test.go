@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"context"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestRegistryCoversAllEntrypoints parses this package's sources and
+// checks every exported Figure*/Table* function appears in some
+// registry entry's Covers list, so new reproductions cannot silently
+// miss quartzbench.
+func TestRegistryCoversAllEntrypoints(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, e := range All() {
+		for _, c := range e.Covers {
+			covered[c] = true
+		}
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		for path, f := range pkg.Files {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil {
+					continue
+				}
+				name := fd.Name.Name
+				if !strings.HasPrefix(name, "Figure") && !strings.HasPrefix(name, "Table") {
+					continue
+				}
+				if strings.HasPrefix(name, "Render") {
+					continue
+				}
+				if !covered[name] {
+					t.Errorf("exported entrypoint %s (%s) is not covered by any registry entry", name, path)
+				}
+			}
+		}
+	}
+}
+
+// TestRegistryCoversPointToRealFunctions is the inverse direction: a
+// Covers entry must name a function that actually exists.
+func TestRegistryCoversPointToRealFunctions(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exists := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil {
+					exists[fd.Name.Name] = true
+				}
+			}
+		}
+	}
+	for _, e := range All() {
+		for _, c := range e.Covers {
+			if !exists[c] {
+				t.Errorf("experiment %q covers %q, which is not a function in this package", e.Name, c)
+			}
+		}
+	}
+}
+
+func TestRegistryNamesUniqueAndFindable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.Name == "" || e.Title == "" {
+			t.Errorf("entry %+v missing name or title", e)
+		}
+		if e.Name != strings.ToLower(e.Name) {
+			t.Errorf("entry %q: names must be lower-case", e.Name)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Run == nil {
+			t.Errorf("entry %q has no Run", e.Name)
+		}
+		got, ok := Find(strings.ToUpper(e.Name))
+		if !ok || got.Name != e.Name {
+			t.Errorf("Find(%q) did not return the entry", e.Name)
+		}
+	}
+	if _, ok := Find("no-such-experiment"); ok {
+		t.Error("Find returned an entry for an unknown name")
+	}
+}
+
+// TestRegistryRunsCheapEntries executes the static entries end to end.
+func TestRegistryRunsCheapEntries(t *testing.T) {
+	for _, name := range []string{"table2", "table16", "fig1"} {
+		e, ok := Find(name)
+		if !ok {
+			t.Fatalf("missing %q", name)
+		}
+		out, err := e.Run(context.Background(), DefaultParams())
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if out.Text == "" {
+			t.Errorf("%s produced no text", name)
+		}
+	}
+}
+
+func TestParamsWithDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p != DefaultParams() {
+		t.Errorf("zero params = %+v, want defaults %+v", p, DefaultParams())
+	}
+	q := Params{Seed: 7, Trials: 1, Tasks: 2, RPCs: 3}.withDefaults()
+	if q != (Params{Seed: 7, Trials: 1, Tasks: 2, RPCs: 3}) {
+		t.Errorf("explicit params changed: %+v", q)
+	}
+}

@@ -11,6 +11,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -159,8 +160,12 @@ func Simulate(plan *wdm.Plan, cuts, trials int, rng *rand.Rand) (Result, error) 
 // Sweep reproduces Figure 6's grid: for each ring count 1..maxRings, it
 // builds the channel plan for a ring of the given size, splits it
 // across that many fibers, and simulates 1..maxCuts simultaneous cuts.
-// Results are indexed [rings-1][cuts-1].
-func Sweep(ringSize, maxRings, maxCuts, trials int, rng *rand.Rand) ([][]Result, error) {
+// Results are indexed [rings-1][cuts-1]. Cancelling ctx aborts between
+// cells with ctx.Err(); a nil ctx means no cancellation.
+func Sweep(ctx context.Context, ringSize, maxRings, maxCuts, trials int, rng *rand.Rand) ([][]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if maxRings < 1 || maxCuts < 1 {
 		return nil, fmt.Errorf("fault: invalid sweep %dx%d", maxRings, maxCuts)
 	}
@@ -177,6 +182,9 @@ func Sweep(ringSize, maxRings, maxCuts, trials int, rng *rand.Rand) ([][]Result,
 		}
 		out[r-1] = make([]Result, maxCuts)
 		for c := 1; c <= maxCuts; c++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			res, err := Simulate(plan, c, trials, rng)
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -111,7 +112,7 @@ func TestSimulateErrors(t *testing.T) {
 
 func TestSweepShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	grid, err := Sweep(33, 4, 4, 500, rng)
+	grid, err := Sweep(context.Background(), 33, 4, 4, 500, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestSweepShape(t *testing.T) {
 	if grid[1][1].PartitionProb > 0.05 {
 		t.Errorf("2 rings 2 cuts partition = %v, want ~0", grid[1][1].PartitionProb)
 	}
-	if _, err := Sweep(33, 0, 4, 10, rng); err == nil {
+	if _, err := Sweep(context.Background(), 33, 0, 4, 10, rng); err == nil {
 		t.Error("invalid sweep accepted")
 	}
 }

@@ -183,6 +183,9 @@ type Network struct {
 	probe     Probe
 	record    bool
 
+	// faults is the unified failure surface (lazily built by Faults).
+	faults *FaultInjector
+
 	nextID    uint64
 	delivered uint64
 	dropped   uint64

@@ -77,6 +77,16 @@ func (m multiProbe) PacketDropped(d Drop) {
 	}
 }
 
+// FaultChanged implements FaultObserver, forwarding to the members that
+// observe faults.
+func (m multiProbe) FaultChanged(c FaultChange) {
+	for _, p := range m {
+		if fo, ok := p.(FaultObserver); ok {
+			fo.FaultChanged(c)
+		}
+	}
+}
+
 // Probes combines several probes into one; events fan out in argument
 // order. Nil entries are skipped; with zero non-nil probes it returns
 // nil (no probe).
@@ -104,6 +114,9 @@ const (
 	TraceTransmit
 	TraceDeliver
 	TraceDrop
+	// TraceFault marks a fault-injection transition (cut, repair,
+	// reconvergence) rather than a packet event; Packet and Flow are 0.
+	TraceFault
 )
 
 func (op TraceOp) String() string {
@@ -116,6 +129,8 @@ func (op TraceOp) String() string {
 		return "deliver"
 	case TraceDrop:
 		return "drop"
+	case TraceFault:
+		return "fault"
 	}
 	return fmt.Sprintf("TraceOp(%d)", uint8(op))
 }
@@ -189,6 +204,24 @@ func (t *TraceRecorder) PacketDelivered(d Delivery) {
 func (t *TraceRecorder) PacketDropped(d Drop) {
 	t.add(TraceEvent{At: d.At, Op: TraceDrop, Packet: d.Packet.ID, Flow: d.Packet.Flow,
 		Link: -1, From: -1, Hops: d.Packet.Hops, Reason: d.Reason})
+}
+
+// FaultChanged implements FaultObserver: the degradation window shows
+// up in the trace as one row per affected link (reason "fail" or
+// "repair") and a single Link=-1 row when routes reconverge.
+func (t *TraceRecorder) FaultChanged(c FaultChange) {
+	if c.Reconverged {
+		reason := fmt.Sprintf("reconverged (%d links down)", c.DeadLinks)
+		t.add(TraceEvent{At: c.At, Op: TraceFault, Link: -1, From: -1, Reason: reason})
+		return
+	}
+	reason := "fail: " + c.Event.String()
+	if c.Repair {
+		reason = "repair: " + c.Event.String()
+	}
+	for _, l := range c.Links {
+		t.add(TraceEvent{At: c.At, Op: TraceFault, Link: l, From: -1, Reason: reason})
+	}
 }
 
 // Events returns the recorded trace in event order. The slice is live;

@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"fmt"
 	"sort"
 
 	"github.com/quartz-dcn/quartz/internal/routing"
@@ -65,27 +64,22 @@ func (n *Network) HottestPorts(k int) []PortStats {
 }
 
 // FailLink marks a link as failed in both directions: packets routed
-// onto it are dropped (counted with reason "link down"), modelling a
-// fiber cut during a run. Routing tables are static, so traffic pinned
-// to the dead link is lost — pair with a Router rebuilt on the degraded
-// topology to model reconvergence.
+// onto it are dropped (counted with reason "link down"). Routing tables
+// are not touched, so traffic pinned to the dead link is lost.
+//
+// Deprecated: use Faults() — FaultInjector.Apply schedules failures at
+// virtual times with detection delay and route reconvergence. FailLink
+// remains as a thin wrapper with its historical instant, silent
+// semantics.
 func (n *Network) FailLink(id topology.LinkID) error {
-	if int(id) < 0 || int(id) >= n.g.NumLinks() {
-		return fmt.Errorf("netsim: unknown link %d", id)
-	}
-	n.dirs[2*int(id)].down = true
-	n.dirs[2*int(id)+1].down = true
-	return nil
+	return n.Faults().forceLink(id, true)
 }
 
 // RestoreLink clears a failure set by FailLink.
+//
+// Deprecated: use Faults(); see FailLink.
 func (n *Network) RestoreLink(id topology.LinkID) error {
-	if int(id) < 0 || int(id) >= n.g.NumLinks() {
-		return fmt.Errorf("netsim: unknown link %d", id)
-	}
-	n.dirs[2*int(id)].down = false
-	n.dirs[2*int(id)+1].down = false
-	return nil
+	return n.Faults().forceLink(id, false)
 }
 
 // SetRouter swaps the forwarding strategy mid-run (e.g. after a

@@ -22,6 +22,8 @@ type KSP struct {
 	// paths[key] lists up to k node sequences from a source switch to a
 	// destination host, inclusive.
 	paths map[pathKey][][]topology.NodeID
+	// dead is the failed-link set the paths avoid (nil when intact).
+	dead map[topology.LinkID]bool
 }
 
 type pathKey struct {
@@ -36,22 +38,48 @@ func NewKSP(g *topology.Graph, k int) (*KSP, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("routing: ksp needs k >= 1, got %d", k)
 	}
-	r := &KSP{g: g, k: k, paths: make(map[pathKey][][]topology.NodeID)}
-	for _, sw := range g.Switches() {
-		for _, h := range g.Hosts() {
-			if g.ToRof(h) == sw {
+	r := &KSP{g: g, k: k}
+	if err := r.rebuild(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// rebuild recomputes the path sets around the current dead-link set.
+// With failures present a pair may become unreachable; its entry is
+// dropped (NextPort then reports "no paths", and the simulator counts
+// the drop) rather than failing the whole rebuild.
+func (r *KSP) rebuild() error {
+	r.paths = make(map[pathKey][][]topology.NodeID)
+	for _, sw := range r.g.Switches() {
+		for _, h := range r.g.Hosts() {
+			if r.g.ToRof(h) == sw {
+				if l, ok := r.g.FindLink(sw, h); !ok || r.dead[l.ID] {
+					continue // host link down: unreachable
+				}
 				// Deliver directly (single hop to the host).
 				r.paths[pathKey{sw, h}] = [][]topology.NodeID{{sw, h}}
 				continue
 			}
-			ps := KShortestPaths(g, sw, h, k)
+			ps := KShortestPathsAvoiding(r.g, sw, h, r.k, r.dead)
 			if len(ps) == 0 {
-				return nil, fmt.Errorf("routing: ksp: no path from switch %d to host %d", sw, h)
+				if r.dead != nil {
+					continue // severed by failures: tolerated
+				}
+				return fmt.Errorf("routing: ksp: no path from switch %d to host %d", sw, h)
 			}
 			r.paths[pathKey{sw, h}] = ps
 		}
 	}
-	return r, nil
+	return nil
+}
+
+// Reroute implements Rerouter: path sets are recomputed avoiding the
+// failed links. The dead map is copied. Pairs left unreachable lose
+// their entries until a later Reroute restores connectivity.
+func (r *KSP) Reroute(dead map[topology.LinkID]bool) {
+	r.dead = copyDead(dead)
+	r.rebuild() // unreachable pairs are dropped, so err is always nil here
 }
 
 // Name implements Router.
@@ -66,6 +94,9 @@ func (r *KSP) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error)
 	if r.g.Node(n).Kind == topology.Host {
 		// Source host: forward to its ToR.
 		for _, p := range r.g.Ports(n) {
+			if r.dead[p.Link] {
+				continue
+			}
 			if r.g.Node(p.Peer).Kind == topology.Switch {
 				return p, nil
 			}
@@ -101,7 +132,7 @@ func (r *KSP) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error)
 
 func (r *KSP) portTo(n, next topology.NodeID) (topology.Port, error) {
 	for _, p := range r.g.Ports(n) {
-		if p.Peer == next {
+		if p.Peer == next && !r.dead[p.Link] {
 			return p, nil
 		}
 	}

@@ -8,7 +8,11 @@
 // A Router answers one question for the packet simulator: given the
 // switch a packet is at and the packet's flow and destination, which
 // output port should carry it? Routers precompute their tables from a
-// topology.Graph and are immutable (and goroutine-safe) afterwards.
+// topology.Graph; reads are goroutine-safe. Routers that also implement
+// Rerouter (ECMP, VLB, KSP) can recompute their tables around a set of
+// failed links mid-run — Reroute mutates the router and must not run
+// concurrently with NextPort (the packet simulator is single-threaded,
+// so this holds naturally inside one simulation).
 package routing
 
 import (
@@ -48,6 +52,37 @@ type Router interface {
 	Name() string
 }
 
+// Rerouter is implemented by routers that can recompute their tables
+// around a set of failed links mid-run — the control-plane reconvergence
+// step after failure detection. Reroute replaces any previously-avoided
+// link set (it does not accumulate): pass the complete set of currently
+// dead links each time, and an empty or nil map to restore full routes.
+//
+// Reroute copies dead; later mutations by the caller have no effect.
+// It mutates the router in place, so it must not race with NextPort —
+// inside a single-threaded simulation this holds naturally.
+type Rerouter interface {
+	Router
+	Reroute(dead map[topology.LinkID]bool)
+}
+
+// copyDead defensively copies a dead-link set, dropping explicit false
+// entries; it returns nil when the effective set is empty so that table
+// builders can take their fast no-failures path.
+func copyDead(dead map[topology.LinkID]bool) map[topology.LinkID]bool {
+	var out map[topology.LinkID]bool
+	for l, d := range dead {
+		if !d {
+			continue
+		}
+		if out == nil {
+			out = make(map[topology.LinkID]bool, len(dead))
+		}
+		out[l] = true
+	}
+	return out
+}
+
 // hashFlow mixes a flow ID with a node ID so different switches make
 // independent ECMP choices (64-bit splitmix-style finalizer).
 func hashFlow(f FlowID, n topology.NodeID) uint64 {
@@ -67,6 +102,11 @@ type ECMP struct {
 	g *topology.Graph
 	// next[dst][n] lists n's shortest-path ports toward dst.
 	next map[topology.NodeID][][]topology.Port
+	// dead is the failed-link set the tables were built around (nil
+	// when routing the intact graph). Owned by the router: constructors
+	// and Reroute copy their argument, so caller mutations after the
+	// call have no effect.
+	dead map[topology.LinkID]bool
 	// perPacket sprays individual packets over the equal-cost set
 	// instead of pinning whole flows. The paper's simulator sprays
 	// (§7.1 reports no difference between ECMP and VLB on the mesh,
@@ -78,10 +118,8 @@ type ECMP struct {
 // NewECMP precomputes shortest-path next hops toward every host.
 // Packets of one flow are pinned to one path.
 func NewECMP(g *topology.Graph) *ECMP {
-	e := &ECMP{g: g, next: make(map[topology.NodeID][][]topology.Port, len(g.Hosts()))}
-	for _, h := range g.Hosts() {
-		e.next[h] = g.AllShortestNextHops(h)
-	}
+	e := &ECMP{g: g}
+	e.rebuild()
 	return e
 }
 
@@ -95,13 +133,28 @@ func NewECMPPerPacket(g *topology.Graph) *ECMP {
 
 // NewECMPAvoiding precomputes shortest-path next hops on the graph with
 // the given links treated as failed — the router a control plane would
-// install after detecting those failures.
+// install after detecting those failures. The dead map is copied; the
+// caller may reuse or mutate it afterwards without affecting the router.
 func NewECMPAvoiding(g *topology.Graph, dead map[topology.LinkID]bool) *ECMP {
-	e := &ECMP{g: g, next: make(map[topology.NodeID][][]topology.Port, len(g.Hosts()))}
-	for _, h := range g.Hosts() {
-		e.next[h] = g.AllShortestNextHopsAvoiding(h, dead)
-	}
+	e := &ECMP{g: g, dead: copyDead(dead)}
+	e.rebuild()
 	return e
+}
+
+// rebuild recomputes the next-hop tables from the graph and the current
+// dead-link set.
+func (e *ECMP) rebuild() {
+	e.next = make(map[topology.NodeID][][]topology.Port, len(e.g.Hosts()))
+	for _, h := range e.g.Hosts() {
+		e.next[h] = e.g.AllShortestNextHopsAvoiding(h, e.dead)
+	}
+}
+
+// Reroute implements Rerouter: recompute shortest paths with the given
+// links failed, replacing any previous dead set.
+func (e *ECMP) Reroute(dead map[topology.LinkID]bool) {
+	e.dead = copyDead(dead)
+	e.rebuild()
 }
 
 // Name implements Router.
@@ -143,6 +196,9 @@ type VLB struct {
 	// distTo[sw] holds hop distances from every node to switch sw, for
 	// waypoint forwarding.
 	distTo map[topology.NodeID][]int
+	// dead mirrors the embedded ECMP's failed-link set so waypoint
+	// forwarding skips dead parallel links.
+	dead map[topology.LinkID]bool
 }
 
 // NewVLB builds a VLB router over g (which should be a full mesh of ToR
@@ -156,12 +212,27 @@ func NewVLB(g *topology.Graph, indirectFraction float64) (*VLB, error) {
 		g:                g,
 		indirectFraction: indirectFraction,
 		switches:         g.Switches(),
-		distTo:           make(map[topology.NodeID][]int, len(g.Switches())),
 	}
-	for _, sw := range v.switches {
-		v.distTo[sw] = g.BFSDist(sw, nil)
-	}
+	v.rebuildDist()
 	return v, nil
+}
+
+// rebuildDist recomputes the per-switch distance tables used for
+// waypoint forwarding, honoring the current dead-link set.
+func (v *VLB) rebuildDist() {
+	v.distTo = make(map[topology.NodeID][]int, len(v.switches))
+	for _, sw := range v.switches {
+		v.distTo[sw] = v.g.BFSDist(sw, v.dead)
+	}
+}
+
+// Reroute implements Rerouter: both the direct-path ECMP tables and the
+// waypoint distance tables are rebuilt around the failed links. The
+// dead map is copied.
+func (v *VLB) Reroute(dead map[topology.LinkID]bool) {
+	v.dead = copyDead(dead)
+	v.ecmp.Reroute(dead)
+	v.rebuildDist()
 }
 
 // Name implements Router.
@@ -220,6 +291,9 @@ func (v *VLB) towardSwitch(n topology.NodeID, pkt PacketMeta) (topology.Port, er
 	}
 	var choices []topology.Port
 	for _, p := range v.g.Ports(n) {
+		if v.dead[p.Link] {
+			continue
+		}
 		if dist[p.Peer] == dist[n]-1 {
 			choices = append(choices, p)
 		}
@@ -334,10 +408,17 @@ func (st *SpanningTree) TreeLinks() map[topology.LinkID]bool { return st.inTree 
 // non-decreasing length order. Used for Jellyfish-style path diversity
 // analysis and k-shortest-path ECMP.
 func KShortestPaths(g *topology.Graph, src, dst topology.NodeID, k int) [][]topology.NodeID {
+	return KShortestPathsAvoiding(g, src, dst, k, nil)
+}
+
+// KShortestPathsAvoiding is KShortestPaths on the graph with the links
+// in avoid removed — for recomputing path sets around failures. The
+// avoid map is only read.
+func KShortestPathsAvoiding(g *topology.Graph, src, dst topology.NodeID, k int, avoid map[topology.LinkID]bool) [][]topology.NodeID {
 	if k <= 0 {
 		return nil
 	}
-	first := g.ShortestPath(src, dst, nil)
+	first := g.ShortestPath(src, dst, avoid)
 	if first == nil {
 		return nil
 	}
@@ -351,6 +432,11 @@ func KShortestPaths(g *topology.Graph, src, dst topology.NodeID, k int) [][]topo
 			rootPath := last[:i+1]
 			// Remove links used by previous paths sharing this root.
 			dead := make(map[topology.LinkID]bool)
+			for l, d := range avoid {
+				if d {
+					dead[l] = true
+				}
+			}
 			for _, p := range paths {
 				if len(p) > i && equalPath(p[:i+1], rootPath) {
 					if l, ok := g.FindLink(p[i], p[i+1]); ok {

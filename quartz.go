@@ -73,6 +73,8 @@ type (
 	SwitchModel = netsim.SwitchModel
 	// Router selects forwarding ports.
 	Router = routing.Router
+	// FlowID identifies a flow for routing and Network.Unicast.
+	FlowID = routing.FlowID
 	// ChannelPlan is a wavelength assignment for a ring.
 	ChannelPlan = wdm.Plan
 )
@@ -104,6 +106,43 @@ type (
 	// packet counters.
 	RunTelemetry = netsim.RunTelemetry
 )
+
+// Fault injection: runtime link/switch/fiber failures with detection
+// delay and route reconvergence (§3.5 dynamics). Obtain a Network's
+// injector with Network.Faults(); core.Ring.AttachFaults wires a
+// planned ring's fiber-cut geometry into it.
+type (
+	// FaultInjector is the unified failure surface of a Network.
+	FaultInjector = netsim.FaultInjector
+	// FaultSchedule is a set of timed fault events plus the
+	// control-plane model (detection delay, in-flight policy).
+	FaultSchedule = netsim.FaultSchedule
+	// FaultEvent is one scheduled failure with an optional repair.
+	FaultEvent = netsim.FaultEvent
+	// FaultKind selects link, switch, or fiber-segment faults.
+	FaultKind = netsim.FaultKind
+	// FaultChange reports a fault transition to observers.
+	FaultChange = netsim.FaultChange
+	// FaultObserver extends Probe with fault-transition callbacks.
+	FaultObserver = netsim.FaultObserver
+	// ReroutePolicy picks the fate of packets queued on a cut link.
+	ReroutePolicy = netsim.ReroutePolicy
+	// Rerouter is a Router that can recompute around failed links.
+	Rerouter = routing.Rerouter
+)
+
+// Fault kinds and in-flight policies.
+const (
+	FaultLink      = netsim.FaultLink
+	FaultSwitch    = netsim.FaultSwitch
+	FaultFiber     = netsim.FaultFiber
+	DropInFlight   = netsim.DropInFlight
+	DetourInFlight = netsim.DetourInFlight
+)
+
+// DefaultDetectionDelay is the reconvergence lag a FaultSchedule gets
+// when it does not set one.
+const DefaultDetectionDelay = netsim.DefaultDetectionDelay
 
 // NewNetwork builds a packet-level network simulator from cfg.
 func NewNetwork(cfg NetworkConfig) (*Network, error) { return netsim.New(cfg) }
@@ -221,6 +260,27 @@ var (
 	Figure18 = experiments.Figure18
 	// Figure20 runs the pathological switch-pair stress pattern.
 	Figure20 = experiments.Figure20
+	// FigureF6Dynamic runs a mid-run fiber cut with reconvergence and
+	// measures throughput before, during, and after (§3.5 dynamics).
+	FigureF6Dynamic = experiments.FigureF6Dynamic
+)
+
+// Experiment registry: every reproduced table and figure, with a name,
+// paper section, and runner. cmd/quartzbench iterates this.
+type (
+	// Experiment is one registry entry.
+	Experiment = experiments.Experiment
+	// ExperimentParams carries the shared experiment knobs.
+	ExperimentParams = experiments.Params
+	// ExperimentOutput is an experiment's rendered text and CSV rows.
+	ExperimentOutput = experiments.Output
+)
+
+var (
+	// Experiments returns the full registry in presentation order.
+	Experiments = experiments.All
+	// FindExperiment looks an entry up by its CLI name.
+	FindExperiment = experiments.Find
 )
 
 // Extended API surface: scaling variants, expansion, transports, and
