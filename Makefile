@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench bench-json
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,11 @@ verify: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Machine-readable perf record: run every experiment at reduced
+# parameters (a smoke-scale pass, minutes not hours) and write
+# per-experiment wall time and simulator events/sec to
+# BENCH_quartz.json. CI uploads it as an artifact; commit it when the
+# perf trajectory is worth recording.
+bench-json:
+	$(GO) run ./cmd/quartzbench -trials 500 -tasks 4 -rpcs 200 -json BENCH_quartz.json

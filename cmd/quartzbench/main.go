@@ -5,7 +5,7 @@
 //
 //	quartzbench [-run all|<name>] [-list]
 //	            [-seed N] [-trials N] [-tasks N] [-rpcs N] [-csv DIR]
-//	            [-cpuprofile FILE] [-memprofile FILE]
+//	            [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The experiment set comes from the experiments registry
 // (experiments.All); -list prints it. Each experiment is deterministic
@@ -15,6 +15,11 @@
 // the simulator's own hot paths (`go tool pprof` reads them).
 // Interrupting the run (SIGINT/SIGTERM) cancels the in-flight
 // experiment's context.
+//
+// -json writes a machine-readable run report: per-experiment wall time
+// and simulator events/sec plus the run parameters and build
+// environment. `make bench-json` uses it to regenerate
+// BENCH_quartz.json, the repo's accumulating perf record.
 package main
 
 import (
@@ -29,8 +34,10 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/quartz-dcn/quartz/internal/experiments"
+	"github.com/quartz-dcn/quartz/internal/sim"
 )
 
 var (
@@ -41,6 +48,7 @@ var (
 	tasks      = flag.Int("tasks", 8, "maximum concurrent tasks (fig17/fig18)")
 	rpcs       = flag.Int("rpcs", 2000, "RPCs per point (fig14)")
 	csvDir     = flag.String("csv", "", "also write each experiment's rows as CSV files into this directory")
+	jsonOut    = flag.String("json", "", "write a machine-readable run report (wall time, events/sec per experiment) to this file")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 )
@@ -110,6 +118,8 @@ func main() {
 	defer stop()
 	params := experiments.Params{Seed: *seed, Trials: *trials, Tasks: *tasks, RPCs: *rpcs}
 
+	report := experiments.NewReport(params, time.Now())
+
 	which := strings.ToLower(*run)
 	ran := false
 	for _, e := range experiments.All() {
@@ -118,11 +128,19 @@ func main() {
 		}
 		ran = true
 		fmt.Printf("==> %s\n", e.Title)
+		eventsBefore := sim.TotalEvents()
+		wallStart := time.Now()
 		out, err := e.Run(ctx, params)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "quartzbench: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
+		report.Add(experiments.ExperimentReport{
+			Name: e.Name, Title: e.Title, Section: e.Section,
+			WallSecs: time.Since(wallStart).Seconds(),
+			Events:   sim.TotalEvents() - eventsBefore,
+			CSVRows:  len(out.CSV),
+		})
 		fmt.Print(out.Text)
 		names := make([]string, 0, len(out.CSV))
 		for name := range out.CSV {
@@ -141,5 +159,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "quartzbench: unknown experiment %q\n", *run)
 		printRegistry()
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: writing report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote run report (%d experiments, %.1fs) to %s\n",
+			len(report.Experiments), report.WallSecs, *jsonOut)
 	}
 }

@@ -9,6 +9,8 @@
 //	          [-tasks N] [-pps N] [-fanout N] [-ms N] [-seed N] [-hot N]
 //	          [-fail SPEC] [-fail-detect DUR] [-fail-policy drop|detour]
 //	          [-trace FILE] [-trace-max N] [-probe-interval US] [-probe-out FILE]
+//	          [-metrics-addr HOST:PORT] [-metrics-out FILE]
+//	          [-metrics-interval US] [-flows-out FILE]
 //
 // Architectures: tree3 (three-tier), tree2 (two-tier), ring (single
 // Quartz ring), core (Quartz in core), edge (Quartz in edge), edgecore
@@ -33,6 +35,17 @@
 // virtual time, written to -probe-out. Both emit CSV, or JSON when the
 // file name ends in .json. A run-telemetry summary (events processed,
 // peak calendar size, wall-clock event rate) always prints at the end.
+//
+// Metrics: -metrics-addr serves a live HTTP endpoint while the run
+// executes — /metrics is the Prometheus text format, /status (and /) a
+// JSON run-status page — so a multi-minute simulation can be watched
+// mid-flight. -metrics-out streams NDJSON registry snapshots (one line
+// per series per heartbeat) to a file; -metrics-interval sets the
+// heartbeat cadence in virtual microseconds. -flows-out writes the
+// per-flow table (FCT, bytes, retransmits, drop attribution) at the
+// end of the run, as CSV or JSON by extension. Any of these flags
+// enables the metrics registry, the engine heartbeat, and the
+// FlowTracker probe.
 package main
 
 import (
@@ -40,12 +53,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/quartz-dcn/quartz/internal/core"
+	"github.com/quartz-dcn/quartz/internal/metrics"
 	"github.com/quartz-dcn/quartz/internal/netsim"
 	"github.com/quartz-dcn/quartz/internal/routing"
 	"github.com/quartz-dcn/quartz/internal/sim"
@@ -73,6 +88,11 @@ var (
 	probeUS   = flag.Int64("probe-interval", 0, "sample queue depth/utilization every N microseconds (0 = off)")
 	probeOut  = flag.String("probe-out", "", "write queue samples to this file (CSV, or JSON if it ends in .json); default: per-port summary on stdout")
 	telemetry = flag.Bool("telemetry", true, "print the run-telemetry summary")
+
+	metricsAddr = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics Prometheus text, /status JSON)")
+	metricsOut  = flag.String("metrics-out", "", "stream NDJSON registry snapshots to this file, one per heartbeat")
+	metricsUS   = flag.Int64("metrics-interval", 100, "heartbeat/snapshot cadence in virtual microseconds")
+	flowsOut    = flag.String("flows-out", "", "write the per-flow telemetry table to this file (CSV, or JSON if it ends in .json)")
 )
 
 // emit writes obs to path, picking JSON when the extension says so.
@@ -235,13 +255,28 @@ func main() {
 	hosts := arch.Graph.Hosts()
 	end := sim.Time(*ms) * sim.Millisecond
 
+	runEnd := end + 2*sim.Millisecond
+
 	var probes []netsim.Probe
 	if recorder != nil {
 		probes = append(probes, recorder)
 	}
+
+	var reg *metrics.Registry
+	var flows *netsim.FlowTracker
+	if *metricsAddr != "" || *metricsOut != "" || *flowsOut != "" {
+		reg = metrics.NewRegistry()
+		flows = netsim.NewFlowTracker()
+		flows.Bind(reg)
+		probes = append(probes, flows)
+	}
+
 	var sampler *netsim.QueueSampler
 	if *probeUS > 0 {
 		sampler = netsim.NewQueueSampler(net, sim.Time(*probeUS)*sim.Microsecond)
+		if reg != nil {
+			sampler.Bind(reg)
+		}
 		sampler.Start(end)
 		probes = append(probes, sampler)
 	} else if *probeOut != "" {
@@ -249,6 +284,46 @@ func main() {
 	}
 	if p := netsim.Probes(probes...); p != nil {
 		net.SetProbe(p)
+	}
+
+	var exporter *metrics.NDJSONExporter
+	var metricsFile *os.File
+	if reg != nil {
+		if *metricsUS <= 0 {
+			fmt.Fprintln(os.Stderr, "quartzsim: -metrics-interval must be positive")
+			os.Exit(2)
+		}
+		hb := sim.AttachHeartbeat(net.Engine(), reg, sim.Time(*metricsUS)*sim.Microsecond, runEnd)
+		if *metricsOut != "" {
+			metricsFile, err = os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+				os.Exit(1)
+			}
+			exporter = metrics.NewNDJSONExporter(metricsFile)
+			hb.OnTick = func(at sim.Time) {
+				if err := exporter.Export(int64(at), reg.Snapshot()); err != nil {
+					fmt.Fprintf(os.Stderr, "quartzsim: writing metrics: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *metricsAddr != "" {
+			errc := make(chan error, 1)
+			metrics.Serve(*metricsAddr, reg, metrics.StatusMeta{
+				"arch":     *archName,
+				"workload": *workload,
+				"tasks":    strconv.Itoa(*tasks),
+				"ms":       strconv.Itoa(*ms),
+				"seed":     strconv.FormatInt(*seed, 10),
+			}, errc)
+			go func() {
+				if err := <-errc; err != nil && err != http.ErrServerClosed {
+					fmt.Fprintf(os.Stderr, "quartzsim: metrics server: %v\n", err)
+				}
+			}()
+			fmt.Printf("serving live metrics on http://%s/metrics (status: /status)\n", *metricsAddr)
+		}
 	}
 
 	pick := func(k int) []topology.NodeID {
@@ -371,7 +446,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	net.Engine().RunUntil(end + 2*sim.Millisecond)
+	net.Engine().RunUntil(runEnd)
 
 	fmt.Printf("%s | %s | %d task(s), %d streams each at %.0f pps | %d ms\n",
 		arch.Name, *workload, n, *fanout, *pps, *ms)
@@ -404,6 +479,9 @@ func main() {
 		fmt.Printf("\nwrote %d trace events to %s", len(recorder.Events()), *traceOut)
 		if tr := recorder.Truncated(); tr > 0 {
 			fmt.Printf(" (%d more dropped by -trace-max %d)", tr, *traceMax)
+			fmt.Fprintf(os.Stderr,
+				"quartzsim: warning: trace is INCOMPLETE: %d event(s) discarded by -trace-max %d; raise it or pass -trace-max 0\n",
+				tr, *traceMax)
 		}
 		fmt.Println()
 	}
@@ -450,6 +528,32 @@ func main() {
 					from.Name, to.Name, pp.peak, st.Mean(), st.N())
 			}
 		}
+	}
+	if flows != nil {
+		fct := metrics.NewLatencyHistogram()
+		n := flows.FCTStats(fct)
+		if n > 0 {
+			fmt.Printf("\nflows: %d tracked | FCT p50 %.1fus p99 %.1fus max %.1fus\n",
+				n, fct.Quantile(0.50), fct.Quantile(0.99), fct.Max())
+		}
+		if *flowsOut != "" {
+			if err := emit(*flowsOut, flows.WriteCSV, flows.WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "quartzsim: writing flows: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d flow rows to %s\n", flows.NumFlows(), *flowsOut)
+		}
+	}
+	if exporter != nil {
+		// Final snapshot so the stream always ends with end-of-run state.
+		if err := exporter.Export(int64(net.Engine().Now()), reg.Snapshot()); err == nil {
+			err = metricsFile.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzsim: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d metrics snapshots to %s\n", exporter.Snapshots(), *metricsOut)
 	}
 	if *telemetry {
 		fmt.Printf("\ntelemetry: %s\n", net.Telemetry())

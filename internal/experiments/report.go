@@ -1,0 +1,81 @@
+// Machine-readable run reports. quartzbench -json (and the bench-json
+// Makefile target) serializes one Report per invocation so the repo's
+// perf trajectory accumulates in version-controlled artifacts
+// (BENCH_quartz.json) instead of scrollback: per-experiment wall time
+// and simulator events/sec, alongside the parameters that produced
+// them.
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// ExperimentReport is the machine-readable record of one experiment
+// run.
+type ExperimentReport struct {
+	Name    string `json:"name"`
+	Title   string `json:"title"`
+	Section string `json:"section"`
+	// WallSecs is real time spent inside the experiment's Run.
+	WallSecs float64 `json:"wall_secs"`
+	// Events is the number of simulator events the experiment drove
+	// (sim.TotalEvents delta; 0 for analytic experiments that never
+	// touch the event loop).
+	Events uint64 `json:"events"`
+	// EventsPerSec is Events over WallSecs.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// CSVRows counts data-bearing output tables.
+	CSVRows int `json:"csv_tables,omitempty"`
+}
+
+// Report is the full run report quartzbench -json emits.
+type Report struct {
+	// Schema names the report format for downstream tooling.
+	Schema string `json:"schema"`
+	// StartedAt is the wall-clock start of the run (RFC 3339).
+	StartedAt string `json:"started_at"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Params    Params `json:"params"`
+	// WallSecs is total wall time across the selected experiments.
+	WallSecs    float64            `json:"wall_secs"`
+	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// ReportSchema identifies the current report format.
+const ReportSchema = "quartz-bench-report/v1"
+
+// NewReport returns a Report shell stamped with the build environment;
+// the caller appends ExperimentReports as experiments finish.
+func NewReport(p Params, startedAt time.Time) *Report {
+	return &Report{
+		Schema:    ReportSchema,
+		StartedAt: startedAt.UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Params:    p.withDefaults(),
+	}
+}
+
+// Add appends one experiment's record and folds its wall time into the
+// run total.
+func (r *Report) Add(er ExperimentReport) {
+	if er.WallSecs > 0 {
+		er.EventsPerSec = float64(er.Events) / er.WallSecs
+	}
+	r.WallSecs += er.WallSecs
+	r.Experiments = append(r.Experiments, er)
+}
+
+// WriteJSON serializes the report, indented for diff-friendly
+// version-controlled artifacts.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

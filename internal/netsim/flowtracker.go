@@ -1,0 +1,418 @@
+package netsim
+
+// FlowTracker is the per-flow telemetry aggregator: it rides the Probe
+// lifecycle hooks (plus FaultObserver for drop attribution) and folds
+// the raw event stream into flow-completion times, byte counts, hop
+// counts, retransmit detection, and classified drop counts — the §6.1
+// / §7.1 quantities, maintained online so a million-packet run never
+// materializes its event list. Bind attaches the aggregates to a
+// metrics.Registry for the live exporters; the per-flow table itself
+// stays out of the registry (per-flow series cardinality does not
+// belong in a metrics pipeline) and exports through Flows, WriteCSV,
+// and WriteJSON.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+)
+
+// Drop-reason classes used for attribution. Raw reasons carry IDs
+// ("queue full on link 12"); the tracker folds them into bounded
+// classes so counters stay low-cardinality.
+const (
+	DropQueueFull = "queue-full"
+	DropLinkDown  = "link-down"
+	DropLinkCut   = "link-cut"
+	DropNoRoute   = "no-route"
+	DropHopLimit  = "hop-limit"
+	DropOther     = "other"
+)
+
+// classifyDrop maps a raw drop reason to its class.
+func classifyDrop(reason string) string {
+	switch {
+	case strings.HasPrefix(reason, "queue full"):
+		return DropQueueFull
+	case strings.HasSuffix(reason, "down"):
+		return DropLinkDown
+	case strings.HasSuffix(reason, "cut"):
+		return DropLinkCut
+	case strings.HasPrefix(reason, "no route"):
+		return DropNoRoute
+	case strings.HasPrefix(reason, "hop limit"):
+		return DropHopLimit
+	}
+	return DropOther
+}
+
+// FlowStats is one flow's aggregated telemetry.
+type FlowStats struct {
+	Flow routing.FlowID
+	// FirstSend is when the flow's first packet left its source;
+	// LastActivity is the latest delivery or drop.
+	FirstSend    sim.Time
+	LastActivity sim.Time
+	// FCT is the observed flow span: LastActivity - FirstSend. For the
+	// open-loop streams of the task workloads this is the active period;
+	// for request/response flows it is the completion time.
+	FCT sim.Time
+
+	PacketsSent      uint64
+	PacketsDelivered uint64
+	PacketsDropped   uint64
+	BytesDelivered   uint64
+	// Retransmits counts source sends that reused an already-seen
+	// transport sequence number (Packet.UserData != 0) — the TCP layer's
+	// loss recovery made visible at the packet layer. Flows that do not
+	// set UserData report 0.
+	Retransmits uint64
+	// MaxHops is the longest delivered path, in forwarding elements.
+	MaxHops int
+	// SumLatency accumulates delivery latencies; mean is
+	// SumLatency / PacketsDelivered.
+	SumLatency sim.Time
+	// DropsByClass attributes drops to bounded reason classes
+	// (DropQueueFull, DropLinkDown, ...).
+	DropsByClass map[string]uint64
+	// FaultWindowDrops counts drops that landed inside a fault
+	// degradation window (between a fault/repair transition and the
+	// route reconvergence that follows it).
+	FaultWindowDrops uint64
+}
+
+// MeanLatency returns the flow's mean delivery latency (0 if nothing
+// was delivered).
+func (f FlowStats) MeanLatency() sim.Time {
+	if f.PacketsDelivered == 0 {
+		return 0
+	}
+	return f.SumLatency / sim.Time(f.PacketsDelivered)
+}
+
+// flowState is the mutable per-flow record.
+type flowState struct {
+	FlowStats
+	seenSeq map[uint64]struct{} // UserData values seen at the source
+}
+
+// FlowTracker aggregates per-flow telemetry from probe events. Create
+// one with NewFlowTracker, attach it via Config.Probe / SetProbe
+// (combine with Probes), and optionally Bind it to a registry. Like
+// every Probe it runs synchronously inside the event loop and is not
+// safe for concurrent use; the registry instruments it feeds are.
+type FlowTracker struct {
+	flows map[routing.FlowID]*flowState
+	order []routing.FlowID
+
+	// degraded counts fault transitions whose reconvergence is still
+	// pending; drops while degraded > 0 are fault-window drops.
+	degraded int
+
+	// Registry instruments (nil until Bind).
+	delivered  *metrics.Counter
+	droppedBy  map[string]*metrics.Counter
+	bytes      *metrics.Counter
+	sent       *metrics.Counter
+	retx       *metrics.Counter
+	faultDrops *metrics.Counter
+	flowsSeen  *metrics.Gauge
+	latency    *metrics.LatencyHistogram
+	reg        *metrics.Registry
+}
+
+// NewFlowTracker returns an empty tracker.
+func NewFlowTracker() *FlowTracker {
+	return &FlowTracker{flows: make(map[routing.FlowID]*flowState)}
+}
+
+// Bind registers the tracker's aggregate instruments in r. Per-flow
+// detail intentionally stays off the registry; use Flows or the CSV and
+// JSON writers for the table.
+//
+//	quartz_packets_sent_total        counter  source sends
+//	quartz_packets_delivered_total   counter
+//	quartz_packets_dropped_total     counter  labeled {reason: class}
+//	quartz_bytes_delivered_total     counter
+//	quartz_retransmits_total         counter  duplicate-sequence sends
+//	quartz_fault_window_drops_total  counter  drops inside degradation windows
+//	quartz_flows_seen                gauge    distinct flows observed
+//	quartz_packet_latency_us         histogram  delivery latency
+func (t *FlowTracker) Bind(r *metrics.Registry) {
+	t.reg = r
+	t.sent = r.Counter("quartz_packets_sent_total", "packets injected at source hosts", nil)
+	t.delivered = r.Counter("quartz_packets_delivered_total", "packets delivered to destination hosts", nil)
+	t.bytes = r.Counter("quartz_bytes_delivered_total", "payload bytes delivered", nil)
+	t.retx = r.Counter("quartz_retransmits_total", "source sends reusing a transport sequence number", nil)
+	t.faultDrops = r.Counter("quartz_fault_window_drops_total", "drops inside fault degradation windows", nil)
+	t.flowsSeen = r.Gauge("quartz_flows_seen", "distinct flows observed", nil)
+	t.latency = r.Histogram("quartz_packet_latency_us", "per-packet delivery latency in microseconds", nil)
+	t.droppedBy = make(map[string]*metrics.Counter)
+}
+
+// dropCounter returns the per-class drop counter (lazily registered).
+func (t *FlowTracker) dropCounter(class string) *metrics.Counter {
+	if t.reg == nil {
+		return nil
+	}
+	c := t.droppedBy[class]
+	if c == nil {
+		c = t.reg.Counter("quartz_packets_dropped_total", "packets dropped, by reason class",
+			metrics.Labels{"reason": class})
+		t.droppedBy[class] = c
+	}
+	return c
+}
+
+// flow returns the record for id, creating it at time now.
+func (t *FlowTracker) flow(id routing.FlowID, now sim.Time) *flowState {
+	f := t.flows[id]
+	if f == nil {
+		f = &flowState{FlowStats: FlowStats{
+			Flow: id, FirstSend: now, LastActivity: now,
+			DropsByClass: make(map[string]uint64),
+		}}
+		t.flows[id] = f
+		t.order = append(t.order, id)
+		if t.flowsSeen != nil {
+			t.flowsSeen.Set(float64(len(t.flows)))
+		}
+	}
+	return f
+}
+
+// PacketEnqueued implements Probe. Hops == 0 identifies the source
+// enqueue — the packet's injection into the network.
+func (t *FlowTracker) PacketEnqueued(e QueueEvent) {
+	if e.Packet.Hops != 0 {
+		return
+	}
+	f := t.flow(e.Packet.Flow, e.Packet.Created)
+	f.PacketsSent++
+	if t.sent != nil {
+		t.sent.Inc()
+	}
+	if seq := e.Packet.UserData; seq != 0 {
+		if f.seenSeq == nil {
+			f.seenSeq = make(map[uint64]struct{})
+		}
+		if _, dup := f.seenSeq[seq]; dup {
+			f.Retransmits++
+			if t.retx != nil {
+				t.retx.Inc()
+			}
+		} else {
+			f.seenSeq[seq] = struct{}{}
+		}
+	}
+}
+
+// PacketTransmitted implements Probe (no-op: per-hop transmissions do
+// not change flow aggregates).
+func (t *FlowTracker) PacketTransmitted(QueueEvent) {}
+
+// PacketDelivered implements Probe.
+func (t *FlowTracker) PacketDelivered(d Delivery) {
+	f := t.flow(d.Packet.Flow, d.Packet.Created)
+	f.PacketsDelivered++
+	f.BytesDelivered += uint64(d.Packet.Size)
+	f.SumLatency += d.Latency
+	if d.At > f.LastActivity {
+		f.LastActivity = d.At
+	}
+	if d.Packet.Hops > f.MaxHops {
+		f.MaxHops = d.Packet.Hops
+	}
+	if t.delivered != nil {
+		t.delivered.Inc()
+		t.bytes.Add(uint64(d.Packet.Size))
+		t.latency.Observe(d.Latency.Micros())
+	}
+}
+
+// PacketDropped implements Probe.
+func (t *FlowTracker) PacketDropped(d Drop) {
+	f := t.flow(d.Packet.Flow, d.Packet.Created)
+	f.PacketsDropped++
+	class := classifyDrop(d.Reason)
+	f.DropsByClass[class]++
+	if d.At > f.LastActivity {
+		f.LastActivity = d.At
+	}
+	if t.degraded > 0 {
+		f.FaultWindowDrops++
+		if t.faultDrops != nil {
+			t.faultDrops.Inc()
+		}
+	}
+	if c := t.dropCounter(class); c != nil {
+		c.Inc()
+	}
+}
+
+// FaultChanged implements FaultObserver: each fault or repair
+// transition opens a degradation window that the following
+// reconvergence closes; drops inside any open window are attributed as
+// fault-window drops.
+func (t *FlowTracker) FaultChanged(c FaultChange) {
+	if c.Reconverged {
+		if t.degraded > 0 {
+			t.degraded--
+		}
+		return
+	}
+	t.degraded++
+}
+
+// Flows returns every tracked flow in first-send order, with FCT
+// filled in. The snapshot is a copy; mutating it does not affect the
+// tracker.
+func (t *FlowTracker) Flows() []FlowStats {
+	out := make([]FlowStats, 0, len(t.order))
+	for _, id := range t.order {
+		out = append(out, t.snapshotFlow(t.flows[id]))
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].FirstSend < out[j].FirstSend })
+	return out
+}
+
+// Flow returns one flow's stats.
+func (t *FlowTracker) Flow(id routing.FlowID) (FlowStats, bool) {
+	f, ok := t.flows[id]
+	if !ok {
+		return FlowStats{}, false
+	}
+	return t.snapshotFlow(f), true
+}
+
+func (t *FlowTracker) snapshotFlow(f *flowState) FlowStats {
+	s := f.FlowStats
+	s.FCT = s.LastActivity - s.FirstSend
+	s.DropsByClass = make(map[string]uint64, len(f.DropsByClass))
+	for k, v := range f.DropsByClass {
+		s.DropsByClass[k] = v
+	}
+	return s
+}
+
+// NumFlows returns the number of distinct flows observed.
+func (t *FlowTracker) NumFlows() int { return len(t.flows) }
+
+// FCTStats feeds every flow's FCT (µs) into hist — typically a
+// registry LatencyHistogram registered at the end of a run — and
+// returns how many flows it observed.
+func (t *FlowTracker) FCTStats(hist *metrics.LatencyHistogram) int {
+	for _, id := range t.order {
+		f := t.flows[id]
+		hist.Observe((f.LastActivity - f.FirstSend).Micros())
+	}
+	return len(t.order)
+}
+
+// WriteCSV writes the per-flow table with a header row:
+// flow,first_send_ps,last_activity_ps,fct_ps,sent,delivered,dropped,
+// bytes,retransmits,max_hops,mean_latency_us,drops_by_class,fault_window_drops.
+// drops_by_class is a semicolon-joined class=count list (CSV-escaped by
+// the writer).
+func (t *FlowTracker) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"flow", "first_send_ps", "last_activity_ps", "fct_ps", "sent", "delivered",
+		"dropped", "bytes", "retransmits", "max_hops", "mean_latency_us",
+		"drops_by_class", "fault_window_drops",
+	}); err != nil {
+		return err
+	}
+	for _, f := range t.Flows() {
+		if err := cw.Write([]string{
+			strconv.FormatUint(uint64(f.Flow), 10),
+			strconv.FormatInt(int64(f.FirstSend), 10),
+			strconv.FormatInt(int64(f.LastActivity), 10),
+			strconv.FormatInt(int64(f.FCT), 10),
+			strconv.FormatUint(f.PacketsSent, 10),
+			strconv.FormatUint(f.PacketsDelivered, 10),
+			strconv.FormatUint(f.PacketsDropped, 10),
+			strconv.FormatUint(f.BytesDelivered, 10),
+			strconv.FormatUint(f.Retransmits, 10),
+			strconv.Itoa(f.MaxHops),
+			fmt.Sprintf("%.3f", f.MeanLatency().Micros()),
+			formatDropClasses(f.DropsByClass),
+			strconv.FormatUint(f.FaultWindowDrops, 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatDropClasses renders class=count pairs sorted by class.
+func formatDropClasses(m map[string]uint64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	classes := make([]string, 0, len(m))
+	for c := range m {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, m[c]))
+	}
+	return strings.Join(parts, ";")
+}
+
+// flowJSON is the JSON wire form of one flow.
+type flowJSON struct {
+	Flow             uint64            `json:"flow"`
+	FirstSendPs      int64             `json:"first_send_ps"`
+	LastActivityPs   int64             `json:"last_activity_ps"`
+	FCTPs            int64             `json:"fct_ps"`
+	Sent             uint64            `json:"sent"`
+	Delivered        uint64            `json:"delivered"`
+	Dropped          uint64            `json:"dropped"`
+	Bytes            uint64            `json:"bytes"`
+	Retransmits      uint64            `json:"retransmits"`
+	MaxHops          int               `json:"max_hops"`
+	MeanLatencyUs    float64           `json:"mean_latency_us"`
+	DropsByClass     map[string]uint64 `json:"drops_by_class,omitempty"`
+	FaultWindowDrops uint64            `json:"fault_window_drops,omitempty"`
+}
+
+// WriteJSON writes the per-flow table as a JSON array.
+func (t *FlowTracker) WriteJSON(w io.Writer) error {
+	flows := t.Flows()
+	out := make([]flowJSON, 0, len(flows))
+	for _, f := range flows {
+		j := flowJSON{
+			Flow:             uint64(f.Flow),
+			FirstSendPs:      int64(f.FirstSend),
+			LastActivityPs:   int64(f.LastActivity),
+			FCTPs:            int64(f.FCT),
+			Sent:             f.PacketsSent,
+			Delivered:        f.PacketsDelivered,
+			Dropped:          f.PacketsDropped,
+			Bytes:            f.BytesDelivered,
+			Retransmits:      f.Retransmits,
+			MaxHops:          f.MaxHops,
+			MeanLatencyUs:    f.MeanLatency().Micros(),
+			FaultWindowDrops: f.FaultWindowDrops,
+		}
+		if len(f.DropsByClass) > 0 {
+			j.DropsByClass = f.DropsByClass
+		}
+		out = append(out, j)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,248 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+)
+
+func TestFlowTrackerAggregates(t *testing.T) {
+	g, h0, h1 := twoHosts(t, 10*sim.Gbps)
+	ft := NewFlowTracker()
+	reg := metrics.NewRegistry()
+	ft.Bind(reg)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g), Probe: ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow 1: 5 packets h0->h1. Flow 2: 3 packets the other way.
+	for i := 0; i < 5; i++ {
+		net.Unicast(1, h0, h1, 400, 0)
+	}
+	for i := 0; i < 3; i++ {
+		net.Unicast(2, h1, h0, 900, 0)
+	}
+	net.Engine().Run()
+
+	if ft.NumFlows() != 2 {
+		t.Fatalf("NumFlows = %d, want 2", ft.NumFlows())
+	}
+	f1, ok := ft.Flow(1)
+	if !ok {
+		t.Fatal("flow 1 not tracked")
+	}
+	if f1.PacketsSent != 5 || f1.PacketsDelivered != 5 || f1.PacketsDropped != 0 {
+		t.Errorf("flow 1 sent/delivered/dropped = %d/%d/%d, want 5/5/0",
+			f1.PacketsSent, f1.PacketsDelivered, f1.PacketsDropped)
+	}
+	if f1.BytesDelivered != 5*400 {
+		t.Errorf("flow 1 bytes = %d, want 2000", f1.BytesDelivered)
+	}
+	if f1.MaxHops != 3 {
+		t.Errorf("flow 1 max hops = %d, want 3 (two switches + dest)", f1.MaxHops)
+	}
+	if f1.FCT <= 0 || f1.MeanLatency() <= 0 {
+		t.Errorf("flow 1 FCT=%v meanLat=%v, want both > 0", f1.FCT, f1.MeanLatency())
+	}
+	// All sends happen at t=0; flow order must be stable.
+	flows := ft.Flows()
+	if len(flows) != 2 || flows[0].Flow != 1 || flows[1].Flow != 2 {
+		t.Errorf("Flows() order = %v", flows)
+	}
+
+	// Registry aggregates match.
+	snap := reg.Snapshot()
+	vals := map[string]float64{}
+	for _, s := range snap.Series {
+		vals[s.Name+s.Labels["reason"]] = s.Value
+	}
+	if vals["quartz_packets_sent_total"] != 8 || vals["quartz_packets_delivered_total"] != 8 {
+		t.Errorf("registry sent/delivered = %v/%v, want 8/8",
+			vals["quartz_packets_sent_total"], vals["quartz_packets_delivered_total"])
+	}
+	if vals["quartz_bytes_delivered_total"] != 5*400+3*900 {
+		t.Errorf("registry bytes = %v, want %d", vals["quartz_bytes_delivered_total"], 5*400+3*900)
+	}
+	if vals["quartz_flows_seen"] != 2 {
+		t.Errorf("quartz_flows_seen = %v, want 2", vals["quartz_flows_seen"])
+	}
+	for _, s := range snap.Series {
+		if s.Name == "quartz_packet_latency_us" {
+			if s.Count != 8 || s.P50 <= 0 {
+				t.Errorf("latency histogram count=%d p50=%v, want 8 and > 0", s.Count, s.P50)
+			}
+		}
+	}
+}
+
+func TestFlowTrackerDropAttribution(t *testing.T) {
+	g, h0, h1 := twoHosts(t, 10*sim.Gbps)
+	ft := NewFlowTracker()
+	reg := metrics.NewRegistry()
+	ft.Bind(reg)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g), Probe: ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailLink(1); err != nil { // s0-s1 inter-switch link
+		t.Fatal(err)
+	}
+	net.Unicast(7, h0, h1, 400, 0)
+	net.Engine().Run()
+
+	f, ok := ft.Flow(7)
+	if !ok || f.PacketsDropped != 1 {
+		t.Fatalf("flow 7 dropped = %d, want 1", f.PacketsDropped)
+	}
+	if f.DropsByClass[DropLinkDown] != 1 {
+		t.Errorf("drop classes = %v, want 1 %s", f.DropsByClass, DropLinkDown)
+	}
+	// FailLink is the legacy instant path with no FaultChange events, so
+	// the drop is NOT a fault-window drop.
+	if f.FaultWindowDrops != 0 {
+		t.Errorf("fault-window drops = %d, want 0 without a fault schedule", f.FaultWindowDrops)
+	}
+	found := false
+	for _, s := range reg.Snapshot().Series {
+		if s.Name == "quartz_packets_dropped_total" && s.Labels["reason"] == DropLinkDown {
+			found = true
+			if s.Value != 1 {
+				t.Errorf("dropped{link-down} = %v, want 1", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("no quartz_packets_dropped_total{reason=link-down} series")
+	}
+}
+
+func TestFlowTrackerFaultWindowAttribution(t *testing.T) {
+	g, h0, h1 := twoHosts(t, 10*sim.Gbps)
+	ft := NewFlowTracker()
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g), Probe: ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the inter-switch link at 1ms; detection 10ms keeps the
+	// degradation window open for the rest of the run.
+	fi := net.Faults()
+	if err := fi.Apply(FaultSchedule{
+		Events:         []FaultEvent{{Kind: FaultLink, Link: 1, At: sim.Millisecond}},
+		DetectionDelay: 10 * sim.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng := net.Engine()
+	// One packet before the cut, one inside the blackhole window.
+	eng.Schedule(0, func() { net.Unicast(3, h0, h1, 400, 0) })
+	eng.Schedule(2*sim.Millisecond, func() { net.Unicast(3, h0, h1, 400, 0) })
+	eng.RunUntil(5 * sim.Millisecond)
+
+	f, ok := ft.Flow(3)
+	if !ok {
+		t.Fatal("flow 3 not tracked")
+	}
+	if f.PacketsDelivered != 1 || f.PacketsDropped != 1 {
+		t.Fatalf("delivered/dropped = %d/%d, want 1/1", f.PacketsDelivered, f.PacketsDropped)
+	}
+	if f.FaultWindowDrops != 1 {
+		t.Errorf("fault-window drops = %d, want 1 (drop inside the blackhole window)", f.FaultWindowDrops)
+	}
+}
+
+func TestFlowTrackerRetransmitDetection(t *testing.T) {
+	g, h0, h1 := twoHosts(t, 10*sim.Gbps)
+	ft := NewFlowTracker()
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g), Probe: ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence 1,2,3 then 2 again (a retransmission), then an untagged
+	// packet (UserData 0: exempt from duplicate detection).
+	for _, seq := range []uint64{1, 2, 3, 2, 0} {
+		net.Send(Packet{Flow: 9, Src: h0, Dst: h1, Size: 400, Waypoint: NoWaypoint, UserData: seq})
+	}
+	net.Engine().Run()
+	f, _ := ft.Flow(9)
+	if f.Retransmits != 1 {
+		t.Errorf("retransmits = %d, want 1", f.Retransmits)
+	}
+	if f.PacketsSent != 5 {
+		t.Errorf("sent = %d, want 5", f.PacketsSent)
+	}
+}
+
+func TestFlowTrackerFCTStats(t *testing.T) {
+	g, h0, h1 := twoHosts(t, 10*sim.Gbps)
+	ft := NewFlowTracker()
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g), Probe: ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Unicast(1, h0, h1, 400, 0)
+	net.Unicast(2, h1, h0, 400, 0)
+	net.Engine().Run()
+	h := metrics.NewLatencyHistogram()
+	if n := ft.FCTStats(h); n != 2 {
+		t.Fatalf("FCTStats observed %d flows, want 2", n)
+	}
+	if h.Count() != 2 || h.Quantile(0.5) <= 0 {
+		t.Fatalf("FCT histogram count=%d p50=%v", h.Count(), h.Quantile(0.5))
+	}
+}
+
+func TestFlowTrackerExports(t *testing.T) {
+	g, h0, h1 := twoHosts(t, 10*sim.Gbps)
+	ft := NewFlowTracker()
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g), Probe: ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Unicast(1, h0, h1, 400, 0)
+	net.Engine().Run()
+
+	var buf bytes.Buffer
+	if err := ft.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("flow CSV does not parse: %v", err)
+	}
+	if len(rows) != 2 || rows[0][0] != "flow" {
+		t.Fatalf("flow CSV = %v", rows)
+	}
+
+	buf.Reset()
+	if err := ft.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("flow JSON does not parse: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0]["delivered"].(float64) != 1 {
+		t.Fatalf("flow JSON = %v", decoded)
+	}
+}
+
+func TestClassifyDrop(t *testing.T) {
+	for reason, want := range map[string]string{
+		"queue full on link 12":              DropQueueFull,
+		"link 3 down":                        DropLinkDown,
+		"link 3 cut":                         DropLinkCut,
+		"no route: ksp: disconnected":        DropNoRoute,
+		"hop limit exceeded (routing loop?)": DropHopLimit,
+		"cosmic ray":                         DropOther,
+	} {
+		if got := classifyDrop(reason); got != want {
+			t.Errorf("classifyDrop(%q) = %q, want %q", reason, got, want)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package netsim
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"github.com/quartz-dcn/quartz/internal/metrics"
@@ -158,6 +160,10 @@ type TraceEvent struct {
 type TraceRecorder struct {
 	max    int
 	events []TraceEvent
+	// byPacket indexes event positions per packet ID, so PacketEvents
+	// is O(k) in the packet's own event count instead of a scan of the
+	// whole trace (fault rows carry no packet and are not indexed).
+	byPacket map[uint64][]int32
 	// paths holds the hop list of delivered packets (RecordPaths only),
 	// capped by the same event bound.
 	paths     map[uint64][]topology.NodeID
@@ -167,13 +173,20 @@ type TraceRecorder struct {
 // NewTraceRecorder returns a recorder that keeps at most max events
 // (max <= 0 means an unbounded trace — only for small runs).
 func NewTraceRecorder(max int) *TraceRecorder {
-	return &TraceRecorder{max: max, paths: make(map[uint64][]topology.NodeID)}
+	return &TraceRecorder{
+		max:      max,
+		byPacket: make(map[uint64][]int32),
+		paths:    make(map[uint64][]topology.NodeID),
+	}
 }
 
 func (t *TraceRecorder) add(e TraceEvent) bool {
 	if t.max > 0 && len(t.events) >= t.max {
 		t.truncated++
 		return false
+	}
+	if e.Packet != 0 {
+		t.byPacket[e.Packet] = append(t.byPacket[e.Packet], int32(len(t.events)))
 	}
 	t.events = append(t.events, e)
 	return true
@@ -232,12 +245,16 @@ func (t *TraceRecorder) Events() []TraceEvent { return t.events }
 func (t *TraceRecorder) Truncated() uint64 { return t.truncated }
 
 // PacketEvents returns the recorded events of one packet, in order.
+// O(k) in the packet's own event count via the per-packet index — safe
+// to call per delivered packet (the FlowTracker attribution path does).
 func (t *TraceRecorder) PacketEvents(id uint64) []TraceEvent {
-	var out []TraceEvent
-	for _, e := range t.events {
-		if e.Packet == id {
-			out = append(out, e)
-		}
+	idxs := t.byPacket[id]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]TraceEvent, len(idxs))
+	for i, ei := range idxs {
+		out[i] = t.events[ei]
 	}
 	return out
 }
@@ -247,18 +264,29 @@ func (t *TraceRecorder) PacketEvents(id uint64) []TraceEvent {
 func (t *TraceRecorder) Path(id uint64) []topology.NodeID { return t.paths[id] }
 
 // WriteCSV writes the trace as CSV with a header row:
-// at_ps,op,packet,flow,link,from,hops,reason.
+// at_ps,op,packet,flow,link,from,hops,reason. Fields are RFC-4180
+// quoted when needed — fault-row reasons can carry commas and quotes.
 func (t *TraceRecorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "at_ps,op,packet,flow,link,from,hops,reason"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_ps", "op", "packet", "flow", "link", "from", "hops", "reason"}); err != nil {
 		return err
 	}
 	for _, e := range t.events {
-		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%s\n",
-			int64(e.At), e.Op, e.Packet, e.Flow, e.Link, e.From, e.Hops, e.Reason); err != nil {
+		if err := cw.Write([]string{
+			strconv.FormatInt(int64(e.At), 10),
+			e.Op.String(),
+			strconv.FormatUint(e.Packet, 10),
+			strconv.FormatUint(uint64(e.Flow), 10),
+			strconv.FormatInt(int64(e.Link), 10),
+			strconv.FormatInt(int64(e.From), 10),
+			strconv.Itoa(e.Hops),
+			e.Reason,
+		}); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 // traceJSON is the JSON wire form of one trace event.
@@ -318,6 +346,9 @@ type QueueSampler struct {
 	// watch restricts sampling to these directed-link indices (empty
 	// means every port).
 	watch []int
+	// started is set by Start; Watch calls after it take effect at the
+	// next tick.
+	started bool
 
 	samples []QueueSample
 	// depth aggregates sampled queue depths per directed link index.
@@ -328,6 +359,16 @@ type QueueSampler struct {
 	// lastBusy remembers each port's cumulative busy time at the
 	// previous tick, to report per-interval utilization.
 	lastBusy []sim.Time
+
+	// Registry instruments (nil until Bind): network-wide aggregates
+	// published every tick, plus per-port gauges for watched ports.
+	gQueuedTotal *metrics.Gauge
+	gQueuedMax   *metrics.Gauge
+	gUtilMax     *metrics.Gauge
+	gUtilMean    *metrics.Gauge
+	gActivePorts *metrics.Gauge
+	portGauges   map[int][2]*metrics.Gauge // dir index -> {depth, util}
+	reg          *metrics.Registry
 }
 
 // NewQueueSampler returns a sampler for n ticking every interval of
@@ -346,17 +387,57 @@ func NewQueueSampler(n *Network, interval sim.Time) *QueueSampler {
 }
 
 // Watch restricts sampling to the given ports; by default every
-// directed link is sampled. Call before Start.
+// directed link is sampled. Calling it after Start is allowed and takes
+// effect at the next tick; each newly watched port's utilization
+// baseline is reset at the call, so its first interval reports only
+// busy time accumulated from this moment (not since the run began).
 func (s *QueueSampler) Watch(ports ...PortRef) {
 	s.watch = s.watch[:0]
 	for _, p := range ports {
-		s.watch = append(s.watch, s.net.dirIndex(p))
+		i := s.net.dirIndex(p)
+		if s.started {
+			s.lastBusy[i] = s.net.dirs[i].busyTime
+		}
+		s.watch = append(s.watch, i)
+	}
+}
+
+// Bind registers network-wide queue gauges in r, published on every
+// tick, plus per-port depth/utilization gauges (labels link, from) for
+// each watched port. Call after any Watch and before Start.
+//
+//	netsim_queue_bytes_total  gauge  bytes queued across all ports
+//	netsim_queue_bytes_max    gauge  deepest output queue
+//	netsim_util_max           gauge  busiest port's interval utilization
+//	netsim_util_mean          gauge  mean interval utilization (sampled ports)
+//	netsim_ports_active       gauge  ports with a non-idle interval
+//	netsim_port_queue_bytes   gauge  per watched port
+//	netsim_port_utilization   gauge  per watched port
+func (s *QueueSampler) Bind(r *metrics.Registry) {
+	s.reg = r
+	s.gQueuedTotal = r.Gauge("netsim_queue_bytes_total", "bytes queued across all sampled ports", nil)
+	s.gQueuedMax = r.Gauge("netsim_queue_bytes_max", "deepest output queue", nil)
+	s.gUtilMax = r.Gauge("netsim_util_max", "busiest sampled port's utilization over the last interval", nil)
+	s.gUtilMean = r.Gauge("netsim_util_mean", "mean utilization of sampled ports over the last interval", nil)
+	s.gActivePorts = r.Gauge("netsim_ports_active", "sampled ports with a non-idle last interval", nil)
+	s.portGauges = make(map[int][2]*metrics.Gauge, len(s.watch))
+	for _, i := range s.watch {
+		p := s.net.portRef(i)
+		labels := metrics.Labels{
+			"link": fmt.Sprint(int64(p.Link)),
+			"from": fmt.Sprint(int64(p.From)),
+		}
+		s.portGauges[i] = [2]*metrics.Gauge{
+			r.Gauge("netsim_port_queue_bytes", "output-queue depth of a watched port", labels),
+			r.Gauge("netsim_port_utilization", "interval utilization of a watched port", labels),
+		}
 	}
 }
 
 // Start schedules periodic sampling on the network's engine until the
 // given virtual time (inclusive). Call it before running the engine.
 func (s *QueueSampler) Start(until sim.Time) {
+	s.started = true
 	eng := s.net.Engine()
 	var tick func()
 	tick = func() {
@@ -368,20 +449,42 @@ func (s *QueueSampler) Start(until sim.Time) {
 	eng.After(s.interval, tick)
 }
 
-// sample records one observation per watched directed link.
+// sample records one observation per watched directed link and
+// publishes the bound registry gauges.
 func (s *QueueSampler) sample(now sim.Time) {
+	var agg sampleAgg
 	if len(s.watch) > 0 {
 		for _, i := range s.watch {
-			s.sampleOne(i, now)
+			s.sampleOne(i, now, &agg)
 		}
+	} else {
+		for i := range s.net.dirs {
+			s.sampleOne(i, now, &agg)
+		}
+	}
+	if s.reg == nil {
 		return
 	}
-	for i := range s.net.dirs {
-		s.sampleOne(i, now)
+	s.gQueuedTotal.Set(float64(agg.totalBytes))
+	s.gQueuedMax.Set(float64(agg.maxBytes))
+	s.gUtilMax.Set(agg.maxUtil)
+	if agg.ports > 0 {
+		s.gUtilMean.Set(agg.sumUtil / float64(agg.ports))
 	}
+	s.gActivePorts.Set(float64(agg.active))
 }
 
-func (s *QueueSampler) sampleOne(i int, now sim.Time) {
+// sampleAgg accumulates one tick's network-wide view.
+type sampleAgg struct {
+	ports      int
+	active     int
+	totalBytes int64
+	maxBytes   int
+	sumUtil    float64
+	maxUtil    float64
+}
+
+func (s *QueueSampler) sampleOne(i int, now sim.Time, agg *sampleAgg) {
 	dl := &s.net.dirs[i]
 	util := (dl.busyTime - s.lastBusy[i]).Seconds() / s.interval.Seconds()
 	if util > 1 {
@@ -392,9 +495,23 @@ func (s *QueueSampler) sampleOne(i int, now sim.Time) {
 	if dl.queuedBytes > s.peak[i] {
 		s.peak[i] = dl.queuedBytes
 	}
+	agg.ports++
+	agg.totalBytes += int64(dl.queuedBytes)
+	agg.sumUtil += util
+	if dl.queuedBytes > agg.maxBytes {
+		agg.maxBytes = dl.queuedBytes
+	}
+	if util > agg.maxUtil {
+		agg.maxUtil = util
+	}
+	if g, ok := s.portGauges[i]; ok {
+		g[0].Set(float64(dl.queuedBytes))
+		g[1].Set(util)
+	}
 	if dl.queuedBytes == 0 && util == 0 {
 		return // idle interval: no row
 	}
+	agg.active++
 	s.samples = append(s.samples, QueueSample{
 		At: now, Port: s.net.portRef(i), QueuedBytes: dl.queuedBytes, Utilization: util,
 	})
@@ -434,16 +551,23 @@ func (s *QueueSampler) PeakDepth(p PortRef) int { return s.peak[s.net.dirIndex(p
 // WriteCSV writes the samples as CSV with a header row:
 // at_ps,link,from,queued_bytes,utilization.
 func (s *QueueSampler) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "at_ps,link,from,queued_bytes,utilization"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_ps", "link", "from", "queued_bytes", "utilization"}); err != nil {
 		return err
 	}
 	for _, smp := range s.samples {
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%.6f\n",
-			int64(smp.At), smp.Port.Link, smp.Port.From, smp.QueuedBytes, smp.Utilization); err != nil {
+		if err := cw.Write([]string{
+			strconv.FormatInt(int64(smp.At), 10),
+			strconv.FormatInt(int64(smp.Port.Link), 10),
+			strconv.FormatInt(int64(smp.Port.From), 10),
+			strconv.Itoa(smp.QueuedBytes),
+			strconv.FormatFloat(smp.Utilization, 'f', 6, 64),
+		}); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 // sampleJSON is the JSON wire form of one queue sample.

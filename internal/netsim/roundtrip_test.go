@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// traceFixture builds a recorder holding packet events plus synthetic
+// fault rows whose reasons carry CSV-hostile characters.
+func traceFixture() *TraceRecorder {
+	tr := NewTraceRecorder(0)
+	tr.add(TraceEvent{At: 10, Op: TraceEnqueue, Packet: 1, Flow: 7, Link: 0, From: 0, Hops: 0})
+	tr.add(TraceEvent{At: 20, Op: TraceFault, Link: 3, From: -1,
+		Reason: `fail: cut links 3, 4 at "spine", detect 10ms`})
+	tr.add(TraceEvent{At: 30, Op: TraceDrop, Packet: 1, Flow: 7, Link: -1, From: -1, Hops: 1,
+		Reason: "link 3 down"})
+	tr.add(TraceEvent{At: 40, Op: TraceFault, Link: -1, From: -1,
+		Reason: `reconverged, "2 links" down`})
+	return tr
+}
+
+func TestTraceRecorderCSVRoundTrip(t *testing.T) {
+	tr := traceFixture()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("trace CSV with quoted reasons does not parse: %v", err)
+	}
+	want := []string{"at_ps", "op", "packet", "flow", "link", "from", "hops", "reason"}
+	if got := strings.Join(rows[0], ","); got != strings.Join(want, ",") {
+		t.Fatalf("header = %q", got)
+	}
+	events := tr.Events()
+	if len(rows)-1 != len(events) {
+		t.Fatalf("CSV has %d data rows, want %d", len(rows)-1, len(events))
+	}
+	for i, e := range events {
+		row := rows[i+1]
+		if at, _ := strconv.ParseInt(row[0], 10, 64); at != int64(e.At) {
+			t.Errorf("row %d at = %s, want %d", i, row[0], e.At)
+		}
+		if row[1] != e.Op.String() {
+			t.Errorf("row %d op = %q, want %q", i, row[1], e.Op)
+		}
+		if link, _ := strconv.ParseInt(row[4], 10, 64); link != int64(e.Link) {
+			t.Errorf("row %d link = %s, want %d", i, row[4], e.Link)
+		}
+		// The round-trip must preserve commas and quotes byte-for-byte.
+		if row[7] != e.Reason {
+			t.Errorf("row %d reason = %q, want %q", i, row[7], e.Reason)
+		}
+	}
+}
+
+func TestTraceRecorderJSONRoundTrip(t *testing.T) {
+	tr := traceFixture()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []traceJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	events := tr.Events()
+	if len(decoded) != len(events) {
+		t.Fatalf("JSON has %d events, want %d", len(decoded), len(events))
+	}
+	for i, e := range events {
+		d := decoded[i]
+		if d.AtPs != int64(e.At) || d.Op != e.Op.String() || d.Packet != e.Packet ||
+			d.Link != int64(e.Link) || d.Hops != e.Hops || d.Reason != e.Reason {
+			t.Errorf("event %d round-trips as %+v, want %+v", i, d, e)
+		}
+	}
+}
+
+// busySampler runs a short congested workload with a sampler watching the
+// bottleneck, so Samples() is non-empty.
+func busySampler(t *testing.T) *QueueSampler {
+	t.Helper()
+	g, h0, h1 := twoHosts(t, sim.Gbps)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewQueueSampler(net, 10*sim.Microsecond)
+	s.Watch(PortRef{Link: 1, From: topology.NodeID(0)})
+	s.Start(sim.Millisecond)
+	for i := 0; i < 50; i++ {
+		net.Unicast(1, h0, h1, 1500, 0)
+	}
+	net.Engine().RunUntil(sim.Millisecond)
+	if len(s.Samples()) == 0 {
+		t.Fatal("fixture produced no samples")
+	}
+	return s
+}
+
+func TestQueueSamplerCSVRoundTrip(t *testing.T) {
+	s := busySampler(t)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("sampler CSV does not parse: %v", err)
+	}
+	if got := strings.Join(rows[0], ","); got != "at_ps,link,from,queued_bytes,utilization" {
+		t.Fatalf("header = %q", got)
+	}
+	samples := s.Samples()
+	if len(rows)-1 != len(samples) {
+		t.Fatalf("CSV has %d data rows, want %d", len(rows)-1, len(samples))
+	}
+	for i, smp := range samples {
+		row := rows[i+1]
+		at, _ := strconv.ParseInt(row[0], 10, 64)
+		qb, _ := strconv.Atoi(row[3])
+		util, _ := strconv.ParseFloat(row[4], 64)
+		if at != int64(smp.At) || qb != smp.QueuedBytes {
+			t.Errorf("row %d = %v, want %+v", i, row, smp)
+		}
+		// Utilization is formatted with 6 decimal places.
+		if diff := util - smp.Utilization; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("row %d utilization = %v, want %v", i, util, smp.Utilization)
+		}
+	}
+}
+
+func TestQueueSamplerJSONRoundTrip(t *testing.T) {
+	s := busySampler(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []sampleJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("sampler JSON does not parse: %v", err)
+	}
+	samples := s.Samples()
+	if len(decoded) != len(samples) {
+		t.Fatalf("JSON has %d samples, want %d", len(decoded), len(samples))
+	}
+	for i, smp := range samples {
+		d := decoded[i]
+		if d.AtPs != int64(smp.At) || d.Link != int64(smp.Port.Link) ||
+			d.QueuedBytes != smp.QueuedBytes || d.Utilization != smp.Utilization {
+			t.Errorf("sample %d round-trips as %+v, want %+v", i, d, smp)
+		}
+	}
+}
+
+func TestQueueSamplerWatchAfterStart(t *testing.T) {
+	g, h0, h1 := twoHosts(t, sim.Gbps)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewQueueSampler(net, 10*sim.Microsecond)
+	s.Start(sim.Millisecond)
+	eng := net.Engine()
+	for i := 0; i < 50; i++ {
+		net.Unicast(1, h0, h1, 1500, 0)
+	}
+	// Narrow the watch set mid-run: from 105µs on, only the bottleneck
+	// port is sampled, with its utilization baseline reset at the call.
+	bottleneck := PortRef{Link: 1, From: topology.NodeID(0)}
+	eng.Schedule(105*sim.Microsecond, func() { s.Watch(bottleneck) })
+	eng.RunUntil(sim.Millisecond)
+
+	sawOther, sawBottleneckLate := false, false
+	for _, smp := range s.Samples() {
+		if smp.Port != bottleneck {
+			sawOther = true
+			if smp.At > 110*sim.Microsecond {
+				t.Errorf("sample of %+v at %v, after Watch narrowed the set", smp.Port, smp.At)
+			}
+		} else if smp.At > 110*sim.Microsecond {
+			sawBottleneckLate = true
+			if smp.Utilization < 0 || smp.Utilization > 1 {
+				t.Errorf("utilization %v out of range after baseline reset", smp.Utilization)
+			}
+		}
+	}
+	if !sawOther {
+		t.Error("expected pre-Watch samples of unwatched ports")
+	}
+	if !sawBottleneckLate {
+		t.Error("expected post-Watch samples of the watched port")
+	}
+}
+
+func TestQueueSamplerBindGauges(t *testing.T) {
+	// Fast host links feeding a slow inter-switch link: a queue builds
+	// and persists at s0 -> s1, so the tick gauges hold nonzero values.
+	g := topology.New("pair")
+	s0 := g.AddSwitch("s0", topology.TierToR, 0)
+	s1 := g.AddSwitch("s1", topology.TierToR, 1)
+	h0 := g.AddHost("h0", 0)
+	h1 := g.AddHost("h1", 1)
+	g.Connect(h0, s0, 10*sim.Gbps, topology.DefaultProp)
+	g.Connect(s0, s1, sim.Gbps, topology.DefaultProp)
+	g.Connect(s1, h1, 10*sim.Gbps, topology.DefaultProp)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewQueueSampler(net, 10*sim.Microsecond)
+	s.Watch(PortRef{Link: 1, From: s0})
+	reg := metrics.NewRegistry()
+	s.Bind(reg)
+	s.Start(200 * sim.Microsecond)
+	for i := 0; i < 50; i++ {
+		net.Unicast(1, h0, h1, 1500, 0)
+	}
+	// Stop at 100µs: the backlog (50 × 1500 B at 1 Gbps ≈ 600µs of
+	// serialization) is still draining, so the gauges hold live values.
+	net.Engine().RunUntil(100 * sim.Microsecond)
+
+	vals := map[string]float64{}
+	for _, ss := range reg.Snapshot().Series {
+		vals[ss.Name] = ss.Value
+	}
+	if vals["netsim_queue_bytes_total"] <= 0 {
+		t.Errorf("netsim_queue_bytes_total = %v, want > 0 mid-backlog", vals["netsim_queue_bytes_total"])
+	}
+	if vals["netsim_queue_bytes_max"] != vals["netsim_queue_bytes_total"] {
+		t.Errorf("with one watched port max (%v) should equal total (%v)",
+			vals["netsim_queue_bytes_max"], vals["netsim_queue_bytes_total"])
+	}
+	if vals["netsim_util_max"] <= 0.9 {
+		t.Errorf("netsim_util_max = %v, want ~1 on a saturated port", vals["netsim_util_max"])
+	}
+	if vals["netsim_ports_active"] != 1 {
+		t.Errorf("netsim_ports_active = %v, want 1", vals["netsim_ports_active"])
+	}
+	if vals["netsim_port_queue_bytes"] <= 0 {
+		t.Errorf("netsim_port_queue_bytes = %v, want > 0", vals["netsim_port_queue_bytes"])
+	}
+}

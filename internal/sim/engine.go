@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -76,6 +77,11 @@ type Engine struct {
 	peak    int
 	wall    time.Duration
 	probe   EventProbe
+
+	// runStart/running track the in-progress Run/RunUntil call so
+	// heartbeat events can see live wall time (wallNow).
+	runStart time.Time
+	running  bool
 }
 
 // NewEngine returns an engine with the clock at zero, backed by a
@@ -144,6 +150,9 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(end Time) {
 	e.stopped = false
 	start := time.Now()
+	startRan := e.ran
+	e.runStart = start
+	e.running = true
 	for e.queue.size() > 0 && !e.stopped {
 		if e.queue.peekAt() > end {
 			break
@@ -156,8 +165,31 @@ func (e *Engine) RunUntil(end Time) {
 			e.probe.Event(e.now, e.queue.size())
 		}
 	}
+	e.running = false
 	e.wall += time.Since(start)
+	totalEvents.Add(e.ran - startRan)
 	if e.now < end && end < Time(1)<<62-1 {
 		e.now = end
 	}
 }
+
+// wallNow returns wall-clock time spent in Run/RunUntil so far,
+// including the in-progress call — what a heartbeat event firing inside
+// the loop needs to compute a live event rate.
+func (e *Engine) wallNow() time.Duration {
+	if e.running {
+		return e.wall + time.Since(e.runStart)
+	}
+	return e.wall
+}
+
+// totalEvents counts events processed across every Engine in the
+// process — the denominator tools like quartzbench use to report
+// per-experiment events/sec without threading telemetry through each
+// experiment. Atomic: engines may run on concurrent goroutines.
+var totalEvents atomic.Uint64
+
+// TotalEvents returns the number of simulation events processed by all
+// engines in this process so far. The counter is updated when a
+// Run/RunUntil call returns.
+func TotalEvents() uint64 { return totalEvents.Load() }

@@ -31,6 +31,7 @@ import (
 	"github.com/quartz-dcn/quartz/internal/core"
 	"github.com/quartz-dcn/quartz/internal/experiments"
 	"github.com/quartz-dcn/quartz/internal/fault"
+	"github.com/quartz-dcn/quartz/internal/metrics"
 	"github.com/quartz-dcn/quartz/internal/netsim"
 	"github.com/quartz-dcn/quartz/internal/optics"
 	"github.com/quartz-dcn/quartz/internal/routing"
@@ -106,6 +107,43 @@ type (
 	// packet counters.
 	RunTelemetry = netsim.RunTelemetry
 )
+
+// Runtime metrics: a registry of labelled instruments fed by the
+// FlowTracker probe, QueueSampler.Bind, and sim.AttachHeartbeat, with
+// Prometheus/NDJSON/HTTP export (DESIGN.md §6).
+type (
+	// Engine is the discrete-event engine driving a Network
+	// (Network.Engine returns it).
+	Engine = sim.Engine
+	// MetricsRegistry holds named, labelled counters, gauges, and
+	// latency histograms with snapshot/diff semantics.
+	MetricsRegistry = metrics.Registry
+	// LatencyHistogram estimates p50–p999 in O(buckets) memory.
+	LatencyHistogram = metrics.LatencyHistogram
+	// FlowTracker is a Probe aggregating per-flow FCT, bytes,
+	// retransmits, and classified drop attribution.
+	FlowTracker = netsim.FlowTracker
+	// FlowStats is one flow's aggregated record.
+	FlowStats = netsim.FlowStats
+	// Heartbeat publishes engine health into a registry periodically.
+	Heartbeat = sim.Heartbeat
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewLatencyHistogram returns an empty log-bucketed histogram.
+func NewLatencyHistogram() *LatencyHistogram { return metrics.NewLatencyHistogram() }
+
+// NewFlowTracker returns a per-flow telemetry probe; Bind it to a
+// registry for live aggregate counters.
+func NewFlowTracker() *FlowTracker { return netsim.NewFlowTracker() }
+
+// AttachHeartbeat registers engine-health instruments in r and
+// publishes them every interval of virtual time until the given time.
+func AttachHeartbeat(e *Engine, r *MetricsRegistry, interval, until Time) *Heartbeat {
+	return sim.AttachHeartbeat(e, r, interval, until)
+}
 
 // Fault injection: runtime link/switch/fiber failures with detection
 // delay and route reconvergence (§3.5 dynamics). Obtain a Network's
