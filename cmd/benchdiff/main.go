@@ -1,0 +1,92 @@
+// Command benchdiff compares two quartzbench -json run reports and
+// fails when any experiment's simulator throughput (events/sec)
+// regressed beyond a threshold. `make bench-diff` runs a fresh
+// smoke-scale report and diffs it against the committed
+// BENCH_quartz.json, which is how CI catches hot-path regressions
+// before they land.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_quartz.json -new /tmp/bench.json [-threshold 25]
+//
+// Experiments that drive no simulator events (analytic tables) are
+// skipped; an experiment present in the old report but missing from the
+// new one is an error. Exit status 1 signals a regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/quartz-dcn/quartz/internal/experiments"
+)
+
+var (
+	oldPath   = flag.String("old", "BENCH_quartz.json", "baseline run report")
+	newPath   = flag.String("new", "", "candidate run report")
+	threshold = flag.Float64("threshold", 25, "allowed events/sec regression, percent")
+)
+
+func readReport(path string) (*experiments.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r experiments.Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	oldRep, err := readReport(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRep, err := readReport(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	byName := make(map[string]experiments.ExperimentReport, len(newRep.Experiments))
+	for _, e := range newRep.Experiments {
+		byName[e.Name] = e
+	}
+
+	fmt.Printf("%-10s %14s %14s %8s\n", "experiment", "old ev/s", "new ev/s", "delta")
+	regressed := false
+	for _, oldE := range oldRep.Experiments {
+		if oldE.Events == 0 || oldE.EventsPerSec <= 0 {
+			continue // analytic experiment: no event-loop throughput
+		}
+		newE, ok := byName[oldE.Name]
+		if !ok {
+			fmt.Printf("%-10s %14.0f %14s %8s\n", oldE.Name, oldE.EventsPerSec, "missing", "FAIL")
+			regressed = true
+			continue
+		}
+		deltaPct := 100 * (newE.EventsPerSec - oldE.EventsPerSec) / oldE.EventsPerSec
+		mark := ""
+		if deltaPct < -*threshold {
+			mark = "  << regression"
+			regressed = true
+		}
+		fmt.Printf("%-10s %14.0f %14.0f %+7.1f%%%s\n",
+			oldE.Name, oldE.EventsPerSec, newE.EventsPerSec, deltaPct, mark)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: events/sec regressed more than %.0f%% vs %s\n", *threshold, *oldPath)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: no experiment regressed more than %.0f%%\n", *threshold)
+}

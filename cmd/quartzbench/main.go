@@ -122,6 +122,7 @@ func main() {
 
 	which := strings.ToLower(*run)
 	ran := false
+	var peakHeap uint64
 	for _, e := range experiments.All() {
 		if which != "all" && which != e.Name {
 			continue
@@ -129,17 +130,25 @@ func main() {
 		ran = true
 		fmt.Printf("==> %s\n", e.Title)
 		eventsBefore := sim.TotalEvents()
+		memBefore := experiments.CaptureMemStats()
 		wallStart := time.Now()
 		out, err := e.Run(ctx, params)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "quartzbench: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
+		wallSecs := time.Since(wallStart).Seconds()
+		memAfter := experiments.CaptureMemStats()
+		if memAfter.PeakHeapBytes > peakHeap {
+			peakHeap = memAfter.PeakHeapBytes
+		}
 		report.Add(experiments.ExperimentReport{
 			Name: e.Name, Title: e.Title, Section: e.Section,
-			WallSecs: time.Since(wallStart).Seconds(),
-			Events:   sim.TotalEvents() - eventsBefore,
-			CSVRows:  len(out.CSV),
+			WallSecs:   wallSecs,
+			Events:     sim.TotalEvents() - eventsBefore,
+			AllocBytes: memAfter.TotalAllocBytes - memBefore.TotalAllocBytes,
+			Mallocs:    memAfter.Mallocs - memBefore.Mallocs,
+			CSVRows:    len(out.CSV),
 		})
 		fmt.Print(out.Text)
 		names := make([]string, 0, len(out.CSV))
@@ -161,6 +170,11 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut != "" {
+		mem := experiments.CaptureMemStats()
+		if mem.PeakHeapBytes < peakHeap {
+			mem.PeakHeapBytes = peakHeap
+		}
+		report.Mem = &mem
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)

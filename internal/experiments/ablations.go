@@ -73,14 +73,19 @@ func meshScatterLatency(m, hostsPer int, model netsim.SwitchModel, seed int64) (
 // AblationRingSize tests the §7 claim that "the size of the ring does
 // not affect performance": a scatter task on meshes of 4..32 switches.
 func AblationRingSize(seed int64) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, m := range []int{4, 8, 16, 32} {
-		row, err := meshScatterLatency(m, 4, netsim.Arista7150, seed)
+	sizes := []int{4, 8, 16, 32}
+	rows := make([]AblationRow, len(sizes))
+	err := forEachCell(nil, len(sizes), func(i int) error {
+		row, err := meshScatterLatency(sizes[i], 4, netsim.Arista7150, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row.Config = fmt.Sprintf("quartz ring, %d switches", m)
-		rows = append(rows, row)
+		row.Config = fmt.Sprintf("quartz ring, %d switches", sizes[i])
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -89,20 +94,25 @@ func AblationRingSize(seed int64) ([]AblationRow, error) {
 // mesh built from ULL cut-through switches versus CCS
 // store-and-forward chassis.
 func AblationSwitchModel(seed int64) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, cfg := range []struct {
+	cfgs := []struct {
 		name  string
 		model netsim.SwitchModel
 	}{
 		{"mesh of ULL (380ns cut-through)", netsim.Arista7150},
 		{"mesh of CCS (6us store-and-forward)", netsim.CiscoNexus7000},
-	} {
-		row, err := meshScatterLatency(8, 4, cfg.model, seed)
+	}
+	rows := make([]AblationRow, len(cfgs))
+	err := forEachCell(nil, len(cfgs), func(i int) error {
+		row, err := meshScatterLatency(8, 4, cfgs[i].model, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row.Config = cfg.name
-		rows = append(rows, row)
+		row.Config = cfgs[i].name
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -113,13 +123,17 @@ func AblationSwitchModel(seed int64) ([]AblationRow, error) {
 // spreading saturates the direct link, too much wastes capacity on
 // two-hop detours.
 func AblationVLBFraction(seed int64) ([]AblationRow, error) {
-	ring, err := fig20Ring()
-	if err != nil {
-		return nil, err
-	}
 	ull := func(topology.Node) netsim.SwitchModel { return netsim.Arista7150 }
-	var rows []AblationRow
-	for _, frac := range []float64{0, 0.125, 0.25, 0.5, 0.75, 1.0} {
+	fracs := []float64{0, 0.125, 0.25, 0.5, 0.75, 1.0}
+	rows := make([]AblationRow, len(fracs))
+	// Each cell builds its own ring: routers keep per-graph state, so
+	// shards must not share a topology.
+	err := forEachCell(nil, len(fracs), func(i int) error {
+		frac := fracs[i]
+		ring, err := fig20Ring()
+		if err != nil {
+			return err
+		}
 		var router routing.Router
 		var vlb *routing.VLB
 		if frac == 0 {
@@ -127,13 +141,13 @@ func AblationVLBFraction(seed int64) ([]AblationRow, error) {
 		} else {
 			v, err := routing.NewVLB(ring, frac)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			router, vlb = v, v
 		}
 		mean, saturated, err := runFig20(ring, router, ull, vlb, 45*sim.Gbps, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := AblationRow{
 			Config:  fmt.Sprintf("VLB indirect fraction %.3f", frac),
@@ -142,7 +156,11 @@ func AblationVLBFraction(seed int64) ([]AblationRow, error) {
 		if saturated {
 			row.Config += " (saturated)"
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -151,19 +169,20 @@ func AblationVLBFraction(seed int64) ([]AblationRow, error) {
 // spraying on the three-tier tree under the Figure 17 scatter load:
 // pinned flows collide on the few core ports and inflate the tail.
 func AblationECMPMode(seed int64) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, cfg := range []struct {
+	cfgs := []struct {
 		name      string
 		perPacket bool
 	}{
 		{"three-tier, per-flow ECMP", false},
 		{"three-tier, per-packet spraying", true},
-	} {
+	}
+	rows := make([]AblationRow, len(cfgs))
+	err := forEachCell(nil, len(cfgs), func(i int) error {
 		arch, err := core.ThreeTierTree(core.ArchParams{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if cfg.perPacket {
+		if cfgs[i].perPacket {
 			arch.Router = routing.NewECMPPerPacket(arch.Graph)
 		} else {
 			arch.Router = routing.NewECMP(arch.Graph)
@@ -171,9 +190,13 @@ func AblationECMPMode(seed int64) ([]AblationRow, error) {
 		params := defaultFig17Params(ScatterKind)
 		mean, ci, err := runTasks(arch, ScatterKind, 6, false, params, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, AblationRow{Config: cfg.name, Latency: mean, CI: ci})
+		rows[i] = AblationRow{Config: cfgs[i].name, Latency: mean, CI: ci}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

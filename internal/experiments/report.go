@@ -27,8 +27,41 @@ type ExperimentReport struct {
 	Events uint64 `json:"events"`
 	// EventsPerSec is Events over WallSecs.
 	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocBytes and Mallocs are runtime.MemStats deltas across the
+	// experiment — the memory-cost companion to events/sec that the
+	// zero-allocation hot-path work keeps honest.
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
+	Mallocs    uint64 `json:"mallocs,omitempty"`
 	// CSVRows counts data-bearing output tables.
 	CSVRows int `json:"csv_tables,omitempty"`
+}
+
+// MemStats summarizes the run's memory behaviour, from
+// runtime.ReadMemStats.
+type MemStats struct {
+	// TotalAllocBytes is cumulative bytes allocated on the heap.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	// Mallocs is the cumulative count of heap objects allocated.
+	Mallocs uint64 `json:"mallocs"`
+	// PeakHeapBytes is the largest live heap observed at an experiment
+	// boundary.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// NumGC is the number of completed GC cycles.
+	NumGC uint32 `json:"num_gc"`
+}
+
+// CaptureMemStats snapshots the runtime allocator counters.
+// PeakHeapBytes holds the current live heap; callers fold successive
+// snapshots' maxima into the run-level peak.
+func CaptureMemStats() MemStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return MemStats{
+		TotalAllocBytes: m.TotalAlloc,
+		Mallocs:         m.Mallocs,
+		PeakHeapBytes:   m.HeapAlloc,
+		NumGC:           m.NumGC,
+	}
 }
 
 // Report is the full run report quartzbench -json emits.
@@ -44,6 +77,9 @@ type Report struct {
 	// WallSecs is total wall time across the selected experiments.
 	WallSecs    float64            `json:"wall_secs"`
 	Experiments []ExperimentReport `json:"experiments"`
+	// Mem is the run-wide memory summary (nil in reports from versions
+	// that predate it; the field is additive to the v1 schema).
+	Mem *MemStats `json:"mem,omitempty"`
 }
 
 // ReportSchema identifies the current report format.

@@ -1,0 +1,179 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// TestForwardPathZeroAllocs locks in the tentpole invariant: with
+// probes and path recording off, a steady-state packet lifecycle —
+// Send, NIC delays, per-hop forward, transmit, propagation, delivery —
+// allocates nothing. Pooled netEvents, ring-buffer port queues, dense
+// routing tables, and the boxing-free event queue each contribute; a
+// regression in any of them shows up here.
+func TestForwardPathZeroAllocs(t *testing.T) {
+	g, h0, h1 := twoHosts(t, 10*sim.Gbps)
+	net, err := New(Config{
+		Graph:  g,
+		Router: routing.NewECMP(g),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm pools, ring buffers, and the calendar queue's bucket storage
+	// with a burst larger than any steady-state batch below.
+	for i := 0; i < 64; i++ {
+		net.Unicast(routing.FlowID(i), h0, h1, 1500, 0)
+	}
+	net.Engine().Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 8; i++ {
+			net.Unicast(routing.FlowID(i), h0, h1, 1500, 0)
+		}
+		net.Engine().Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("%.1f allocs per 8-packet batch, want 0", allocs)
+	}
+	if net.Dropped() != 0 {
+		t.Fatalf("%d drops during alloc test", net.Dropped())
+	}
+}
+
+// TestDropPathCheapWithoutConsumers checks drops stay allocation-free
+// when nobody consumes them: the reason is a code, formatted only when
+// Drop.Reason is called.
+func TestDropPathCheapWithoutConsumers(t *testing.T) {
+	g, h0, h1 := twoHosts(t, 10*sim.Gbps)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := g.FindLink(g.Switches()[0], g.Switches()[1])
+	if !ok {
+		t.Fatal("no inter-switch link")
+	}
+	if err := net.FailLink(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		net.Unicast(routing.FlowID(i), h0, h1, 400, 0)
+	}
+	net.Engine().Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		net.Unicast(7, h0, h1, 400, 0)
+		net.Engine().Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("%.1f allocs per dropped packet, want 0", allocs)
+	}
+	if net.Dropped() == 0 {
+		t.Fatal("expected drops on the failed link")
+	}
+}
+
+// TestDropReasonStrings pins the lazy formatting to the exact strings
+// the closure-era hot path produced.
+func TestDropReasonStrings(t *testing.T) {
+	for _, tc := range []struct {
+		d    Drop
+		want string
+	}{
+		{Drop{Code: DropCodeQueueFull, Link: 12}, "queue full on link 12"},
+		{Drop{Code: DropCodeLinkDown, Link: 3}, "link 3 down"},
+		{Drop{Code: DropCodeLinkCut, Link: 3}, "link 3 cut"},
+		{Drop{Code: DropCodeHopLimit, Link: -1}, "hop limit exceeded (routing loop?)"},
+	} {
+		if got := tc.d.Reason(); got != tc.want {
+			t.Errorf("Reason(%v) = %q, want %q", tc.d.Code, got, tc.want)
+		}
+		if got, want := tc.d.Code.Class(), classifyDrop(tc.want); got != want {
+			t.Errorf("Class(%v) = %q, want %q", tc.d.Code, got, want)
+		}
+	}
+}
+
+// TestPktQueueWraparound exercises the ring buffer across growth and
+// wraparound boundaries against a straightforward model.
+func TestPktQueueWraparound(t *testing.T) {
+	var q pktQueue
+	next := uint64(0)
+	var model []uint64
+	push := func() {
+		next++
+		q.push(queued{p: Packet{ID: next}})
+		model = append(model, next)
+	}
+	pop := func() {
+		got := q.pop().p.ID
+		want := model[0]
+		model = model[1:]
+		if got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+	}
+	// Interleave pushes and pops so head wraps several times.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			push()
+		}
+		for q.len() > 1 {
+			pop()
+		}
+	}
+	for q.len() > 0 {
+		pop()
+	}
+	if len(model) != 0 {
+		t.Fatalf("model has %d leftovers", len(model))
+	}
+}
+
+// benchNet builds the standard two-switch path with no observers.
+func benchNet(b *testing.B) (*Network, topology.NodeID, topology.NodeID) {
+	g, h0, h1 := twoHosts(b, 10*sim.Gbps)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, h0, h1
+}
+
+// BenchmarkForwardDeliver measures the full per-packet lifecycle (six
+// events: two NIC delays, three transmissions, delivery).
+func BenchmarkForwardDeliver(b *testing.B) {
+	net, h0, h1 := benchNet(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Unicast(routing.FlowID(i&1023), h0, h1, 1500, 0)
+		if i&255 == 255 {
+			net.Engine().Run()
+		}
+	}
+	net.Engine().Run()
+	if net.Delivered() != uint64(b.N) {
+		b.Fatalf("delivered %d of %d", net.Delivered(), b.N)
+	}
+}
+
+// BenchmarkTransmitQueue drives a deep output queue through one
+// bottleneck port: the cost is dominated by transmitNext and the ring
+// buffer.
+func BenchmarkTransmitQueue(b *testing.B) {
+	g, h0, h1 := twoHosts(b, 1*sim.Gbps)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Unicast(routing.FlowID(i&63), h0, h1, 1500, 0)
+		if i&1023 == 1023 {
+			net.Engine().Run()
+		}
+	}
+	net.Engine().Run()
+}

@@ -331,16 +331,18 @@ func (fi *FaultInjector) failLink(id topology.LinkID) {
 		dl.down = true
 		from := fi.n.portRef(di).From
 		for pri := range dl.queues {
-			for _, item := range dl.queues[pri] {
+			q := &dl.queues[pri]
+			for i := 0; i < q.len(); i++ {
+				item := q.at(i)
 				dl.queuedBytes -= item.p.Size
 				if fi.policy == DetourInFlight {
 					fi.held = append(fi.held, heldPacket{from: from, p: item.p})
 				} else {
 					dl.drops++
-					fi.n.drop(item.p, fmt.Sprintf("link %d cut", id))
+					fi.n.drop(item.p, DropCodeLinkCut, id, nil)
 				}
 			}
-			dl.queues[pri] = nil
+			q.reset()
 		}
 	}
 }

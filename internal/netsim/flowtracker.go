@@ -242,7 +242,7 @@ func (t *FlowTracker) PacketDelivered(d Delivery) {
 func (t *FlowTracker) PacketDropped(d Drop) {
 	f := t.flow(d.Packet.Flow, d.Packet.Created)
 	f.PacketsDropped++
-	class := classifyDrop(d.Reason)
+	class := d.Code.Class()
 	f.DropsByClass[class]++
 	if d.At > f.LastActivity {
 		f.LastActivity = d.At

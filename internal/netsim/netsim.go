@@ -122,6 +122,10 @@ type Packet struct {
 	// Hops counts forwarding elements traversed (switches and
 	// forwarding hosts).
 	Hops int
+	// Hash is the flow's routing hash, computed once at injection
+	// (Send) so per-hop ECMP/VLB/KSP selection does not rehash the flow
+	// ID at every switch.
+	Hash uint64
 	// Path is the node sequence the packet traversed (source through
 	// destination), recorded only when Config.RecordPaths is set.
 	Path []topology.NodeID
@@ -134,11 +138,67 @@ type Delivery struct {
 	Latency sim.Time
 }
 
+// DropCode identifies why a packet was dropped. The forwarding hot
+// path records only the code (plus the link or routing error involved);
+// the human-readable string is formatted lazily by Drop.Reason, so
+// simulations without drop consumers never pay for formatting.
+type DropCode uint8
+
+const (
+	DropCodeOther DropCode = iota
+	DropCodeQueueFull
+	DropCodeLinkDown
+	DropCodeLinkCut
+	DropCodeNoRoute
+	DropCodeHopLimit
+)
+
+// Class maps the code to the drop-class labels used by FlowTracker and
+// the metrics registry (DropQueueFull, DropLinkDown, ...).
+func (c DropCode) Class() string {
+	switch c {
+	case DropCodeQueueFull:
+		return DropQueueFull
+	case DropCodeLinkDown:
+		return DropLinkDown
+	case DropCodeLinkCut:
+		return DropLinkCut
+	case DropCodeNoRoute:
+		return DropNoRoute
+	case DropCodeHopLimit:
+		return DropHopLimit
+	}
+	return DropOther
+}
+
 // Drop reports a packet lost to a full queue or a routing failure.
 type Drop struct {
 	Packet Packet
 	At     sim.Time
-	Reason string
+	Code   DropCode
+	// Link is the link whose queue/failure caused the drop, or -1 when
+	// no single link is involved (no-route, hop-limit).
+	Link topology.LinkID
+	// Err is the routing error behind a DropCodeNoRoute drop.
+	Err error
+}
+
+// Reason renders the drop as the human-readable string older consumers
+// logged. Formatting happens here, on demand, never on the hot path.
+func (d Drop) Reason() string {
+	switch d.Code {
+	case DropCodeQueueFull:
+		return fmt.Sprintf("queue full on link %d", d.Link)
+	case DropCodeLinkDown:
+		return fmt.Sprintf("link %d down", d.Link)
+	case DropCodeLinkCut:
+		return fmt.Sprintf("link %d cut", d.Link)
+	case DropCodeNoRoute:
+		return "no route: " + d.Err.Error()
+	case DropCodeHopLimit:
+		return "hop limit exceeded (routing loop?)"
+	}
+	return "dropped"
 }
 
 // Config assembles a Network.
@@ -186,9 +246,76 @@ type Network struct {
 	// faults is the unified failure surface (lazily built by Faults).
 	faults *FaultInjector
 
+	// freeEv is the pooled-event free list and txDone the shared
+	// transmit-completion action; together they make the steady-state
+	// packet lifecycle allocation-free (see netEvent).
+	freeEv *netEvent
+	txDone txDoneAction
+
 	nextID    uint64
 	delivered uint64
 	dropped   uint64
+}
+
+// netEvent is a pooled, typed simulation event (sim.Action): one record
+// carries a packet through NIC delays, propagation, and host
+// forwarding. Records recycle through Network.freeEv, so after warm-up
+// a packet's whole lifecycle schedules without heap allocation —
+// replacing the per-event closures that used to dominate the profile.
+type netEvent struct {
+	n    *Network
+	kind uint8
+	node topology.NodeID
+	ser  sim.Time
+	p    Packet
+	next *netEvent // free-list link
+}
+
+const (
+	evArrive  uint8 = iota // packet tail reaches node after propagation
+	evDeliver              // NIC receive (or loopback) completes
+	evForward              // source NIC or host stack delay elapsed
+)
+
+// Run implements sim.Action. The record is returned to the pool before
+// dispatch so the handlers it calls can immediately reuse it.
+func (ev *netEvent) Run(int64, int64) {
+	n, kind, node, ser, p := ev.n, ev.kind, ev.node, ev.ser, ev.p
+	ev.p = Packet{} // release the Path slice, if any
+	ev.next = n.freeEv
+	n.freeEv = ev
+	switch kind {
+	case evArrive:
+		n.arrive(node, p, ser)
+	case evDeliver:
+		n.deliver(p)
+	case evForward:
+		n.forward(node, p, n.eng.Now(), ser)
+	}
+}
+
+// newEvent takes a record from the pool (or allocates the pool's next
+// record) and fills it.
+func (n *Network) newEvent(kind uint8, node topology.NodeID, ser sim.Time, p Packet) *netEvent {
+	ev := n.freeEv
+	if ev == nil {
+		ev = &netEvent{n: n}
+	} else {
+		n.freeEv = ev.next
+		ev.next = nil
+	}
+	ev.kind, ev.node, ev.ser, ev.p = kind, node, ser, p
+	return ev
+}
+
+// txDoneAction completes a transmission: Run's arguments encode the
+// direction index and packet size, so the one value embedded in Network
+// serves every port with zero allocation.
+type txDoneAction struct{ n *Network }
+
+func (t *txDoneAction) Run(di, size int64) {
+	t.n.dirs[di].queuedBytes -= int(size)
+	t.n.transmitNext(int(di))
 }
 
 // numPriorities is the number of output-queue classes per port.
@@ -208,6 +335,61 @@ type queued struct {
 	ser sim.Time
 }
 
+// pktQueue is a power-of-two ring buffer of queued packets. The old
+// representation popped with dl.queues[pri] = dl.queues[pri][1:], which
+// walks the backing array forward (forcing append to reallocate) and
+// pins every popped packet until the array is dropped; the ring reuses
+// its storage indefinitely and zeroes each slot as it pops.
+type pktQueue struct {
+	buf  []queued // len(buf) is a power of two (or zero before first push)
+	head int      // index of the front element; always < len(buf)
+	n    int
+}
+
+func (q *pktQueue) len() int { return q.n }
+
+func (q *pktQueue) push(item queued) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = item
+	q.n++
+}
+
+func (q *pktQueue) pop() queued {
+	item := q.buf[q.head]
+	q.buf[q.head] = queued{} // release packet references
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return item
+}
+
+// at returns the i-th element from the front (for fault-time flushes).
+func (q *pktQueue) at(i int) *queued {
+	return &q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+// reset empties the queue, keeping capacity and releasing references.
+func (q *pktQueue) reset() {
+	for i := range q.buf {
+		q.buf[i] = queued{}
+	}
+	q.head, q.n = 0, 0
+}
+
+func (q *pktQueue) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]queued, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
 // dirLink is one direction of a link: its own transmitter and
 // strict-priority output queues.
 type dirLink struct {
@@ -217,7 +399,7 @@ type dirLink struct {
 	capBytes    int
 	down        bool
 
-	queues [numPriorities][]queued
+	queues [numPriorities]pktQueue
 	busy   bool
 	freeAt sim.Time
 
@@ -255,6 +437,7 @@ func New(cfg Config) (*Network, error) {
 		probe:     cfg.Probe,
 		record:    cfg.RecordPaths,
 	}
+	n.txDone = txDoneAction{n: n}
 	n.models = make([]SwitchModel, cfg.Graph.NumNodes())
 	for i := 0; i < cfg.Graph.NumNodes(); i++ {
 		node := cfg.Graph.Node(topology.NodeID(i))
@@ -326,18 +509,17 @@ func (n *Network) Send(p Packet) uint64 {
 	p.ID = n.nextID
 	p.Created = n.eng.Now()
 	p.Hops = 0
+	p.Hash = routing.PacketHash(p.Flow)
 	if n.record {
 		p.Path = append(p.Path[:0], p.Src)
 	}
 	if p.Src == p.Dst {
 		// Loopback: deliver after the stack round trip.
-		n.eng.After(2*n.host.NICLatency, func() { n.deliver(p) })
+		n.eng.AfterAction(2*n.host.NICLatency, n.newEvent(evDeliver, p.Src, 0, p), 0, 0)
 		return p.ID
 	}
 	// NIC send-side latency, then onto the wire.
-	n.eng.After(n.host.NICLatency, func() {
-		n.forward(p.Src, p, n.eng.Now(), 0)
-	})
+	n.eng.AfterAction(n.host.NICLatency, n.newEvent(evForward, p.Src, 0, p), 0, 0)
 	return p.ID
 }
 
@@ -346,7 +528,7 @@ func (n *Network) Send(p Packet) uint64 {
 // serialization time of the inbound link (0 at the source host).
 func (n *Network) forward(node topology.NodeID, p Packet, readyTime sim.Time, serIn sim.Time) {
 	if p.Hops >= maxHops {
-		n.drop(p, "hop limit exceeded (routing loop?)")
+		n.drop(p, DropCodeHopLimit, -1, nil)
 		return
 	}
 	if node == p.Waypoint {
@@ -354,9 +536,10 @@ func (n *Network) forward(node topology.NodeID, p Packet, readyTime sim.Time, se
 	}
 	port, err := n.router.NextPort(node, routing.PacketMeta{
 		Flow: p.Flow, Seq: p.ID, Src: p.Src, Dst: p.Dst, Waypoint: p.Waypoint,
+		Hash: p.Hash,
 	})
 	if err != nil {
-		n.drop(p, "no route: "+err.Error())
+		n.drop(p, DropCodeNoRoute, -1, err)
 		return
 	}
 	link := n.g.Link(port.Link)
@@ -367,12 +550,12 @@ func (n *Network) forward(node topology.NodeID, p Packet, readyTime sim.Time, se
 	dl := &n.dirs[di]
 	if dl.down {
 		dl.drops++
-		n.drop(p, fmt.Sprintf("link %d down", port.Link))
+		n.drop(p, DropCodeLinkDown, port.Link, nil)
 		return
 	}
 	if dl.queuedBytes+p.Size > dl.capBytes {
 		dl.drops++
-		n.drop(p, fmt.Sprintf("queue full on link %d", port.Link))
+		n.drop(p, DropCodeQueueFull, port.Link, nil)
 		return
 	}
 	if n.g.Node(node).Kind == topology.Switch {
@@ -393,7 +576,7 @@ func (n *Network) forward(node topology.NodeID, p Packet, readyTime sim.Time, se
 	if pri >= numPriorities {
 		pri = numPriorities - 1
 	}
-	dl.queues[pri] = append(dl.queues[pri], queued{
+	dl.queues[pri].push(queued{
 		p: p, ready: readyTime, tailIn: n.eng.Now(), ser: ser,
 	})
 	if n.probe != nil {
@@ -415,9 +598,8 @@ func (n *Network) transmitNext(di int) {
 	var item queued
 	found := false
 	for pri := 0; pri < numPriorities; pri++ {
-		if len(dl.queues[pri]) > 0 {
-			item = dl.queues[pri][0]
-			dl.queues[pri] = dl.queues[pri][1:]
+		if dl.queues[pri].len() > 0 {
+			item = dl.queues[pri].pop()
 			found = true
 			break
 		}
@@ -459,13 +641,11 @@ func (n *Network) transmitNext(di int) {
 			At: endTx, Port: n.portRef(di), QueuedBytes: dl.queuedBytes - size, Packet: p,
 		})
 	}
-	n.eng.Schedule(endTx, func() {
-		dl.queuedBytes -= size
-		n.transmitNext(di)
-	})
-	n.eng.Schedule(endTx+dl.prop, func() {
-		n.arrive(peer, p, ser)
-	})
+	// Completion first, then arrival — the schedule order older closure
+	// code used, preserved so event ordering (and every result) is
+	// byte-identical.
+	n.eng.ScheduleAction(endTx, &n.txDone, int64(di), int64(size))
+	n.eng.ScheduleAction(endTx+dl.prop, n.newEvent(evArrive, peer, ser, p), 0, 0)
 }
 
 // arrive handles the tail of packet p reaching node at the current
@@ -478,15 +658,13 @@ func (n *Network) arrive(node topology.NodeID, p Packet, serIn sim.Time) {
 	if node == p.Dst {
 		p.Hops++
 		// NIC receive-side latency.
-		n.eng.After(n.host.NICLatency, func() { n.deliver(p) })
+		n.eng.AfterAction(n.host.NICLatency, n.newEvent(evDeliver, node, 0, p), 0, 0)
 		return
 	}
 	p.Hops++
 	if n.g.Node(node).Kind == topology.Host {
 		// Server-side forwarding (BCube-style): pay the OS stack.
-		n.eng.After(n.host.ForwardLatency, func() {
-			n.forward(node, p, n.eng.Now(), serIn)
-		})
+		n.eng.AfterAction(n.host.ForwardLatency, n.newEvent(evForward, node, serIn, p), 0, 0)
 		return
 	}
 	m := &n.models[node]
@@ -516,10 +694,10 @@ func (n *Network) deliver(p Packet) {
 	}
 }
 
-func (n *Network) drop(p Packet, reason string) {
+func (n *Network) drop(p Packet, code DropCode, link topology.LinkID, err error) {
 	n.dropped++
 	if n.onDrop != nil || n.probe != nil {
-		d := Drop{Packet: p, At: n.eng.Now(), Reason: reason}
+		d := Drop{Packet: p, At: n.eng.Now(), Code: code, Link: link, Err: err}
 		if n.onDrop != nil {
 			n.onDrop(d)
 		}

@@ -216,7 +216,7 @@ func (t *TraceRecorder) PacketDelivered(d Delivery) {
 // PacketDropped implements Probe.
 func (t *TraceRecorder) PacketDropped(d Drop) {
 	t.add(TraceEvent{At: d.At, Op: TraceDrop, Packet: d.Packet.ID, Flow: d.Packet.Flow,
-		Link: -1, From: -1, Hops: d.Packet.Hops, Reason: d.Reason})
+		Link: -1, From: -1, Hops: d.Packet.Hops, Reason: d.Reason()})
 }
 
 // FaultChanged implements FaultObserver: the degradation window shows

@@ -59,7 +59,7 @@ func TestFailLinkDropsTraffic(t *testing.T) {
 	net, err := New(Config{
 		Graph:  g,
 		Router: routing.NewECMP(g),
-		OnDrop: func(d Drop) { reasons = append(reasons, d.Reason) },
+		OnDrop: func(d Drop) { reasons = append(reasons, d.Reason()) },
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -111,7 +111,7 @@ func (r *KSP) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error)
 	if !ok || len(ps) == 0 {
 		return topology.Port{}, fmt.Errorf("routing: ksp: no paths from %d to %d", srcSw, pkt.Dst)
 	}
-	path := ps[hashFlow(pkt.Flow, 0)%uint64(len(ps))]
+	path := ps[pickHash(metaHash(pkt), 0)%uint64(len(ps))]
 	// Find n on the pinned path and forward to the successor.
 	for i, node := range path[:len(path)-1] {
 		if node == n {
@@ -123,7 +123,7 @@ func (r *KSP) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error)
 	if !ok || len(ps) == 0 {
 		return topology.Port{}, fmt.Errorf("routing: ksp: node %d off-path to %d", n, pkt.Dst)
 	}
-	path = ps[hashFlow(pkt.Flow, n)%uint64(len(ps))]
+	path = ps[pickHash(metaHash(pkt), n)%uint64(len(ps))]
 	if len(path) < 2 {
 		return topology.Port{}, fmt.Errorf("routing: ksp: degenerate path at %d", n)
 	}

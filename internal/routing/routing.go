@@ -33,8 +33,13 @@ type PacketMeta struct {
 	// Seq is the packet's unique sequence number; per-packet ECMP
 	// spraying hashes it together with Flow.
 	Seq uint64
-	Src topology.NodeID
-	Dst topology.NodeID
+	// Hash is the flow's routing hash, PacketHash(Flow), computed once
+	// when the packet is injected and carried hop to hop — the routers
+	// fold it with the node ID per hop instead of re-running the full
+	// mixer. Zero means "not cached"; routers fall back to computing it.
+	Hash uint64
+	Src  topology.NodeID
+	Dst  topology.NodeID
 	// Waypoint, if >= 0, is a VLB intermediate switch the packet must
 	// visit before heading to Dst. The router clears it (conceptually)
 	// once the packet reaches the waypoint; the simulator stores it.
@@ -83,10 +88,13 @@ func copyDead(dead map[topology.LinkID]bool) map[topology.LinkID]bool {
 	return out
 }
 
-// hashFlow mixes a flow ID with a node ID so different switches make
-// independent ECMP choices (64-bit splitmix-style finalizer).
-func hashFlow(f FlowID, n topology.NodeID) uint64 {
-	x := uint64(f) ^ (uint64(n) * 0x9E3779B97F4A7C15)
+// PacketHash runs the full 64-bit splitmix-style finalizer over a flow
+// ID. The packet simulator calls it once per packet at injection and
+// caches the result in PacketMeta.Hash; per-hop port selection then
+// only folds in the node ID (pickHash) instead of re-mixing from
+// scratch at every switch.
+func PacketHash(f FlowID) uint64 {
+	x := uint64(f)
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 27
@@ -95,13 +103,36 @@ func hashFlow(f FlowID, n topology.NodeID) uint64 {
 	return x
 }
 
+// pickHash mixes a packet's cached flow hash with a node ID so
+// different switches make independent choices. A single
+// multiply-xorshift round suffices because the input is already fully
+// mixed by PacketHash.
+func pickHash(h uint64, n topology.NodeID) uint64 {
+	h ^= uint64(n) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+// metaHash returns pkt's cached routing hash, computing it on the spot
+// for callers (tests, analysis walks) that build PacketMeta by hand.
+func metaHash(pkt PacketMeta) uint64 {
+	if pkt.Hash != 0 {
+		return pkt.Hash
+	}
+	return PacketHash(pkt.Flow)
+}
+
 // ECMP routes every packet along a shortest path, choosing among
 // equal-cost next hops by flow hash. On a full mesh this always selects
 // the single direct path (§3.4 of the paper).
 type ECMP struct {
 	g *topology.Graph
-	// next[dst][n] lists n's shortest-path ports toward dst.
-	next map[topology.NodeID][][]topology.Port
+	// next[dst][n] lists n's shortest-path ports toward dst — a dense
+	// slice indexed by destination NodeID (nil for non-hosts) so the
+	// per-hop lookup is two array indexes, no map hashing.
+	next [][][]topology.Port
 	// dead is the failed-link set the tables were built around (nil
 	// when routing the intact graph). Owned by the router: constructors
 	// and Reroute copy their argument, so caller mutations after the
@@ -144,7 +175,7 @@ func NewECMPAvoiding(g *topology.Graph, dead map[topology.LinkID]bool) *ECMP {
 // rebuild recomputes the next-hop tables from the graph and the current
 // dead-link set.
 func (e *ECMP) rebuild() {
-	e.next = make(map[topology.NodeID][][]topology.Port, len(e.g.Hosts()))
+	e.next = make([][][]topology.Port, e.g.NumNodes())
 	for _, h := range e.g.Hosts() {
 		e.next[h] = e.g.AllShortestNextHopsAvoiding(h, e.dead)
 	}
@@ -167,19 +198,21 @@ func (e *ECMP) Name() string {
 
 // NextPort implements Router.
 func (e *ECMP) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error) {
-	table, ok := e.next[pkt.Dst]
-	if !ok {
+	if pkt.Dst < 0 || int(pkt.Dst) >= len(e.next) || e.next[pkt.Dst] == nil {
 		return topology.Port{}, fmt.Errorf("routing: ecmp: unknown destination %d", pkt.Dst)
 	}
-	choices := table[n]
+	choices := e.next[pkt.Dst][n]
 	if len(choices) == 0 {
 		return topology.Port{}, fmt.Errorf("routing: ecmp: no route from %d to %d", n, pkt.Dst)
 	}
-	key := pkt.Flow
-	if e.perPacket {
-		key ^= FlowID(pkt.Seq * 0x9E3779B97F4A7C15)
+	if len(choices) == 1 {
+		return choices[0], nil
 	}
-	return choices[hashFlow(key, n)%uint64(len(choices))], nil
+	key := metaHash(pkt)
+	if e.perPacket {
+		key ^= pkt.Seq * 0x9E3779B97F4A7C15
+	}
+	return choices[pickHash(key, n)%uint64(len(choices))], nil
 }
 
 // VLB implements Valiant load balancing on a full mesh of ToR switches
@@ -194,11 +227,14 @@ type VLB struct {
 	indirectFraction float64
 	switches         []topology.NodeID
 	// distTo[sw] holds hop distances from every node to switch sw, for
-	// waypoint forwarding.
-	distTo map[topology.NodeID][]int
+	// waypoint forwarding — dense by switch NodeID, nil for non-switch
+	// IDs, so the per-hop lookup stays map-free.
+	distTo [][]int
 	// dead mirrors the embedded ECMP's failed-link set so waypoint
-	// forwarding skips dead parallel links.
-	dead map[topology.LinkID]bool
+	// forwarding skips dead parallel links; deadMask is its dense
+	// per-LinkID form for the hot path.
+	dead     map[topology.LinkID]bool
+	deadMask []bool
 }
 
 // NewVLB builds a VLB router over g (which should be a full mesh of ToR
@@ -220,9 +256,15 @@ func NewVLB(g *topology.Graph, indirectFraction float64) (*VLB, error) {
 // rebuildDist recomputes the per-switch distance tables used for
 // waypoint forwarding, honoring the current dead-link set.
 func (v *VLB) rebuildDist() {
-	v.distTo = make(map[topology.NodeID][]int, len(v.switches))
+	v.distTo = make([][]int, v.g.NumNodes())
 	for _, sw := range v.switches {
 		v.distTo[sw] = v.g.BFSDist(sw, v.dead)
+	}
+	v.deadMask = make([]bool, v.g.NumLinks())
+	for l, d := range v.dead {
+		if d && int(l) >= 0 && int(l) < len(v.deadMask) {
+			v.deadMask[l] = true
+		}
 	}
 }
 
@@ -281,27 +323,41 @@ func (v *VLB) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error)
 }
 
 // towardSwitch forwards along a shortest path to the waypoint switch.
+// It selects among the downhill ports by count-then-pick — two cheap
+// passes over the port list — instead of materializing a candidate
+// slice per hop.
 func (v *VLB) towardSwitch(n topology.NodeID, pkt PacketMeta) (topology.Port, error) {
-	dist, ok := v.distTo[pkt.Waypoint]
-	if !ok {
+	if pkt.Waypoint < 0 || int(pkt.Waypoint) >= len(v.distTo) || v.distTo[pkt.Waypoint] == nil {
 		return topology.Port{}, fmt.Errorf("routing: vlb: waypoint %d is not a switch", pkt.Waypoint)
 	}
+	dist := v.distTo[pkt.Waypoint]
 	if dist[n] <= 0 {
 		return topology.Port{}, fmt.Errorf("routing: vlb: no path from %d to waypoint %d", n, pkt.Waypoint)
 	}
-	var choices []topology.Port
-	for _, p := range v.g.Ports(n) {
-		if v.dead[p.Link] {
-			continue
-		}
-		if dist[p.Peer] == dist[n]-1 {
-			choices = append(choices, p)
+	ports := v.g.Ports(n)
+	downhill := func(p topology.Port) bool {
+		return !v.deadMask[p.Link] && dist[p.Peer] == dist[n]-1
+	}
+	count := 0
+	for _, p := range ports {
+		if downhill(p) {
+			count++
 		}
 	}
-	if len(choices) == 0 {
+	if count == 0 {
 		return topology.Port{}, fmt.Errorf("routing: vlb: stuck at %d toward waypoint %d", n, pkt.Waypoint)
 	}
-	return choices[hashFlow(pkt.Flow, n)%uint64(len(choices))], nil
+	pick := int(pickHash(metaHash(pkt), n) % uint64(count))
+	for _, p := range ports {
+		if !downhill(p) {
+			continue
+		}
+		if pick == 0 {
+			return p, nil
+		}
+		pick--
+	}
+	panic("routing: vlb: unreachable")
 }
 
 // SpanningTree forwards along a single spanning tree rooted at a chosen

@@ -53,13 +53,13 @@ func (s *SPAIN) VLANs() int { return len(s.trees) }
 // vlanFor pins a flow to one VLAN. The source host selects the VLAN in
 // SPAIN (each VLAN is a virtual interface); the hash stands in for that
 // selection.
-func (s *SPAIN) vlanFor(f FlowID) *SpanningTree {
-	return s.trees[hashFlow(f, -1)%uint64(len(s.trees))]
+func (s *SPAIN) vlanFor(pkt PacketMeta) *SpanningTree {
+	return s.trees[pickHash(metaHash(pkt), -1)%uint64(len(s.trees))]
 }
 
 // NextPort implements Router by forwarding within the flow's VLAN tree.
 func (s *SPAIN) NextPort(n topology.NodeID, pkt PacketMeta) (topology.Port, error) {
-	return s.vlanFor(pkt.Flow).NextPort(n, pkt)
+	return s.vlanFor(pkt).NextPort(n, pkt)
 }
 
 // PathLength returns the number of switch hops flow f takes between two

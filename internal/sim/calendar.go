@@ -1,13 +1,17 @@
 package sim
 
 import (
-	"container/heap"
 	"sort"
 )
 
 // eventQueue abstracts the engine's pending-event store. Both
 // implementations order events by (time, schedule sequence), so the
 // engine behaves identically regardless of the queue chosen.
+//
+// Events are held by value: neither backend boxes records through
+// interface{} or allocates per event, and both reuse their backing
+// storage across pushes and pops, so a steady-state simulation does no
+// queue allocation at all.
 type eventQueue interface {
 	push(event)
 	// pop removes and returns the earliest event; callers check len
@@ -18,15 +22,92 @@ type eventQueue interface {
 	size() int
 }
 
-// heapQueue is the default binary-heap implementation.
-type heapQueue struct {
-	h eventHeap
+// before orders events by (at, seq).
+func (e *event) before(f *event) bool {
+	if e.at != f.at {
+		return e.at < f.at
+	}
+	return e.seq < f.seq
 }
 
-func (q *heapQueue) push(e event) { heap.Push(&q.h, e) }
-func (q *heapQueue) pop() event   { return heap.Pop(&q.h).(event) }
+// heapQueue is the default binary-heap implementation: sift-up/down
+// written directly against []event (container/heap would box every
+// record through interface{} on Push and Pop).
+type heapQueue struct {
+	h []event
+}
+
+func (q *heapQueue) push(e event) {
+	q.h = append(q.h, e)
+	// Sift up.
+	h := q.h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *heapQueue) pop() event {
+	h := q.h
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release closure/action references to the GC
+	q.h = h[:n]
+	// Sift down.
+	h = q.h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && h[r].before(&h[l]) {
+			least = r
+		}
+		if !h[least].before(&h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
+}
+
 func (q *heapQueue) peekAt() Time { return q.h[0].at }
 func (q *heapQueue) size() int    { return len(q.h) }
+
+// bucket is one calendar day: a head-indexed slice of events sorted by
+// (at, seq). Pops advance head instead of re-slicing, so the backing
+// array's capacity is reused run-long; the popped slot is zeroed to
+// release references.
+type bucket struct {
+	evs  []event
+	head int
+}
+
+func (b *bucket) len() int { return len(b.evs) - b.head }
+
+// compact reclaims the dead prefix once it dominates the slice, keeping
+// push's append from growing the array without bound when a bucket
+// never fully drains.
+func (b *bucket) compact() {
+	if b.head >= 64 && b.head*2 >= len(b.evs) {
+		n := copy(b.evs, b.evs[b.head:])
+		tail := b.evs[n:]
+		for i := range tail {
+			tail[i] = event{}
+		}
+		b.evs = b.evs[:n]
+		b.head = 0
+	}
+}
 
 // calendarQueue is a classic calendar-queue event store (Brown 1988):
 // events hash into day buckets by timestamp; dequeue scans the current
@@ -34,7 +115,7 @@ func (q *heapQueue) size() int    { return len(q.h) }
 // packet simulations are — enqueue and dequeue approach O(1). The
 // structure resizes itself to keep about one event per bucket.
 type calendarQueue struct {
-	buckets  []([]event)
+	buckets  []bucket
 	width    Time // day width
 	dayStart Time // start time of the current day
 	day      int  // current bucket index
@@ -53,7 +134,7 @@ func newCalendarQueue() *calendarQueue {
 }
 
 func (q *calendarQueue) init(nbuckets int, width, start Time) {
-	q.buckets = make([][]event, nbuckets)
+	q.buckets = make([]bucket, nbuckets)
 	q.width = width
 	q.dayStart = start - start%width
 	if start < 0 {
@@ -69,18 +150,18 @@ func (q *calendarQueue) bucketFor(at Time) int {
 }
 
 func (q *calendarQueue) push(e event) {
-	b := q.bucketFor(e.at)
-	lst := q.buckets[b]
-	// Insert keeping the bucket sorted by (at, seq); buckets stay short
-	// so linear insertion wins over anything clever.
-	i := len(lst)
-	for i > 0 && (lst[i-1].at > e.at || (lst[i-1].at == e.at && lst[i-1].seq > e.seq)) {
+	bk := &q.buckets[q.bucketFor(e.at)]
+	evs := bk.evs
+	// Insert keeping the live window sorted by (at, seq); buckets stay
+	// short so linear insertion wins over anything clever.
+	i := len(evs)
+	for i > bk.head && e.before(&evs[i-1]) {
 		i--
 	}
-	lst = append(lst, event{})
-	copy(lst[i+1:], lst[i:])
-	lst[i] = e
-	q.buckets[b] = lst
+	evs = append(evs, event{})
+	copy(evs[i+1:], evs[i:])
+	evs[i] = e
+	bk.evs = evs
 	q.n++
 	if q.n > q.resizeUp {
 		q.resize(len(q.buckets) * 2)
@@ -94,10 +175,17 @@ func (q *calendarQueue) pop() event {
 		for i := 0; i < len(q.buckets); i++ {
 			b := (q.day + i) % len(q.buckets)
 			dayStart := q.dayStart + Time(i)*q.width
-			lst := q.buckets[b]
-			if len(lst) > 0 && lst[0].at < dayStart+q.width {
-				e := lst[0]
-				q.buckets[b] = lst[1:]
+			bk := &q.buckets[b]
+			if bk.len() > 0 && bk.evs[bk.head].at < dayStart+q.width {
+				e := bk.evs[bk.head]
+				bk.evs[bk.head] = event{} // release references
+				bk.head++
+				if bk.head == len(bk.evs) {
+					bk.evs = bk.evs[:0]
+					bk.head = 0
+				} else {
+					bk.compact()
+				}
 				q.n--
 				q.day = b
 				q.dayStart = dayStart
@@ -110,9 +198,10 @@ func (q *calendarQueue) pop() event {
 		// Nothing in this year: jump to the globally earliest event.
 		min := Time(1)<<62 - 1
 		found := false
-		for _, lst := range q.buckets {
-			if len(lst) > 0 && lst[0].at < min {
-				min = lst[0].at
+		for i := range q.buckets {
+			bk := &q.buckets[i]
+			if bk.len() > 0 && bk.evs[bk.head].at < min {
+				min = bk.evs[bk.head].at
 				found = true
 			}
 		}
@@ -131,15 +220,16 @@ func (q *calendarQueue) peekAt() Time {
 	for i := 0; i < len(q.buckets); i++ {
 		b := (q.day + i) % len(q.buckets)
 		dayStart := q.dayStart + Time(i)*q.width
-		lst := q.buckets[b]
-		if len(lst) > 0 && lst[0].at < dayStart+q.width {
-			return lst[0].at
+		bk := &q.buckets[b]
+		if bk.len() > 0 && bk.evs[bk.head].at < dayStart+q.width {
+			return bk.evs[bk.head].at
 		}
 	}
 	min := Time(1)<<62 - 1
-	for _, lst := range q.buckets {
-		if len(lst) > 0 && lst[0].at < min {
-			min = lst[0].at
+	for i := range q.buckets {
+		bk := &q.buckets[i]
+		if bk.len() > 0 && bk.evs[bk.head].at < min {
+			min = bk.evs[bk.head].at
 		}
 	}
 	return min
@@ -148,18 +238,16 @@ func (q *calendarQueue) peekAt() Time {
 func (q *calendarQueue) size() int { return q.n }
 
 // resize rebuilds the calendar with a new bucket count and a day width
-// estimated from the current event spread.
+// estimated from the current event spread. Resizes are amortized-rare
+// (the thresholds are geometric), so the gather-and-redistribute
+// allocation here does not affect steady-state behaviour.
 func (q *calendarQueue) resize(nbuckets int) {
-	var all []event
-	for _, lst := range q.buckets {
-		all = append(all, lst...)
+	all := make([]event, 0, q.n)
+	for i := range q.buckets {
+		bk := &q.buckets[i]
+		all = append(all, bk.evs[bk.head:]...)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].at != all[j].at {
-			return all[i].at < all[j].at
-		}
-		return all[i].seq < all[j].seq
-	})
+	sort.Slice(all, func(i, j int) bool { return all[i].before(&all[j]) })
 	width := q.width
 	if len(all) > 2 {
 		span := all[len(all)-1].at - all[0].at
@@ -172,10 +260,9 @@ func (q *calendarQueue) resize(nbuckets int) {
 		start = all[0].at
 	}
 	q.init(nbuckets, width, start)
-	q.n = 0
+	q.n = len(all)
 	for _, e := range all {
 		b := q.bucketFor(e.at)
-		q.buckets[b] = append(q.buckets[b], e)
-		q.n++
+		q.buckets[b].evs = append(q.buckets[b].evs, e)
 	}
 }

@@ -6,32 +6,27 @@ import (
 	"time"
 )
 
-// event is a scheduled callback.
+// Action is the typed, allocation-free form of an event callback.
+// Schedule's func() form allocates a closure per event; ScheduleAction
+// instead stores an interface pointer plus two integer arguments
+// directly in the event record, so long-lived handlers (or pooled
+// records that implement Action themselves) schedule without touching
+// the heap. The packet simulator's per-hop events use this path.
+type Action interface {
+	// Run executes the event with the two integer arguments it was
+	// scheduled with.
+	Run(a, b int64)
+}
+
+// event is a scheduled callback: either a closure (fn) or a typed
+// action with its arguments. Events are stored by value in the queue
+// backends — no boxing, no per-event allocation.
 type event struct {
-	at  Time
-	seq uint64 // schedule order; breaks ties deterministically
-	fn  func()
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+	at   Time
+	seq  uint64 // schedule order; breaks ties deterministically
+	fn   func()
+	act  Action
+	a, b int64
 }
 
 // EventProbe observes the engine's event loop. Event is called after
@@ -128,12 +123,35 @@ func (e *Engine) Schedule(at Time, fn func()) {
 	}
 }
 
+// ScheduleAction runs act.Run(a, b) at absolute virtual time at — the
+// zero-allocation form of Schedule (see Action). Ties with closure
+// events at the same instant break by schedule order, exactly as for
+// Schedule.
+func (e *Engine) ScheduleAction(at Time, act Action, a, b int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	e.queue.push(event{at: at, seq: e.seq, act: act, a: a, b: b})
+	if s := e.queue.size(); s > e.peak {
+		e.peak = s
+	}
+}
+
 // After runs fn delay after the current time.
 func (e *Engine) After(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	e.Schedule(e.now+delay, fn)
+}
+
+// AfterAction runs act.Run(a, b) delay after the current time.
+func (e *Engine) AfterAction(delay Time, act Action, a, b int64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.ScheduleAction(e.now+delay, act, a, b)
 }
 
 // Stop halts the run loop after the current event returns.
@@ -160,7 +178,11 @@ func (e *Engine) RunUntil(end Time) {
 		ev := e.queue.pop()
 		e.now = ev.at
 		e.ran++
-		ev.fn()
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.act.Run(ev.a, ev.b)
+		}
 		if e.probe != nil {
 			e.probe.Event(e.now, e.queue.size())
 		}
