@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-json bench-diff
+.PHONY: build test vet race verify bench bench-json bench-diff service-smoke
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,13 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The simulator's hot packages under the race detector: the event
+# The concurrency-bearing packages under the race detector: the event
 # engine, the packet-level network simulator (including the probe and
-# fault-injection hooks), and the routers (Reroute mutates live tables).
+# fault-injection hooks), the routers (Reroute mutates live tables),
+# the metrics registry (lock-free instruments scraped while written),
+# and the job service (worker pool vs HTTP handlers).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/netsim/... ./internal/routing/...
+	$(GO) test -race ./internal/sim/... ./internal/netsim/... ./internal/routing/... ./internal/metrics/... ./internal/service/...
 
 # Tier-1 verify recipe (see ROADMAP.md): build + vet + full tests + race
 # pass on the simulator core.
@@ -37,3 +39,9 @@ bench-json:
 bench-diff:
 	$(GO) run ./cmd/quartzbench -trials 500 -tasks 4 -rpcs 200 -json /tmp/bench-new.json >/dev/null
 	$(GO) run ./cmd/benchdiff -old BENCH_quartz.json -new /tmp/bench-new.json
+
+# End-to-end check of the quartzd job service: submit, poll, fetch,
+# cache hit on resubmit, graceful SIGTERM drain. CI runs this as the
+# service-smoke job.
+service-smoke:
+	bash scripts/service_smoke.sh

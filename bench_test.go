@@ -43,7 +43,7 @@ func BenchmarkFigure6(b *testing.B) {
 
 func BenchmarkTable8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table8(benchSeed)
+		rows, err := experiments.Table8(context.Background(), benchSeed, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +141,7 @@ func BenchmarkFigure20(b *testing.B) {
 
 func BenchmarkAblationRingSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationRingSize(benchSeed)
+		rows, err := experiments.AblationRingSize(context.Background(), benchSeed, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +151,7 @@ func BenchmarkAblationRingSize(b *testing.B) {
 
 func BenchmarkAblationSwitchModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationSwitchModel(benchSeed)
+		rows, err := experiments.AblationSwitchModel(context.Background(), benchSeed, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +161,7 @@ func BenchmarkAblationSwitchModel(b *testing.B) {
 
 func BenchmarkAblationVLBFraction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationVLBFraction(benchSeed)
+		rows, err := experiments.AblationVLBFraction(context.Background(), benchSeed, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +171,7 @@ func BenchmarkAblationVLBFraction(b *testing.B) {
 
 func BenchmarkAblationECMPMode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationECMPMode(benchSeed)
+		rows, err := experiments.AblationECMPMode(context.Background(), benchSeed, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +241,7 @@ func BenchmarkPriorityComparison(b *testing.B) {
 
 func BenchmarkSimulatorValidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.SimulatorValidation(benchSeed, 100_000)
+		rows, err := experiments.SimulatorValidation(context.Background(), benchSeed, 100_000, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,8 +10,10 @@
 //	benchdiff -old BENCH_quartz.json -new /tmp/bench.json [-threshold 25]
 //
 // Experiments that drive no simulator events (analytic tables) are
-// skipped; an experiment present in the old report but missing from the
-// new one is an error. Exit status 1 signals a regression.
+// skipped, and so is an experiment present in only one of the two
+// reports — reports from different revisions of the registry stay
+// comparable; the skips are listed so a shrinking registry is visible.
+// Exit status 1 signals a regression.
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"github.com/quartz-dcn/quartz/internal/experiments"
 )
@@ -63,16 +67,22 @@ func main() {
 		byName[e.Name] = e
 	}
 
+	inOld := make(map[string]bool, len(oldRep.Experiments))
+
 	fmt.Printf("%-10s %14s %14s %8s\n", "experiment", "old ev/s", "new ev/s", "delta")
 	regressed := false
+	var skipped []string
 	for _, oldE := range oldRep.Experiments {
+		inOld[oldE.Name] = true
 		if oldE.Events == 0 || oldE.EventsPerSec <= 0 {
 			continue // analytic experiment: no event-loop throughput
 		}
 		newE, ok := byName[oldE.Name]
 		if !ok {
-			fmt.Printf("%-10s %14.0f %14s %8s\n", oldE.Name, oldE.EventsPerSec, "missing", "FAIL")
-			regressed = true
+			// Present only in the baseline — a registry that moved on,
+			// not a regression in the code under test.
+			fmt.Printf("%-10s %14.0f %14s %8s\n", oldE.Name, oldE.EventsPerSec, "-", "skipped")
+			skipped = append(skipped, oldE.Name)
 			continue
 		}
 		deltaPct := 100 * (newE.EventsPerSec - oldE.EventsPerSec) / oldE.EventsPerSec
@@ -83,6 +93,26 @@ func main() {
 		}
 		fmt.Printf("%-10s %14.0f %14.0f %+7.1f%%%s\n",
 			oldE.Name, oldE.EventsPerSec, newE.EventsPerSec, deltaPct, mark)
+	}
+	// New-only experiments have no baseline to diff against; list them
+	// so the skip is deliberate rather than silent.
+	var added []string
+	for _, newE := range newRep.Experiments {
+		if !inOld[newE.Name] && newE.Events > 0 && newE.EventsPerSec > 0 {
+			added = append(added, newE.Name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("%-10s %14s %14.0f %8s\n", name, "-", byName[name].EventsPerSec, "skipped")
+	}
+	if len(skipped) > 0 {
+		fmt.Printf("skipped %d experiment(s) absent from %s: %s\n",
+			len(skipped), *newPath, strings.Join(skipped, ", "))
+	}
+	if len(added) > 0 {
+		fmt.Printf("skipped %d experiment(s) with no baseline in %s: %s\n",
+			len(added), *oldPath, strings.Join(added, ", "))
 	}
 	if regressed {
 		fmt.Fprintf(os.Stderr, "benchdiff: events/sec regressed more than %.0f%% vs %s\n", *threshold, *oldPath)

@@ -1,0 +1,130 @@
+// Command quartzd serves Quartz experiments over HTTP: submit a job,
+// poll its state, fetch the result. It fronts internal/service — a
+// bounded submission queue with backpressure, a worker pool sized to
+// the machine, and an LRU result cache keyed by the canonical
+// parameter hash, so identical submissions never recompute.
+//
+// Usage:
+//
+//	quartzd [-addr :8714] [-queue N] [-workers N] [-cache N]
+//	        [-timeout D] [-grace D]
+//
+// API (JSON):
+//
+//	POST   /jobs              {"experiment":"validate","params":{"seed":7,"trials":100}}
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         job state + progress
+//	GET    /jobs/{id}/result  output once terminal (409 before)
+//	DELETE /jobs/{id}         cancel
+//	GET    /experiments       the experiment registry
+//	GET    /metrics, /status  Prometheus text / JSON status
+//	GET    /healthz           liveness
+//
+// A full queue answers 429 Too Many Requests with Retry-After; that is
+// the backpressure contract — the daemon never buffers unboundedly.
+// SIGINT/SIGTERM drain gracefully: admission stops (503), in-flight
+// jobs get -grace to finish, then their contexts are cancelled, and
+// the daemon exits 0 with a lifetime-stats line.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/service"
+)
+
+var (
+	addr    = flag.String("addr", ":8714", "listen address")
+	queue   = flag.Int("queue", 16, "submission queue capacity (full queue answers 429)")
+	workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cache   = flag.Int("cache", 256, "result cache entries (negative disables caching)")
+	timeout = flag.Duration("timeout", 10*time.Minute, "default per-job run deadline")
+	grace   = flag.Duration("grace", 30*time.Second, "drain grace period on shutdown before in-flight jobs are cancelled")
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("quartzd ")
+	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	svc := service.New(service.Config{
+		QueueCapacity:  *queue,
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+	})
+	handler := svc.Handler(metrics.StatusMeta{
+		"daemon":  "quartzd",
+		"go":      runtime.Version(),
+		"queue":   fmt.Sprint(*queue),
+		"workers": fmt.Sprint(svcWorkers()),
+	})
+
+	// Bind before announcing readiness so callers (the CI smoke script
+	// waits on this line) can poll the port immediately after.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	srv := &http.Server{Handler: handler}
+	log.Printf("listening on %s (queue=%d workers=%d cache=%d timeout=%v)",
+		ln.Addr(), *queue, svcWorkers(), *cache, *timeout)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default handling: a second signal kills immediately
+	log.Printf("signal received; draining (grace %v)", *grace)
+
+	// Drain first — stop admitting, let in-flight jobs finish or cancel
+	// them at the grace deadline — then close the HTTP listener so
+	// clients can poll job state for the whole drain window.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	forced := svc.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		srv.Close()
+	}
+
+	st := svc.Stats()
+	log.Printf("drained: done=%d failed=%d cancelled=%d cache_hits=%d cache_misses=%d cache_entries=%d",
+		st.Done, st.Failed, st.Cancelled, st.CacheHits, st.CacheMisses, st.CacheEntries)
+	if forced != nil && errors.Is(forced, context.DeadlineExceeded) {
+		log.Printf("grace period expired; in-flight jobs were cancelled")
+	}
+	return nil
+}
+
+// svcWorkers mirrors the service's worker-count default for logging.
+func svcWorkers() int {
+	if *workers > 0 {
+		return *workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

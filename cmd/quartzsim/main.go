@@ -35,6 +35,9 @@
 // virtual time, written to -probe-out. Both emit CSV, or JSON when the
 // file name ends in .json. A run-telemetry summary (events processed,
 // peak calendar size, wall-clock event rate) always prints at the end.
+// SIGINT/SIGTERM stop the event loop cleanly: the run ends at the
+// current virtual time and every requested output is still written,
+// covering the simulated portion.
 //
 // Metrics: -metrics-addr serves a live HTTP endpoint while the run
 // executes — /metrics is the Prometheus text format, /status (and /) a
@@ -49,14 +52,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/quartz-dcn/quartz/internal/core"
@@ -446,7 +452,31 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// SIGINT/SIGTERM stop the event loop at the next watchdog tick
+	// instead of killing the process: the partial run still flows into
+	// every requested output (trace, samples, flows, metrics), so a
+	// long simulation interrupted mid-write stays usable.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	const watchdogEvery = 100 * sim.Microsecond
+	var interruptedAt sim.Time
+	var watchdog func()
+	watchdog = func() {
+		if ctx.Err() != nil {
+			interruptedAt = net.Engine().Now()
+			net.Engine().Stop()
+			return
+		}
+		net.Engine().After(watchdogEvery, watchdog)
+	}
+	net.Engine().After(watchdogEvery, watchdog)
+
 	net.Engine().RunUntil(runEnd)
+	if interruptedAt > 0 {
+		stopSignals() // a second signal now kills immediately
+		fmt.Fprintf(os.Stderr,
+			"quartzsim: interrupted at virtual time %v; writing partial outputs\n", interruptedAt)
+	}
 
 	fmt.Printf("%s | %s | %d task(s), %d streams each at %.0f pps | %d ms\n",
 		arch.Name, *workload, n, *fanout, *pps, *ms)

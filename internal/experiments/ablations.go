@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -72,10 +73,10 @@ func meshScatterLatency(m, hostsPer int, model netsim.SwitchModel, seed int64) (
 
 // AblationRingSize tests the §7 claim that "the size of the ring does
 // not affect performance": a scatter task on meshes of 4..32 switches.
-func AblationRingSize(seed int64) ([]AblationRow, error) {
+func AblationRingSize(ctx context.Context, seed int64, progress Progress) ([]AblationRow, error) {
 	sizes := []int{4, 8, 16, 32}
 	rows := make([]AblationRow, len(sizes))
-	err := forEachCell(nil, len(sizes), func(i int) error {
+	err := forEachCell(ctx, len(sizes), progress, func(i int) error {
 		row, err := meshScatterLatency(sizes[i], 4, netsim.Arista7150, seed)
 		if err != nil {
 			return err
@@ -93,7 +94,7 @@ func AblationRingSize(seed int64) ([]AblationRow, error) {
 // AblationSwitchModel isolates the cut-through contribution: the same
 // mesh built from ULL cut-through switches versus CCS
 // store-and-forward chassis.
-func AblationSwitchModel(seed int64) ([]AblationRow, error) {
+func AblationSwitchModel(ctx context.Context, seed int64, progress Progress) ([]AblationRow, error) {
 	cfgs := []struct {
 		name  string
 		model netsim.SwitchModel
@@ -102,7 +103,7 @@ func AblationSwitchModel(seed int64) ([]AblationRow, error) {
 		{"mesh of CCS (6us store-and-forward)", netsim.CiscoNexus7000},
 	}
 	rows := make([]AblationRow, len(cfgs))
-	err := forEachCell(nil, len(cfgs), func(i int) error {
+	err := forEachCell(ctx, len(cfgs), progress, func(i int) error {
 		row, err := meshScatterLatency(8, 4, cfgs[i].model, seed)
 		if err != nil {
 			return err
@@ -122,13 +123,13 @@ func AblationSwitchModel(seed int64) ([]AblationRow, error) {
 // capacity — showing the adaptive tradeoff of §3.4: too little
 // spreading saturates the direct link, too much wastes capacity on
 // two-hop detours.
-func AblationVLBFraction(seed int64) ([]AblationRow, error) {
+func AblationVLBFraction(ctx context.Context, seed int64, progress Progress) ([]AblationRow, error) {
 	ull := func(topology.Node) netsim.SwitchModel { return netsim.Arista7150 }
 	fracs := []float64{0, 0.125, 0.25, 0.5, 0.75, 1.0}
 	rows := make([]AblationRow, len(fracs))
 	// Each cell builds its own ring: routers keep per-graph state, so
 	// shards must not share a topology.
-	err := forEachCell(nil, len(fracs), func(i int) error {
+	err := forEachCell(ctx, len(fracs), progress, func(i int) error {
 		frac := fracs[i]
 		ring, err := fig20Ring()
 		if err != nil {
@@ -168,7 +169,7 @@ func AblationVLBFraction(seed int64) ([]AblationRow, error) {
 // AblationECMPMode compares per-flow ECMP pinning against per-packet
 // spraying on the three-tier tree under the Figure 17 scatter load:
 // pinned flows collide on the few core ports and inflate the tail.
-func AblationECMPMode(seed int64) ([]AblationRow, error) {
+func AblationECMPMode(ctx context.Context, seed int64, progress Progress) ([]AblationRow, error) {
 	cfgs := []struct {
 		name      string
 		perPacket bool
@@ -177,7 +178,7 @@ func AblationECMPMode(seed int64) ([]AblationRow, error) {
 		{"three-tier, per-packet spraying", true},
 	}
 	rows := make([]AblationRow, len(cfgs))
-	err := forEachCell(nil, len(cfgs), func(i int) error {
+	err := forEachCell(ctx, len(cfgs), progress, func(i int) error {
 		arch, err := core.ThreeTierTree(core.ArchParams{})
 		if err != nil {
 			return err

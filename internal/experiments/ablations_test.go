@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestAblationRingSizeFlat(t *testing.T) {
 	// §7: "the size of the ring does not affect performance" — latency
 	// is flat across ring sizes (within 25%).
-	rows, err := AblationRingSize(11)
+	rows, err := AblationRingSize(context.Background(), 11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestAblationRingSizeFlat(t *testing.T) {
 }
 
 func TestAblationSwitchModelGap(t *testing.T) {
-	rows, err := AblationSwitchModel(11)
+	rows, err := AblationSwitchModel(context.Background(), 11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestAblationSwitchModelGap(t *testing.T) {
 }
 
 func TestAblationVLBFractionShape(t *testing.T) {
-	rows, err := AblationVLBFraction(11)
+	rows, err := AblationVLBFraction(context.Background(), 11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestAblationVLBFractionShape(t *testing.T) {
 }
 
 func TestAblationECMPMode(t *testing.T) {
-	rows, err := AblationECMPMode(11)
+	rows, err := AblationECMPMode(context.Background(), 11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -14,28 +15,28 @@ func TestShardedExperimentsDeterministic(t *testing.T) {
 		run  func() (string, error)
 	}{
 		{"validate", func() (string, error) {
-			rows, err := SimulatorValidation(2014, 5_000)
+			rows, err := SimulatorValidation(context.Background(), 2014, 5_000, nil)
 			if err != nil {
 				return "", err
 			}
 			return RenderValidation(rows), nil
 		}},
 		{"table8", func() (string, error) {
-			rows, err := Table8(2014)
+			rows, err := Table8(context.Background(), 2014, nil)
 			if err != nil {
 				return "", err
 			}
 			return RenderTable8(rows), nil
 		}},
 		{"ablation-switch-model", func() (string, error) {
-			rows, err := AblationSwitchModel(2014)
+			rows, err := AblationSwitchModel(context.Background(), 2014, nil)
 			if err != nil {
 				return "", err
 			}
 			return RenderAblation("switch model", rows), nil
 		}},
 		{"ablation-ring-size", func() (string, error) {
-			rows, err := AblationRingSize(2014)
+			rows, err := AblationRingSize(context.Background(), 2014, nil)
 			if err != nil {
 				return "", err
 			}

@@ -288,7 +288,7 @@ func TestFigure20Claims(t *testing.T) {
 }
 
 func TestTable8Claims(t *testing.T) {
-	rows, err := Table8(9)
+	rows, err := Table8(context.Background(), 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

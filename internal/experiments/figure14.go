@@ -169,7 +169,7 @@ func Figure14Sweep(seed int64, rpcs int) ([]Figure14Row, error) {
 		points = append(points, mbps)
 	}
 	rows := make([]Figure14Row, len(points))
-	err = forEachCell(context.Background(), len(points), func(i int) error {
+	err = forEachCell(context.Background(), len(points), nil, func(i int) error {
 		mbps := points[i]
 		cross := sim.Rate(mbps) * sim.Mbps
 		tm, tci, err := runFigure14(false, cross, rpcs, seed+int64(mbps))

@@ -269,7 +269,7 @@ func figureTasks(ctx context.Context, kind TaskKind, maxTasks int, local bool, a
 		}
 	}
 	var mu sync.Mutex
-	err := forEachCell(ctx, len(cells), func(i int) error {
+	err := forEachCell(ctx, len(cells), nil, func(i int) error {
 		c := cells[i]
 		arch, err := buildArch(c.name, rand.New(rand.NewSource(seed)))
 		if err != nil {

@@ -11,11 +11,27 @@ import (
 // simulation with its own engine and seed, so the sweeps parallelize
 // perfectly; results must be written to disjoint slots by index.
 //
+// progress, when non-nil, is called after each successful cell with
+// the number of cells completed so far and n. Calls are serialized
+// (never concurrent), but completion order is nondeterministic across
+// workers — only the final (n, n) call is guaranteed to be last.
+//
 // Cancelling ctx stops dispatching new cells; cells already running
 // finish, and ctx.Err() is returned. A nil ctx means no cancellation.
-func forEachCell(ctx context.Context, n int, fn func(i int) error) error {
+func forEachCell(ctx context.Context, n int, progress Progress, fn func(i int) error) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	done := 0
+	var progressMu sync.Mutex
+	tick := func() {
+		if progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		progress(done, n)
+		progressMu.Unlock()
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -29,6 +45,7 @@ func forEachCell(ctx context.Context, n int, fn func(i int) error) error {
 			if err := fn(i); err != nil {
 				return err
 			}
+			tick()
 		}
 		return nil
 	}
@@ -49,7 +66,9 @@ func forEachCell(ctx context.Context, n int, fn func(i int) error) error {
 						firstErr = err
 					}
 					mu.Unlock()
+					continue
 				}
+				tick()
 			}
 		}()
 	}

@@ -10,7 +10,7 @@ import (
 func TestForEachCellRunsAll(t *testing.T) {
 	var count int64
 	seen := make([]int32, 100)
-	err := forEachCell(context.Background(), 100, func(i int) error {
+	err := forEachCell(context.Background(), 100, nil, func(i int) error {
 		atomic.AddInt64(&count, 1)
 		atomic.AddInt32(&seen[i], 1)
 		return nil
@@ -30,7 +30,7 @@ func TestForEachCellRunsAll(t *testing.T) {
 
 func TestForEachCellPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	err := forEachCell(context.Background(), 10, func(i int) error {
+	err := forEachCell(context.Background(), 10, nil, func(i int) error {
 		if i == 7 {
 			return boom
 		}
@@ -47,7 +47,7 @@ func TestForEachCellFewerCellsThanWorkers(t *testing.T) {
 	for n := 2; n <= 4; n++ {
 		var count int64
 		seen := make([]int32, n)
-		if err := forEachCell(context.Background(), n, func(i int) error {
+		if err := forEachCell(context.Background(), n, nil, func(i int) error {
 			atomic.AddInt64(&count, 1)
 			atomic.AddInt32(&seen[i], 1)
 			return nil
@@ -63,7 +63,7 @@ func TestForEachCellFewerCellsThanWorkers(t *testing.T) {
 			}
 		}
 		boom := errors.New("boom")
-		err := forEachCell(context.Background(), n, func(i int) error {
+		err := forEachCell(context.Background(), n, nil, func(i int) error {
 			if i == n-1 {
 				return boom
 			}
@@ -79,7 +79,7 @@ func TestForEachCellSerialError(t *testing.T) {
 	// n == 1 takes the serial path; the error must stop the loop there.
 	boom := errors.New("boom")
 	ran := 0
-	err := forEachCell(context.Background(), 1, func(i int) error {
+	err := forEachCell(context.Background(), 1, nil, func(i int) error {
 		ran++
 		return boom
 	})
@@ -95,7 +95,7 @@ func TestForEachCellKeepsFirstError(t *testing.T) {
 	for i := range errs {
 		errs[i] = errors.New("boom")
 	}
-	err := forEachCell(context.Background(), len(errs), func(i int) error { return errs[i] })
+	err := forEachCell(context.Background(), len(errs), nil, func(i int) error { return errs[i] })
 	if err == nil {
 		t.Fatal("err = nil, want one of the cell errors")
 	}
@@ -111,11 +111,11 @@ func TestForEachCellKeepsFirstError(t *testing.T) {
 }
 
 func TestForEachCellZeroAndOne(t *testing.T) {
-	if err := forEachCell(context.Background(), 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+	if err := forEachCell(context.Background(), 0, nil, func(int) error { t.Fatal("ran"); return nil }); err != nil {
 		t.Error(err)
 	}
 	ran := false
-	if err := forEachCell(context.Background(), 1, func(i int) error { ran = true; return nil }); err != nil {
+	if err := forEachCell(context.Background(), 1, nil, func(i int) error { ran = true; return nil }); err != nil {
 		t.Error(err)
 	}
 	if !ran {
@@ -127,7 +127,7 @@ func TestForEachCellHonorsCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	ran := int64(0)
-	err := forEachCell(ctx, 100, func(i int) error {
+	err := forEachCell(ctx, 100, nil, func(i int) error {
 		atomic.AddInt64(&ran, 1)
 		return nil
 	})

@@ -1,0 +1,87 @@
+package experiments
+
+// Params and its hooks: the knobs shared by every experiment runner,
+// plus the service-layer concerns that ride along with them — a
+// progress callback for long sweeps and a canonical hash that gives
+// each (experiment, parameters) execution a stable identity for result
+// caching.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Progress is the experiment progress hook: done units of work are
+// complete out of total. The unit is experiment-defined (cells of a
+// sharded sweep, panels of a multi-part figure); total is constant for
+// the lifetime of one run. Callbacks may arrive from the worker
+// goroutines of a sharded sweep, but never concurrently — the
+// dispatcher serializes them.
+type Progress func(done, total int)
+
+// Params carries the knobs shared by the experiment runners. Zero
+// values are replaced by DefaultParams' fields.
+type Params struct {
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Trials is the Monte-Carlo trial count (Figure 6) and scales the
+	// validation experiment's packet count.
+	Trials int
+	// Tasks caps concurrent tasks (Figures 17/18).
+	Tasks int
+	// RPCs is the RPC count per point (Figure 14 and extensions).
+	RPCs int
+
+	// Progress, when non-nil, receives coarse completion callbacks as
+	// an experiment finishes internal units of work. It is a hook, not
+	// a parameter: it does not affect results, is excluded from
+	// CacheKey, and is omitted from JSON reports.
+	Progress Progress `json:"-"`
+}
+
+// DefaultParams returns the values quartzbench uses by default.
+func DefaultParams() Params {
+	return Params{Seed: 2014, Trials: 5000, Tasks: 8, RPCs: 2000}
+}
+
+// WithDefaults returns p with zero-valued knobs replaced by
+// DefaultParams' fields. Hooks pass through unchanged.
+func (p Params) WithDefaults() Params {
+	d := DefaultParams()
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	if p.Trials == 0 {
+		p.Trials = d.Trials
+	}
+	if p.Tasks == 0 {
+		p.Tasks = d.Tasks
+	}
+	if p.RPCs == 0 {
+		p.RPCs = d.RPCs
+	}
+	return p
+}
+
+// tick invokes the progress hook if one is attached.
+func (p Params) tick(done, total int) {
+	if p.Progress != nil {
+		p.Progress(done, total)
+	}
+}
+
+// CacheKey returns the canonical identity of one experiment execution:
+// a stable hash over the experiment name and every result-affecting
+// parameter, with defaults applied first — so a zero-valued Params and
+// an explicit DefaultParams() hash identically, and two submissions
+// that would produce the same output share a key. Hook fields
+// (Progress) are excluded. The result-cache of internal/service keys
+// on this.
+func CacheKey(name string, p Params) string {
+	p = p.WithDefaults()
+	sum := sha256.Sum256(fmt.Appendf(nil, "quartz-exp/v1|%s|seed=%d|trials=%d|tasks=%d|rpcs=%d",
+		strings.ToLower(strings.TrimSpace(name)), p.Seed, p.Trials, p.Tasks, p.RPCs))
+	return hex.EncodeToString(sum[:16])
+}

@@ -11,41 +11,6 @@ import (
 	"github.com/quartz-dcn/quartz/internal/cost"
 )
 
-// Params carries the knobs shared by the experiment runners. Zero
-// values are replaced by DefaultParams' fields.
-type Params struct {
-	// Seed makes every experiment deterministic.
-	Seed int64
-	// Trials is the Monte-Carlo trial count (Figure 6).
-	Trials int
-	// Tasks caps concurrent tasks (Figures 17/18).
-	Tasks int
-	// RPCs is the RPC count per point (Figure 14 and extensions).
-	RPCs int
-}
-
-// DefaultParams returns the values quartzbench uses by default.
-func DefaultParams() Params {
-	return Params{Seed: 2014, Trials: 5000, Tasks: 8, RPCs: 2000}
-}
-
-func (p Params) withDefaults() Params {
-	d := DefaultParams()
-	if p.Seed == 0 {
-		p.Seed = d.Seed
-	}
-	if p.Trials == 0 {
-		p.Trials = d.Trials
-	}
-	if p.Tasks == 0 {
-		p.Tasks = d.Tasks
-	}
-	if p.RPCs == 0 {
-		p.RPCs = d.RPCs
-	}
-	return p
-}
-
 // Output is what one experiment produced: rendered text plus any
 // CSV-exportable row sets, keyed by file stem (e.g. "figure5").
 type Output struct {
@@ -123,8 +88,8 @@ func All() []Experiment {
 		{
 			Name: "table8", Title: "Table 8: cost and latency configurator", Section: "§4.2",
 			Covers: []string{"Table8"},
-			Run: func(_ context.Context, p Params) (Output, error) {
-				rows, err := Table8(p.Seed)
+			Run: func(ctx context.Context, p Params) (Output, error) {
+				rows, err := Table8(ctx, p.Seed, p.Progress)
 				if err != nil {
 					return Output{}, err
 				}
@@ -169,6 +134,7 @@ func All() []Experiment {
 			Covers: []string{"Figure17"},
 			Run: func(ctx context.Context, p Params) (Output, error) {
 				out := Output{CSV: map[string]interface{}{}}
+				done := 0
 				var b strings.Builder
 				for _, kc := range []struct {
 					kind  TaskKind
@@ -185,6 +151,8 @@ func All() []Experiment {
 					}
 					b.WriteString(RenderFigure17(kc.label, Figure17Architectures, rows))
 					out.CSV["figure17-"+strings.ReplaceAll(kc.kind.String(), "/", "-")] = rows
+					done++
+					p.tick(done, 3)
 				}
 				out.Text = b.String()
 				return out, nil
@@ -195,6 +163,7 @@ func All() []Experiment {
 			Covers: []string{"Figure18"},
 			Run: func(ctx context.Context, p Params) (Output, error) {
 				var b strings.Builder
+				done := 0
 				for _, kc := range []struct {
 					kind  TaskKind
 					n     int
@@ -209,6 +178,8 @@ func All() []Experiment {
 						return Output{}, err
 					}
 					b.WriteString(RenderFigure17(kc.label, Figure18Architectures, rows))
+					done++
+					p.tick(done, 3)
 				}
 				return Output{Text: b.String()}, nil
 			},
@@ -299,8 +270,11 @@ func All() []Experiment {
 		},
 		{
 			Name: "validate", Title: "Simulator validation against queueing theory (§7)", Section: "§7",
-			Run: func(_ context.Context, p Params) (Output, error) {
-				rows, err := SimulatorValidation(p.Seed, 150_000)
+			Run: func(ctx context.Context, p Params) (Output, error) {
+				// 30 packets per trial: the default 5000 trials keeps the
+				// historical 150k-packet run, and reduced-trial submissions
+				// (the service smoke test, quartzd clients) scale down.
+				rows, err := SimulatorValidation(ctx, p.Seed, 30*p.WithDefaults().Trials, p.Progress)
 				if err != nil {
 					return Output{}, err
 				}
@@ -319,22 +293,24 @@ func All() []Experiment {
 		},
 		{
 			Name: "ablations", Title: "Ablations: ring size, switch model, VLB fraction, ECMP mode", Section: "ext.",
-			Run: func(_ context.Context, p Params) (Output, error) {
+			Run: func(ctx context.Context, p Params) (Output, error) {
 				var b strings.Builder
-				for _, part := range []struct {
+				parts := []struct {
 					label string
-					fn    func(int64) ([]AblationRow, error)
+					fn    func(context.Context, int64, Progress) ([]AblationRow, error)
 				}{
 					{"ring size", AblationRingSize},
 					{"switch model", AblationSwitchModel},
 					{"VLB fraction at 45 Gb/s", AblationVLBFraction},
 					{"ECMP mode", AblationECMPMode},
-				} {
-					rows, err := part.fn(p.Seed)
+				}
+				for i, part := range parts {
+					rows, err := part.fn(ctx, p.Seed, nil)
 					if err != nil {
 						return Output{}, err
 					}
 					b.WriteString(RenderAblation(part.label, rows))
+					p.tick(i+1, len(parts))
 				}
 				return Output{Text: b.String()}, nil
 			},

@@ -124,12 +124,16 @@ func TestRegistryRunsCheapEntries(t *testing.T) {
 }
 
 func TestParamsWithDefaults(t *testing.T) {
-	p := Params{}.withDefaults()
-	if p != DefaultParams() {
+	// Params carries a func-typed hook, so compare the knobs directly.
+	knobs := func(p Params) [4]int64 {
+		return [4]int64{p.Seed, int64(p.Trials), int64(p.Tasks), int64(p.RPCs)}
+	}
+	p := Params{}.WithDefaults()
+	if knobs(p) != knobs(DefaultParams()) {
 		t.Errorf("zero params = %+v, want defaults %+v", p, DefaultParams())
 	}
-	q := Params{Seed: 7, Trials: 1, Tasks: 2, RPCs: 3}.withDefaults()
-	if q != (Params{Seed: 7, Trials: 1, Tasks: 2, RPCs: 3}) {
+	q := Params{Seed: 7, Trials: 1, Tasks: 2, RPCs: 3}.WithDefaults()
+	if knobs(q) != [4]int64{7, 1, 2, 3} {
 		t.Errorf("explicit params changed: %+v", q)
 	}
 }

@@ -94,7 +94,7 @@ func NewReport(p Params, startedAt time.Time) *Report {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		Params:    p.withDefaults(),
+		Params:    p.WithDefaults(),
 	}
 }
 

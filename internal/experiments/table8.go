@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -54,8 +55,9 @@ func table8Latency(archName string, tasks int, seed int64) (float64, error) {
 
 // Table8 reproduces the configurator comparison: cost per server from
 // the parts catalog and latency reduction from simulation, for the
-// paper's six scenarios.
-func Table8(seed int64) ([]Table8Row, error) {
+// paper's six scenarios. Cancelling ctx stops the sweep between cells;
+// progress (may be nil) reports completed cells.
+func Table8(ctx context.Context, seed int64, progress Progress) ([]Table8Row, error) {
 	c := cost.Default2014
 	type scenario struct {
 		size, util         string
@@ -98,7 +100,7 @@ func Table8(seed int64) ([]Table8Row, error) {
 			cellRef{sc.quartz, tasks, seed + int64(i), fmt.Sprintf("%s/%s quartz", sc.size, sc.util)})
 	}
 	lats := make([]float64, len(cells))
-	err = forEachCell(nil, len(cells), func(j int) error {
+	err = forEachCell(ctx, len(cells), progress, func(j int) error {
 		lat, err := table8Latency(cells[j].arch, cells[j].tasks, cells[j].seed)
 		if err != nil {
 			return fmt.Errorf("table8 %s: %w", cells[j].label, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -39,7 +40,11 @@ type ValidationRow struct {
 // The deterministic-service case uses fixed 400-byte packets; the
 // exponential case draws packet sizes from a (discretized, truncated)
 // exponential distribution.
-func SimulatorValidation(seed int64, packets int) ([]ValidationRow, error) {
+//
+// Cancelling ctx stops the sweep between cells; progress (may be nil)
+// reports completed cells. Both may come from the service layer's job
+// context and progress hook.
+func SimulatorValidation(ctx context.Context, seed int64, packets int, progress Progress) ([]ValidationRow, error) {
 	type cell struct {
 		exponential bool
 		rho         float64
@@ -56,7 +61,7 @@ func SimulatorValidation(seed int64, packets int) ([]ValidationRow, error) {
 	// them across the worker pool and merge by index, so the table is
 	// byte-identical however many cores run it.
 	rows := make([]ValidationRow, len(cells))
-	err := forEachCell(nil, len(cells), func(i int) error {
+	err := forEachCell(ctx, len(cells), progress, func(i int) error {
 		var err error
 		rows[i], err = runQueueValidation(cells[i].exponential, cells[i].rho, packets, cells[i].seed)
 		return err

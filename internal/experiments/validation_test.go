@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestSimulatorValidation(t *testing.T) {
-	rows, err := SimulatorValidation(99, 80_000)
+	rows, err := SimulatorValidation(context.Background(), 99, 80_000, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,84 @@
+package service
+
+// The result cache: completed experiment outputs keyed by the
+// canonical parameter hash (experiments.CacheKey), with LRU eviction.
+// Experiments are deterministic for a given parameter set, so a cached
+// result is exactly what a re-execution would produce — the cache
+// trades a few megabytes of rendered tables for entire simulation
+// runs.
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/quartz-dcn/quartz/internal/experiments"
+)
+
+// cacheEntry is one cached result.
+type cacheEntry struct {
+	key    string
+	output experiments.Output
+	// producedBy is the job that computed the result, for provenance
+	// in job views of later hits.
+	producedBy string
+}
+
+// resultCache is a fixed-capacity LRU of experiment outputs.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // key → element holding *cacheEntry
+	lru     *list.List               // front = most recently used
+}
+
+// newResultCache returns a cache holding at most capacity results;
+// capacity <= 0 disables caching (every get misses, puts are dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores a result, evicting the least recently used entry when
+// over capacity.
+func (c *resultCache) put(key string, out experiments.Output, producedBy string) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Deterministic experiments: identical key means identical
+		// output; just refresh recency and provenance.
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).producedBy = producedBy
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, output: out, producedBy: producedBy})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

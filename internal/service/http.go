@@ -1,0 +1,179 @@
+package service
+
+// The HTTP JSON surface of the job subsystem — cmd/quartzd mounts
+// this. Routes:
+//
+//	POST   /jobs            submit (202; 200 on cache hit; 429 full; 503 draining)
+//	GET    /jobs            list jobs, submission order
+//	GET    /jobs/{id}       job state + progress
+//	GET    /jobs/{id}/result  output of a terminal job (409 until then)
+//	DELETE /jobs/{id}       cancel
+//	GET    /experiments     the experiments registry
+//	GET    /metrics         Prometheus text format
+//	GET    /status          JSON status page (meta + metric series)
+//	GET    /healthz         liveness
+//
+// Backpressure is visible at the protocol level: a full queue answers
+// 429 Too Many Requests with Retry-After, a draining daemon 503
+// Service Unavailable. Handlers only read service state through the
+// public accessors, so they are safe alongside the worker pool.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+)
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// resultBody is the GET /jobs/{id}/result response.
+type resultBody struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Text is the experiment's rendered output.
+	Text string `json:"text,omitempty"`
+	// CSVTables lists the data-bearing row sets the experiment
+	// produced (exported via quartzbench -csv; the API serves text).
+	CSVTables []string `json:"csv_tables,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// experimentBody is one GET /experiments entry.
+type experimentBody struct {
+	Name    string `json:"name"`
+	Section string `json:"section"`
+	Title   string `json:"title"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// Handler returns the daemon mux. meta is shown on /status (may be
+// nil).
+func (s *Service) Handler(meta metrics.StatusMeta) http.Handler {
+	mux := http.NewServeMux()
+	metricsMux := metrics.Handler(s.reg, meta)
+	mux.Handle("/metrics", metricsMux)
+	mux.Handle("/status", metricsMux)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	return mux
+}
+
+func (s *Service) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	var out []experimentBody
+	for _, e := range s.Experiments() {
+		out = append(out, experimentBody{Name: e.Name, Section: e.Section, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrUnknownExperiment):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: tell the client when to come back. One second
+		// is a deliberate floor — smoke-scale jobs finish in less.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "60")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	code := http.StatusAccepted
+	if job.State().Terminal() { // cache hit: no execution pending
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job.Snapshot(time.Now()))
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	jobs := s.Jobs()
+	out := make([]View, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Snapshot(now))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobOr404 resolves {id} or writes the 404.
+func (s *Service) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: ErrUnknownJob.Error() + ": " + id})
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Snapshot(time.Now()))
+	}
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	state := j.State()
+	if !state.Terminal() {
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: "job " + j.ID() + " is " + state.String() + "; result not ready",
+		})
+		return
+	}
+	out, errMsg := j.Output()
+	body := resultBody{ID: j.ID(), State: state, Text: out.Text, Error: errMsg}
+	for name := range out.CSV {
+		body.CSVTables = append(body.CSVTables, name)
+	}
+	sort.Strings(body.CSVTables)
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, err := s.Cancel(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot(time.Now()))
+}

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server, *stubRegistry) {
+	t.Helper()
+	sr := newStubRegistry()
+	if cfg.Lookup == nil {
+		cfg.Lookup = sr.lookup
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler(nil))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, ts, sr
+}
+
+func postJob(t *testing.T, ts *httptest.Server, req Request) (*http.Response, View) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+	}
+	return resp, v
+}
+
+func getJSON(t *testing.T, url string, into interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{QueueCapacity: 4, Workers: 1})
+
+	resp, v := postJob(t, ts, Request{Experiment: "echo", Params: ParamSpec{Seed: 11}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	if v.ID == "" || v.Experiment != "echo" {
+		t.Fatalf("submit view = %+v", v)
+	}
+
+	// Poll until terminal.
+	deadline := time.Now().Add(10 * time.Second)
+	var cur View
+	for {
+		getJSON(t, ts.URL+"/jobs/"+v.ID, &cur)
+		if cur.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if cur.State != StateDone {
+		t.Fatalf("state = %v (%s)", cur.State, cur.Error)
+	}
+
+	var res resultBody
+	getJSON(t, ts.URL+"/jobs/"+v.ID+"/result", &res)
+	if res.Text != "seed=11" || res.State != StateDone {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	// Queue capacity N; with the single worker wedged, N fills succeed
+	// and submission N+1 answers 429 with Retry-After.
+	const capN = 2
+	s, ts, sr := newTestServer(t, Config{QueueCapacity: capN, Workers: 1})
+	defer close(sr.release)
+
+	resp, _ := postJob(t, ts, Request{Experiment: "block", Params: ParamSpec{Seed: 1}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+	select {
+	case <-sr.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked up the blocking job")
+	}
+	for i := 0; i < capN; i++ {
+		resp, _ := postJob(t, ts, Request{Experiment: "block", Params: ParamSpec{Seed: int64(10 + i)}})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill %d = %d", i, resp.StatusCode)
+		}
+	}
+	resp, _ = postJob(t, ts, Request{Experiment: "block", Params: ParamSpec{Seed: 99}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	_ = s
+}
+
+func TestHTTPCacheHit200(t *testing.T) {
+	_, ts, sr := newTestServer(t, Config{QueueCapacity: 4, Workers: 1})
+
+	req := Request{Experiment: "echo", Params: ParamSpec{Seed: 3}}
+	_, v := postJob(t, ts, req)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cur View
+		getJSON(t, ts.URL+"/jobs/"+v.ID, &cur)
+		if cur.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, hit := postJob(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache-hit submit = %d, want 200", resp.StatusCode)
+	}
+	if !hit.CacheHit || hit.State != StateDone {
+		t.Fatalf("cache-hit view = %+v", hit)
+	}
+	if sr.runs.Load() != 1 {
+		t.Errorf("cache hit executed the experiment: runs = %d", sr.runs.Load())
+	}
+}
+
+func TestHTTPErrorsAndAuxRoutes(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{QueueCapacity: 2, Workers: 1})
+
+	// Unknown experiment → 404.
+	resp, _ := postJob(t, ts, Request{Experiment: "no-such-thing"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment = %d, want 404", resp.StatusCode)
+	}
+	// Malformed body → 400.
+	r2, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", r2.StatusCode)
+	}
+	// Unknown job → 404; result of a fresh job → 409 until terminal.
+	if resp := getJSON(t, ts.URL+"/jobs/j-404404", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", resp.StatusCode)
+	}
+	// Health + experiments listing (real registry names via Experiments()).
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	var exps []experimentBody
+	getJSON(t, ts.URL+"/experiments", &exps)
+	if len(exps) == 0 {
+		t.Error("experiments listing is empty")
+	}
+	// Metrics endpoint serves Prometheus text including service series.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if !bytes.Contains(buf.Bytes(), []byte("quartzd_queue_capacity")) {
+		t.Errorf("metrics output missing quartzd series:\n%.400s", buf.String())
+	}
+}
+
+func TestHTTPCancelAndList(t *testing.T) {
+	_, ts, sr := newTestServer(t, Config{QueueCapacity: 4, Workers: 1})
+	defer close(sr.release)
+
+	_, running := postJob(t, ts, Request{Experiment: "block", Params: ParamSpec{Seed: 1}})
+	select {
+	case <-sr.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started")
+	}
+	_, queued := postJob(t, ts, Request{Experiment: "block", Params: ParamSpec{Seed: 2}})
+
+	// Result before terminal → 409.
+	if resp := getJSON(t, ts.URL+"/jobs/"+running.ID+"/result", nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("premature result = %d, want 409", resp.StatusCode)
+	}
+
+	// DELETE cancels the queued job.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+queued.ID, nil)
+	dresp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cancelled View
+	if err := json.NewDecoder(dresp.Body).Decode(&cancelled); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if cancelled.State != StateCancelled {
+		t.Errorf("cancelled view state = %v", cancelled.State)
+	}
+
+	var all []View
+	getJSON(t, ts.URL+"/jobs", &all)
+	if len(all) != 2 {
+		t.Fatalf("job list has %d entries, want 2", len(all))
+	}
+	for i, want := range []string{running.ID, queued.ID} {
+		if all[i].ID != want {
+			t.Errorf("list[%d] = %s, want %s (submission order)", i, all[i].ID, want)
+		}
+	}
+}
+
+func TestHTTPDraining503(t *testing.T) {
+	s, ts, sr := newTestServer(t, Config{QueueCapacity: 4, Workers: 1})
+
+	_, _ = postJob(t, ts, Request{Experiment: "block", Params: ParamSpec{Seed: 1}})
+	select {
+	case <-sr.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started")
+	}
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- s.Drain(context.Background()) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, _ := postJob(t, ts, Request{Experiment: "echo", Params: ParamSpec{Seed: 2}})
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("503 missing Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submission during drain = %d, want 503", resp.StatusCode)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(sr.release)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

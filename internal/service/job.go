@@ -1,0 +1,253 @@
+package service
+
+// Job lifecycle: one submission's identity, state machine, and
+// observable snapshot. Jobs move queued → running → one of
+// done/failed/cancelled; cache hits are born done. All mutable state
+// is guarded by the job's mutex so HTTP handlers can snapshot a job
+// while a worker drives it.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/quartz-dcn/quartz/internal/experiments"
+)
+
+// State is a job's lifecycle position.
+type State uint8
+
+// Job lifecycle states.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCancelled
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s >= StateDone }
+
+// MarshalJSON serializes the state as its lowercase name.
+func (s State) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the lowercase state name.
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for st := StateQueued; st <= StateCancelled; st++ {
+		if st.String() == name {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown job state %q", name)
+}
+
+// ParamSpec is the wire form of experiments.Params: lowercase JSON
+// field names, zero values meaning "use the default".
+type ParamSpec struct {
+	Seed   int64 `json:"seed,omitempty"`
+	Trials int   `json:"trials,omitempty"`
+	Tasks  int   `json:"tasks,omitempty"`
+	RPCs   int   `json:"rpcs,omitempty"`
+}
+
+// Params converts the wire form to runner parameters.
+func (ps ParamSpec) Params() experiments.Params {
+	return experiments.Params{Seed: ps.Seed, Trials: ps.Trials, Tasks: ps.Tasks, RPCs: ps.RPCs}
+}
+
+// specOf converts runner parameters back to the wire form.
+func specOf(p experiments.Params) ParamSpec {
+	return ParamSpec{Seed: p.Seed, Trials: p.Trials, Tasks: p.Tasks, RPCs: p.RPCs}
+}
+
+// Request is one job submission.
+type Request struct {
+	// Experiment is a registry name (experiments.Find).
+	Experiment string `json:"experiment"`
+	// Params are the run parameters; zero fields take defaults.
+	Params ParamSpec `json:"params"`
+	// TimeoutSecs caps the job's run time; 0 takes the service default.
+	TimeoutSecs float64 `json:"timeout_secs,omitempty"`
+	// NoCache forces execution even when a cached result exists, and
+	// keeps the result out of the cache.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Job is one tracked submission.
+type Job struct {
+	id     string
+	key    string
+	name   string
+	params experiments.Params // defaults applied, no hooks
+	run    func(ctx context.Context, p experiments.Params) (experiments.Output, error)
+
+	timeout time.Duration
+	noCache bool
+
+	mu          sync.Mutex
+	state       State
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	progDone    int
+	progTotal   int
+	output      experiments.Output
+	errMsg      string
+	cacheHit    bool
+	cancel      context.CancelFunc // non-nil while running
+
+	done chan struct{} // closed on entering a terminal state
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's canonical cache key.
+func (j *Job) Key() string { return j.key }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// CacheHit reports whether the job was served from the result cache.
+func (j *Job) CacheHit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cacheHit
+}
+
+// Output returns the experiment output and error message once the job
+// is terminal (zero values before then).
+func (j *Job) Output() (experiments.Output, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.output, j.errMsg
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job is terminal or ctx is cancelled.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// setProgress records a progress callback from the experiment.
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.progDone, j.progTotal = done, total
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once; later calls
+// are no-ops (a job cancelled while queued stays cancelled even after
+// the worker drains it). Returns the state that was recorded.
+func (j *Job) finish(state State, out experiments.Output, errMsg string, at time.Time) State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return j.state
+	}
+	j.state = state
+	j.output = out
+	j.errMsg = errMsg
+	j.finishedAt = at
+	j.cancel = nil
+	close(j.done)
+	return state
+}
+
+// ProgressView is the progress block of a job snapshot.
+type ProgressView struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// View is a job frozen for serialization.
+type View struct {
+	ID         string    `json:"id"`
+	Experiment string    `json:"experiment"`
+	Key        string    `json:"key"`
+	Params     ParamSpec `json:"params"`
+	State      State     `json:"state"`
+	CacheHit   bool      `json:"cache_hit,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// QueueSecs is time spent queued; RunSecs time spent executing.
+	// Both keep counting while the job is in the respective phase.
+	QueueSecs float64 `json:"queue_secs"`
+	RunSecs   float64 `json:"run_secs,omitempty"`
+
+	Progress *ProgressView `json:"progress,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// Snapshot freezes the job at now for serialization.
+func (j *Job) Snapshot(now time.Time) View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:          j.id,
+		Experiment:  j.name,
+		Key:         j.key,
+		Params:      specOf(j.params),
+		State:       j.state,
+		CacheHit:    j.cacheHit,
+		SubmittedAt: j.submittedAt,
+		Error:       j.errMsg,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		v.StartedAt = &t
+		v.QueueSecs = j.startedAt.Sub(j.submittedAt).Seconds()
+	} else if j.state == StateQueued {
+		v.QueueSecs = now.Sub(j.submittedAt).Seconds()
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		v.FinishedAt = &t
+		if !j.startedAt.IsZero() {
+			v.RunSecs = j.finishedAt.Sub(j.startedAt).Seconds()
+		}
+	} else if j.state == StateRunning {
+		v.RunSecs = now.Sub(j.startedAt).Seconds()
+	}
+	if j.progTotal > 0 {
+		v.Progress = &ProgressView{Done: j.progDone, Total: j.progTotal}
+	}
+	return v
+}

@@ -1,0 +1,449 @@
+// Package service runs Quartz experiments on behalf of concurrent
+// clients: a bounded submission queue with backpressure, a worker pool
+// executing registry experiments (internal/experiments) under per-job
+// deadlines and cancellation, a result cache keyed by the canonical
+// parameter hash, and queryable job lifecycle state. cmd/quartzd
+// fronts a Service with an HTTP JSON API (see http.go); tests drive it
+// directly.
+//
+// Concurrency model: Submit, Cancel, and the workers serialize every
+// lifecycle transition under the service mutex (taken before the job
+// mutex, never after), so the queued/running gauges can never drift
+// from the states jobs are actually in. Experiment execution itself —
+// the expensive part — runs outside any lock.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/quartz-dcn/quartz/internal/experiments"
+	"github.com/quartz-dcn/quartz/internal/metrics"
+)
+
+// Submission errors. The HTTP layer maps these to status codes
+// (ErrQueueFull → 429, ErrDraining → 503, ErrUnknownExperiment → 404).
+var (
+	ErrQueueFull         = errors.New("submission queue full")
+	ErrDraining          = errors.New("draining, not accepting jobs")
+	ErrUnknownExperiment = errors.New("unknown experiment")
+	ErrUnknownJob        = errors.New("unknown job")
+)
+
+// Config parameterizes a Service. Zero values take the documented
+// defaults.
+type Config struct {
+	// QueueCapacity bounds the submission queue; a full queue rejects
+	// with ErrQueueFull (backpressure, not buffering). Default 16.
+	QueueCapacity int
+	// Workers is the worker-pool size. Default runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheEntries caps the result cache (LRU). Default 256; negative
+	// disables caching.
+	CacheEntries int
+	// DefaultTimeout caps a job's run time when the request does not
+	// set one. Default 10 minutes.
+	DefaultTimeout time.Duration
+	// MaxJobs bounds the in-memory job table: when exceeded, the
+	// oldest terminal jobs are forgotten (their results stay in the
+	// cache until evicted). Default 1000.
+	MaxJobs int
+	// Registry receives the service's instruments; a private registry
+	// is created when nil.
+	Registry *metrics.Registry
+	// Lookup resolves experiment names. Default experiments.Find.
+	Lookup func(name string) (experiments.Experiment, bool)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1000
+	}
+	if c.Lookup == nil {
+		c.Lookup = experiments.Find
+	}
+	return c
+}
+
+// Service is the job subsystem. Create one with New; it is safe for
+// concurrent use.
+type Service struct {
+	cfg        Config
+	reg        *metrics.Registry
+	queue      chan *Job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup // one count per pool worker
+	drained    chan struct{}  // closed once every worker has exited
+
+	// mu serializes lifecycle transitions and is always taken before a
+	// job's own mutex, never after.
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string         // job IDs in submission order
+	inflight map[string]*Job  // cache key → live (queued/running) job, for coalescing
+	nQueued  int
+	nRunning int
+	draining bool
+	nextID   uint64
+
+	cache *resultCache
+
+	mQueueDepth *metrics.Gauge
+	mQueueCap   *metrics.Gauge
+	mQueued     *metrics.Gauge
+	mRunning    *metrics.Gauge
+	mQueueWait  *metrics.LatencyHistogram
+	mRunLatency *metrics.LatencyHistogram
+	mTerminal   map[State]*metrics.Counter
+	mSubmit     map[string]*metrics.Counter
+	mCacheHits  *metrics.Counter
+	mCacheMiss  *metrics.Counter
+	mCacheSize  *metrics.Gauge
+}
+
+// New returns a started Service: its worker pool is live and Submit
+// may be called immediately. Stop it with Drain.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		reg:        reg,
+		queue:      make(chan *Job, cfg.QueueCapacity),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		drained:    make(chan struct{}),
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		cache:      newResultCache(cfg.CacheEntries),
+
+		mQueueDepth: reg.Gauge("quartzd_queue_depth", "jobs waiting in the submission queue", nil),
+		mQueueCap:   reg.Gauge("quartzd_queue_capacity", "submission queue capacity", nil),
+		mQueued:     reg.Gauge("quartzd_jobs_queued", "jobs currently queued", nil),
+		mRunning:    reg.Gauge("quartzd_jobs_running", "jobs currently executing", nil),
+		mQueueWait:  reg.Histogram("quartzd_queue_wait_us", "time from submission to execution start, microseconds", nil),
+		mRunLatency: reg.Histogram("quartzd_job_run_us", "job execution time, microseconds", nil),
+		mTerminal: map[State]*metrics.Counter{
+			StateDone:      reg.Counter("quartzd_jobs_total", "jobs finished, by terminal state", metrics.Labels{"state": "done"}),
+			StateFailed:    reg.Counter("quartzd_jobs_total", "jobs finished, by terminal state", metrics.Labels{"state": "failed"}),
+			StateCancelled: reg.Counter("quartzd_jobs_total", "jobs finished, by terminal state", metrics.Labels{"state": "cancelled"}),
+		},
+		mSubmit: map[string]*metrics.Counter{
+			"accepted":          reg.Counter("quartzd_submissions_total", "submissions, by outcome", metrics.Labels{"outcome": "accepted"}),
+			"cache_hit":         reg.Counter("quartzd_submissions_total", "submissions, by outcome", metrics.Labels{"outcome": "cache_hit"}),
+			"coalesced":         reg.Counter("quartzd_submissions_total", "submissions, by outcome", metrics.Labels{"outcome": "coalesced"}),
+			"rejected_full":     reg.Counter("quartzd_submissions_total", "submissions, by outcome", metrics.Labels{"outcome": "rejected_full"}),
+			"rejected_draining": reg.Counter("quartzd_submissions_total", "submissions, by outcome", metrics.Labels{"outcome": "rejected_draining"}),
+		},
+		mCacheHits: reg.Counter("quartzd_cache_hits_total", "submissions served from the result cache", nil),
+		mCacheMiss: reg.Counter("quartzd_cache_misses_total", "submissions that required execution", nil),
+		mCacheSize: reg.Gauge("quartzd_cache_entries", "results held in the cache", nil),
+	}
+	s.mQueueCap.Set(float64(cfg.QueueCapacity))
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the metrics registry the service reports into.
+func (s *Service) Registry() *metrics.Registry { return s.reg }
+
+// QueueCapacity returns the configured submission-queue bound.
+func (s *Service) QueueCapacity() int { return s.cfg.QueueCapacity }
+
+// Experiments returns the registry entries this service can run.
+func (s *Service) Experiments() []experiments.Experiment { return experiments.All() }
+
+// Submit admits one job. On success the returned job is queued (or
+// already terminal, for cache hits) and owned by the service. Repeated
+// submission of identical parameters is served without recomputation:
+// from the cache when a result exists, or by returning the in-flight
+// job computing it. Errors: ErrUnknownExperiment, ErrDraining,
+// ErrQueueFull.
+func (s *Service) Submit(req Request) (*Job, error) {
+	exp, ok := s.cfg.Lookup(req.Experiment)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, req.Experiment)
+	}
+	params := req.Params.Params().WithDefaults()
+	key := experiments.CacheKey(exp.Name, params)
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutSecs > 0 {
+		timeout = time.Duration(req.TimeoutSecs * float64(time.Second))
+	}
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.mSubmit["rejected_draining"].Inc()
+		return nil, ErrDraining
+	}
+	if !req.NoCache {
+		if ent, ok := s.cache.get(key); ok {
+			s.mCacheHits.Inc()
+			s.mSubmit["cache_hit"].Inc()
+			job := s.newJobLocked(exp, params, key, timeout, req.NoCache, now)
+			job.cacheHit = true
+			job.startedAt = now
+			job.finish(StateDone, ent.output, "", now)
+			s.mTerminal[StateDone].Inc()
+			s.registerLocked(job)
+			return job, nil
+		}
+		if live, ok := s.inflight[key]; ok {
+			s.mSubmit["coalesced"].Inc()
+			return live, nil
+		}
+	}
+	job := s.newJobLocked(exp, params, key, timeout, req.NoCache, now)
+	select {
+	case s.queue <- job:
+	default:
+		s.mSubmit["rejected_full"].Inc()
+		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.cfg.QueueCapacity)
+	}
+	s.mCacheMiss.Inc()
+	s.mSubmit["accepted"].Inc()
+	s.registerLocked(job)
+	if !req.NoCache {
+		s.inflight[key] = job
+	}
+	s.nQueued++
+	s.gaugesLocked()
+	return job, nil
+}
+
+// newJobLocked allocates a job shell. Caller holds s.mu.
+func (s *Service) newJobLocked(exp experiments.Experiment, p experiments.Params, key string, timeout time.Duration, noCache bool, now time.Time) *Job {
+	s.nextID++
+	return &Job{
+		id:          fmt.Sprintf("j-%06d", s.nextID),
+		key:         key,
+		name:        exp.Name,
+		params:      p,
+		run:         exp.Run,
+		timeout:     timeout,
+		noCache:     noCache,
+		state:       StateQueued,
+		submittedAt: now,
+		done:        make(chan struct{}),
+	}
+}
+
+// registerLocked records a job in the table, evicting the oldest
+// terminal jobs beyond the retention bound. Caller holds s.mu.
+func (s *Service) registerLocked(j *Job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.order) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			if old := s.jobs[id]; old != nil && old.State().Terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything live; let the table run long
+		}
+	}
+}
+
+// gaugesLocked refreshes the queue/state gauges. Caller holds s.mu.
+func (s *Service) gaugesLocked() {
+	s.mQueueDepth.Set(float64(len(s.queue)))
+	s.mQueued.Set(float64(s.nQueued))
+	s.mRunning.Set(float64(s.nRunning))
+	s.mCacheSize.Set(float64(s.cache.len()))
+}
+
+// Job returns the job with the given ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every tracked job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job goes terminal immediately, a
+// running job has its context cancelled (the transition lands when the
+// experiment observes it). Cancelling a terminal job is a no-op.
+func (s *Service) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	state := j.state
+	cancel := j.cancel
+	j.mu.Unlock()
+	switch state {
+	case StateQueued:
+		j.finish(StateCancelled, experiments.Output{}, "cancelled while queued", time.Now())
+		s.mTerminal[StateCancelled].Inc()
+		delete(s.inflight, j.key)
+		s.nQueued--
+		s.gaugesLocked()
+	case StateRunning:
+		if cancel != nil {
+			cancel()
+		}
+	}
+	return j, nil
+}
+
+// worker is one pool member: it drains the submission queue until the
+// queue is closed by Drain.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Service) runJob(j *Job) {
+	now := time.Now()
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	defer cancel()
+
+	s.mu.Lock()
+	j.mu.Lock()
+	if j.state.Terminal() { // cancelled while queued; already accounted
+		j.mu.Unlock()
+		s.gaugesLocked()
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.startedAt = now
+	j.cancel = cancel
+	j.mu.Unlock()
+	s.nQueued--
+	s.nRunning++
+	s.gaugesLocked()
+	s.mu.Unlock()
+	s.mQueueWait.Observe(float64(now.Sub(j.submittedAt).Microseconds()))
+
+	p := j.params
+	p.Progress = j.setProgress
+	out, err := j.run(ctx, p)
+
+	state := StateDone
+	msg := ""
+	switch {
+	case err == nil:
+		state = StateDone
+	case errors.Is(err, context.Canceled):
+		state = StateCancelled
+		msg = "cancelled while running"
+	case errors.Is(err, context.DeadlineExceeded):
+		state = StateFailed
+		msg = fmt.Sprintf("deadline exceeded after %v", j.timeout)
+	default:
+		state = StateFailed
+		msg = err.Error()
+	}
+	end := time.Now()
+
+	s.mu.Lock()
+	recorded := j.finish(state, out, msg, end)
+	s.mTerminal[recorded].Inc()
+	if recorded == StateDone && !j.noCache {
+		s.cache.put(j.key, out, j.id)
+	}
+	delete(s.inflight, j.key)
+	s.nRunning--
+	s.gaugesLocked()
+	s.mu.Unlock()
+	s.mRunLatency.Observe(float64(end.Sub(now).Microseconds()))
+}
+
+// Drain shuts the service down gracefully: stop admitting (further
+// Submits fail with ErrDraining), let queued and running jobs finish,
+// then return. If ctx expires first, in-flight job contexts are
+// cancelled and Drain waits for the workers to observe that before
+// returning ctx.Err(). Safe to call more than once.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+		go func() {
+			s.wg.Wait()
+			close(s.drained)
+		}()
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		// Grace period over: cancel every in-flight job context and
+		// wait for the pool to observe it and unwind.
+		s.baseCancel()
+		<-s.drained
+		return ctx.Err()
+	}
+}
+
+// Stats summarizes lifetime activity, for the daemon's exit log.
+type Stats struct {
+	Done, Failed, Cancelled uint64
+	CacheHits, CacheMisses  uint64
+	CacheEntries            int
+}
+
+// Stats returns lifetime counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Done:         s.mTerminal[StateDone].Value(),
+		Failed:       s.mTerminal[StateFailed].Value(),
+		Cancelled:    s.mTerminal[StateCancelled].Value(),
+		CacheHits:    s.mCacheHits.Value(),
+		CacheMisses:  s.mCacheMiss.Value(),
+		CacheEntries: s.cache.len(),
+	}
+}
