@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-json bench-diff service-smoke
+.PHONY: build test vet race verify bench bench-json bench-diff service-smoke scenario-smoke flagdoc
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,17 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff -old BENCH_quartz.json -new /tmp/bench-new.json
 
 # End-to-end check of the quartzd job service: submit, poll, fetch,
-# cache hit on resubmit, graceful SIGTERM drain. CI runs this as the
-# service-smoke job.
+# cache hit on resubmit (envelope and raw-scenario forms), graceful
+# SIGTERM drain. CI runs this as the service-smoke job.
 service-smoke:
 	bash scripts/service_smoke.sh
+
+# Validate every shipped scenario document (examples/scenarios/) with
+# quartzsim -scenario -dry-run. CI runs this as the scenario-smoke step.
+scenario-smoke:
+	bash scripts/scenario_smoke.sh
+
+# Regenerate the quartzsim flag reference embedded in EXPERIMENTS.md
+# (print it; paste under "## quartzsim flag reference").
+flagdoc:
+	$(GO) run ./cmd/quartzsim -flagdoc

@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	quartzbench [-run all|<name>] [-list]
+//	quartzbench [-run all|<name>] [-list] [-scenario FILE]
 //	            [-seed N] [-trials N] [-tasks N] [-rpcs N] [-csv DIR]
 //	            [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -scenario runs a declarative scenario document (SCENARIOS.md)
+// instead of registry entries: the compiled experiment flows through
+// the same timing, CSV-export, and -json report loop, with the
+// parameters the document pins (the -seed/-trials/... flags do not
+// apply).
 //
 // The experiment set comes from the experiments registry
 // (experiments.All); -list prints it. Each experiment is deterministic
@@ -37,12 +43,14 @@ import (
 	"time"
 
 	"github.com/quartz-dcn/quartz/internal/experiments"
+	"github.com/quartz-dcn/quartz/internal/scenario"
 	"github.com/quartz-dcn/quartz/internal/sim"
 )
 
 var (
 	run        = flag.String("run", "all", "experiment to run: all, or a name from -list")
 	list       = flag.Bool("list", false, "print the experiment registry and exit")
+	scenarioIn = flag.String("scenario", "", "run a declarative scenario file (JSON or TOML, see SCENARIOS.md) instead of registry experiments")
 	seed       = flag.Int64("seed", 2014, "random seed")
 	trials     = flag.Int("trials", 5000, "Monte-Carlo trials (fig6)")
 	tasks      = flag.Int("tasks", 8, "maximum concurrent tasks (fig17/fig18)")
@@ -118,12 +126,31 @@ func main() {
 	defer stop()
 	params := experiments.Params{Seed: *seed, Trials: *trials, Tasks: *tasks, RPCs: *rpcs}
 
+	which := strings.ToLower(*run)
+	exps := experiments.All()
+	if *scenarioIn != "" {
+		f, err := scenario.Load(*scenarioIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)
+			os.Exit(2)
+		}
+		c, err := scenario.Compile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)
+			os.Exit(2)
+		}
+		// The document pins its own parameters and replaces the
+		// registry selection; everything downstream is unchanged.
+		exps = []experiments.Experiment{c.Experiment}
+		params = c.Params.WithDefaults()
+		which = "all"
+	}
+
 	report := experiments.NewReport(params, time.Now())
 
-	which := strings.ToLower(*run)
 	ran := false
 	var peakHeap uint64
-	for _, e := range experiments.All() {
+	for _, e := range exps {
 		if which != "all" && which != e.Name {
 			continue
 		}

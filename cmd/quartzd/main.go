@@ -7,7 +7,7 @@
 // Usage:
 //
 //	quartzd [-addr :8714] [-queue N] [-workers N] [-cache N]
-//	        [-timeout D] [-grace D]
+//	        [-scenarios N] [-timeout D] [-grace D]
 //
 // API (JSON):
 //
@@ -16,9 +16,21 @@
 //	GET    /jobs/{id}         job state + progress
 //	GET    /jobs/{id}/result  output once terminal (409 before)
 //	DELETE /jobs/{id}         cancel
+//	PUT    /scenarios/{name}  store a declarative scenario document
+//	GET    /scenarios         list stored scenarios (name, compiled identity, cache key)
+//	GET    /scenarios/{name}  the stored document, byte for byte
+//	DELETE /scenarios/{name}  remove a stored scenario
 //	GET    /experiments       the experiment registry
 //	GET    /metrics, /status  Prometheus text / JSON status
 //	GET    /healthz           liveness
+//
+// POST /jobs also accepts a declarative scenario (SCENARIOS.md)
+// instead of the envelope: a raw document (curl -d @file.json —
+// recognized by its "schema": "quartz-scenario/v1" field; TOML works
+// too), an inline {"scenario": {...}}, or a stored one by
+// {"scenario_ref": "name"}. Scenarios that parameterize a registry
+// experiment share its cache key, so a scenario submission and an
+// envelope submission of the same work coalesce into one cache entry.
 //
 // A full queue answers 429 Too Many Requests with Retry-After; that is
 // the backpressure contract — the daemon never buffers unboundedly.
@@ -52,6 +64,7 @@ var (
 	cache   = flag.Int("cache", 256, "result cache entries (negative disables caching)")
 	timeout = flag.Duration("timeout", 10*time.Minute, "default per-job run deadline")
 	grace   = flag.Duration("grace", 30*time.Second, "drain grace period on shutdown before in-flight jobs are cancelled")
+	scens   = flag.Int("scenarios", 128, "stored-scenario capacity (PUT /scenarios answers 507 when full)")
 )
 
 func main() {
@@ -65,10 +78,11 @@ func main() {
 
 func run() error {
 	svc := service.New(service.Config{
-		QueueCapacity:  *queue,
-		Workers:        *workers,
-		CacheEntries:   *cache,
-		DefaultTimeout: *timeout,
+		QueueCapacity:   *queue,
+		Workers:         *workers,
+		CacheEntries:    *cache,
+		DefaultTimeout:  *timeout,
+		ScenarioEntries: *scens,
 	})
 	handler := svc.Handler(metrics.StatusMeta{
 		"daemon":  "quartzd",

@@ -5,12 +5,21 @@
 //
 // Usage:
 //
-//	quartzsim [-arch NAME] [-workload scatter|gather|scattergather|permutation]
-//	          [-tasks N] [-pps N] [-fanout N] [-ms N] [-seed N] [-hot N]
+//	quartzsim [-arch NAME] [-workload scatter|gather|scattergather|permutation|replay]
+//	          [-replay FILE] [-tasks N] [-pps N] [-fanout N] [-ms N] [-seed N] [-hot N]
 //	          [-fail SPEC] [-fail-detect DUR] [-fail-policy drop|detour]
 //	          [-trace FILE] [-trace-max N] [-probe-interval US] [-probe-out FILE]
 //	          [-metrics-addr HOST:PORT] [-metrics-out FILE]
 //	          [-metrics-interval US] [-flows-out FILE]
+//	quartzsim -scenario FILE [-dry-run]
+//
+// The second form runs a declarative scenario document (JSON or TOML;
+// the format reference is SCENARIOS.md) through internal/scenario:
+// -dry-run stops after validation and prints the compiled plan —
+// experiment identity, parameters, and the result-cache key quartzd
+// would use. The full flag reference is generated from one source of
+// truth; -flagdoc prints it as Markdown (run `quartzsim -h` for the
+// grouped terminal form).
 //
 // Architectures: tree3 (three-tier), tree2 (two-tier), ring (single
 // Quartz ring), core (Quartz in core), edge (Quartz in edge), edgecore
@@ -69,12 +78,16 @@ import (
 	"github.com/quartz-dcn/quartz/internal/metrics"
 	"github.com/quartz-dcn/quartz/internal/netsim"
 	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/scenario"
 	"github.com/quartz-dcn/quartz/internal/sim"
 	"github.com/quartz-dcn/quartz/internal/topology"
 	"github.com/quartz-dcn/quartz/internal/traffic"
 )
 
 var (
+	scenarioPath = flag.String("scenario", "", "run a declarative scenario file (JSON or TOML, see SCENARIOS.md) instead of flag-driven setup")
+	dryRun       = flag.Bool("dry-run", false, "with -scenario: parse, validate, and print the compiled plan without running")
+
 	archName   = flag.String("arch", "edgecore", "architecture: tree3, tree2, ring, core, edge, edgecore, jellyfish, qjellyfish")
 	workload   = flag.String("workload", "scatter", "workload: scatter, gather, scattergather, permutation, replay")
 	replay     = flag.String("replay", "", "CSV trace file to replay (workload=replay): at_us,src,dst,size[,flow[,tag]]")
@@ -235,8 +248,55 @@ func buildArch() (*core.Architecture, error) {
 	}
 }
 
+// runScenario is the -scenario path: load, compile, and either print
+// the plan (-dry-run) or execute the compiled experiment.
+func runScenario(path string, dry bool) int {
+	f, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+		return 2
+	}
+	c, err := scenario.Compile(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+		return 2
+	}
+	params := c.Params.WithDefaults()
+	if dry {
+		fmt.Printf("scenario:   %s (%s)\n", c.Doc.Name, path)
+		fmt.Printf("title:      %s\n", c.Experiment.Title)
+		fmt.Printf("experiment: %s\n", c.Experiment.Name)
+		fmt.Printf("params:     seed=%d trials=%d tasks=%d rpcs=%d\n",
+			params.Seed, params.Trials, params.Tasks, params.RPCs)
+		fmt.Printf("cache key:  %s\n", c.CacheKey())
+		fmt.Println("dry run: valid; not executing")
+		return 0
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	out, err := c.Experiment.Run(ctx, params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+		return 1
+	}
+	fmt.Print(out.Text)
+	return 0
+}
+
 func main() {
+	flag.Usage = usage
 	flag.Parse()
+	if *flagDoc {
+		writeFlagDoc(os.Stdout)
+		return
+	}
+	if *scenarioPath != "" {
+		os.Exit(runScenario(*scenarioPath, *dryRun))
+	}
+	if *dryRun {
+		fmt.Fprintln(os.Stderr, "quartzsim: -dry-run needs -scenario FILE")
+		os.Exit(2)
+	}
 	arch, err := buildArch()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)

@@ -24,6 +24,7 @@ const (
 	ScatterGatherKind
 )
 
+// String names the workload kind as the figures label it.
 func (k TaskKind) String() string {
 	switch k {
 	case ScatterKind:

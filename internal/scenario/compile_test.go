@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/experiments"
+)
+
+// The acceptance property of the whole format: a scenario that merely
+// parameterizes a registry experiment caches under the same key as a
+// direct submission of that experiment.
+func TestRegistryCacheKeyParity(t *testing.T) {
+	cases := []struct {
+		doc    string
+		name   string
+		params experiments.Params
+	}{
+		{
+			doc: `{"schema": "quartz-scenario/v1", "name": "fig6-run",
+			      "experiment": {"name": "fig6"}}`,
+			name:   "fig6",
+			params: experiments.Params{},
+		},
+		{
+			doc: `{"schema": "quartz-scenario/v1", "name": "table8-run", "seed": 99,
+			      "experiment": {"name": "table8", "trials": 250}}`,
+			name:   "table8",
+			params: experiments.Params{Seed: 99, Trials: 250},
+		},
+	}
+	for _, tc := range cases {
+		f, err := Decode([]byte(tc.doc), tc.name+".json")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		c, err := Compile(f)
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", tc.name, err)
+		}
+		if c.Experiment.Name != tc.name {
+			t.Errorf("%s: compiled to %q, want the registry entry", tc.name, c.Experiment.Name)
+		}
+		want := experiments.CacheKey(tc.name, tc.params)
+		if got := c.CacheKey(); got != want {
+			t.Errorf("%s: CacheKey = %s, want %s (registry parity broken)", tc.name, got, want)
+		}
+	}
+}
+
+// Two byte-different documents meaning the same experiment must share
+// one cache identity.
+func TestCanonicalInvariance(t *testing.T) {
+	terse := `{"schema": "quartz-scenario/v1", "name": "inv",
+	           "sim": {"topology": {"kind": "tree3"}, "workload": {"kind": "scatter"}}}`
+	spelled := `{
+	  "seed": 2014,
+	  "name": "inv",
+	  "title": "inv",
+	  "schema": "quartz-scenario/v1",
+	  "sim": {
+	    "duration_ms": 10,
+	    "workload": {"kind": "SCATTER", "tasks": 4, "fanout": 12, "pps": 20000, "packet_size": 400},
+	    "topology": {"kind": "Tree3", "quartz": "none"},
+	    "routing": {"policy": "default"}
+	  }
+	}`
+	a, err := Decode([]byte(terse), "a.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode([]byte(spelled), "b.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ScenarioName(a.Doc) != ScenarioName(b.Doc) {
+		t.Errorf("defaults spelled out changed the identity:\n%s\n%s", Canonical(a.Doc), Canonical(b.Doc))
+	}
+
+	// Title is presentation only; it must not split cache entries.
+	titled := strings.Replace(terse, `"name": "inv"`, `"name": "inv", "title": "A Grand Experiment"`, 1)
+	c, err := Decode([]byte(titled), "c.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ScenarioName(a.Doc) != ScenarioName(c.Doc) {
+		t.Error("title changed the cache identity")
+	}
+
+	// A real parameter change must split them.
+	changed := strings.Replace(terse, `"kind": "scatter"`, `"kind": "gather"`, 1)
+	d, err := Decode([]byte(changed), "d.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ScenarioName(a.Doc) == ScenarioName(d.Doc) {
+		t.Error("different workloads share an identity")
+	}
+}
+
+func TestSweepCells(t *testing.T) {
+	doc := `{"schema": "quartz-scenario/v1", "name": "sw",
+	         "experiment": {"name": "fig6"},
+	         "sweep": {"axes": {"trials": [100, 200], "seed": [1, 2, 3]}, "trials": 2}}`
+	f, err := Decode([]byte(doc), "sw.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := cellsOf(&f.Doc)
+	if len(cells) != 2*3*2 {
+		t.Fatalf("got %d cells, want 12", len(cells))
+	}
+	// Sorted axis order: "seed" before "trials", last axis fastest,
+	// trials innermost.
+	first := cells[0]
+	if first.overrides[0].name != "seed" || first.overrides[1].name != "trials" {
+		t.Errorf("axis order = %v", first.overrides)
+	}
+	if cells[0].trial != 0 || cells[1].trial != 1 {
+		t.Errorf("trials not innermost: %+v %+v", cells[0], cells[1])
+	}
+	if got := cells[1].label(2); got != "seed=1 trials=100, trial 2/2" {
+		t.Errorf("label = %q", got)
+	}
+
+	// A sweep compiles to a synthesized experiment, not the registry
+	// entry — its key must NOT collide with plain fig6.
+	c, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(c.Experiment.Name, "scenario/") {
+		t.Errorf("sweep compiled to %q, want a scenario/ name", c.Experiment.Name)
+	}
+	if c.CacheKey() == experiments.CacheKey("fig6", experiments.Params{}) {
+		t.Error("sweep shares a cache key with the plain experiment")
+	}
+}
+
+func TestSweepRunsEachCell(t *testing.T) {
+	doc := `{"schema": "quartz-scenario/v1", "name": "sweep-sim",
+	         "sim": {"duration_ms": 1,
+	                 "topology": {"kind": "tree2"},
+	                 "workload": {"kind": "scatter", "tasks": 1, "fanout": 2, "pps": 500}},
+	         "sweep": {"axes": {"fanout": [2, 3]}}}`
+	f, err := Decode([]byte(doc), "sw.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks []int
+	out, err := c.Experiment.Run(context.Background(), experiments.Params{
+		Seed:     c.Params.Seed,
+		Progress: func(done, total int) { ticks = append(ticks, done*100+total) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out.Text, "== sweep-sim ["); n != 2 {
+		t.Errorf("want 2 cell headers, got %d in:\n%s", n, out.Text)
+	}
+	if !strings.Contains(out.Text, "fanout=2") || !strings.Contains(out.Text, "fanout=3") {
+		t.Errorf("cell labels missing:\n%s", out.Text)
+	}
+	if len(ticks) != 2 || ticks[0] != 102 || ticks[1] != 202 {
+		t.Errorf("progress ticks = %v", ticks)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	doc := `{"schema": "quartz-scenario/v1", "name": "cl",
+	         "sim": {"topology": {"kind": "tree3"}, "workload": {"kind": "scatter"},
+	                 "faults": {"events": [{"kind": "link", "link": 1, "at_ms": 2}]}}}`
+	f, err := Decode([]byte(doc), "cl.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := f.Doc
+	cp := orig.clone()
+	cp.Sim.Workload.Tasks = 99
+	cp.Sim.Faults.Events[0].Link = 99
+	if orig.Sim.Workload.Tasks == 99 || orig.Sim.Faults.Events[0].Link == 99 {
+		t.Error("clone shares state with the original")
+	}
+}

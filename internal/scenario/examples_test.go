@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/experiments"
+)
+
+const examplesDir = "../../examples/scenarios"
+
+// Every shipped example must load, validate, and compile — the same
+// bar the CI scenario-smoke step holds them to via quartzsim -dry-run.
+func TestExamplesCompile(t *testing.T) {
+	entries, err := os.ReadDir(examplesDir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", examplesDir, err)
+	}
+	var n int
+	for _, e := range entries {
+		ext := filepath.Ext(e.Name())
+		if ext != ".json" && ext != ".toml" {
+			continue
+		}
+		n++
+		f, err := Load(filepath.Join(examplesDir, e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if _, err := Compile(f); err != nil {
+			t.Errorf("%s: compile: %v", e.Name(), err)
+		}
+	}
+	if n < 4 {
+		t.Fatalf("only %d example scenarios in %s, want at least 4", n, examplesDir)
+	}
+}
+
+// The shipped registry-backed examples must hit the same cache entries
+// as the equivalent direct submissions — this is the acceptance bar for
+// the declarative format: figure6.json coalesces with a plain
+// {"experiment":"fig6"} POST, and the JSON/TOML table8 twins coalesce
+// with each other and with {"experiment":"table8","params":{...}}.
+func TestExamplesRegistryCacheKeyParity(t *testing.T) {
+	load := func(name string) *Compiled {
+		t.Helper()
+		f, err := Load(filepath.Join(examplesDir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c, err := Compile(f)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		return c
+	}
+
+	fig6 := load("figure6.json")
+	if got, want := fig6.CacheKey(), experiments.CacheKey("fig6", experiments.DefaultParams()); got != want {
+		t.Errorf("figure6.json cache key %s, want registry key %s", got, want)
+	}
+
+	t8json := load("table8.json")
+	t8toml := load("table8.toml")
+	want := experiments.CacheKey("table8", experiments.Params{Seed: 99, Trials: 250})
+	if got := t8json.CacheKey(); got != want {
+		t.Errorf("table8.json cache key %s, want registry key %s", got, want)
+	}
+	if got := t8toml.CacheKey(); got != want {
+		t.Errorf("table8.toml cache key %s, want registry key %s", got, want)
+	}
+}

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const minimalExperiment = `{
+  "schema": "quartz-scenario/v1",
+  "name": "t",
+  "experiment": {"name": "fig6"}
+}`
+
+func TestDecodeMinimalExperiment(t *testing.T) {
+	f, err := Decode([]byte(minimalExperiment), "t.json")
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if f.Doc.Experiment == nil || f.Doc.Experiment.Name != "fig6" {
+		t.Fatalf("experiment = %+v", f.Doc.Experiment)
+	}
+	if f.Doc.Seed != 2014 {
+		t.Errorf("default seed = %d, want 2014", f.Doc.Seed)
+	}
+	if f.Doc.Title != "t" {
+		t.Errorf("default title = %q, want name", f.Doc.Title)
+	}
+}
+
+func TestJSONLineIndex(t *testing.T) {
+	doc := `{
+  "schema": "quartz-scenario/v1",
+  "name": "lines",
+  "sim": {
+    "topology": {"kind": "tree3", "quartz": "edge"},
+    "workload": {
+      "kind": "scatter"
+    },
+    "faults": {
+      "events": [
+        {"kind": "link", "link": 3, "at_ms": 2},
+        {"kind": "switch", "switch": "agg0", "at_ms": 4}
+      ]
+    }
+  }
+}`
+	index := jsonLineIndex([]byte(doc))
+	want := map[string]int{
+		"schema":                      2,
+		"name":                        3,
+		"sim":                         4,
+		"sim.topology":                5,
+		"sim.topology.kind":           5,
+		"sim.workload.kind":           7,
+		"sim.faults.events":           10,
+		"sim.faults.events[0]":        11,
+		"sim.faults.events[1].at_ms":  12,
+		"sim.faults.events[1].switch": 12,
+	}
+	for path, line := range want {
+		if got := index[path]; got != line {
+			t.Errorf("line(%s) = %d, want %d", path, got, line)
+		}
+	}
+}
+
+func TestLineAncestorFallback(t *testing.T) {
+	f, err := Decode([]byte(minimalExperiment), "t.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// experiment.trials was omitted; its line should fall back to the
+	// experiment table's line.
+	if got, want := f.Line("experiment.trials"), 4; got != want {
+		t.Errorf("Line(experiment.trials) = %d, want %d (the experiment line)", got, want)
+	}
+	if got := f.Line("nonexistent.path"); got != 0 {
+		t.Errorf("Line(unknown) = %d, want 0", got)
+	}
+}
+
+func TestDecodeUnknownField(t *testing.T) {
+	doc := `{
+  "schema": "quartz-scenario/v1",
+  "name": "t",
+  "experiment": {"name": "fig6", "trails": 100}
+}`
+	_, err := Decode([]byte(doc), "t.json")
+	if err == nil {
+		t.Fatal("want error for unknown field")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "t.json:4") || !strings.Contains(msg, "trails") {
+		t.Errorf("error %q should name t.json:4 and the field", msg)
+	}
+}
+
+func TestDecodeTypeError(t *testing.T) {
+	doc := `{
+  "schema": "quartz-scenario/v1",
+  "name": "t",
+  "experiment": {"name": "fig6", "trials": "many"}
+}`
+	_, err := Decode([]byte(doc), "t.json")
+	if err == nil {
+		t.Fatal("want error for type mismatch")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "t.json:4") {
+		t.Errorf("error %q should carry line 4", msg)
+	}
+}
+
+func TestDecodeSyntaxError(t *testing.T) {
+	doc := "{\n  \"schema\": \"quartz-scenario/v1\",\n  \"name\" \"t\"\n}"
+	_, err := Decode([]byte(doc), "t.json")
+	if err == nil {
+		t.Fatal("want syntax error")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "t.json:3") {
+		t.Errorf("error %q should carry line 3", msg)
+	}
+}
+
+func TestDecodeTrailingData(t *testing.T) {
+	_, err := Decode([]byte(minimalExperiment+"\n{\"more\": true}"), "t.json")
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("want trailing-data error, got %v", err)
+	}
+}
+
+func TestFormatSniffing(t *testing.T) {
+	// No extension: '{' means JSON, anything else TOML.
+	if _, err := Decode([]byte(minimalExperiment), "request"); err != nil {
+		t.Errorf("sniffed JSON: %v", err)
+	}
+	toml := "schema = \"quartz-scenario/v1\"\nname = \"t\"\n[experiment]\nname = \"fig6\"\n"
+	if _, err := Decode([]byte(toml), "request"); err != nil {
+		t.Errorf("sniffed TOML: %v", err)
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	e := &Error{File: "a.json", Line: 7, Path: "sim.workload.kind", Msg: "boom"}
+	if got, want := e.Error(), "a.json:7: sim.workload.kind: boom"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	e2 := &Error{Msg: "just a message"}
+	if got := e2.Error(); got != "just a message" {
+		t.Errorf("Error() = %q", got)
+	}
+}

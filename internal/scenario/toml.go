@@ -1,0 +1,471 @@
+package scenario
+
+// A minimal TOML reader — enough of the language to write any scenario
+// the schema can express, implemented here because the module is
+// standard-library only. Supported: `key = value` with bare, quoted,
+// and dotted keys; `[table]` and nested `[a.b]` headers; `[[array]]`
+// array-of-tables headers (fault events); strings ("..." with the
+// common escapes, and literal '...'), integers, floats, booleans, and
+// (possibly multiline) arrays; `#` comments. Not supported, rejected
+// with a pointed message: inline tables, dates, and multiline strings.
+//
+// The parsed tree is re-marshalled to JSON and strict-decoded into the
+// Doc, so both formats pass through one schema; the TOML reader's own
+// line index keeps errors precise in the original file.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// decodeTOML parses the TOML subset into f.Doc and fills f.lines.
+func decodeTOML(data []byte, f *File) error {
+	p := &tomlParser{file: f.Name, root: map[string]interface{}{}, lines: map[string]int{}}
+	if err := p.parse(string(data)); err != nil {
+		return err
+	}
+	f.lines = p.lines
+	// One schema for both formats: round-trip the generic tree through
+	// JSON into the typed document.
+	raw, err := json.Marshal(p.root)
+	if err != nil {
+		return ErrorList{{File: f.Name, Msg: "internal: " + err.Error()}}
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f.Doc); err != nil {
+		return ErrorList{tomlSchemaError(err, f)}
+	}
+	return nil
+}
+
+// tomlSchemaError locates a strict-decode error in the TOML source via
+// the parser's line index (the JSON offsets of jsonError would point
+// into the intermediate re-marshalled bytes, which the user never saw).
+func tomlSchemaError(err error, f *File) *Error {
+	if e, ok := err.(*json.UnmarshalTypeError); ok {
+		return &Error{File: f.Name, Line: f.Line(e.Field), Path: e.Field,
+			Msg: fmt.Sprintf("cannot use a %s here (want %s)", e.Value, e.Type)}
+	}
+	if name, ok := strings.CutPrefix(err.Error(), `json: unknown field `); ok {
+		return unknownFieldError(strings.Trim(name, `"`), f)
+	}
+	return &Error{File: f.Name, Msg: err.Error()}
+}
+
+// tomlParser holds the line-oriented parse state.
+type tomlParser struct {
+	file  string
+	root  map[string]interface{}
+	lines map[string]int
+
+	table     map[string]interface{} // current [table]
+	tablePath string                 // its dotted path ("" = root)
+}
+
+// errf builds a located parse error.
+func (p *tomlParser) errf(line int, format string, args ...interface{}) error {
+	return ErrorList{{File: p.file, Line: line, Msg: fmt.Sprintf(format, args...)}}
+}
+
+func (p *tomlParser) parse(src string) error {
+	p.table = p.root
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		lineNo := i + 1
+		line := strings.TrimSpace(stripComment(lines[i]))
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "[["):
+			if !strings.HasSuffix(line, "]]") {
+				return p.errf(lineNo, "malformed [[table]] header %q", line)
+			}
+			if err := p.openTableArray(strings.TrimSuffix(strings.TrimPrefix(line, "[["), "]]"), lineNo); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "["):
+			if !strings.HasSuffix(line, "]") {
+				return p.errf(lineNo, "malformed [table] header %q", line)
+			}
+			if err := p.openTable(strings.TrimSuffix(strings.TrimPrefix(line, "["), "]"), lineNo); err != nil {
+				return err
+			}
+		default:
+			key, rest, ok := cutAssign(line)
+			if !ok {
+				return p.errf(lineNo, "expected key = value, got %q", line)
+			}
+			// Multiline arrays: keep consuming lines until brackets
+			// balance outside strings.
+			for bracketDepth(rest) > 0 && i+1 < len(lines) {
+				i++
+				rest += "\n" + strings.TrimSpace(stripComment(lines[i]))
+			}
+			val, err := parseTOMLValue(strings.TrimSpace(rest), lineNo, p)
+			if err != nil {
+				return err
+			}
+			if err := p.setKey(key, val, lineNo); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// openTable enters (creating as needed) the table named by a dotted
+// header like [sim.workload].
+func (p *tomlParser) openTable(header string, lineNo int) error {
+	parts, err := splitKey(header)
+	if err != nil {
+		return p.errf(lineNo, "bad table header [%s]: %v", header, err)
+	}
+	node, path, err := p.navigate(p.root, "", parts, lineNo)
+	if err != nil {
+		return err
+	}
+	p.table, p.tablePath = node, path
+	p.record(path, lineNo)
+	return nil
+}
+
+// openTableArray appends a new element to the array of tables named by
+// a [[header]] and enters it.
+func (p *tomlParser) openTableArray(header string, lineNo int) error {
+	parts, err := splitKey(header)
+	if err != nil {
+		return p.errf(lineNo, "bad table header [[%s]]: %v", header, err)
+	}
+	parent, path, err := p.navigate(p.root, "", parts[:len(parts)-1], lineNo)
+	if err != nil {
+		return err
+	}
+	last := parts[len(parts)-1]
+	arr, _ := parent[last].([]interface{})
+	if parent[last] != nil && arr == nil {
+		return p.errf(lineNo, "[[%s]] conflicts with an earlier non-array value", header)
+	}
+	elem := map[string]interface{}{}
+	parent[last] = append(arr, elem)
+	p.table = elem
+	p.tablePath = fmt.Sprintf("%s[%d]", joinPath(path, last), len(arr))
+	p.record(p.tablePath, lineNo)
+	return nil
+}
+
+// navigate descends (creating tables as needed) through parts from
+// node; arrays of tables descend into their last element.
+func (p *tomlParser) navigate(node map[string]interface{}, path string, parts []string, lineNo int) (map[string]interface{}, string, error) {
+	for _, part := range parts {
+		next := node[part]
+		childPath := joinPath(path, part)
+		switch v := next.(type) {
+		case nil:
+			m := map[string]interface{}{}
+			node[part] = m
+			node = m
+		case map[string]interface{}:
+			node = v
+		case []interface{}:
+			if len(v) == 0 {
+				return nil, "", p.errf(lineNo, "%s is an empty array, not a table", childPath)
+			}
+			m, ok := v[len(v)-1].(map[string]interface{})
+			if !ok {
+				return nil, "", p.errf(lineNo, "%s is an array of values, not of tables", childPath)
+			}
+			childPath = fmt.Sprintf("%s[%d]", childPath, len(v)-1)
+			node = m
+		default:
+			return nil, "", p.errf(lineNo, "%s is a value, not a table", childPath)
+		}
+		path = childPath
+	}
+	return node, path, nil
+}
+
+// setKey assigns a (possibly dotted) key inside the current table.
+func (p *tomlParser) setKey(key string, val interface{}, lineNo int) error {
+	parts, err := splitKey(key)
+	if err != nil {
+		return p.errf(lineNo, "bad key %q: %v", key, err)
+	}
+	node, path, err := p.navigate(p.table, p.tablePath, parts[:len(parts)-1], lineNo)
+	if err != nil {
+		return err
+	}
+	last := parts[len(parts)-1]
+	full := joinPath(path, last)
+	if _, exists := node[last]; exists {
+		return p.errf(lineNo, "duplicate key %s", full)
+	}
+	node[last] = val
+	p.record(full, lineNo)
+	return nil
+}
+
+// record notes the first line a path appeared on.
+func (p *tomlParser) record(path string, lineNo int) {
+	if path == "" {
+		return
+	}
+	if _, ok := p.lines[path]; !ok {
+		p.lines[path] = lineNo
+	}
+}
+
+// joinPath appends one segment to a dotted path.
+func joinPath(path, part string) string {
+	if path == "" {
+		return part
+	}
+	return path + "." + part
+}
+
+// splitKey splits a bare or dotted key, honoring quoted segments.
+func splitKey(s string) ([]string, error) {
+	var parts []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var part string
+		if s[0] == '"' || s[0] == '\'' {
+			rest, str, err := scanString(s)
+			if err != nil {
+				return nil, err
+			}
+			part, s = str, strings.TrimSpace(rest)
+			if s != "" && s[0] != '.' {
+				return nil, fmt.Errorf("unexpected %q after quoted segment", s)
+			}
+		} else {
+			i := strings.IndexByte(s, '.')
+			if i < 0 {
+				part, s = strings.TrimSpace(s), ""
+			} else {
+				part, s = strings.TrimSpace(s[:i]), s[i:]
+			}
+			if !isBareKey(part) {
+				return nil, fmt.Errorf("bad segment %q", part)
+			}
+		}
+		parts = append(parts, part)
+		if strings.HasPrefix(s, ".") {
+			s = strings.TrimSpace(s[1:])
+			if s == "" {
+				return nil, fmt.Errorf("trailing dot")
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("empty key")
+	}
+	return parts, nil
+}
+
+// isBareKey reports whether s is a valid unquoted key segment.
+func isBareKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// cutAssign splits "key = value" at the first '=' outside quotes.
+func cutAssign(line string) (key, value string, ok bool) {
+	inStr := byte(0)
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inStr != 0:
+			if c == '\\' && inStr == '"' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+		case c == '"' || c == '\'':
+			inStr = c
+		case c == '=':
+			return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+// stripComment removes a trailing # comment, honoring strings.
+func stripComment(line string) string {
+	inStr := byte(0)
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inStr != 0:
+			if c == '\\' && inStr == '"' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+		case c == '"' || c == '\'':
+			inStr = c
+		case c == '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// bracketDepth counts unbalanced '[' outside strings (multiline array
+// detection).
+func bracketDepth(s string) int {
+	depth := 0
+	inStr := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr != 0:
+			if c == '\\' && inStr == '"' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+		case c == '"' || c == '\'':
+			inStr = c
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		}
+	}
+	return depth
+}
+
+// scanString consumes a leading quoted string, returning the remainder
+// and the decoded value.
+func scanString(s string) (rest, val string, err error) {
+	quote := s[0]
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == quote:
+			return s[i+1:], b.String(), nil
+		case quote == '"' && c == '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("unterminated escape")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\\', '/':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string")
+}
+
+// parseTOMLValue parses one value: string, bool, number, or array.
+func parseTOMLValue(s string, lineNo int, p *tomlParser) (interface{}, error) {
+	switch {
+	case s == "":
+		return nil, p.errf(lineNo, "missing value")
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s[0] == '"' || s[0] == '\'':
+		rest, val, err := scanString(s)
+		if err != nil {
+			return nil, p.errf(lineNo, "bad string %s: %v", s, err)
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, p.errf(lineNo, "unexpected %q after string", strings.TrimSpace(rest))
+		}
+		return val, nil
+	case s[0] == '[':
+		return parseTOMLArray(s, lineNo, p)
+	case s[0] == '{':
+		return nil, p.errf(lineNo, "inline tables are not supported; use a [table] or [[table]] header")
+	default:
+		clean := strings.ReplaceAll(s, "_", "")
+		if n, err := strconv.ParseInt(clean, 10, 64); err == nil {
+			return n, nil
+		}
+		if x, err := strconv.ParseFloat(clean, 64); err == nil {
+			return x, nil
+		}
+		return nil, p.errf(lineNo, "cannot parse value %q (strings need quotes; dates and inline tables are not supported)", s)
+	}
+}
+
+// parseTOMLArray parses a (possibly multiline, already joined) array.
+func parseTOMLArray(s string, lineNo int, p *tomlParser) (interface{}, error) {
+	if !strings.HasSuffix(strings.TrimSpace(s), "]") {
+		return nil, p.errf(lineNo, "unterminated array %q", s)
+	}
+	inner := strings.TrimSpace(s)
+	inner = strings.TrimSpace(inner[1 : len(inner)-1])
+	out := []interface{}{}
+	for inner != "" {
+		elem, rest, err := splitArrayElem(inner)
+		if err != nil {
+			return nil, p.errf(lineNo, "bad array: %v", err)
+		}
+		if elem != "" {
+			v, err := parseTOMLValue(elem, lineNo, p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		inner = rest
+	}
+	return out, nil
+}
+
+// splitArrayElem cuts the next element at a top-level comma.
+func splitArrayElem(s string) (elem, rest string, err error) {
+	depth := 0
+	inStr := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr != 0:
+			if c == '\\' && inStr == '"' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+		case c == '"' || c == '\'':
+			inStr = c
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), nil
+		}
+	}
+	if inStr != 0 {
+		return "", "", fmt.Errorf("unterminated string in array")
+	}
+	return strings.TrimSpace(s), "", nil
+}

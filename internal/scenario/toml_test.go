@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const tomlScenario = `# Fault-injection scenario, TOML form.
+schema = "quartz-scenario/v1"
+name = "fault-demo"
+seed = 7
+
+[sim]
+duration_ms = 4.0
+
+[sim.topology]
+kind = "tree3"
+quartz = "edge"
+
+[sim.workload]
+kind = "scatter"
+tasks = 2
+fanout = 4
+pps = 1_000
+
+[sim.faults]
+detect_ms = 0.5
+policy = "detour"
+
+[[sim.faults.events]]
+kind = "link"
+link = 3
+at_ms = 1.0
+repair_ms = 2.5
+
+[[sim.faults.events]]
+kind = "switch"
+switch = "agg0"
+at_ms = 2.0
+`
+
+const jsonScenario = `{
+  "schema": "quartz-scenario/v1",
+  "name": "fault-demo",
+  "seed": 7,
+  "sim": {
+    "duration_ms": 4,
+    "topology": {"kind": "tree3", "quartz": "edge"},
+    "workload": {"kind": "scatter", "tasks": 2, "fanout": 4, "pps": 1000},
+    "faults": {
+      "detect_ms": 0.5,
+      "policy": "detour",
+      "events": [
+        {"kind": "link", "link": 3, "at_ms": 1, "repair_ms": 2.5},
+        {"kind": "switch", "switch": "agg0", "at_ms": 2}
+      ]
+    }
+  }
+}`
+
+func TestTOMLEquivalentToJSON(t *testing.T) {
+	ft, err := Decode([]byte(tomlScenario), "s.toml")
+	if err != nil {
+		t.Fatalf("TOML: %v", err)
+	}
+	fj, err := Decode([]byte(jsonScenario), "s.json")
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if !bytes.Equal(Canonical(ft.Doc), Canonical(fj.Doc)) {
+		t.Errorf("canonical forms differ:\nTOML %s\nJSON %s", Canonical(ft.Doc), Canonical(fj.Doc))
+	}
+	if ScenarioName(ft.Doc) != ScenarioName(fj.Doc) {
+		t.Errorf("names differ: %s vs %s", ScenarioName(ft.Doc), ScenarioName(fj.Doc))
+	}
+}
+
+func TestTOMLLineIndex(t *testing.T) {
+	f, err := Decode([]byte(tomlScenario), "s.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"schema":                      2,
+		"sim.topology.kind":           10,
+		"sim.workload.pps":            17,
+		"sim.faults.events[0]":        23,
+		"sim.faults.events[1].switch": 31,
+	}
+	for path, line := range want {
+		if got := f.Line(path); got != line {
+			t.Errorf("Line(%s) = %d, want %d", path, got, line)
+		}
+	}
+}
+
+func TestTOMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"inline table", "schema = \"quartz-scenario/v1\"\nsim = { x = 1 }\n", "inline tables"},
+		{"bad value", "name = yes\n", "strings need quotes"},
+		{"duplicate key", "name = \"a\"\nname = \"b\"\n", "duplicate key"},
+		{"no assign", "just some words\n", "expected key = value"},
+		{"bad header", "[sim\nname = \"a\"\n", "malformed"},
+		{"unterminated string", "name = \"abc\n", "unterminated string"},
+		{"unknown field", "schema = \"quartz-scenario/v1\"\nname = \"t\"\n[experiment]\nname = \"fig6\"\ntrails = 3\n", "unknown field"},
+		{"type error", "schema = \"quartz-scenario/v1\"\nname = \"t\"\n[experiment]\nname = \"fig6\"\ntrials = \"many\"\n", "want int"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode([]byte(tc.src), "bad.toml")
+			if err == nil {
+				t.Fatal("want an error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "bad.toml:") {
+				t.Errorf("error %q is missing the file:line location", err)
+			}
+		})
+	}
+}
+
+func TestTOMLMultilineArray(t *testing.T) {
+	src := `schema = "quartz-scenario/v1"
+name = "sweep-demo"
+[experiment]
+name = "fig6"
+[sweep]
+trials = 2
+[sweep.axes]
+seed = [
+  1,
+  2,
+  3, # inline comment
+]
+`
+	f, err := Decode([]byte(src), "s.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := f.Doc.Sweep.Axes["seed"]
+	if len(vals) != 3 {
+		t.Fatalf("axis values = %v", vals)
+	}
+}
+
+func TestTOMLDottedAndQuotedKeys(t *testing.T) {
+	src := "schema = \"quartz-scenario/v1\"\nname = \"t\"\nexperiment.name = \"fig6\"\nexperiment.\"trials\" = 10\n"
+	f, err := Decode([]byte(src), "s.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Doc.Experiment.Trials != 10 {
+		t.Errorf("trials = %d", f.Doc.Experiment.Trials)
+	}
+}

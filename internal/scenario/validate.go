@@ -1,0 +1,306 @@
+package scenario
+
+// Semantic validation. Runs after Normalize, collects every problem
+// (not just the first) into an ErrorList whose entries carry the field
+// path and, via the parse-time line index, the source line.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/experiments"
+)
+
+// Caps keep declared work within what the service should accept from
+// an untrusted document: they bound topology size, run length, and
+// sweep fan-out, not expressiveness.
+const (
+	maxTopologyDim = 128   // pods, tors_per_pod, hosts_per_tor
+	maxTasks       = 64    // concurrent workload tasks
+	maxDurationMS  = 10000 // 10 s of virtual time per cell
+	maxSweepCells  = 512   // cells × trials
+)
+
+var (
+	topologyKinds = []string{"jellyfish", "ring", "tree2", "tree3"}
+	quartzKinds   = []string{"both", "core", "edge", "none"}
+	workloadKinds = []string{"gather", "incast", "permutation", "scatter", "scattergather"}
+	faultKinds    = []string{"fiber", "link", "switch"}
+	faultPolicies = []string{"detour", "drop"}
+)
+
+// quartzPlacements lists the Quartz replacement placements each base
+// topology supports (the core.Architecture builders that exist).
+var quartzPlacements = map[string][]string{
+	"tree2":     {"none"},
+	"tree3":     {"both", "core", "edge", "none"},
+	"ring":      {"none"}, // the fabric is the ring; "quartz" is meaningless
+	"jellyfish": {"edge", "none"},
+}
+
+// Validate checks f.Doc (which must already be normalized) and returns
+// nil or an ErrorList describing every problem found.
+func Validate(f *File) error {
+	var errs ErrorList
+	add := func(e *Error) { errs = append(errs, e) }
+	d := &f.Doc
+
+	switch d.Schema {
+	case SchemaV1:
+	case "":
+		add(f.errAt("schema", "missing required field (want %q)", SchemaV1))
+	default:
+		add(f.errAt("schema", "unsupported schema %q (this build understands %q)", d.Schema, SchemaV1))
+	}
+	if d.Name == "" {
+		add(f.errAt("name", "missing required field: a scenario needs a name"))
+	} else if !validName(d.Name) {
+		add(f.errAt("name", "invalid name %q (lowercase letters, digits, '-', '_', '.')", d.Name))
+	}
+
+	switch {
+	case d.Experiment == nil && d.Sim == nil:
+		add(f.errAt("", `a scenario needs either an "experiment" or a "sim" section`))
+	case d.Experiment != nil && d.Sim != nil:
+		add(f.errAt("sim", `"experiment" and "sim" are mutually exclusive; keep one`))
+	}
+	if d.Experiment != nil {
+		validateExperiment(f, d.Experiment, add)
+	}
+	if d.Sim != nil {
+		validateSim(f, d.Sim, add)
+	}
+	if d.Sweep != nil {
+		validateSweep(f, d, add)
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.SliceStable(errs, func(i, j int) bool { return errs[i].Line < errs[j].Line })
+	return errs
+}
+
+func validateExperiment(f *File, e *ExperimentSpec, add func(*Error)) {
+	if e.Name == "" {
+		add(f.errAt("experiment.name", "missing required field: which registry experiment to run"))
+	} else if _, ok := experiments.Find(e.Name); !ok {
+		msg := fmt.Sprintf("unknown experiment %q", e.Name)
+		if s := suggestExperiment(e.Name); s != "" {
+			msg += fmt.Sprintf(" (did you mean %q?)", s)
+		} else {
+			msg += " (quartzbench -list prints the registry)"
+		}
+		add(f.errAt("experiment.name", "%s", msg))
+	}
+	checkRange(f, add, "experiment.trials", e.Trials, 0, 1_000_000)
+	checkRange(f, add, "experiment.tasks", e.Tasks, 0, maxTasks)
+	checkRange(f, add, "experiment.rpcs", e.RPCs, 0, 1_000_000)
+}
+
+func validateSim(f *File, s *SimSpec, add func(*Error)) {
+	// Topology.
+	t := &s.Topology
+	if t.Kind == "" {
+		add(f.errAt("sim.topology.kind", "missing required field (valid: %s)", strings.Join(topologyKinds, ", ")))
+	} else if !oneOf(t.Kind, topologyKinds) {
+		add(f.errAt("sim.topology.kind", "unknown topology %q (valid: %s)", t.Kind, strings.Join(topologyKinds, ", ")))
+	} else if !oneOf(t.Quartz, quartzKinds) {
+		add(f.errAt("sim.topology.quartz", "unknown placement %q (valid: %s)", t.Quartz, strings.Join(quartzKinds, ", ")))
+	} else if allowed := quartzPlacements[t.Kind]; !oneOf(t.Quartz, allowed) {
+		add(f.errAt("sim.topology.quartz", "topology %q does not support quartz=%q (valid here: %s)",
+			t.Kind, t.Quartz, strings.Join(allowed, ", ")))
+	}
+	checkRange(f, add, "sim.topology.pods", t.Pods, 0, maxTopologyDim)
+	checkRange(f, add, "sim.topology.tors_per_pod", t.TorsPerPod, 0, maxTopologyDim)
+	checkRange(f, add, "sim.topology.hosts_per_tor", t.HostsPerTor, 0, maxTopologyDim)
+
+	// Routing.
+	if r := s.Routing; r != nil {
+		if r.Policy != "vlb" { // Normalize drops "default"
+			add(f.errAt("sim.routing.policy", "unknown policy %q (valid: default, vlb)", r.Policy))
+		} else if r.VLBFraction <= 0 || r.VLBFraction > 1 {
+			add(f.errAt("sim.routing.vlb_fraction", "fraction %g out of range (0, 1]", r.VLBFraction))
+		}
+	}
+
+	// Workload.
+	w := &s.Workload
+	single := w.Kind == "permutation" || w.Kind == "incast"
+	if w.Kind == "" {
+		add(f.errAt("sim.workload.kind", "missing required field (valid: %s)", strings.Join(workloadKinds, ", ")))
+	} else if !oneOf(w.Kind, workloadKinds) {
+		add(f.errAt("sim.workload.kind", "unknown workload %q (valid: %s)", w.Kind, strings.Join(workloadKinds, ", ")))
+	} else if single && w.Tasks != 1 {
+		add(f.errAt("sim.workload.tasks", "%s is a single global pattern; tasks must be 1 (or omitted)", w.Kind))
+	}
+	if !single {
+		checkRange(f, add, "sim.workload.tasks", w.Tasks, 1, maxTasks)
+	}
+	checkRange(f, add, "sim.workload.fanout", w.Fanout, 1, 4096)
+	if w.PPS <= 0 || w.PPS > 100e6 {
+		add(f.errAt("sim.workload.pps", "rate %g out of range (0, 1e8] packets/s", w.PPS))
+	}
+	checkRange(f, add, "sim.workload.packet_size", w.PacketSize, 64, 9000)
+
+	// Duration.
+	if s.DurationMS <= 0 || s.DurationMS > maxDurationMS {
+		add(f.errAt("sim.duration_ms", "duration %g out of range (0, %d] ms", s.DurationMS, maxDurationMS))
+	}
+
+	// Faults.
+	if fa := s.Faults; fa != nil {
+		if !oneOf(fa.Policy, faultPolicies) {
+			add(f.errAt("sim.faults.policy", "unknown policy %q (valid: %s)", fa.Policy, strings.Join(faultPolicies, ", ")))
+		}
+		if fa.DetectMS <= 0 {
+			add(f.errAt("sim.faults.detect_ms", "detection delay %g must be > 0 ms", fa.DetectMS))
+		}
+		if len(fa.Events) == 0 {
+			add(f.errAt("sim.faults.events", "a faults section needs at least one event"))
+		}
+		for i := range fa.Events {
+			validateFaultEvent(f, s, &fa.Events[i], fmt.Sprintf("sim.faults.events[%d]", i), add)
+		}
+	}
+
+	// Probes.
+	if p := s.Probes; p != nil {
+		if p.QueueSampleUS < 0 {
+			add(f.errAt("sim.probes.queue_sample_us", "interval %d must be >= 0 µs", p.QueueSampleUS))
+		}
+		checkRange(f, add, "sim.probes.hot_ports", p.HotPorts, 0, 1024)
+	}
+}
+
+func validateFaultEvent(f *File, s *SimSpec, ev *FaultEventSpec, path string, add func(*Error)) {
+	switch ev.Kind {
+	case "link":
+		if ev.Link < 0 {
+			add(f.errAt(path+".link", "link ID %d must be >= 0", ev.Link))
+		}
+	case "switch":
+		if ev.Switch == "" {
+			add(f.errAt(path+".switch", "missing switch name or node ID"))
+		}
+	case "fiber":
+		if s.Topology.Kind != "ring" {
+			add(f.errAt(path+".kind", `fiber cuts resolve against the ring's wavelength plan; they need topology kind "ring"`))
+		}
+		if ev.Fiber < 0 || ev.Segment < 0 {
+			add(f.errAt(path, "fiber %d / segment %d must be >= 0", ev.Fiber, ev.Segment))
+		}
+	case "":
+		add(f.errAt(path+".kind", "missing required field (valid: %s)", strings.Join(faultKinds, ", ")))
+	default:
+		add(f.errAt(path+".kind", "unknown fault kind %q (valid: %s)", ev.Kind, strings.Join(faultKinds, ", ")))
+	}
+	if ev.AtMS <= 0 {
+		add(f.errAt(path+".at_ms", "fault time %g must be > 0 ms", ev.AtMS))
+	} else if ev.AtMS >= s.DurationMS {
+		add(f.errAt(path+".at_ms", "fault at %g ms fires after the %g ms run ends", ev.AtMS, s.DurationMS))
+	}
+	if ev.RepairMS != 0 && ev.RepairMS <= ev.AtMS {
+		add(f.errAt(path+".repair_ms", "repair at %g ms must come after the fault at %g ms", ev.RepairMS, ev.AtMS))
+	}
+}
+
+func validateSweep(f *File, d *Doc, add func(*Error)) {
+	sw := d.Sweep
+	checkRange(f, add, "sweep.trials", sw.Trials, 1, maxSweepCells)
+	defs := axisDefs(d)
+	valid := make([]string, 0, len(defs))
+	for name := range defs {
+		valid = append(valid, name)
+	}
+	sort.Strings(valid)
+
+	cells := sw.Trials
+	for _, name := range sortedAxisNames(sw.Axes) {
+		vals := sw.Axes[name]
+		path := "sweep.axes." + name
+		def, ok := defs[name]
+		if !ok {
+			add(f.errAt(path, "unknown sweep axis %q (valid for this scenario type: %s)", name, strings.Join(valid, ", ")))
+			continue
+		}
+		if len(vals) == 0 {
+			add(f.errAt(path, "axis needs at least one value"))
+			continue
+		}
+		cells *= len(vals)
+		for i, v := range vals {
+			if err := def.check(v); err != nil {
+				add(f.errAt(fmt.Sprintf("%s[%d]", path, i), "%v", err))
+			}
+		}
+	}
+	if cells > maxSweepCells {
+		add(f.errAt("sweep", "sweep expands to %d runs (cells × trials); the cap is %d", cells, maxSweepCells))
+	}
+}
+
+// checkRange flags v outside [0-or-min, max]; zero is always allowed
+// because it means "default".
+func checkRange(f *File, add func(*Error), path string, v, min, max int) {
+	if v == 0 {
+		return
+	}
+	if v < min || v > max {
+		add(f.errAt(path, "value %d out of range [%d, %d]", v, min, max))
+	}
+}
+
+func oneOf(s string, set []string) bool {
+	for _, x := range set {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// validName restricts scenario names to registry-safe identifiers.
+func validName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', '0' <= c && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return len(s) > 0 && len(s) <= 64
+}
+
+// suggestExperiment proposes a registry name within edit distance 2.
+func suggestExperiment(name string) string {
+	best, bestDist := "", 3
+	for _, e := range experiments.All() {
+		if d := editDistance(name, e.Name); d < bestDist {
+			best, bestDist = e.Name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance, small-string sized.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden .err files")
+
+// Golden tests: every testdata/*.json and *.toml must fail Decode, and
+// the full error text (one problem per line, file:line: path: msg) must
+// match the .err file next to it. Run with -update to regenerate.
+func TestValidationGoldens(t *testing.T) {
+	docs, err := filepath.Glob("testdata/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tomls, err := filepath.Glob("testdata/*.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, tomls...)
+	if len(docs) == 0 {
+		t.Fatal("no testdata documents")
+	}
+	for _, path := range docs {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			_, err := Load(path)
+			if err == nil {
+				t.Fatalf("%s decoded cleanly; every testdata document must fail", path)
+			}
+			got := err.Error() + "\n"
+			golden := path + ".err"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run: go test ./internal/scenario -run Goldens -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("error text drifted.\n--- got\n%s--- want\n%s", got, want)
+			}
+		})
+	}
+}
+
+func TestValidateCollectsAllErrors(t *testing.T) {
+	doc := `{
+  "schema": "quartz-scenario/v1",
+  "name": "Bad Name!",
+  "sim": {
+    "topology": {"kind": "hypercube"},
+    "workload": {"kind": "scatter", "pps": -5}
+  }
+}`
+	_, err := Decode([]byte(doc), "multi.json")
+	if err == nil {
+		t.Fatal("want errors")
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("want ErrorList, got %T", err)
+	}
+	if len(list) < 3 {
+		t.Errorf("want all 3 problems reported at once, got %d:\n%s", len(list), err)
+	}
+	// Sorted by line: name (3) before topology (5) before pps (6).
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Line > list[i].Line {
+			t.Errorf("errors not in document order: %v", err)
+		}
+	}
+}
+
+func TestExperimentSuggestion(t *testing.T) {
+	doc := `{"schema": "quartz-scenario/v1", "name": "t", "experiment": {"name": "fig66"}}`
+	_, err := Decode([]byte(doc), "t.json")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "fig6"?`) {
+		t.Errorf("want a fig6 suggestion, got: %v", err)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{
+			"unknown axis",
+			`{"schema": "quartz-scenario/v1", "name": "t", "experiment": {"name": "fig6"},
+			  "sweep": {"axes": {"wavelengths": [1, 2]}}}`,
+			"unknown sweep axis",
+		},
+		{
+			"sim axis on experiment doc",
+			`{"schema": "quartz-scenario/v1", "name": "t", "experiment": {"name": "fig6"},
+			  "sweep": {"axes": {"fanout": [1, 2]}}}`,
+			"unknown sweep axis",
+		},
+		{
+			"cap",
+			`{"schema": "quartz-scenario/v1", "name": "t", "experiment": {"name": "fig6"},
+			  "sweep": {"axes": {"seed": [1,2,3,4,5,6,7,8,9,10]}, "trials": 100}}`,
+			"the cap is 512",
+		},
+		{
+			"bad value",
+			`{"schema": "quartz-scenario/v1", "name": "t", "experiment": {"name": "fig6"},
+			  "sweep": {"axes": {"trials": [100, "lots"]}}}`,
+			"want an integer",
+		},
+		{
+			"bad quartz for topology",
+			`{"schema": "quartz-scenario/v1", "name": "t",
+			  "sim": {"topology": {"kind": "jellyfish"}, "workload": {"kind": "scatter"}},
+			  "sweep": {"axes": {"quartz": ["core"]}}}`,
+			"does not support quartz",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode([]byte(tc.doc), "t.json")
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want %q in error, got: %v", tc.want, err)
+			}
+		})
+	}
+}

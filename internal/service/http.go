@@ -8,10 +8,24 @@ package service
 //	GET    /jobs/{id}       job state + progress
 //	GET    /jobs/{id}/result  output of a terminal job (409 until then)
 //	DELETE /jobs/{id}       cancel
+//	PUT    /scenarios/{name}  store a named scenario document (400 on doc errors)
+//	GET    /scenarios/{name}  the stored document, as uploaded
+//	GET    /scenarios       list stored scenarios
+//	DELETE /scenarios/{name}  remove a stored scenario
 //	GET    /experiments     the experiments registry
 //	GET    /metrics         Prometheus text format
 //	GET    /status          JSON status page (meta + metric series)
 //	GET    /healthz         liveness
+//
+// POST /jobs accepts three request shapes: the job envelope
+// ({"experiment": ..., "params": ...}), the envelope carrying an
+// inline or named scenario ({"scenario": {...}} / {"scenario_ref":
+// "name"}), or — as a convenience for `curl -d @file.json` — a raw
+// scenario document, recognized by its required "schema":
+// "quartz-scenario/v1" field (TOML documents are recognized by a
+// non-'{' first byte). A scenario that parameterizes a registry
+// experiment shares that experiment's cache key, so identical
+// submissions coalesce regardless of shape.
 //
 // Backpressure is visible at the protocol level: a full queue answers
 // 429 Too Many Requests with Retry-After, a draining daemon 503
@@ -19,8 +33,10 @@ package service
 // public accessors, so they are safe alongside the worker pool.
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"sort"
 	"time"
@@ -76,6 +92,10 @@ func (s *Service) Handler(meta metrics.StatusMeta) http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("PUT /scenarios/{name}", s.handleScenarioPut)
+	mux.HandleFunc("GET /scenarios/{name}", s.handleScenarioGet)
+	mux.HandleFunc("GET /scenarios", s.handleScenarioList)
+	mux.HandleFunc("DELETE /scenarios/{name}", s.handleScenarioDelete)
 	return mux
 }
 
@@ -87,17 +107,51 @@ func (s *Service) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// maxBodyBytes bounds a request body read (scenario documents and job
+// envelopes are small; a megabyte is generous).
+const maxBodyBytes = 1 << 20
+
+// parseSubmitBody turns a POST /jobs body into a Request, accepting
+// both the job envelope and a raw scenario document (JSON recognized
+// by its top-level "schema" field, TOML by a non-'{' first byte).
+func parseSubmitBody(body []byte) (Request, error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] != '{' {
+		// Not a JSON object: treat it as a TOML scenario document.
+		return Request{Scenario: body}, nil
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(body, &probe); err == nil && probe.Schema != "" {
+		return Request{Scenario: body}, nil
+	}
 	var req Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading request body: " + err.Error()})
+		return
+	}
+	req, err := parseSubmitBody(body)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
 	job, err := s.Submit(req)
 	switch {
 	case err == nil:
-	case errors.Is(err, ErrUnknownExperiment):
+	case errors.Is(err, ErrUnknownExperiment), errors.Is(err, ErrUnknownScenario):
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrBadScenario):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: tell the client when to come back. One second
@@ -166,6 +220,75 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(body.CSVTables)
 	writeJSON(w, http.StatusOK, body)
+}
+
+// scenarioBody is one GET /scenarios entry (and the PUT response).
+type scenarioBody struct {
+	Name string `json:"name"`
+	// Title is the document's heading.
+	Title string `json:"title,omitempty"`
+	// Experiment is the compiled identity: a registry name for
+	// passthrough documents, "scenario/<hash>" otherwise.
+	Experiment string `json:"experiment"`
+	// Key is the result-cache key a submission of this scenario uses.
+	Key string `json:"key"`
+}
+
+func scenarioView(st *StoredScenario) scenarioBody {
+	return scenarioBody{
+		Name:       st.Name,
+		Title:      st.Compiled.Doc.Title,
+		Experiment: st.Compiled.Experiment.Name,
+		Key:        st.Compiled.CacheKey(),
+	}
+}
+
+func (s *Service) handleScenarioPut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading request body: " + err.Error()})
+		return
+	}
+	st, err := s.PutScenario(r.PathValue("name"), body)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrStoreFull):
+		writeJSON(w, http.StatusInsufficientStorage, errorBody{Error: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, scenarioView(st))
+}
+
+func (s *Service) handleScenarioGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.GetScenario(r.PathValue("name"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	// Serve the document as uploaded, byte for byte.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(st.Raw)
+}
+
+func (s *Service) handleScenarioList(w http.ResponseWriter, _ *http.Request) {
+	out := []scenarioBody{}
+	for _, st := range s.Scenarios() {
+		out = append(out, scenarioView(st))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleScenarioDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.DeleteScenario(name); err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -28,6 +28,7 @@ const (
 	StateCancelled
 )
 
+// String returns the lowercase state name used in the JSON API.
 func (s State) String() string {
 	switch s {
 	case StateQueued:
@@ -84,11 +85,21 @@ func specOf(p experiments.Params) ParamSpec {
 	return ParamSpec{Seed: p.Seed, Trials: p.Trials, Tasks: p.Tasks, RPCs: p.RPCs}
 }
 
-// Request is one job submission.
+// Request is one job submission. Exactly one of Experiment, Scenario,
+// or ScenarioRef selects what to run.
 type Request struct {
 	// Experiment is a registry name (experiments.Find).
-	Experiment string `json:"experiment"`
+	Experiment string `json:"experiment,omitempty"`
+	// Scenario is an inline declarative scenario document
+	// (internal/scenario, JSON form). POSTing a raw scenario document —
+	// anything with "schema": "quartz-scenario/v1" at the top level —
+	// to /jobs is shorthand for wrapping it here.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+	// ScenarioRef names a scenario stored via PUT /scenarios/{name}.
+	ScenarioRef string `json:"scenario_ref,omitempty"`
 	// Params are the run parameters; zero fields take defaults.
+	// Scenario submissions pin their parameters in the document and
+	// reject a non-empty Params.
 	Params ParamSpec `json:"params"`
 	// TimeoutSecs caps the job's run time; 0 takes the service default.
 	TimeoutSecs float64 `json:"timeout_secs,omitempty"`

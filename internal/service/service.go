@@ -23,6 +23,7 @@ import (
 
 	"github.com/quartz-dcn/quartz/internal/experiments"
 	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/scenario"
 )
 
 // Submission errors. The HTTP layer maps these to status codes
@@ -52,6 +53,9 @@ type Config struct {
 	// oldest terminal jobs are forgotten (their results stay in the
 	// cache until evicted). Default 1000.
 	MaxJobs int
+	// ScenarioEntries bounds the named-scenario store
+	// (PUT /scenarios/{name}). Default 128.
+	ScenarioEntries int
 	// Registry receives the service's instruments; a private registry
 	// is created when nil.
 	Registry *metrics.Registry
@@ -75,6 +79,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1000
 	}
+	if c.ScenarioEntries <= 0 {
+		c.ScenarioEntries = 128
+	}
 	if c.Lookup == nil {
 		c.Lookup = experiments.Find
 	}
@@ -96,14 +103,15 @@ type Service struct {
 	// job's own mutex, never after.
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	order    []string         // job IDs in submission order
-	inflight map[string]*Job  // cache key → live (queued/running) job, for coalescing
+	order    []string        // job IDs in submission order
+	inflight map[string]*Job // cache key → live (queued/running) job, for coalescing
 	nQueued  int
 	nRunning int
 	draining bool
 	nextID   uint64
 
-	cache *resultCache
+	cache     *resultCache
+	scenarios *scenarioStore
 
 	mQueueDepth *metrics.Gauge
 	mQueueCap   *metrics.Gauge
@@ -137,6 +145,7 @@ func New(cfg Config) *Service {
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
 		cache:      newResultCache(cfg.CacheEntries),
+		scenarios:  newScenarioStore(cfg.ScenarioEntries),
 
 		mQueueDepth: reg.Gauge("quartzd_queue_depth", "jobs waiting in the submission queue", nil),
 		mQueueCap:   reg.Gauge("quartzd_queue_capacity", "submission queue capacity", nil),
@@ -177,18 +186,64 @@ func (s *Service) QueueCapacity() int { return s.cfg.QueueCapacity }
 // Experiments returns the registry entries this service can run.
 func (s *Service) Experiments() []experiments.Experiment { return experiments.All() }
 
+// resolve turns a request into the experiment to run and its
+// parameters, from whichever of Experiment, Scenario, or ScenarioRef
+// is set. Scenario compilation preserves cache identity: a scenario
+// that parameterizes a registry entry resolves to the registry entry
+// itself, so it coalesces with direct submissions of that experiment.
+func (s *Service) resolve(req Request) (experiments.Experiment, experiments.Params, error) {
+	selected := 0
+	for _, set := range []bool{req.Experiment != "", len(req.Scenario) > 0, req.ScenarioRef != ""} {
+		if set {
+			selected++
+		}
+	}
+	if selected > 1 {
+		return experiments.Experiment{}, experiments.Params{},
+			fmt.Errorf("%w: pick one of experiment, scenario, scenario_ref", ErrBadScenario)
+	}
+	if req.Experiment == "" && selected == 1 && req.Params != (ParamSpec{}) {
+		return experiments.Experiment{}, experiments.Params{},
+			fmt.Errorf("%w: a scenario pins its parameters in the document; drop the params field", ErrBadScenario)
+	}
+	var compiled *scenario.Compiled
+	switch {
+	case req.Experiment != "":
+		exp, ok := s.cfg.Lookup(req.Experiment)
+		if !ok {
+			return experiments.Experiment{}, experiments.Params{},
+				fmt.Errorf("%w: %q", ErrUnknownExperiment, req.Experiment)
+		}
+		return exp, req.Params.Params().WithDefaults(), nil
+	case len(req.Scenario) > 0:
+		var err error
+		if compiled, err = compileScenario(req.Scenario, "scenario"); err != nil {
+			return experiments.Experiment{}, experiments.Params{}, err
+		}
+	case req.ScenarioRef != "":
+		st, err := s.GetScenario(req.ScenarioRef)
+		if err != nil {
+			return experiments.Experiment{}, experiments.Params{}, err
+		}
+		compiled = st.Compiled
+	default:
+		return experiments.Experiment{}, experiments.Params{},
+			fmt.Errorf("%w: %q", ErrUnknownExperiment, "")
+	}
+	return compiled.Experiment, compiled.Params.WithDefaults(), nil
+}
+
 // Submit admits one job. On success the returned job is queued (or
 // already terminal, for cache hits) and owned by the service. Repeated
 // submission of identical parameters is served without recomputation:
 // from the cache when a result exists, or by returning the in-flight
-// job computing it. Errors: ErrUnknownExperiment, ErrDraining,
-// ErrQueueFull.
+// job computing it. Errors: ErrUnknownExperiment, ErrBadScenario,
+// ErrUnknownScenario, ErrDraining, ErrQueueFull.
 func (s *Service) Submit(req Request) (*Job, error) {
-	exp, ok := s.cfg.Lookup(req.Experiment)
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, req.Experiment)
+	exp, params, err := s.resolve(req)
+	if err != nil {
+		return nil, err
 	}
-	params := req.Params.Params().WithDefaults()
 	key := experiments.CacheKey(exp.Name, params)
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutSecs > 0 {

@@ -126,6 +126,14 @@ func (t *Task) Add(s *Stream) { t.streams = append(t.streams, s) }
 // Streams returns the number of streams in the task.
 func (t *Task) Streams() int { return len(t.streams) }
 
+// SetSize overrides the packet size of every stream in the task.
+// Must be called before Start.
+func (t *Task) SetSize(bytes int) {
+	for _, s := range t.streams {
+		s.Size = bytes
+	}
+}
+
 // Start begins all of the task's streams.
 func (t *Task) Start(until sim.Time) error {
 	for _, s := range t.streams {

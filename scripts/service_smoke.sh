@@ -3,9 +3,13 @@
 # build the daemon, start it, submit a reduced-trials validate run,
 # poll the job to completion, fetch and check the result, resubmit the
 # identical request and require a cache hit (counter visible in
-# /metrics), then SIGTERM the daemon and require a clean drain (exit 0).
+# /metrics), POST a raw scenario document and require its identical
+# resubmission to coalesce in the cache, then SIGTERM the daemon and
+# require a clean drain (exit 0).
 # CI runs this as the service-smoke job; locally: make service-smoke.
 set -euo pipefail
+
+cd "$(dirname "$0")/.."
 
 PORT="${QUARTZD_PORT:-8714}"
 BASE="http://127.0.0.1:${PORT}"
@@ -80,6 +84,32 @@ AGAIN=$(curl -fsS -X POST "$BASE/jobs" -H 'Content-Type: application/json' \
 HITS_AFTER=$(curl -fsS "$BASE/metrics" | awk '/^quartzd_cache_hits_total/ {print $2}')
 [[ "${HITS_AFTER%.*}" -gt "${HITS_BEFORE%.*}" ]] ||
     fail "cache-hit counter did not increase ($HITS_BEFORE -> $HITS_AFTER)"
+
+echo "== scenario: store it, submit the raw document, resubmit for a cache hit"
+SCEN=examples/scenarios/figure6.json
+curl -fsS -X PUT "$BASE/scenarios/figure6" --data-binary @"$SCEN" >/dev/null ||
+    fail "PUT /scenarios/figure6 rejected $SCEN"
+curl -fsS "$BASE/scenarios" | grep -q '"figure6"' || fail "stored scenario missing from GET /scenarios"
+
+SC1=$(curl -fsS -X POST "$BASE/jobs" --data-binary @"$SCEN")
+SCJOB=$(json_field "$SC1" id)
+[[ -n "$SCJOB" ]] || fail "no job id for raw scenario submit: $SC1"
+STATE=""
+for i in $(seq 1 300); do
+    VIEW=$(curl -fsS "$BASE/jobs/$SCJOB")
+    STATE=$(json_field "$VIEW" state)
+    [[ "$STATE" == done || "$STATE" == failed || "$STATE" == cancelled ]] && break
+    sleep 0.2
+done
+[[ "$STATE" == done ]] || fail "scenario job ended as '$STATE': $VIEW"
+
+SC2=$(curl -fsS -X POST "$BASE/jobs" --data-binary @"$SCEN")
+[[ "$(json_field "$SC2" cache_hit)" == true ]] ||
+    fail "identical scenario resubmission not served from cache: $SC2"
+SC3=$(curl -fsS -X POST "$BASE/jobs" -H 'Content-Type: application/json' \
+    -d '{"scenario_ref":"figure6"}')
+[[ "$(json_field "$SC3" cache_hit)" == true ]] ||
+    fail "scenario_ref submission did not coalesce with the raw document: $SC3"
 
 echo "== submit once more, then SIGTERM: daemon must drain cleanly"
 curl -fsS -X POST "$BASE/jobs" -H 'Content-Type: application/json' \
