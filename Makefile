@@ -12,12 +12,15 @@ vet:
 	$(GO) vet ./...
 
 # The concurrency-bearing packages under the race detector: the event
-# engine, the packet-level network simulator (including the probe and
-# fault-injection hooks), the routers (Reroute mutates live tables),
-# the metrics registry (lock-free instruments scraped while written),
-# and the job service (worker pool vs HTTP handlers).
+# engine (including the sharded synchronizer and its SPSC rings), the
+# packet-level network simulator (probe and fault-injection hooks,
+# cross-shard forwarding), the routers (Reroute mutates live tables;
+# shard clones serve concurrent lookups), the traffic harnesses
+# (per-shard delivery fan-in), the metrics registry (lock-free
+# instruments scraped while written), and the job service (worker pool
+# vs HTTP handlers).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/netsim/... ./internal/routing/... ./internal/metrics/... ./internal/service/...
+	$(GO) test -race ./internal/sim/... ./internal/netsim/... ./internal/routing/... ./internal/traffic/... ./internal/metrics/... ./internal/service/...
 
 # Tier-1 verify recipe (see ROADMAP.md): build + vet + full tests + race
 # pass on the simulator core.

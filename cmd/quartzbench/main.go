@@ -4,8 +4,8 @@
 // Usage:
 //
 //	quartzbench [-run all|<name>] [-list] [-scenario FILE]
-//	            [-seed N] [-trials N] [-tasks N] [-rpcs N] [-csv DIR]
-//	            [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-seed N] [-trials N] [-tasks N] [-rpcs N] [-shards N]
+//	            [-csv DIR] [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scenario runs a declarative scenario document (SCENARIOS.md)
 // instead of registry entries: the compiled experiment flows through
@@ -55,6 +55,7 @@ var (
 	trials     = flag.Int("trials", 5000, "Monte-Carlo trials (fig6)")
 	tasks      = flag.Int("tasks", 8, "maximum concurrent tasks (fig17/fig18)")
 	rpcs       = flag.Int("rpcs", 2000, "RPCs per point (fig14)")
+	shardsN    = flag.Int("shards", 0, "pin the shard count of sharded-execution experiments (0 = the default 1/2/4/8 ladder)")
 	csvDir     = flag.String("csv", "", "also write each experiment's rows as CSV files into this directory")
 	jsonOut    = flag.String("json", "", "write a machine-readable run report (wall time, events/sec per experiment) to this file")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -124,7 +125,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	params := experiments.Params{Seed: *seed, Trials: *trials, Tasks: *tasks, RPCs: *rpcs}
+	params := experiments.Params{Seed: *seed, Trials: *trials, Tasks: *tasks, RPCs: *rpcs, Shards: *shardsN}
 
 	which := strings.ToLower(*run)
 	exps := experiments.All()

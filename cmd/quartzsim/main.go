@@ -100,6 +100,7 @@ var (
 	fanout     = flag.Int("fanout", 12, "receivers (or senders) per task")
 	ms         = flag.Int("ms", 10, "measured milliseconds of virtual time")
 	seed       = flag.Int64("seed", 1, "random seed")
+	shards     = flag.Int("shards", 0, "run on N parallel topology shards (0 = single engine); results are identical for every value")
 	hot        = flag.Int("hot", 5, "show the N hottest ports")
 
 	traceOut  = flag.String("trace", "", "record per-packet lifecycle events to this file (CSV, or JSON if it ends in .json)")
@@ -302,20 +303,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
 		os.Exit(2)
 	}
-	h := traffic.NewHarness()
-	var recorder *netsim.TraceRecorder
-	if *traceOut != "" {
-		recorder = netsim.NewTraceRecorder(*traceMax)
-	}
-	net, err := netsim.New(netsim.Config{
+	// Sharded runs deliver on K goroutines: the sharded harness takes
+	// them per shard and merges statistics on read. Size it by the
+	// request — the partitioner may clamp the shard count downward, and
+	// unused sub-harnesses merge as zeros.
+	var h *traffic.Harness
+	var shh *traffic.ShardedHarness
+	cfg := netsim.Config{
 		Graph:       arch.Graph,
 		Router:      arch.Router,
 		SwitchModel: arch.Model,
-		OnDeliver:   h.Deliver,
-	})
+	}
+	if *shards >= 1 {
+		shh = traffic.NewShardedHarness(*shards)
+		cfg.Shards = *shards
+		cfg.OnDeliverSharded = shh.Deliver
+	} else {
+		h = traffic.NewHarness()
+		cfg.OnDeliver = h.Deliver
+	}
+	net, err := netsim.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
 		os.Exit(1)
+	}
+	latency := func(tag int) *metrics.Stats {
+		if shh != nil {
+			return shh.Latency(tag)
+		}
+		return h.Latency(tag)
 	}
 	rng := rand.New(rand.NewSource(*seed + 1))
 	hosts := arch.Graph.Hosts()
@@ -323,43 +339,38 @@ func main() {
 
 	runEnd := end + 2*sim.Millisecond
 
-	var probes []netsim.Probe
-	if recorder != nil {
-		probes = append(probes, recorder)
+	// All observability attaches through Network.Observe: it builds the
+	// per-shard probe chains (a single set on a legacy network) and the
+	// Observer merges their output after the run.
+	oo := netsim.ObserveOptions{}
+	if *traceOut != "" {
+		oo.Trace, oo.TraceLimit = true, *traceMax
 	}
-
 	var reg *metrics.Registry
-	var flows *netsim.FlowTracker
 	if *metricsAddr != "" || *metricsOut != "" || *flowsOut != "" {
-		reg = metrics.NewRegistry()
-		flows = netsim.NewFlowTracker()
-		flows.Bind(reg)
-		probes = append(probes, flows)
-	}
-
-	var sampler *netsim.QueueSampler
-	if *probeUS > 0 {
-		sampler = netsim.NewQueueSampler(net, sim.Time(*probeUS)*sim.Microsecond)
-		if reg != nil {
-			sampler.Bind(reg)
-		}
-		sampler.Start(end)
-		probes = append(probes, sampler)
-	} else if *probeOut != "" {
-		fmt.Fprintln(os.Stderr, "quartzsim: -probe-out has no effect without -probe-interval")
-	}
-	if p := netsim.Probes(probes...); p != nil {
-		net.SetProbe(p)
-	}
-
-	var exporter *metrics.NDJSONExporter
-	var metricsFile *os.File
-	if reg != nil {
 		if *metricsUS <= 0 {
 			fmt.Fprintln(os.Stderr, "quartzsim: -metrics-interval must be positive")
 			os.Exit(2)
 		}
-		hb := sim.AttachHeartbeat(net.Engine(), reg, sim.Time(*metricsUS)*sim.Microsecond, runEnd)
+		reg = metrics.NewRegistry()
+		oo.Flows = true
+		oo.Registry = reg
+		oo.HeartbeatEvery = sim.Time(*metricsUS) * sim.Microsecond
+	}
+	if *probeUS > 0 {
+		oo.SampleEvery = sim.Time(*probeUS) * sim.Microsecond
+	} else if *probeOut != "" {
+		fmt.Fprintln(os.Stderr, "quartzsim: -probe-out has no effect without -probe-interval")
+	}
+	if oo.SampleEvery > 0 || oo.HeartbeatEvery > 0 {
+		oo.Until = runEnd
+	}
+	obs := net.Observe(oo)
+	sampler := obs.Sampler()
+
+	var exporter *metrics.NDJSONExporter
+	var metricsFile *os.File
+	if reg != nil {
 		if *metricsOut != "" {
 			metricsFile, err = os.Create(*metricsOut)
 			if err != nil {
@@ -367,7 +378,9 @@ func main() {
 				os.Exit(1)
 			}
 			exporter = metrics.NewNDJSONExporter(metricsFile)
-			hb.OnTick = func(at sim.Time) {
+			// Export on shard 0's heartbeat only: one writer, and every
+			// other shard's instruments read atomically in the snapshot.
+			obs.Heartbeats()[0].OnTick = func(at sim.Time) {
 				if err := exporter.Export(int64(at), reg.Snapshot()); err != nil {
 					fmt.Fprintf(os.Stderr, "quartzsim: writing metrics: %v\n", err)
 					os.Exit(1)
@@ -382,6 +395,7 @@ func main() {
 				"tasks":    strconv.Itoa(*tasks),
 				"ms":       strconv.Itoa(*ms),
 				"seed":     strconv.FormatInt(*seed, 10),
+				"shards":   strconv.Itoa(net.NumShards()),
 			}, errc)
 			go func() {
 				if err := <-errc; err != nil && err != http.ErrServerClosed {
@@ -412,7 +426,11 @@ func main() {
 		case "gather":
 			t = traffic.Gather(net, rest, sender, *pps, tag, arch.VLB, rng)
 		case "scattergather":
-			t = traffic.ScatterGather(net, h, sender, rest, *pps, tag, tag+1, arch.VLB, rng)
+			if shh != nil {
+				t = traffic.ShardedScatterGather(net, shh, sender, rest, *pps, tag, tag+1, arch.VLB, rng)
+			} else {
+				t = traffic.ScatterGather(net, h, sender, rest, *pps, tag, tag+1, arch.VLB, rng)
+			}
 		case "replay":
 			if *replay == "" {
 				return fmt.Errorf("-workload replay requires -replay FILE")
@@ -518,31 +536,36 @@ func main() {
 	// long simulation interrupted mid-write stays usable.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	sched := net.Scheduler()
 	const watchdogEvery = 100 * sim.Microsecond
 	var interruptedAt sim.Time
 	var watchdog func()
 	watchdog = func() {
 		if ctx.Err() != nil {
-			interruptedAt = net.Engine().Now()
-			net.Engine().Stop()
+			interruptedAt = sched.Now()
+			sched.Stop()
 			return
 		}
-		net.Engine().After(watchdogEvery, watchdog)
+		sched.After(watchdogEvery, watchdog)
 	}
-	net.Engine().After(watchdogEvery, watchdog)
+	sched.After(watchdogEvery, watchdog)
 
-	net.Engine().RunUntil(runEnd)
+	net.RunUntil(runEnd)
 	if interruptedAt > 0 {
 		stopSignals() // a second signal now kills immediately
 		fmt.Fprintf(os.Stderr,
 			"quartzsim: interrupted at virtual time %v; writing partial outputs\n", interruptedAt)
 	}
 
-	fmt.Printf("%s | %s | %d task(s), %d streams each at %.0f pps | %d ms\n",
+	fmt.Printf("%s | %s | %d task(s), %d streams each at %.0f pps | %d ms",
 		arch.Name, *workload, n, *fanout, *pps, *ms)
+	if *shards >= 1 {
+		fmt.Printf(" | %d shard(s)", net.NumShards())
+	}
+	fmt.Println()
 	fmt.Printf("delivered %d packets, dropped %d\n\n", net.Delivered(), net.Dropped())
 	for _, tag := range tags {
-		s := h.Latency(tag)
+		s := latency(tag)
 		if s.N() == 0 {
 			continue
 		}
@@ -557,11 +580,12 @@ func main() {
 			to := arch.Graph.Node(l.Other(ps.From))
 			fmt.Printf("  %-10s -> %-10s  %8d pkts %10d B  util %5.1f%%  drops %d\n",
 				from.Name, to.Name, ps.Packets, ps.Bytes,
-				100*ps.Utilization(net.Engine().Now()), ps.Drops)
+				100*ps.Utilization(sched.Now()), ps.Drops)
 		}
 	}
 
-	if recorder != nil {
+	if *traceOut != "" {
+		recorder := obs.Trace()
 		if err := emit(*traceOut, recorder.WriteCSV, recorder.WriteJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "quartzsim: writing trace: %v\n", err)
 			os.Exit(1)
@@ -619,7 +643,8 @@ func main() {
 			}
 		}
 	}
-	if flows != nil {
+	if reg != nil {
+		flows := obs.Flows()
 		fct := metrics.NewLatencyHistogram()
 		n := flows.FCTStats(fct)
 		if n > 0 {
@@ -636,7 +661,7 @@ func main() {
 	}
 	if exporter != nil {
 		// Final snapshot so the stream always ends with end-of-run state.
-		if err := exporter.Export(int64(net.Engine().Now()), reg.Snapshot()); err == nil {
+		if err := exporter.Export(int64(sched.Now()), reg.Snapshot()); err == nil {
 			err = metricsFile.Close()
 		}
 		if err != nil {

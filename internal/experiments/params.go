@@ -33,6 +33,10 @@ type Params struct {
 	Tasks int
 	// RPCs is the RPC count per point (Figure 14 and extensions).
 	RPCs int
+	// Shards, when > 0, pins the shard count of sharded-execution
+	// experiments: the "sharded" sweep compares {1, Shards} instead of
+	// its default ladder. 0 keeps the experiment default.
+	Shards int
 
 	// Progress, when non-nil, receives coarse completion callbacks as
 	// an experiment finishes internal units of work. It is a hook, not
@@ -81,7 +85,13 @@ func (p Params) tick(done, total int) {
 // on this.
 func CacheKey(name string, p Params) string {
 	p = p.WithDefaults()
-	sum := sha256.Sum256(fmt.Appendf(nil, "quartz-exp/v1|%s|seed=%d|trials=%d|tasks=%d|rpcs=%d",
-		strings.ToLower(strings.TrimSpace(name)), p.Seed, p.Trials, p.Tasks, p.RPCs))
+	key := fmt.Appendf(nil, "quartz-exp/v1|%s|seed=%d|trials=%d|tasks=%d|rpcs=%d",
+		strings.ToLower(strings.TrimSpace(name)), p.Seed, p.Trials, p.Tasks, p.RPCs)
+	if p.Shards > 0 {
+		// Appended only when set, so every pre-sharding submission keeps
+		// its historical cache key.
+		key = fmt.Appendf(key, "|shards=%d", p.Shards)
+	}
+	sum := sha256.Sum256(key)
 	return hex.EncodeToString(sum[:16])
 }

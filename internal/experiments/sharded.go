@@ -1,0 +1,141 @@
+package experiments
+
+// Sharded-execution throughput: the same fig17-class scatter workload
+// run at 1, 2, 4 and 8 shards. Each run reports the synchronizer's
+// event throughput; the 1-shard run is the baseline for the speedup
+// column. Delivered/dropped counts must be identical across shard
+// counts — the sharded engine family is deterministic — and the runner
+// fails loudly if they are not, which makes this experiment double as
+// a correctness gate for `make bench-diff`.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+
+	"github.com/quartz-dcn/quartz/internal/core"
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/traffic"
+)
+
+// ShardedRow is one shard count's measurement.
+type ShardedRow struct {
+	Shards    int
+	Events    uint64
+	WallMS    float64
+	EventsPer float64 // events per wall second
+	Speedup   float64 // vs the 1-shard run
+	Delivered uint64
+	Dropped   uint64
+}
+
+// ShardedShardCounts lists the shard counts the experiment sweeps.
+var ShardedShardCounts = []int{1, 2, 4, 8}
+
+// ShardedThroughput runs the scatter workload of Figure 17 (8 tasks,
+// 16-way fan-out) on the quartz-in-edge-and-core architecture at each
+// shard count in counts (nil means ShardedShardCounts) and measures
+// wall-clock event throughput. All runs use the sharded execution path
+// (K=1 included) so the comparison isolates parallelism, not engine
+// implementation. Returns an error if any run disagrees with the
+// baseline on delivered or dropped packets.
+func ShardedThroughput(ctx context.Context, counts []int, tasks int, seed int64) ([]ShardedRow, error) {
+	if counts == nil {
+		counts = ShardedShardCounts
+	}
+	rows := make([]ShardedRow, 0, len(counts))
+	for _, k := range counts {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		row, err := runShardedScatter(k, tasks, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%d shards: %w", k, err)
+		}
+		if len(rows) > 0 {
+			base := rows[0]
+			if row.Delivered != base.Delivered || row.Dropped != base.Dropped {
+				return nil, fmt.Errorf("%d shards delivered/dropped %d/%d, %d shards gave %d/%d: sharded runs must be identical",
+					row.Shards, row.Delivered, row.Dropped, base.Shards, base.Delivered, base.Dropped)
+			}
+		}
+		rows = append(rows, row)
+	}
+	base := rows[0].WallMS
+	for i := range rows {
+		if rows[i].WallMS > 0 {
+			rows[i].Speedup = base / rows[i].WallMS
+		}
+	}
+	return rows, nil
+}
+
+// runShardedScatter builds a fresh architecture and runs the workload
+// once at the given shard count.
+func runShardedScatter(shards, tasks int, seed int64) (ShardedRow, error) {
+	arch, err := core.QuartzInEdgeAndCore(core.ArchParams{})
+	if err != nil {
+		return ShardedRow{}, err
+	}
+	h := traffic.NewShardedHarness(shards)
+	net, err := netsim.New(netsim.Config{
+		Graph:            arch.Graph,
+		Router:           arch.Router,
+		SwitchModel:      arch.Model,
+		Shards:           shards,
+		OnDeliverSharded: h.Deliver,
+	})
+	if err != nil {
+		return ShardedRow{}, err
+	}
+	params := defaultFig17Params(ScatterKind)
+	rng := rand.New(rand.NewSource(seed))
+	hosts := arch.Graph.Hosts()
+	end := params.warm + params.measure
+	for task := 0; task < tasks; task++ {
+		exclude := map[topology.NodeID]bool{}
+		members := make([]topology.NodeID, 0, params.receivers+1)
+		for len(members) < params.receivers+1 {
+			c := hosts[rng.Intn(len(hosts))]
+			if exclude[c] {
+				continue
+			}
+			exclude[c] = true
+			members = append(members, c)
+		}
+		t := traffic.Scatter(net, members[0], members[1:], params.pps, 10*(task+1), arch.VLB, rng)
+		if err := t.Start(end); err != nil {
+			return ShardedRow{}, err
+		}
+	}
+	net.RunUntil(end + 2*sim.Millisecond)
+	tel := net.Telemetry()
+	return ShardedRow{
+		Shards:    shards,
+		Events:    tel.Events,
+		WallMS:    float64(tel.Wall.Nanoseconds()) / 1e6,
+		EventsPer: tel.EventsPerSec,
+		Delivered: tel.Delivered,
+		Dropped:   tel.Dropped,
+	}, nil
+}
+
+// RenderSharded renders the throughput table. Speedup above 1 needs
+// spare cores: the table notes the core count the run had.
+func RenderSharded(rows []ShardedRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded execution: scatter workload, %d CPU(s)\n", runtime.NumCPU())
+	fmt.Fprintf(&b, "%7s %12s %10s %12s %9s %11s %9s\n",
+		"shards", "events", "wall ms", "events/s", "speedup", "delivered", "dropped")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%7d %12d %10.1f %12.0f %8.2fx %11d %9d\n",
+			r.Shards, r.Events, r.WallMS, r.EventsPer, r.Speedup, r.Delivered, r.Dropped)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestShardedThroughput runs the shard sweep with a small task count
+// and checks the built-in identity gate: every shard count delivers
+// and drops exactly the same packets. The speedup column is informative
+// only — on a single-CPU runner there is nothing to win.
+func TestShardedThroughput(t *testing.T) {
+	rows, err := ShardedThroughput(context.Background(), nil, 2, 2014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ShardedShardCounts) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(ShardedShardCounts))
+	}
+	if rows[0].Delivered == 0 {
+		t.Fatal("baseline run delivered nothing")
+	}
+	for _, r := range rows {
+		if r.Events == 0 {
+			t.Errorf("%d shards processed no events", r.Shards)
+		}
+		if r.Delivered != rows[0].Delivered || r.Dropped != rows[0].Dropped {
+			t.Errorf("%d shards delivered/dropped %d/%d, want %d/%d",
+				r.Shards, r.Delivered, r.Dropped, rows[0].Delivered, rows[0].Dropped)
+		}
+	}
+	out := RenderSharded(rows)
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "delivered") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}

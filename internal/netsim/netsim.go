@@ -205,19 +205,39 @@ func (d Drop) Reason() string {
 type Config struct {
 	Graph  *topology.Graph
 	Router routing.Router
-	// Engine to schedule on; New creates one when nil.
+	// Engine to schedule on; New creates one when nil. Mutually
+	// exclusive with Shards.
 	Engine *sim.Engine
+	// Shards >= 1 selects sharded parallel execution: the topology is
+	// partitioned into that many shards (hosts follow their ToR; see
+	// PartitionByRing), each with its own event loop, synchronized
+	// conservatively with the minimum cross-shard propagation delay as
+	// lookahead. Results are identical for every shard count K >= 1
+	// (the "sharded family"), but differ from the legacy Shards == 0
+	// single-engine mode, which keeps its historical packet-ID
+	// sequence. Run control must then go through Scheduler/RunUntil
+	// rather than Engine.
+	Shards int
 	// SwitchModel selects the model per switch; nil means Arista7150
 	// everywhere.
 	SwitchModel func(topology.Node) SwitchModel
 	// Host is the end-host model; zero value means DefaultHost.
 	Host HostModel
-	// OnDeliver and OnDrop are optional hooks.
+	// OnDeliver and OnDrop are optional hooks. In sharded mode they
+	// are called from shard goroutines concurrently and must be safe
+	// for that — or use OnDeliverSharded, whose shard argument lets a
+	// per-shard accumulator (traffic.ShardedHarness) stay lock-free.
 	OnDeliver func(Delivery)
 	OnDrop    func(Drop)
+	// OnDeliverSharded, when set in sharded mode, is called instead of
+	// OnDeliver with the delivering shard's index. Deliveries for one
+	// shard index never run concurrently with each other.
+	OnDeliverSharded func(shard int, d Delivery)
 	// Probe observes the full packet lifecycle (enqueue, transmit,
 	// deliver, drop); nil — the default — costs nothing. Combine
-	// several with Probes.
+	// several with Probes. In sharded mode the same probe instance is
+	// attached to every shard and must be concurrency-safe; prefer
+	// Observe, which builds per-shard observers and merges them.
 	Probe Probe
 	// RecordPaths attaches the traversed node sequence to every packet
 	// (Packet.Path) — for route validation and debugging; it allocates
@@ -231,28 +251,61 @@ const maxHops = 64
 
 // Network simulates packet forwarding on a topology.
 type Network struct {
-	eng    *sim.Engine
-	g      *topology.Graph
-	router routing.Router
+	g *topology.Graph
 
-	models    []SwitchModel // per node; valid for switches
-	host      HostModel
-	dirs      []dirLink // 2*link + (0 if A->B else 1)
-	onDeliver func(Delivery)
-	onDrop    func(Drop)
-	probe     Probe
-	record    bool
+	models []SwitchModel // per node; valid for switches
+	host   HostModel
+	dirs   []dirLink // 2*link + (0 if A->B else 1)
+	record bool
 
 	// faults is the unified failure surface (lazily built by Faults).
 	faults *FaultInjector
 
-	// freeEv is the pooled-event free list and txDone the shared
-	// transmit-completion action; together they make the steady-state
-	// packet lifecycle allocation-free (see netEvent).
-	freeEv *netEvent
+	// txDone is the shared transmit-completion action (see
+	// txDoneAction); with the per-shard netEvent pools it keeps the
+	// steady-state packet lifecycle allocation-free.
 	txDone txDoneAction
 
-	nextID    uint64
+	// Execution. Exactly one of eng (legacy single engine) and sharded
+	// is non-nil. shards always has at least one entry: in legacy mode
+	// shards[0] wraps eng and the lookup tables map everything to
+	// shard 0, so the hot path is shared between modes.
+	eng         *sim.Engine
+	sharded     *sim.ShardedEngine
+	shards      []*netShard
+	shardOfNode []int32 // node  -> owning shard
+	shardOfDir  []int32 // dir   -> owning shard (the transmitting endpoint's)
+
+	// nextID is the legacy global packet-ID sequence; hostSeq the
+	// sharded family's per-source sequence (IDs must not depend on
+	// shard interleaving, since ECMP per-packet spray hashes them).
+	nextID  uint64
+	hostSeq []uint64
+
+	// routersCloned records whether each shard got its own router copy
+	// (routing.ShardCloner), so rerouteAll knows how many to rebuild.
+	routersCloned bool
+}
+
+// netShard is the per-shard mutable half of Network: everything the
+// packet hot path writes. Each instance is touched only by its own
+// shard's goroutine during windows (and by the coordinator during
+// global phases, with shards parked), so none of it needs atomics. In
+// legacy mode there is exactly one, aliased to the single engine.
+type netShard struct {
+	idx    int
+	eng    *sim.Engine
+	router routing.Router
+
+	// freeEv is this shard's pooled-event free list. Records migrate
+	// between shards with cross-shard packets (popped by the sender,
+	// freed by the receiver); the barrier orders those accesses.
+	freeEv *netEvent
+
+	probe     Probe
+	onDeliver func(Delivery)
+	onDrop    func(Drop)
+
 	delivered uint64
 	dropped   uint64
 }
@@ -277,31 +330,36 @@ const (
 	evForward              // source NIC or host stack delay elapsed
 )
 
-// Run implements sim.Action. The record is returned to the pool before
-// dispatch so the handlers it calls can immediately reuse it.
+// Run implements sim.Action. The record is returned to the executing
+// shard's pool before dispatch so the handlers it calls can
+// immediately reuse it. The event always executes on the shard owning
+// ev.node (cross-shard arrivals travel through the synchronizer's
+// rings into that shard's engine), so the pool access is single-
+// threaded.
 func (ev *netEvent) Run(int64, int64) {
 	n, kind, node, ser, p := ev.n, ev.kind, ev.node, ev.ser, ev.p
+	sh := n.shards[n.shardOfNode[node]]
 	ev.p = Packet{} // release the Path slice, if any
-	ev.next = n.freeEv
-	n.freeEv = ev
+	ev.next = sh.freeEv
+	sh.freeEv = ev
 	switch kind {
 	case evArrive:
-		n.arrive(node, p, ser)
+		n.arrive(sh, node, p, ser)
 	case evDeliver:
-		n.deliver(p)
+		n.deliver(sh, p)
 	case evForward:
-		n.forward(node, p, n.eng.Now(), ser)
+		n.forward(sh, node, p, sh.eng.Now(), ser)
 	}
 }
 
-// newEvent takes a record from the pool (or allocates the pool's next
-// record) and fills it.
-func (n *Network) newEvent(kind uint8, node topology.NodeID, ser sim.Time, p Packet) *netEvent {
-	ev := n.freeEv
+// newEvent takes a record from the shard's pool (or allocates the
+// pool's next record) and fills it.
+func (n *Network) newEvent(sh *netShard, kind uint8, node topology.NodeID, ser sim.Time, p Packet) *netEvent {
+	ev := sh.freeEv
 	if ev == nil {
 		ev = &netEvent{n: n}
 	} else {
-		n.freeEv = ev.next
+		sh.freeEv = ev.next
 		ev.next = nil
 	}
 	ev.kind, ev.node, ev.ser, ev.p = kind, node, ser, p
@@ -310,12 +368,14 @@ func (n *Network) newEvent(kind uint8, node topology.NodeID, ser sim.Time, p Pac
 
 // txDoneAction completes a transmission: Run's arguments encode the
 // direction index and packet size, so the one value embedded in Network
-// serves every port with zero allocation.
+// serves every port with zero allocation. It always runs on the shard
+// owning the direction (the transmit side scheduled it locally).
 type txDoneAction struct{ n *Network }
 
 func (t *txDoneAction) Run(di, size int64) {
-	t.n.dirs[di].queuedBytes -= int(size)
-	t.n.transmitNext(int(di))
+	n := t.n
+	n.dirs[di].queuedBytes -= int(size)
+	n.transmitNext(int(di), n.shards[n.shardOfDir[di]])
 }
 
 // numPriorities is the number of output-queue classes per port.
@@ -417,25 +477,17 @@ func New(cfg Config) (*Network, error) {
 	if cfg.Router == nil {
 		return nil, fmt.Errorf("netsim: nil router")
 	}
-	eng := cfg.Engine
-	if eng == nil {
-		// The calendar queue is ~2x faster than the binary heap on
-		// packet workloads and produces the identical event order.
-		eng = sim.NewCalendarEngine()
+	if cfg.Shards >= 1 && cfg.Engine != nil {
+		return nil, fmt.Errorf("netsim: Config.Engine and Config.Shards are mutually exclusive")
 	}
 	host := cfg.Host
 	if host == (HostModel{}) {
 		host = DefaultHost
 	}
 	n := &Network{
-		eng:       eng,
-		g:         cfg.Graph,
-		router:    cfg.Router,
-		host:      host,
-		onDeliver: cfg.OnDeliver,
-		onDrop:    cfg.OnDrop,
-		probe:     cfg.Probe,
-		record:    cfg.RecordPaths,
+		g:      cfg.Graph,
+		host:   host,
+		record: cfg.RecordPaths,
 	}
 	n.txDone = txDoneAction{n: n}
 	n.models = make([]SwitchModel, cfg.Graph.NumNodes())
@@ -462,7 +514,112 @@ func New(cfg Config) (*Network, error) {
 			n.dirs[2*i+d] = dirLink{rate: l.Rate, prop: l.Prop, capBytes: capBytes}
 		}
 	}
+	if cfg.Shards >= 1 {
+		if err := n.initSharded(cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		n.initLegacy(cfg)
+	}
 	return n, nil
+}
+
+// initLegacy wires the historical single-engine execution: one shard
+// aliasing the one engine, every lookup table mapping to it.
+func (n *Network) initLegacy(cfg Config) {
+	eng := cfg.Engine
+	if eng == nil {
+		// The calendar queue is ~2x faster than the binary heap on
+		// packet workloads and produces the identical event order.
+		eng = sim.NewCalendarEngine()
+	}
+	n.eng = eng
+	n.shards = []*netShard{{
+		idx:       0,
+		eng:       eng,
+		router:    cfg.Router,
+		probe:     cfg.Probe,
+		onDeliver: cfg.OnDeliver,
+		onDrop:    cfg.OnDrop,
+	}}
+	n.shardOfNode = make([]int32, cfg.Graph.NumNodes())
+	n.shardOfDir = make([]int32, len(n.dirs))
+}
+
+// initSharded partitions the topology, builds the synchronizer with
+// the cross-shard propagation lookahead, and wires per-shard state.
+func (n *Network) initSharded(cfg Config) error {
+	part, err := PartitionByRing(cfg.Graph, cfg.Shards)
+	if err != nil {
+		return err
+	}
+	k := part.Shards
+	n.shardOfNode = part.Of
+	n.shardOfDir = make([]int32, len(n.dirs))
+	look, haveCross := sim.Time(0), false
+	for i := 0; i < cfg.Graph.NumLinks(); i++ {
+		l := cfg.Graph.Link(topology.LinkID(i))
+		sa, sb := part.Of[l.A], part.Of[l.B]
+		n.shardOfDir[2*i] = sa
+		n.shardOfDir[2*i+1] = sb
+		if sa != sb && (!haveCross || l.Prop < look) {
+			look, haveCross = l.Prop, true
+		}
+	}
+	if !haveCross {
+		// No cross-shard links (K == 1, or disconnected partitions):
+		// any positive lookahead is conservatively correct.
+		look = sim.Millisecond
+	} else if look <= 0 {
+		return fmt.Errorf("netsim: cross-shard link with propagation delay %v leaves no lookahead window", look)
+	}
+	n.sharded = sim.NewShardedEngine(k, look, func(int) *sim.Engine {
+		return sim.NewCalendarEngine()
+	})
+	n.hostSeq = make([]uint64, cfg.Graph.NumNodes())
+	cloner, canClone := cfg.Router.(routing.ShardCloner)
+	n.routersCloned = canClone && k > 1
+	n.shards = make([]*netShard, k)
+	for i := 0; i < k; i++ {
+		router := cfg.Router
+		if n.routersCloned && i > 0 {
+			router = cloner.CloneForShard()
+		}
+		sh := &netShard{
+			idx:    i,
+			eng:    n.sharded.Shard(i),
+			router: router,
+			probe:  cfg.Probe,
+			onDrop: cfg.OnDrop,
+		}
+		if cfg.OnDeliverSharded != nil {
+			shard, fn := i, cfg.OnDeliverSharded
+			sh.onDeliver = func(d Delivery) { fn(shard, d) }
+		} else {
+			sh.onDeliver = cfg.OnDeliver
+		}
+		n.shards[i] = sh
+	}
+	return nil
+}
+
+// rerouteAll recomputes routes around dead on every router the network
+// holds: one shared router in legacy mode, every shard-local clone
+// otherwise. Reroute is deterministic in (graph, dead), so the clones
+// stay identical without any cross-shard coordination. Runs with the
+// simulation single-threaded (legacy event or global phase).
+func (n *Network) rerouteAll(dead map[topology.LinkID]bool) {
+	if !n.routersCloned {
+		if r, ok := n.shards[0].router.(routing.Rerouter); ok {
+			r.Reroute(dead)
+		}
+		return
+	}
+	for _, sh := range n.shards {
+		if r, ok := sh.router.(routing.Rerouter); ok {
+			r.Reroute(dead)
+		}
+	}
 }
 
 func (n *Network) bufferOf(node topology.NodeID) int {
@@ -472,21 +629,91 @@ func (n *Network) bufferOf(node topology.NodeID) int {
 	return n.models[node].BufferBytes
 }
 
-// Engine returns the simulation engine driving this network.
-func (n *Network) Engine() *sim.Engine { return n.eng }
+// Engine returns the single simulation engine driving this network.
+// It panics on a sharded network, which has one engine per shard: use
+// Scheduler for run control and global scheduling, or SchedulerFor for
+// node-local scheduling.
+func (n *Network) Engine() *sim.Engine {
+	if n.sharded != nil {
+		panic("netsim: Engine() on a sharded network; use Scheduler()/SchedulerFor()")
+	}
+	return n.eng
+}
+
+// Scheduler returns the scheduling surface driving this network: the
+// single engine in legacy mode, the sharded synchronizer otherwise.
+// Schedule/After on a sharded network enqueue global (all-shards-
+// parked) events — correct for run control, fault scripts, and
+// watchdogs, not for per-packet work.
+func (n *Network) Scheduler() sim.Scheduler {
+	if n.sharded != nil {
+		return n.sharded
+	}
+	return n.eng
+}
+
+// SchedulerFor returns the scheduler owning the given node: events for
+// traffic sourced at that node belong on it. In legacy mode this is
+// the single engine. Closures scheduled here run on the owning shard's
+// goroutine and may touch that shard's state only.
+func (n *Network) SchedulerFor(node topology.NodeID) sim.Scheduler {
+	return n.shards[n.shardOfNode[node]].eng
+}
+
+// Sharded returns the sharded synchronizer, or nil in legacy mode.
+func (n *Network) Sharded() *sim.ShardedEngine { return n.sharded }
+
+// NumShards returns the number of execution shards (1 in legacy mode).
+func (n *Network) NumShards() int { return len(n.shards) }
+
+// ShardOf returns the shard owning the given node (0 in legacy mode).
+func (n *Network) ShardOf(node topology.NodeID) int { return int(n.shardOfNode[node]) }
+
+// Run processes events until none remain — Engine().Run() in legacy
+// mode, the parallel synchronizer otherwise.
+func (n *Network) Run() { n.Scheduler().Run() }
+
+// RunUntil processes events with timestamps <= end, then advances the
+// clock(s) to end.
+func (n *Network) RunUntil(end sim.Time) { n.Scheduler().RunUntil(end) }
 
 // SetProbe attaches a lifecycle observer (nil detaches it); it replaces
-// any probe set via Config.Probe. Use Probes to combine several.
-func (n *Network) SetProbe(p Probe) { n.probe = p }
+// any probe set via Config.Probe. Use Probes to combine several. On a
+// sharded network the same instance is attached to every shard and is
+// called from shard goroutines concurrently; prefer Observe, which
+// builds per-shard observers and merges their output.
+func (n *Network) SetProbe(p Probe) {
+	for _, sh := range n.shards {
+		sh.probe = p
+	}
+}
+
+// SetShardProbe attaches a lifecycle observer to one shard: it sees
+// exactly the events executing on that shard (enqueues and transmits
+// at the shard's nodes, deliveries and drops at the shard's hosts and
+// ports), always from that shard's goroutine.
+func (n *Network) SetShardProbe(shard int, p Probe) { n.shards[shard].probe = p }
 
 // Graph returns the simulated topology.
 func (n *Network) Graph() *topology.Graph { return n.g }
 
 // Delivered returns the count of packets delivered so far.
-func (n *Network) Delivered() uint64 { return n.delivered }
+func (n *Network) Delivered() uint64 {
+	var total uint64
+	for _, sh := range n.shards {
+		total += sh.delivered
+	}
+	return total
+}
 
 // Dropped returns the count of packets dropped so far.
-func (n *Network) Dropped() uint64 { return n.dropped }
+func (n *Network) Dropped() uint64 {
+	var total uint64
+	for _, sh := range n.shards {
+		total += sh.dropped
+	}
+	return total
+}
 
 // Unicast injects a packet at its source host at the current simulation
 // time, routing directly to dst. It returns the packet ID.
@@ -505,9 +732,22 @@ func (n *Network) Send(p Packet) uint64 {
 	if n.g.Node(p.Src).Kind != topology.Host {
 		panic(fmt.Sprintf("netsim: source %d is not a host", p.Src))
 	}
-	n.nextID++
-	p.ID = n.nextID
-	p.Created = n.eng.Now()
+	sh := n.shards[n.shardOfNode[p.Src]]
+	if n.sharded != nil {
+		// Per-source IDs: the sequence a host hands out is independent
+		// of how sends interleave across shards, so packet IDs — and
+		// the per-packet ECMP spray that hashes them — are identical
+		// for every shard count. During a run, Send must be called
+		// from the source's shard (traffic handlers satisfy this: a
+		// delivery runs on its destination's shard, and replies
+		// originate there).
+		n.hostSeq[p.Src]++
+		p.ID = uint64(p.Src+1)<<40 | n.hostSeq[p.Src]
+	} else {
+		n.nextID++
+		p.ID = n.nextID
+	}
+	p.Created = sh.eng.Now()
 	p.Hops = 0
 	p.Hash = routing.PacketHash(p.Flow)
 	if n.record {
@@ -515,31 +755,32 @@ func (n *Network) Send(p Packet) uint64 {
 	}
 	if p.Src == p.Dst {
 		// Loopback: deliver after the stack round trip.
-		n.eng.AfterAction(2*n.host.NICLatency, n.newEvent(evDeliver, p.Src, 0, p), 0, 0)
+		sh.eng.AfterAction(2*n.host.NICLatency, n.newEvent(sh, evDeliver, p.Src, 0, p), 0, 0)
 		return p.ID
 	}
 	// NIC send-side latency, then onto the wire.
-	n.eng.AfterAction(n.host.NICLatency, n.newEvent(evForward, p.Src, 0, p), 0, 0)
+	sh.eng.AfterAction(n.host.NICLatency, n.newEvent(sh, evForward, p.Src, 0, p), 0, 0)
 	return p.ID
 }
 
 // forward routes packet p out of node at readyTime (the time its tail
 // is ready to begin serialization on the chosen output). serIn is the
-// serialization time of the inbound link (0 at the source host).
-func (n *Network) forward(node topology.NodeID, p Packet, readyTime sim.Time, serIn sim.Time) {
+// serialization time of the inbound link (0 at the source host). sh is
+// the shard owning node.
+func (n *Network) forward(sh *netShard, node topology.NodeID, p Packet, readyTime sim.Time, serIn sim.Time) {
 	if p.Hops >= maxHops {
-		n.drop(p, DropCodeHopLimit, -1, nil)
+		n.drop(sh, p, DropCodeHopLimit, -1, nil)
 		return
 	}
 	if node == p.Waypoint {
 		p.Waypoint = NoWaypoint
 	}
-	port, err := n.router.NextPort(node, routing.PacketMeta{
+	port, err := sh.router.NextPort(node, routing.PacketMeta{
 		Flow: p.Flow, Seq: p.ID, Src: p.Src, Dst: p.Dst, Waypoint: p.Waypoint,
 		Hash: p.Hash,
 	})
 	if err != nil {
-		n.drop(p, DropCodeNoRoute, -1, err)
+		n.drop(sh, p, DropCodeNoRoute, -1, err)
 		return
 	}
 	link := n.g.Link(port.Link)
@@ -550,12 +791,12 @@ func (n *Network) forward(node topology.NodeID, p Packet, readyTime sim.Time, se
 	dl := &n.dirs[di]
 	if dl.down {
 		dl.drops++
-		n.drop(p, DropCodeLinkDown, port.Link, nil)
+		n.drop(sh, p, DropCodeLinkDown, port.Link, nil)
 		return
 	}
 	if dl.queuedBytes+p.Size > dl.capBytes {
 		dl.drops++
-		n.drop(p, DropCodeQueueFull, port.Link, nil)
+		n.drop(sh, p, DropCodeQueueFull, port.Link, nil)
 		return
 	}
 	if n.g.Node(node).Kind == topology.Switch {
@@ -577,23 +818,24 @@ func (n *Network) forward(node topology.NodeID, p Packet, readyTime sim.Time, se
 		pri = numPriorities - 1
 	}
 	dl.queues[pri].push(queued{
-		p: p, ready: readyTime, tailIn: n.eng.Now(), ser: ser,
+		p: p, ready: readyTime, tailIn: sh.eng.Now(), ser: ser,
 	})
-	if n.probe != nil {
-		n.probe.PacketEnqueued(QueueEvent{
-			At: n.eng.Now(), Port: PortRef{Link: port.Link, From: node},
+	if sh.probe != nil {
+		sh.probe.PacketEnqueued(QueueEvent{
+			At: sh.eng.Now(), Port: PortRef{Link: port.Link, From: node},
 			QueuedBytes: dl.queuedBytes, Packet: p,
 		})
 	}
 	if !dl.busy {
-		n.transmitNext(di)
+		n.transmitNext(di, sh)
 	}
 }
 
 // transmitNext starts the transmitter on the next queued packet,
 // serving strict priority order; it re-arms itself from the completion
-// event until the queues drain.
-func (n *Network) transmitNext(di int) {
+// event until the queues drain. sh is the shard owning the direction's
+// transmit side.
+func (n *Network) transmitNext(di int, sh *netShard) {
 	dl := &n.dirs[di]
 	var item queued
 	found := false
@@ -619,7 +861,7 @@ func (n *Network) transmitNext(di int) {
 		// has fully arrived.
 		endTx = item.tailIn
 	}
-	if now := n.eng.Now(); endTx < now {
+	if now := sh.eng.Now(); endTx < now {
 		endTx = now
 	}
 	dl.freeAt = endTx
@@ -634,37 +876,46 @@ func (n *Network) transmitNext(di int) {
 	p := item.p
 	size := p.Size
 	ser := item.ser
-	if n.probe != nil {
+	if sh.probe != nil {
 		// QueuedBytes reflects the depth once this packet's tail leaves,
 		// which is also when At falls.
-		n.probe.PacketTransmitted(QueueEvent{
+		sh.probe.PacketTransmitted(QueueEvent{
 			At: endTx, Port: n.portRef(di), QueuedBytes: dl.queuedBytes - size, Packet: p,
 		})
 	}
 	// Completion first, then arrival — the schedule order older closure
 	// code used, preserved so event ordering (and every result) is
 	// byte-identical.
-	n.eng.ScheduleAction(endTx, &n.txDone, int64(di), int64(size))
-	n.eng.ScheduleAction(endTx+dl.prop, n.newEvent(evArrive, peer, ser, p), 0, 0)
+	sh.eng.ScheduleAction(endTx, &n.txDone, int64(di), int64(size))
+	if ps := n.shardOfNode[peer]; int(ps) != sh.idx {
+		// Cross-shard hop: the arrival travels through the
+		// synchronizer's SPSC ring and is committed into the peer's
+		// engine at the next barrier. Its timestamp is endTx + prop >=
+		// now + lookahead, which is what makes the window conservative.
+		n.sharded.Cross(sh.idx, int(ps), endTx+dl.prop, n.newEvent(sh, evArrive, peer, ser, p), 0, 0)
+	} else {
+		sh.eng.ScheduleAction(endTx+dl.prop, n.newEvent(sh, evArrive, peer, ser, p), 0, 0)
+	}
 }
 
 // arrive handles the tail of packet p reaching node at the current
-// simulation time, having been serialized over serIn.
-func (n *Network) arrive(node topology.NodeID, p Packet, serIn sim.Time) {
-	now := n.eng.Now()
+// simulation time, having been serialized over serIn. sh is the shard
+// owning node.
+func (n *Network) arrive(sh *netShard, node topology.NodeID, p Packet, serIn sim.Time) {
+	now := sh.eng.Now()
 	if n.record {
 		p.Path = append(p.Path, node)
 	}
 	if node == p.Dst {
 		p.Hops++
 		// NIC receive-side latency.
-		n.eng.AfterAction(n.host.NICLatency, n.newEvent(evDeliver, node, 0, p), 0, 0)
+		sh.eng.AfterAction(n.host.NICLatency, n.newEvent(sh, evDeliver, node, 0, p), 0, 0)
 		return
 	}
 	p.Hops++
 	if n.g.Node(node).Kind == topology.Host {
 		// Server-side forwarding (BCube-style): pay the OS stack.
-		n.eng.AfterAction(n.host.ForwardLatency, n.newEvent(evForward, node, serIn, p), 0, 0)
+		sh.eng.AfterAction(n.host.ForwardLatency, n.newEvent(sh, evForward, node, serIn, p), 0, 0)
 		return
 	}
 	m := &n.models[node]
@@ -678,31 +929,31 @@ func (n *Network) arrive(node topology.NodeID, p Packet, serIn sim.Time) {
 		// Store-and-forward: wait for the full frame, then process.
 		ready = now + m.Latency
 	}
-	n.forward(node, p, ready, serIn)
+	n.forward(sh, node, p, ready, serIn)
 }
 
-func (n *Network) deliver(p Packet) {
-	n.delivered++
-	if n.onDeliver != nil || n.probe != nil {
-		d := Delivery{Packet: p, At: n.eng.Now(), Latency: n.eng.Now() - p.Created}
-		if n.onDeliver != nil {
-			n.onDeliver(d)
+func (n *Network) deliver(sh *netShard, p Packet) {
+	sh.delivered++
+	if sh.onDeliver != nil || sh.probe != nil {
+		d := Delivery{Packet: p, At: sh.eng.Now(), Latency: sh.eng.Now() - p.Created}
+		if sh.onDeliver != nil {
+			sh.onDeliver(d)
 		}
-		if n.probe != nil {
-			n.probe.PacketDelivered(d)
+		if sh.probe != nil {
+			sh.probe.PacketDelivered(d)
 		}
 	}
 }
 
-func (n *Network) drop(p Packet, code DropCode, link topology.LinkID, err error) {
-	n.dropped++
-	if n.onDrop != nil || n.probe != nil {
-		d := Drop{Packet: p, At: n.eng.Now(), Code: code, Link: link, Err: err}
-		if n.onDrop != nil {
-			n.onDrop(d)
+func (n *Network) drop(sh *netShard, p Packet, code DropCode, link topology.LinkID, err error) {
+	sh.dropped++
+	if sh.onDrop != nil || sh.probe != nil {
+		d := Drop{Packet: p, At: sh.eng.Now(), Code: code, Link: link, Err: err}
+		if sh.onDrop != nil {
+			sh.onDrop(d)
 		}
-		if n.probe != nil {
-			n.probe.PacketDropped(d)
+		if sh.probe != nil {
+			sh.probe.PacketDropped(d)
 		}
 	}
 }

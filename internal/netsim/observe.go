@@ -1,0 +1,222 @@
+package netsim
+
+// Observer is the single attach surface for run observability. Before
+// sharded execution, callers wired a TraceRecorder, a FlowTracker, a
+// QueueSampler, and a heartbeat by hand — four attach points with
+// different lifecycles. On a sharded network that wiring multiplies by
+// K and picks up subtle rules (packet probes must be per-shard, fault
+// rows must not duplicate, sampler ticks must be global phases).
+// Network.Observe owns those rules: one call attaches everything to
+// every shard, and the Observer hands back merged, shard-count-
+// independent views.
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/sim"
+)
+
+// ObserveOptions selects what Network.Observe attaches. The zero value
+// attaches nothing; set the fields for the views the run needs.
+type ObserveOptions struct {
+	// Trace records per-packet lifecycle events (one TraceRecorder per
+	// shard; Observer.Trace merges them into one deterministic order).
+	Trace bool
+	// TraceLimit bounds each shard recorder's event count (<= 0 means
+	// unbounded — only for small runs).
+	TraceLimit int
+
+	// Flows aggregates per-flow telemetry (one FlowTracker per shard;
+	// Observer.Flows merges them into one shard-count-independent table).
+	Flows bool
+
+	// SampleEvery enables periodic queue sampling at this virtual
+	// interval. Sampler ticks run on the network scheduler — global
+	// phases on a sharded network — so one sampler serves every shard.
+	SampleEvery sim.Time
+
+	// Until is the virtual horizon (inclusive) for sampler and heartbeat
+	// ticks. Required when SampleEvery or HeartbeatEvery is set.
+	Until sim.Time
+
+	// Registry, when set, binds the flow trackers (labeled per shard),
+	// the sampler, and the heartbeats to it.
+	Registry *metrics.Registry
+
+	// HeartbeatEvery attaches a sim.Heartbeat to every shard engine at
+	// this virtual interval, labeled {"shard": i}. Requires Registry.
+	HeartbeatEvery sim.Time
+}
+
+// Observer holds the attachments made by Network.Observe and exposes
+// merged views over them. Accessors that merge (Trace, Flows) are
+// post-run operations: call them after Run returns.
+type Observer struct {
+	net     *Network
+	traces  []*TraceRecorder
+	flows   []*FlowTracker
+	sampler *QueueSampler
+	beats   []*sim.Heartbeat
+}
+
+// Observe attaches the selected observability to every shard and
+// returns the Observer. Call it once, after New and before running.
+// Probes already attached (Config.Probe) are preserved and fire first.
+//
+// Per-shard packet probes see only their shard's packet events; fault
+// transitions fan out to every shard's probe chain, with trace fault
+// rows recorded by shard 0 alone so the merged trace carries each
+// transition once.
+func (n *Network) Observe(o ObserveOptions) *Observer {
+	if (o.SampleEvery > 0 || o.HeartbeatEvery > 0) && o.Until <= 0 {
+		panic("netsim: ObserveOptions.Until is required for sampler or heartbeat ticks")
+	}
+	if o.HeartbeatEvery > 0 && o.Registry == nil {
+		panic("netsim: ObserveOptions.HeartbeatEvery requires a Registry")
+	}
+	obs := &Observer{net: n}
+	if o.SampleEvery > 0 {
+		obs.sampler = NewQueueSampler(n, o.SampleEvery)
+		if o.Registry != nil {
+			obs.sampler.Bind(o.Registry)
+		}
+		obs.sampler.Start(o.Until)
+	}
+	sharded := n.sharded != nil
+	for i, sh := range n.shards {
+		probes := []Probe{sh.probe}
+		if o.Trace {
+			tr := NewTraceRecorder(o.TraceLimit)
+			obs.traces = append(obs.traces, tr)
+			if i == 0 {
+				probes = append(probes, tr)
+			} else {
+				// Fault transitions fan to every shard; only shard 0's
+				// recorder keeps its FaultObserver side so the merged
+				// trace has one row per transition, not K.
+				probes = append(probes, packetProbe{tr})
+			}
+		}
+		if o.Flows {
+			ft := NewFlowTracker()
+			obs.flows = append(obs.flows, ft)
+			if o.Registry != nil {
+				if sharded {
+					ft.BindLabeled(o.Registry, metrics.Labels{"shard": strconv.Itoa(i)})
+				} else {
+					ft.Bind(o.Registry)
+				}
+			}
+			probes = append(probes, ft)
+		}
+		if obs.sampler != nil {
+			// As a probe the sampler only maintains exact per-port peak
+			// depths; each port belongs to one shard, so concurrent
+			// updates never touch the same element.
+			probes = append(probes, obs.sampler)
+		}
+		n.SetShardProbe(i, Probes(probes...))
+		if o.HeartbeatEvery > 0 {
+			var labels metrics.Labels
+			if sharded {
+				labels = metrics.Labels{"shard": strconv.Itoa(i)}
+			}
+			obs.beats = append(obs.beats,
+				sim.AttachHeartbeatLabeled(sh.eng, o.Registry, o.HeartbeatEvery, o.Until, labels))
+		}
+	}
+	return obs
+}
+
+// Trace merges the per-shard trace recorders into one recorder whose
+// event order is a pure function of event content — identical for
+// every shard count in the sharded family. (A single shard's recorder
+// is in execution order; the merge re-sorts, so even K=1 goes through
+// the same path.) Returns nil when Observe ran without Trace.
+func (o *Observer) Trace() *TraceRecorder {
+	if o.traces == nil {
+		return nil
+	}
+	merged := NewTraceRecorder(0)
+	var evs []TraceEvent
+	for _, tr := range o.traces {
+		evs = append(evs, tr.events...)
+		merged.truncated += tr.truncated
+		for id, p := range tr.paths {
+			merged.paths[id] = p
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return traceLess(evs[i], evs[j]) })
+	for _, e := range evs {
+		merged.add(e)
+	}
+	return merged
+}
+
+// traceLess is a total order on trace events by content: timestamp
+// first, then every remaining field. Events that compare equal are
+// byte-identical rows, so the sorted order — and hence the merged
+// trace output — does not depend on which shard recorded what.
+func traceLess(a, b TraceEvent) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	if a.Packet != b.Packet {
+		return a.Packet < b.Packet
+	}
+	if a.Flow != b.Flow {
+		return a.Flow < b.Flow
+	}
+	if a.Link != b.Link {
+		return a.Link < b.Link
+	}
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.Hops != b.Hops {
+		return a.Hops < b.Hops
+	}
+	return a.Reason < b.Reason
+}
+
+// Flows merges the per-shard flow trackers into one table sorted by
+// (FirstSend, Flow) — identical for every shard count. Returns nil
+// when Observe ran without Flows.
+func (o *Observer) Flows() *FlowTracker {
+	if o.flows == nil {
+		return nil
+	}
+	merged := NewFlowTracker()
+	for _, ft := range o.flows {
+		merged.MergeFrom(ft)
+	}
+	return merged
+}
+
+// ShardTraces returns the per-shard recorders (index = shard).
+func (o *Observer) ShardTraces() []*TraceRecorder { return o.traces }
+
+// ShardFlows returns the per-shard flow trackers (index = shard).
+func (o *Observer) ShardFlows() []*FlowTracker { return o.flows }
+
+// Sampler returns the queue sampler (nil unless SampleEvery was set).
+func (o *Observer) Sampler() *QueueSampler { return o.sampler }
+
+// Heartbeats returns the attached per-shard heartbeats (index = shard;
+// nil unless HeartbeatEvery was set).
+func (o *Observer) Heartbeats() []*sim.Heartbeat { return o.beats }
+
+// packetProbe narrows a probe to the packet lifecycle: it forwards the
+// four Probe hooks and deliberately does not implement FaultObserver,
+// so fault fan-out skips the wrapped probe.
+type packetProbe struct{ p Probe }
+
+func (w packetProbe) PacketEnqueued(e QueueEvent)    { w.p.PacketEnqueued(e) }
+func (w packetProbe) PacketTransmitted(e QueueEvent) { w.p.PacketTransmitted(e) }
+func (w packetProbe) PacketDelivered(d Delivery)     { w.p.PacketDelivered(d) }
+func (w packetProbe) PacketDropped(d Drop)           { w.p.PacketDropped(d) }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/quartz-dcn/quartz/internal/metrics"
@@ -434,19 +435,22 @@ func (s *QueueSampler) Bind(r *metrics.Registry) {
 	}
 }
 
-// Start schedules periodic sampling on the network's engine until the
-// given virtual time (inclusive). Call it before running the engine.
+// Start schedules periodic sampling on the network's scheduler until
+// the given virtual time (inclusive). Call it before running. On a
+// sharded network each tick runs as a global phase — every shard
+// parked — so one sampler reads every port's queue race-free, and the
+// tick sequence is identical for every shard count.
 func (s *QueueSampler) Start(until sim.Time) {
 	s.started = true
-	eng := s.net.Engine()
+	sched := s.net.Scheduler()
 	var tick func()
 	tick = func() {
-		s.sample(eng.Now())
-		if eng.Now()+s.interval <= until {
-			eng.After(s.interval, tick)
+		s.sample(sched.Now())
+		if sched.Now()+s.interval <= until {
+			sched.After(s.interval, tick)
 		}
 	}
-	eng.After(s.interval, tick)
+	sched.After(s.interval, tick)
 }
 
 // sample records one observation per watched directed link and
@@ -607,23 +611,35 @@ type RunTelemetry struct {
 	EventsPerSec float64
 	// Delivered and Dropped count packets.
 	Delivered, Dropped uint64
+	// Shards is the per-shard breakdown of a sharded run (nil for the
+	// legacy single engine) — see sim.Telemetry.Shards.
+	Shards []sim.ShardTelemetry
 }
 
 func (t RunTelemetry) String() string {
-	return fmt.Sprintf("%d events (peak calendar %d) in %v (%.3g ev/s); %d delivered, %d dropped",
+	s := fmt.Sprintf("%d events (peak calendar %d) in %v (%.3g ev/s); %d delivered, %d dropped",
 		t.Events, t.PeakPending, t.Wall.Round(time.Microsecond), t.EventsPerSec, t.Delivered, t.Dropped)
+	if len(t.Shards) > 0 {
+		parts := make([]string, len(t.Shards))
+		for i, sh := range t.Shards {
+			parts[i] = fmt.Sprintf("%d:%dev", sh.Shard, sh.Events)
+		}
+		s += fmt.Sprintf("; shards [%s]", strings.Join(parts, " "))
+	}
+	return s
 }
 
 // Telemetry reports the run so far.
 func (n *Network) Telemetry() RunTelemetry {
-	et := n.eng.Telemetry()
+	et := n.Scheduler().Telemetry()
 	return RunTelemetry{
 		Events:       et.Events,
 		PeakPending:  et.PeakPending,
 		Wall:         et.Wall,
 		EventsPerSec: et.EventsPerSecond(),
-		Delivered:    n.delivered,
-		Dropped:      n.dropped,
+		Delivered:    n.Delivered(),
+		Dropped:      n.Dropped(),
+		Shards:       et.Shards,
 	}
 }
 

@@ -1,0 +1,57 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// Partition assigns every node of a graph to an execution shard.
+type Partition struct {
+	// Of maps node ID to shard index.
+	Of []int32
+	// Shards is the shard count actually used (requested count clamped
+	// to the number of switches).
+	Shards int
+}
+
+// PartitionByRing splits a topology into k shards for parallel
+// execution: switches are grouped into k contiguous blocks of their
+// creation order — which, for the Quartz builders, is ring position,
+// so a shard owns an arc of each ring and cross-shard links are the
+// few arc-boundary and inter-tier fibers — and every host follows its
+// edge (ToR) switch. Keeping a host with its edge switch puts the
+// host↔ToR hop, the NIC events, and the delivery path on one shard;
+// only switch↔switch propagation (>= 250 ns of fiber in every repo
+// topology) crosses shards, which is what gives the synchronizer its
+// lookahead.
+//
+// k is clamped to the number of switches; k <= 0 is an error.
+func PartitionByRing(g *topology.Graph, k int) (Partition, error) {
+	if k <= 0 {
+		return Partition{}, fmt.Errorf("netsim: shard count %d", k)
+	}
+	switches := g.Switches()
+	if len(switches) == 0 {
+		return Partition{}, fmt.Errorf("netsim: cannot shard a topology with no switches")
+	}
+	if k > len(switches) {
+		k = len(switches)
+	}
+	of := make([]int32, g.NumNodes())
+	for i := range of {
+		of[i] = -1
+	}
+	for i, sw := range switches {
+		of[sw] = int32(i * k / len(switches))
+	}
+	for _, h := range g.Hosts() {
+		of[h] = of[g.ToRof(h)]
+	}
+	for id, s := range of {
+		if s < 0 {
+			return Partition{}, fmt.Errorf("netsim: node %d is neither a switch nor attached to one", id)
+		}
+	}
+	return Partition{Of: of, Shards: k}, nil
+}

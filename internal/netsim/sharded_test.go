@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+func buildMesh(t testing.TB) *topology.Graph {
+	t.Helper()
+	g, err := topology.NewFullMesh(topology.MeshConfig{Switches: 8, HostsPerSwitch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPartitionByRing(t *testing.T) {
+	g := buildMesh(t)
+	p, err := PartitionByRing(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards != 4 {
+		t.Fatalf("shards %d, want 4", p.Shards)
+	}
+	switches := g.Switches()
+	for i, sw := range switches {
+		want := int32(i * 4 / len(switches))
+		if p.Of[sw] != want {
+			t.Errorf("switch %d on shard %d, want %d", sw, p.Of[sw], want)
+		}
+	}
+	for _, h := range g.Hosts() {
+		if p.Of[h] != p.Of[g.ToRof(h)] {
+			t.Errorf("host %d on shard %d, but its ToR is on %d", h, p.Of[h], p.Of[g.ToRof(h)])
+		}
+	}
+	// Requesting more shards than switches clamps.
+	p, err = PartitionByRing(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards != len(switches) {
+		t.Fatalf("shards %d, want clamp to %d", p.Shards, len(switches))
+	}
+	if _, err := PartitionByRing(g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// shardedRun is one workload execution's comparable output.
+type shardedRun struct {
+	trace, flows       string
+	delivered, dropped uint64
+}
+
+// runShardedWorkload drives a deterministic multi-host workload on a
+// K-shard mesh and returns the merged observability output. Send times
+// are chosen so no two packets tie at a queue (37i + 211j are distinct
+// over the host/packet index ranges), which keeps the output a pure
+// function of the workload for every K.
+func runShardedWorkload(t *testing.T, shards int, faults *FaultSchedule) shardedRun {
+	t.Helper()
+	g := buildMesh(t)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g), Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := net.Observe(ObserveOptions{Trace: true, Flows: true})
+	hosts := g.Hosts()
+	for i, h := range hosts {
+		sched := net.SchedulerFor(h)
+		for j := 0; j < 40; j++ {
+			dst := hosts[(i+1+j)%len(hosts)]
+			at := sim.Time(i*37+j*211) * sim.Microsecond
+			flow := routing.FlowID(i*64 + j%8)
+			src := h
+			sched.Schedule(at, func() {
+				net.Send(Packet{Flow: flow, Src: src, Dst: dst, Size: 400, Waypoint: NoWaypoint})
+			})
+		}
+	}
+	if faults != nil {
+		if err := net.Faults().Apply(*faults); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.RunUntil(60 * sim.Millisecond)
+	var traceBuf, flowBuf strings.Builder
+	if err := obs.Trace().WriteCSV(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Flows().WriteCSV(&flowBuf); err != nil {
+		t.Fatal(err)
+	}
+	return shardedRun{
+		trace: traceBuf.String(), flows: flowBuf.String(),
+		delivered: net.Delivered(), dropped: net.Dropped(),
+	}
+}
+
+func requireIdenticalRuns(t *testing.T, base shardedRun, baseK int, faults *FaultSchedule) {
+	t.Helper()
+	for _, k := range []int{2, 4, 8} {
+		got := runShardedWorkload(t, k, faults)
+		if got.delivered != base.delivered || got.dropped != base.dropped {
+			t.Errorf("K=%d: delivered/dropped %d/%d, K=%d gave %d/%d",
+				k, got.delivered, got.dropped, baseK, base.delivered, base.dropped)
+		}
+		if got.flows != base.flows {
+			t.Errorf("K=%d flow table differs from K=%d (lengths %d vs %d)",
+				k, baseK, len(got.flows), len(base.flows))
+		}
+		if got.trace != base.trace {
+			t.Errorf("K=%d trace differs from K=%d (lengths %d vs %d)",
+				k, baseK, len(got.trace), len(base.trace))
+		}
+	}
+}
+
+// TestShardedDeterminism pins the tentpole guarantee: the merged trace
+// and flow table of a K-shard run are byte-identical for K in
+// {1,2,4,8}.
+func TestShardedDeterminism(t *testing.T) {
+	base := runShardedWorkload(t, 1, nil)
+	if base.delivered == 0 {
+		t.Fatal("workload delivered nothing")
+	}
+	if base.dropped != 0 {
+		t.Fatalf("fault-free workload dropped %d packets", base.dropped)
+	}
+	requireIdenticalRuns(t, base, 1, nil)
+}
+
+// TestShardedDeterminismUnderFaults repeats the identity check with
+// link cuts, a repair, detection delay, and both in-flight policies —
+// fault injection runs as global phases and the detour path crosses
+// shards from the coordinator goroutine.
+func TestShardedDeterminismUnderFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy ReroutePolicy
+	}{{"drop", DropInFlight}, {"detour", DetourInFlight}} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Links 16+ are the switch-to-switch mesh links (host links
+			// come first in creation order).
+			faults := &FaultSchedule{
+				Events: []FaultEvent{
+					{Kind: FaultLink, Link: 20, At: 3 * sim.Millisecond, RepairAt: 10 * sim.Millisecond},
+					{Kind: FaultLink, Link: 30, At: 5 * sim.Millisecond},
+					{Kind: FaultSwitch, Switch: buildMesh(t).Switches()[6], At: 7 * sim.Millisecond},
+				},
+				DetectionDelay: 500 * sim.Microsecond,
+				Policy:         tc.policy,
+			}
+			base := runShardedWorkload(t, 1, faults)
+			if base.dropped == 0 {
+				t.Fatal("fault schedule produced no drops; the test is not exercising faults")
+			}
+			requireIdenticalRuns(t, base, 1, faults)
+		})
+	}
+}
+
+func TestShardedEngineAccessorPanics(t *testing.T) {
+	g := buildMesh(t)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Engine() on a sharded network did not panic")
+		}
+	}()
+	net.Engine()
+}
+
+func TestShardedConfigValidation(t *testing.T) {
+	g := buildMesh(t)
+	if _, err := New(Config{Graph: g, Router: routing.NewECMP(g), Shards: 2, Engine: sim.NewEngine()}); err == nil {
+		t.Fatal("Shards with explicit Engine accepted")
+	}
+}
+
+// TestShardedDeliveryHooks checks OnDeliverSharded receives the
+// destination host's shard index.
+func TestShardedDeliveryHooks(t *testing.T) {
+	g := buildMesh(t)
+	type rec struct {
+		shard int
+		dst   topology.NodeID
+	}
+	var got []rec
+	net, err := New(Config{
+		Graph: g, Router: routing.NewECMP(g), Shards: 4,
+		OnDeliverSharded: func(shard int, d Delivery) {
+			got = append(got, rec{shard, d.Packet.Dst})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	// One packet per shard boundary direction; sends run at distinct
+	// times so the append in the hook never races.
+	for j := 0; j < 8; j++ {
+		src, dst := hosts[j], hosts[(j+5)%len(hosts)]
+		at := sim.Time(j+1) * sim.Millisecond
+		net.SchedulerFor(src).Schedule(at, func() {
+			net.Send(Packet{Flow: routing.FlowID(j), Src: src, Dst: dst, Size: 400, Waypoint: NoWaypoint})
+		})
+	}
+	net.RunUntil(20 * sim.Millisecond)
+	if len(got) != 8 {
+		t.Fatalf("delivered %d packets, want 8", len(got))
+	}
+	for _, r := range got {
+		if want := net.ShardOf(r.dst); r.shard != want {
+			t.Errorf("delivery for host %d reported shard %d, want %d", r.dst, r.shard, want)
+		}
+	}
+}
+
+// TestObserveLegacy checks the consolidated observability surface on a
+// legacy (single-engine) network: same call, same merged accessors.
+func TestObserveLegacy(t *testing.T) {
+	g := buildMesh(t)
+	net, err := New(Config{Graph: g, Router: routing.NewECMP(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := net.Observe(ObserveOptions{Trace: true, Flows: true})
+	hosts := g.Hosts()
+	net.Unicast(1, hosts[0], hosts[3], 400, 0)
+	net.Unicast(2, hosts[5], hosts[9], 400, 0)
+	net.Engine().Run()
+	flows := obs.Flows().Flows()
+	if len(flows) != 2 {
+		t.Fatalf("flow table has %d rows, want 2", len(flows))
+	}
+	for _, f := range flows {
+		if f.PacketsDelivered != 1 {
+			t.Errorf("flow %d delivered %d, want 1", f.Flow, f.PacketsDelivered)
+		}
+	}
+	if ev := obs.Trace().Events(); len(ev) == 0 {
+		t.Fatal("trace is empty")
+	}
+}

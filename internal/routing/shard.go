@@ -1,0 +1,46 @@
+package routing
+
+// ShardCloner is implemented by routers that can produce independent
+// per-shard copies of themselves for parallel (sharded) simulation.
+//
+// A Router's reads (NextPort) are goroutine-safe, but Reroute mutates
+// tables in place — on a sharded network a reconvergence would race
+// with other shards' forwarding lookups mid-rebuild and, worse, expose
+// half-built tables. Cloning sidesteps both: each shard forwards
+// against its own copy, and reconvergence reroutes every clone during
+// a global phase (all shards parked).
+//
+// CloneForShard must return a router whose forwarding decisions are
+// identical to the original's for every (node, packet) — clones are a
+// parallelism mechanism, not a policy fork — and rerouting every clone
+// with the same dead-link set must keep them identical. ECMP and VLB
+// satisfy this because their tables are a deterministic function of
+// (graph, dead set).
+type ShardCloner interface {
+	Router
+	CloneForShard() Router
+}
+
+// CloneForShard implements ShardCloner: the clone shares the immutable
+// graph, copies the dead-link set, and rebuilds its own next-hop
+// tables, so a Reroute on one clone never touches another's tables.
+func (e *ECMP) CloneForShard() Router {
+	c := &ECMP{g: e.g, dead: copyDead(e.dead), perPacket: e.perPacket}
+	c.rebuild()
+	return c
+}
+
+// CloneForShard implements ShardCloner: the clone gets its own ECMP
+// tables and waypoint distance tables; the graph and switch list are
+// shared (both immutable).
+func (v *VLB) CloneForShard() Router {
+	c := &VLB{
+		ecmp:             v.ecmp.CloneForShard().(*ECMP),
+		g:                v.g,
+		indirectFraction: v.indirectFraction,
+		switches:         v.switches,
+		dead:             copyDead(v.dead),
+	}
+	c.rebuildDist()
+	return c
+}

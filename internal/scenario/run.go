@@ -120,15 +120,34 @@ func runSim(ctx context.Context, spec *SimSpec, seed int64) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	h := traffic.NewHarness()
-	net, err := netsim.New(netsim.Config{
+	cfg := netsim.Config{
 		Graph:       arch.Graph,
 		Router:      arch.Router,
 		SwitchModel: arch.Model,
-		OnDeliver:   h.Deliver,
-	})
+	}
+	// Sharded runs take deliveries on K goroutines; the sharded harness
+	// gives each shard a private sub-harness and merges on read. The
+	// partitioner may clamp the shard count, so size the harness by the
+	// request — unused sub-harnesses merge as zeros.
+	var h *traffic.Harness
+	var sh *traffic.ShardedHarness
+	if spec.Shards >= 1 {
+		sh = traffic.NewShardedHarness(spec.Shards)
+		cfg.Shards = spec.Shards
+		cfg.OnDeliverSharded = sh.Deliver
+	} else {
+		h = traffic.NewHarness()
+		cfg.OnDeliver = h.Deliver
+	}
+	net, err := netsim.New(cfg)
 	if err != nil {
 		return "", err
+	}
+	latency := func(tag int) *metrics.Stats {
+		if sh != nil {
+			return sh.Latency(tag)
+		}
+		return h.Latency(tag)
 	}
 	rng := rand.New(rand.NewSource(seed + 1))
 	hosts := arch.Graph.Hosts()
@@ -137,22 +156,19 @@ func runSim(ctx context.Context, spec *SimSpec, seed int64) (string, error) {
 
 	var b strings.Builder
 
-	var probes []netsim.Probe
-	var flows *netsim.FlowTracker
+	// Observability rides the consolidated attach surface: Observe
+	// builds per-shard probes (one set on a legacy network) and merges
+	// their output on read, so the same code serves both modes.
+	var obs *netsim.Observer
 	var sampler *netsim.QueueSampler
-	if p := spec.Probes; p != nil {
-		if p.Flows {
-			flows = netsim.NewFlowTracker()
-			probes = append(probes, flows)
-		}
+	if p := spec.Probes; p != nil && (p.Flows || p.QueueSampleUS > 0) {
+		oo := netsim.ObserveOptions{Flows: p.Flows}
 		if p.QueueSampleUS > 0 {
-			sampler = netsim.NewQueueSampler(net, sim.Time(p.QueueSampleUS)*sim.Microsecond)
-			sampler.Start(end)
-			probes = append(probes, sampler)
+			oo.SampleEvery = sim.Time(p.QueueSampleUS) * sim.Microsecond
+			oo.Until = end
 		}
-	}
-	if p := netsim.Probes(probes...); p != nil {
-		net.SetProbe(p)
+		obs = net.Observe(oo)
+		sampler = obs.Sampler()
 	}
 
 	if spec.Faults != nil {
@@ -221,7 +237,11 @@ func runSim(ctx context.Context, spec *SimSpec, seed int64) (string, error) {
 			case "gather":
 				t = traffic.Gather(net, rest, sender, w.PPS, tag, arch.VLB, rng)
 			case "scattergather":
-				t = traffic.ScatterGather(net, h, sender, rest, w.PPS, tag, tag+1, arch.VLB, rng)
+				if sh != nil {
+					t = traffic.ShardedScatterGather(net, sh, sender, rest, w.PPS, tag, tag+1, arch.VLB, rng)
+				} else {
+					t = traffic.ScatterGather(net, h, sender, rest, w.PPS, tag, tag+1, arch.VLB, rng)
+				}
 			}
 			t.SetSize(w.PacketSize)
 			if err := t.Start(end); err != nil {
@@ -246,37 +266,43 @@ func runSim(ctx context.Context, spec *SimSpec, seed int64) (string, error) {
 	}
 
 	// Stop the event loop promptly when the submission is cancelled
-	// (quartzd timeouts, Ctrl-C in quartzsim).
+	// (quartzd timeouts, Ctrl-C in quartzsim). On a sharded network the
+	// watchdog is a global event: it runs with every shard parked.
+	sched := net.Scheduler()
 	const watchdogEvery = 100 * sim.Microsecond
 	var watchdog func()
 	watchdog = func() {
 		if ctx.Err() != nil {
-			net.Engine().Stop()
+			sched.Stop()
 			return
 		}
-		net.Engine().After(watchdogEvery, watchdog)
+		sched.After(watchdogEvery, watchdog)
 	}
-	net.Engine().After(watchdogEvery, watchdog)
+	sched.After(watchdogEvery, watchdog)
 
-	net.Engine().RunUntil(runEnd)
+	net.RunUntil(runEnd)
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
 
-	fmt.Fprintf(&b, "%s | %s | %d task(s), %d streams each at %.0f pps | %g ms\n",
+	fmt.Fprintf(&b, "%s | %s | %d task(s), %d streams each at %.0f pps | %g ms",
 		arch.Name, w.Kind, w.Tasks, streams, w.PPS, spec.DurationMS)
+	if spec.Shards >= 1 {
+		fmt.Fprintf(&b, " | %d shard(s)", net.NumShards())
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "delivered %d packets, dropped %d\n", net.Delivered(), net.Dropped())
 	for _, tag := range tags {
-		s := h.Latency(tag)
+		s := latency(tag)
 		if s.N() == 0 {
 			continue
 		}
 		fmt.Fprintf(&b, "task %2d: n=%-8d mean %8.2fus ±%.2f  min %.2f  max %.2f\n",
 			tag/10, s.N(), s.Mean(), s.CI95(), s.Min(), s.Max())
 	}
-	if flows != nil {
+	if obs != nil && spec.Probes.Flows {
 		fct := metrics.NewLatencyHistogram()
-		if n := flows.FCTStats(fct); n > 0 {
+		if n := obs.Flows().FCTStats(fct); n > 0 {
 			fmt.Fprintf(&b, "flows: %d tracked | FCT p50 %.1fus p99 %.1fus max %.1fus\n",
 				n, fct.Quantile(0.50), fct.Quantile(0.99), fct.Max())
 		}
@@ -289,7 +315,7 @@ func runSim(ctx context.Context, spec *SimSpec, seed int64) (string, error) {
 			to := arch.Graph.Node(l.Other(ps.From))
 			fmt.Fprintf(&b, "  %-10s -> %-10s  %8d pkts %10d B  util %5.1f%%  drops %d\n",
 				from.Name, to.Name, ps.Packets, ps.Bytes,
-				100*ps.Utilization(net.Engine().Now()), ps.Drops)
+				100*ps.Utilization(sched.Now()), ps.Drops)
 		}
 	}
 	if sampler != nil {

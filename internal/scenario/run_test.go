@@ -134,3 +134,39 @@ func TestRegistryScenarioRuns(t *testing.T) {
 		t.Error("empty output")
 	}
 }
+
+// TestSimRunSharded runs the same document at several shard counts and
+// requires identical delivered/dropped totals — the sharded engine
+// family is deterministic, so sharding must never change the physics.
+func TestSimRunSharded(t *testing.T) {
+	summary := func(shards string) (string, string) {
+		doc := `{"schema": "quartz-scenario/v1", "name": "shards",
+		         "sim": {"duration_ms": 2, "shards": ` + shards + `,
+		                 "topology": {"kind": "tree3", "quartz": "both"},
+		                 "workload": {"kind": "scattergather", "tasks": 2, "fanout": 3, "pps": 2000},
+		                 "probes": {"flows": true}}}`
+		out := runOnce(t, compileSim(t, doc))
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "delivered") {
+				return out, line
+			}
+		}
+		t.Fatalf("no delivered line:\n%s", out)
+		return out, ""
+	}
+	out1, base := summary("1")
+	if !strings.Contains(out1, "1 shard(s)") {
+		t.Errorf("output missing shard count:\n%s", out1)
+	}
+	for _, shards := range []string{"2", "4"} {
+		if _, got := summary(shards); got != base {
+			t.Errorf("shards=%s: %q, want %q", shards, got, base)
+		}
+	}
+	// Same scenario, same shards: byte-identical output (cache safety).
+	a, _ := summary("2")
+	b, _ := summary("2")
+	if a != b {
+		t.Fatalf("same sharded scenario, different output:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}

@@ -92,6 +92,13 @@ type SimSpec struct {
 	// DurationMS is the measured virtual time in milliseconds.
 	// Default 10.
 	DurationMS float64 `json:"duration_ms,omitempty"`
+	// Shards, when >= 1, runs the simulation on that many parallel
+	// topology shards (DESIGN.md §11). Results are identical for every
+	// value — sharding buys wall-clock time on multi-core runners, not
+	// different physics. 0 (the default, omitted from the canonical
+	// form so pre-sharding documents keep their cache keys) selects the
+	// legacy single-engine path.
+	Shards int `json:"shards,omitempty"`
 }
 
 // TopologySpec selects and sizes the simulated network.

@@ -47,10 +47,39 @@ type Telemetry struct {
 	PeakPending int
 	// Wall is the real time spent inside Run/RunUntil.
 	Wall time.Duration
+	// Shards breaks the totals down per shard for a ShardedEngine run;
+	// nil for a single Engine. The aggregate fields above cover all
+	// shards (Events is the sum; Wall is the synchronizer's wall time,
+	// not the sum of per-shard loop times, so EventsPerSecond reports
+	// the real parallel throughput).
+	Shards []ShardTelemetry
 }
 
 // EventsPerSecond returns the wall-clock event rate (0 before any run).
 func (t Telemetry) EventsPerSecond() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.Events) / t.Wall.Seconds()
+}
+
+// ShardTelemetry is one shard's slice of a ShardedEngine run.
+type ShardTelemetry struct {
+	// Shard is the shard index.
+	Shard int
+	// Events is the number of events this shard's engine processed.
+	Events uint64
+	// PeakPending is this shard's event-queue high-water mark.
+	PeakPending int
+	// Wall is the wall-clock time this shard's loop spent processing
+	// (its goroutine's share; shards run concurrently, so these
+	// overlap rather than sum to the run's wall time).
+	Wall time.Duration
+}
+
+// EventsPerSecond returns the shard's wall-clock event rate (0 before
+// any run).
+func (t ShardTelemetry) EventsPerSecond() float64 {
 	if t.Wall <= 0 {
 		return 0
 	}
@@ -112,6 +141,16 @@ func (e *Engine) Telemetry() Telemetry {
 
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // (before Now) panics: it would silently reorder causality.
+//
+// Schedule is the setup/test-convenience form, deprecated on hot
+// paths: each call boxes fn into a heap-allocated closure (typically
+// one allocation per event, plus whatever the closure captures). Code
+// that schedules per packet or per hop should implement Action once
+// and use ScheduleAction, which stores an interface pointer plus two
+// integers in the event record and allocates nothing — that is the
+// invariant TestScheduleActionZeroAllocs pins. Reaching the engine
+// through the Scheduler interface does not change this: both forms are
+// on the interface, and the Action form is the hot-path one.
 func (e *Engine) Schedule(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
@@ -138,7 +177,8 @@ func (e *Engine) ScheduleAction(at Time, act Action, a, b int64) {
 	}
 }
 
-// After runs fn delay after the current time.
+// After runs fn delay after the current time. Like Schedule, the
+// closure form allocates; prefer AfterAction on per-packet paths.
 func (e *Engine) After(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
@@ -193,6 +233,31 @@ func (e *Engine) RunUntil(end Time) {
 	if e.now < end && end < Time(1)<<62-1 {
 		e.now = end
 	}
+}
+
+// NextEventAt returns the timestamp of the earliest pending event, and
+// whether one exists. The sharded synchronizer uses it to compute the
+// global lower bound on the next event time.
+func (e *Engine) NextEventAt() (Time, bool) {
+	if e.queue.size() == 0 {
+		return 0, false
+	}
+	return e.queue.peekAt(), true
+}
+
+// advanceTo moves the clock forward to at without processing events.
+// The sharded synchronizer calls it (with the shard parked) before
+// running a global phase, so that Now() inside global events reads the
+// global time on every shard. at must not be before now or past the
+// next pending event; both would reorder causality.
+func (e *Engine) advanceTo(at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: advance to %v before now %v", at, e.now))
+	}
+	if e.queue.size() > 0 && e.queue.peekAt() < at {
+		panic(fmt.Sprintf("sim: advance to %v past pending event at %v", at, e.queue.peekAt()))
+	}
+	e.now = at
 }
 
 // wallNow returns wall-clock time spent in Run/RunUntil so far,

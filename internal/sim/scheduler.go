@@ -1,0 +1,48 @@
+package sim
+
+// Scheduler is the scheduling surface of a simulation execution — the
+// API redesign that lets netsim, traffic generators, fault injectors,
+// and probes run unchanged on either a single-threaded *Engine or a
+// parallel *ShardedEngine. Code that used to hold a concrete *Engine
+// should hold a Scheduler instead and obtain it from whatever execution
+// it is attached to (for netsim: Network.Scheduler for run control and
+// global work, Network.SchedulerFor(node) for node-local work).
+//
+// Prefer ScheduleAction/AfterAction on hot paths: the closure forms
+// (Schedule/After) box a func() per event, while the Action forms store
+// an interface pointer plus two integers directly in the event record
+// and allocate nothing (see Action and the doc comments in engine.go).
+//
+// Semantics every implementation provides:
+//
+//   - Now is the current virtual time of the calling context. For an
+//     Engine that is the global clock; for a ShardedEngine it is the
+//     synchronizer's committed time (shard-local clocks may be ahead
+//     within the current window, but never behind).
+//   - Schedule*/After* enqueue work at an absolute/relative virtual
+//     time; scheduling in the past panics. On a ShardedEngine the work
+//     runs in a global phase with every shard parked, so it may touch
+//     any shard's state (this is how fault injection stays race-free).
+//   - RunUntil processes events with timestamps <= end and then
+//     advances the clock to end; Run processes until empty. Stop halts
+//     the loop; on a ShardedEngine it may be called from any goroutine
+//     (the watchdog pattern) and takes effect at the next window
+//     boundary.
+type Scheduler interface {
+	Now() Time
+	Schedule(at Time, fn func())
+	ScheduleAction(at Time, act Action, a, b int64)
+	After(delay Time, fn func())
+	AfterAction(delay Time, act Action, a, b int64)
+	Run()
+	RunUntil(end Time)
+	Stop()
+	Processed() uint64
+	Pending() int
+	Telemetry() Telemetry
+}
+
+var (
+	_ Scheduler = (*Engine)(nil)
+	_ Scheduler = (*ShardedEngine)(nil)
+)

@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardedEngine runs K independent Engines in parallel under a
+// conservative (null-message-free) window synchronizer. It implements
+// Scheduler, so code written against that interface runs unchanged on
+// one core or K.
+//
+// The model: the caller partitions its simulation state into K shards,
+// each owning one Engine, and promises that every cross-shard
+// interaction is scheduled at least `lookahead` of virtual time into
+// the future (for a network, the minimum cross-shard link propagation
+// delay). The synchronizer repeatedly:
+//
+//  1. computes T, the minimum next-event time across all shards, and
+//     G, the earliest pending global event;
+//  2. if G <= T, parks every shard, advances all clocks to G, and runs
+//     the global events at G single-threaded (fault injection and
+//     other whole-network mutations use this phase);
+//  3. otherwise opens the window [T, W) with W = min(T+lookahead, G),
+//     and lets every shard process its events with timestamps < W in
+//     parallel — safe because any cross-shard event produced inside
+//     the window lands at or after T+lookahead >= W;
+//  4. at the window barrier, drains the K*(K-1) SPSC rings in a fixed
+//     order (source shard ascending, FIFO within each ring) and
+//     commits the crossed events into their destination engines.
+//
+// Deadlock-freedom: every iteration either processes at least one
+// event (the shard owning T always has one inside the window, and a
+// global phase runs the event at G) or terminates because no events
+// remain, so the loop always makes progress; there are no blocking
+// channel waits between shards, only the barrier, which every worker
+// reaches after a bounded batch of work.
+//
+// Determinism: window boundaries are pure functions of event
+// timestamps, the drain order is fixed, and each Engine is itself
+// deterministic, so a run's results depend only on the initial events
+// and the shard partition — not on goroutine scheduling. Results are
+// identical for every K >= 1 over the same partition-aware scheduling
+// (see netsim: a K-shard run is byte-identical to the 1-shard sharded
+// run). The one caveat: a crossed event that lands at exactly the same
+// timestamp as a destination-local event breaks the tie by commit
+// order rather than by the global schedule order a single engine would
+// have used; with picosecond timestamps such collisions are measure
+// zero, and the determinism tests pin the guarantee that matters
+// (same output for every K).
+type ShardedEngine struct {
+	engines []*Engine
+	look    Time
+	rings   [][]*shardQueue // [src][dst]; nil on the diagonal
+	globals *Engine         // events that run with all shards parked
+	now     Time            // committed (synchronizer) time
+	stopped atomic.Bool
+	windows uint64 // parallel windows executed
+	crossed uint64 // cross-shard events committed
+
+	wall     time.Duration
+	runStart time.Time
+	running  atomic.Bool
+}
+
+// workerPanic carries a shard goroutine's panic to the coordinator.
+type workerPanic struct {
+	shard int
+	val   any
+}
+
+// crossRingCapacity is the per-directed-pair SPSC ring size. Bursts
+// beyond it spill to the producer-owned overflow slice, so capacity is
+// a fast-path tuning knob, not a correctness bound.
+const crossRingCapacity = 1024
+
+// NewShardedEngine builds a synchronizer over k shards with the given
+// lookahead (must be positive: a zero lookahead admits no parallel
+// window). newEngine constructs each shard's engine — use
+// NewCalendarEngine for dense packet workloads.
+func NewShardedEngine(k int, lookahead Time, newEngine func(shard int) *Engine) *ShardedEngine {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: sharded engine needs at least 1 shard, got %d", k))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: sharded engine needs positive lookahead, got %v", lookahead))
+	}
+	s := &ShardedEngine{
+		engines: make([]*Engine, k),
+		look:    lookahead,
+		rings:   make([][]*shardQueue, k),
+		globals: NewEngine(),
+	}
+	for i := 0; i < k; i++ {
+		s.engines[i] = newEngine(i)
+		s.rings[i] = make([]*shardQueue, k)
+		for j := 0; j < k; j++ {
+			if j != i {
+				s.rings[i][j] = newShardQueue(crossRingCapacity)
+			}
+		}
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *ShardedEngine) Shards() int { return len(s.engines) }
+
+// Shard returns shard i's engine. Schedule into it directly only
+// during setup (before Run) or from shard i's own events; cross-shard
+// scheduling during a run must go through Cross.
+func (s *ShardedEngine) Shard(i int) *Engine { return s.engines[i] }
+
+// Lookahead returns the synchronizer's conservative lookahead.
+func (s *ShardedEngine) Lookahead() Time { return s.look }
+
+// Now returns the committed global time: every shard has processed all
+// its events strictly before this instant. Inside a global phase it
+// equals the phase's timestamp.
+func (s *ShardedEngine) Now() Time { return s.now }
+
+// Schedule runs fn at absolute virtual time at as a global event: the
+// synchronizer parks every shard, advances all clocks to at, and runs
+// fn single-threaded, so fn may touch any shard's state. Use for
+// whole-network mutations (fault injection, rerouting); per-shard work
+// belongs on the shard's own engine. The boxing note on
+// Engine.Schedule applies, but global phases are rare by construction.
+func (s *ShardedEngine) Schedule(at Time, fn func()) { s.globals.Schedule(at, fn) }
+
+// ScheduleAction is the Action form of Schedule; the event still runs
+// as a global, all-shards-parked phase.
+func (s *ShardedEngine) ScheduleAction(at Time, act Action, a, b int64) {
+	s.globals.ScheduleAction(at, act, a, b)
+}
+
+// After runs fn as a global event delay after the committed time.
+func (s *ShardedEngine) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	s.globals.Schedule(s.now+delay, fn)
+}
+
+// AfterAction runs act as a global event delay after the committed time.
+func (s *ShardedEngine) AfterAction(delay Time, act Action, a, b int64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	s.globals.ScheduleAction(s.now+delay, act, a, b)
+}
+
+// Cross schedules act on destination shard dst at absolute time at,
+// from source shard src's goroutine during a window (src != dst). The
+// record travels through the src→dst SPSC ring and is committed at the
+// next barrier; conservative correctness requires at to be at least
+// Lookahead() past the sending shard's current time, which holds
+// whenever at is an arrival computed as now + propagation delay.
+func (s *ShardedEngine) Cross(src, dst int, at Time, act Action, a, b int64) {
+	s.rings[src][dst].push(remote{at: at, act: act, a: a, b: b})
+}
+
+// Stop halts the run at the next window boundary. Unlike Engine.Stop
+// it is safe to call from any goroutine (e.g. a watchdog inside a
+// shard's event, or a signal handler).
+func (s *ShardedEngine) Stop() { s.stopped.Store(true) }
+
+// Processed reports the total events run across all shards and the
+// global queue.
+func (s *ShardedEngine) Processed() uint64 {
+	n := s.globals.Processed()
+	for _, e := range s.engines {
+		n += e.Processed()
+	}
+	return n
+}
+
+// Pending reports the events waiting across all shards, the global
+// queue, and the cross-shard rings.
+func (s *ShardedEngine) Pending() int {
+	n := s.globals.Pending()
+	for _, e := range s.engines {
+		n += e.Pending()
+	}
+	return n
+}
+
+// Windows reports how many parallel windows the synchronizer has run.
+func (s *ShardedEngine) Windows() uint64 { return s.windows }
+
+// Crossed reports how many cross-shard events have been committed.
+func (s *ShardedEngine) Crossed() uint64 { return s.crossed }
+
+// Telemetry aggregates the run across shards and carries the per-shard
+// breakdown in Telemetry.Shards. The aggregate Wall is the
+// synchronizer's wall time (not the per-shard sum), so
+// EventsPerSecond reports true parallel throughput.
+func (s *ShardedEngine) Telemetry() Telemetry {
+	t := Telemetry{
+		Events: s.globals.Processed(),
+		Wall:   s.wallNow(),
+		Shards: make([]ShardTelemetry, len(s.engines)),
+	}
+	for i, e := range s.engines {
+		et := e.Telemetry()
+		t.Events += et.Events
+		t.PeakPending += et.PeakPending
+		t.Shards[i] = ShardTelemetry{Shard: i, Events: et.Events, PeakPending: et.PeakPending, Wall: et.Wall}
+	}
+	return t
+}
+
+func (s *ShardedEngine) wallNow() time.Duration {
+	if s.running.Load() {
+		return s.wall + time.Since(s.runStart)
+	}
+	return s.wall
+}
+
+// Run processes events until every queue is empty or Stop is called.
+func (s *ShardedEngine) Run() {
+	s.RunUntil(Time(1)<<62 - 1)
+}
+
+// RunUntil processes events with timestamps <= end across all shards,
+// then advances every clock to end — the same contract as
+// Engine.RunUntil, executed in parallel windows. Shard goroutines live
+// only for the duration of the call.
+func (s *ShardedEngine) RunUntil(end Time) {
+	s.stopped.Store(false)
+	s.runStart = time.Now()
+	s.running.Store(true)
+	defer func() {
+		s.running.Store(false)
+		s.wall += time.Since(s.runStart)
+	}()
+
+	k := len(s.engines)
+	chans := make([]chan Time, k)
+	var barrier sync.WaitGroup
+	var failed atomic.Pointer[workerPanic]
+	for i := 0; i < k; i++ {
+		chans[i] = make(chan Time)
+		go func(i int) {
+			for w := range chans[i] {
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							failed.Store(&workerPanic{shard: i, val: p})
+						}
+						barrier.Done()
+					}()
+					s.engines[i].RunUntil(w)
+				}()
+			}
+		}(i)
+	}
+	defer func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+
+	const maxTime = Time(1)<<62 - 1
+	for !s.stopped.Load() {
+		// T: earliest shard event; G: earliest global event.
+		T, G := maxTime, maxTime
+		for _, e := range s.engines {
+			if at, ok := e.NextEventAt(); ok && at < T {
+				T = at
+			}
+		}
+		if at, ok := s.globals.NextEventAt(); ok {
+			G = at
+		}
+		next := T
+		if G < next {
+			next = G
+		}
+		if next == maxTime || next > end {
+			break
+		}
+
+		if G <= T {
+			// Global phase: park shards (they already are — we are
+			// between windows), advance all clocks to G, run the
+			// global events at <= G single-threaded.
+			for _, e := range s.engines {
+				e.advanceTo(G)
+			}
+			s.now = G
+			s.globals.RunUntil(G)
+		} else {
+			// Parallel window [T, W): every cross-shard event produced
+			// inside lands at >= T+lookahead >= W, so shards are
+			// mutually invisible until the barrier.
+			W := T + s.look
+			if G < W {
+				W = G
+			}
+			if end+1 < W {
+				W = end + 1
+			}
+			barrier.Add(k)
+			for _, ch := range chans {
+				ch <- W - 1
+			}
+			barrier.Wait()
+			if p := failed.Load(); p != nil {
+				panic(fmt.Sprintf("sim: shard %d panicked: %v", p.shard, p.val))
+			}
+			s.now = W - 1
+			s.windows++
+		}
+
+		// Commit crossed events in a fixed total order: source shard
+		// ascending, destination ascending, FIFO within a ring. Global
+		// phases can cross too (a reconverging fault handler
+		// re-forwarding a held packet over a cross-shard link), so the
+		// drain runs after every phase, keeping the rings empty when T
+		// is computed.
+		for src := 0; src < k; src++ {
+			for dst := 0; dst < k; dst++ {
+				if q := s.rings[src][dst]; q != nil {
+					e := s.engines[dst]
+					q.drain(func(r remote) {
+						e.ScheduleAction(r.at, r.act, r.a, r.b)
+						s.crossed++
+					})
+				}
+			}
+		}
+	}
+
+	// Mirror Engine.RunUntil: advance every clock to end.
+	if end < maxTime {
+		for _, e := range s.engines {
+			if e.now < end {
+				e.now = end
+			}
+		}
+		if s.globals.now < end {
+			s.globals.now = end
+		}
+		if s.now < end {
+			s.now = end
+		}
+	}
+}

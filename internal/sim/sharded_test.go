@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// shardLogAction appends (shard, now, a) tuples; used to observe
+// execution order inside one shard.
+type shardLogAction struct {
+	eng *Engine
+	out *[]int64
+}
+
+func (r *shardLogAction) Run(a, b int64) {
+	*r.out = append(*r.out, int64(r.eng.Now()), a)
+}
+
+func TestShardedEngineRunsLocalEvents(t *testing.T) {
+	s := NewShardedEngine(3, Microsecond, func(int) *Engine { return NewEngine() })
+	var logs [3][]int64
+	for i := 0; i < 3; i++ {
+		rec := &shardLogAction{eng: s.Shard(i), out: &logs[i]}
+		for j := 0; j < 5; j++ {
+			s.Shard(i).ScheduleAction(Time(j)*Nanosecond, rec, int64(j), 0)
+		}
+	}
+	s.Run()
+	if got := s.Processed(); got != 15 {
+		t.Fatalf("processed %d events, want 15", got)
+	}
+	for i, log := range logs {
+		if len(log) != 10 {
+			t.Fatalf("shard %d recorded %d values, want 10", i, len(log))
+		}
+		for j := 0; j < 5; j++ {
+			if at, a := log[2*j], log[2*j+1]; at != int64(j)*int64(Nanosecond) || a != int64(j) {
+				t.Fatalf("shard %d event %d: got (at=%d a=%d)", i, j, at, a)
+			}
+		}
+	}
+}
+
+// crossAction bounces an event to the next shard until hops runs out.
+type crossAction struct {
+	s    *ShardedEngine
+	prop Time
+	out  *[]int64 // (shard, time) pairs, coordinator-committed order
+	mu   sync.Mutex
+}
+
+func (c *crossAction) Run(shard, hops int64) {
+	e := c.s.Shard(int(shard))
+	c.mu.Lock()
+	*c.out = append(*c.out, shard, int64(e.Now()))
+	c.mu.Unlock()
+	if hops == 0 {
+		return
+	}
+	next := (int(shard) + 1) % c.s.Shards()
+	c.s.Cross(int(shard), next, e.Now()+c.prop, c, int64(next), hops-1)
+}
+
+func TestShardedEngineCrossEvents(t *testing.T) {
+	const prop = 250 * Nanosecond
+	s := NewShardedEngine(4, prop, func(int) *Engine { return NewEngine() })
+	var out []int64
+	c := &crossAction{s: s, prop: prop, out: &out}
+	s.Shard(0).ScheduleAction(0, c, 0, 9)
+	s.Run()
+	if len(out) != 20 {
+		t.Fatalf("ran %d hops, want 10: %v", len(out)/2, out)
+	}
+	for i := 0; i < 10; i++ {
+		wantShard, wantAt := int64(i%4), int64(i)*int64(prop)
+		if out[2*i] != wantShard || out[2*i+1] != wantAt {
+			t.Fatalf("hop %d: got shard %d at %d, want shard %d at %d",
+				i, out[2*i], out[2*i+1], wantShard, wantAt)
+		}
+	}
+	if s.Crossed() != 9 {
+		t.Fatalf("crossed %d events, want 9", s.Crossed())
+	}
+}
+
+func TestShardedEngineGlobalPhase(t *testing.T) {
+	const prop = Microsecond
+	s := NewShardedEngine(2, prop, func(int) *Engine { return NewEngine() })
+	var mu sync.Mutex
+	var order []string
+	add := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Shard(i).Schedule(1*Nanosecond, func() { add(fmt.Sprintf("s%d@1", i)) })
+		s.Shard(i).Schedule(9*Nanosecond, func() { add(fmt.Sprintf("s%d@9", i)) })
+	}
+	s.Schedule(5*Nanosecond, func() {
+		// Global events run with every shard parked and advanced to the
+		// phase time.
+		for i := 0; i < 2; i++ {
+			if now := s.Shard(i).Now(); now != 5*Nanosecond {
+				t.Errorf("shard %d clock %v inside global phase, want 5ns", i, now)
+			}
+		}
+		add("global@5")
+	})
+	s.Run()
+	// The shard events at 1ns and 9ns straddle the global at 5ns; shard
+	// order within a window is nondeterministic, but phases are ordered.
+	if len(order) != 5 || order[2] != "global@5" {
+		t.Fatalf("phase order %v, want global@5 strictly between the 1ns and 9ns pairs", order)
+	}
+}
+
+func TestShardedEngineGlobalAfterSchedulesShardWork(t *testing.T) {
+	s := NewShardedEngine(2, Microsecond, func(int) *Engine { return NewEngine() })
+	ran := false
+	s.Shard(0).Schedule(Nanosecond, func() {})
+	s.After(3*Nanosecond, func() {
+		// Globals may schedule onto any shard while shards are parked.
+		s.Shard(1).Schedule(s.Now()+Nanosecond, func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("shard event scheduled from a global phase never ran")
+	}
+	if got := s.Now(); got < 4*Nanosecond {
+		t.Fatalf("final time %v, want >= 4ns", got)
+	}
+}
+
+func TestShardedEngineRunUntilAdvancesClocks(t *testing.T) {
+	s := NewShardedEngine(2, Microsecond, func(int) *Engine { return NewEngine() })
+	s.Shard(0).Schedule(Nanosecond, func() {})
+	end := 50 * Nanosecond
+	s.RunUntil(end)
+	if s.Now() != end {
+		t.Fatalf("synchronizer clock %v, want %v", s.Now(), end)
+	}
+	for i := 0; i < 2; i++ {
+		if got := s.Shard(i).Now(); got != end {
+			t.Fatalf("shard %d clock %v, want %v", i, got, end)
+		}
+	}
+	// Events beyond end must not have run and must still be runnable.
+	later := false
+	s.Shard(1).Schedule(60*Nanosecond, func() { later = true })
+	s.RunUntil(100 * Nanosecond)
+	if !later {
+		t.Fatal("event scheduled after a RunUntil resume never ran")
+	}
+}
+
+func TestShardedEngineStop(t *testing.T) {
+	s := NewShardedEngine(2, Microsecond, func(int) *Engine { return NewEngine() })
+	ran := 0
+	var tick func()
+	tick = func() {
+		ran++
+		if ran == 10 {
+			s.Stop() // from inside a shard event: any-goroutine safe
+		}
+		s.Shard(0).After(Nanosecond, tick)
+	}
+	s.Shard(0).After(Nanosecond, tick)
+	s.Run()
+	if ran < 10 {
+		t.Fatalf("ran %d events before stop, want >= 10", ran)
+	}
+	if s.Pending() == 0 {
+		t.Fatal("stop drained the queue; expected the self-rescheduling event to remain")
+	}
+}
+
+func TestShardedEngineShardPanicPropagates(t *testing.T) {
+	s := NewShardedEngine(2, Microsecond, func(int) *Engine { return NewEngine() })
+	s.Shard(1).Schedule(Nanosecond, func() { panic("boom") })
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("shard panic did not propagate to the coordinator")
+		}
+	}()
+	s.Run()
+}
+
+func TestShardedEngineValidation(t *testing.T) {
+	for _, tc := range []struct {
+		k    int
+		look Time
+	}{{0, Microsecond}, {2, 0}, {2, -Nanosecond}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewShardedEngine(k=%d, look=%v) did not panic", tc.k, tc.look)
+				}
+			}()
+			NewShardedEngine(tc.k, tc.look, func(int) *Engine { return NewEngine() })
+		}()
+	}
+}
+
+// chainAction bounces 4 concurrent chains around the shards. Each
+// chain logs to its own slice — chains run on distinct shards within a
+// window, so the per-chain logs are written race-free and their
+// contents are a pure function of the workload.
+type chainAction struct {
+	s    *ShardedEngine
+	prop Time
+	logs [][]int64
+}
+
+func (c *chainAction) Run(a, hops int64) {
+	chain, shard := int(a>>8), int(a&0xff)
+	e := c.s.Shard(shard)
+	c.logs[chain] = append(c.logs[chain], int64(e.Now()), int64(shard))
+	if hops == 0 {
+		return
+	}
+	next := (shard + 1) % c.s.Shards()
+	c.s.Cross(shard, next, e.Now()+c.prop, c, int64(chain<<8|next), hops-1)
+}
+
+// TestShardedEngineDeterminism runs the same concurrent bouncing
+// workload twice and requires identical per-chain execution logs —
+// goroutine timing must not leak into results.
+func TestShardedEngineDeterminism(t *testing.T) {
+	run := func() [][]int64 {
+		const prop = 250 * Nanosecond
+		s := NewShardedEngine(4, prop, func(int) *Engine { return NewCalendarEngine() })
+		c := &chainAction{s: s, prop: prop, logs: make([][]int64, 4)}
+		for i := 0; i < 4; i++ {
+			s.Shard(i).ScheduleAction(Time(i)*Nanosecond, c, int64(i<<8|i), 50)
+		}
+		s.Run()
+		return c.logs
+	}
+	a, b := run(), run()
+	for chain := range a {
+		if len(a[chain]) != len(b[chain]) {
+			t.Fatalf("chain %d log lengths differ: %d vs %d", chain, len(a[chain]), len(b[chain]))
+		}
+		if len(a[chain]) != 2*51 {
+			t.Fatalf("chain %d ran %d hops, want 51", chain, len(a[chain])/2)
+		}
+		for i := range a[chain] {
+			if a[chain][i] != b[chain][i] {
+				t.Fatalf("chain %d diverges at %d: %d vs %d", chain, i, a[chain][i], b[chain][i])
+			}
+		}
+	}
+}
+
+func TestShardedEngineTelemetry(t *testing.T) {
+	s := NewShardedEngine(2, Microsecond, func(int) *Engine { return NewEngine() })
+	s.Shard(0).Schedule(Nanosecond, func() {})
+	s.Shard(1).Schedule(Nanosecond, func() {})
+	s.Schedule(2*Nanosecond, func() {})
+	s.Run()
+	tel := s.Telemetry()
+	if tel.Events != 3 {
+		t.Fatalf("telemetry events %d, want 3", tel.Events)
+	}
+	if len(tel.Shards) != 2 {
+		t.Fatalf("telemetry shards %d, want 2", len(tel.Shards))
+	}
+	if tel.Shards[0].Events != 1 || tel.Shards[1].Events != 1 {
+		t.Fatalf("per-shard events %+v, want 1 each", tel.Shards)
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import "sync/atomic"
+
+// remote is a cross-shard event record: an Action scheduled by one
+// shard for execution on another, carried through an spscRing and
+// re-scheduled into the destination engine at the next window barrier.
+type remote struct {
+	at   Time
+	act  Action
+	a, b int64
+}
+
+// spscRing is a bounded single-producer single-consumer ring of remote
+// events. The producer is the sending shard's goroutine during a
+// window; the consumer is the synchronizer draining at the barrier.
+// push and pop are wait-free: one atomic load plus one atomic store
+// each, no locks, no allocation.
+//
+// The ring is intentionally allowed to fill: shardQueue diverts to a
+// producer-owned overflow slice when push fails, and the barrier's
+// happens-before edge makes the overflow visible to the consumer.
+type spscRing struct {
+	buf []remote
+	// mask == len(buf)-1; len(buf) is a power of two.
+	mask uint64
+
+	// head is the consumer cursor, tail the producer cursor. Separate
+	// cache lines so the producer's stores don't thrash the consumer's.
+	head atomic.Uint64
+	_    [7]uint64
+	tail atomic.Uint64
+	_    [7]uint64
+}
+
+func newSPSCRing(capacity int) *spscRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{buf: make([]remote, n), mask: uint64(n - 1)}
+}
+
+// push appends r; it reports false when the ring is full (producer
+// side only).
+func (q *spscRing) push(r remote) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() == uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[tail&q.mask] = r
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// pop removes the oldest record; ok is false when the ring is empty
+// (consumer side only).
+func (q *spscRing) pop() (r remote, ok bool) {
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return remote{}, false
+	}
+	r = q.buf[head&q.mask]
+	q.head.Store(head + 1)
+	return r, true
+}
+
+// shardQueue is one directed cross-shard channel: a fixed SPSC ring
+// plus a producer-owned overflow slice for bursts larger than the
+// ring. Once overflow is non-empty every subsequent push goes there
+// too, preserving FIFO order; the barrier drains ring first, then
+// overflow, restoring the original push order. The overflow slice is
+// written only by the producer during a window and read only by the
+// coordinator at the barrier — the barrier's synchronization edge
+// (WaitGroup) orders those accesses.
+type shardQueue struct {
+	ring     *spscRing
+	overflow []remote
+}
+
+func newShardQueue(capacity int) *shardQueue {
+	return &shardQueue{ring: newSPSCRing(capacity)}
+}
+
+// push enqueues r from the producer shard's goroutine.
+func (q *shardQueue) push(r remote) {
+	if len(q.overflow) > 0 || !q.ring.push(r) {
+		q.overflow = append(q.overflow, r)
+	}
+}
+
+// drain pops every queued record in FIFO order into fn. Coordinator
+// side, shards parked.
+func (q *shardQueue) drain(fn func(remote)) {
+	for {
+		r, ok := q.ring.pop()
+		if !ok {
+			break
+		}
+		fn(r)
+	}
+	for _, r := range q.overflow {
+		fn(r)
+	}
+	q.overflow = q.overflow[:0]
+}

@@ -1,0 +1,96 @@
+package traffic
+
+// Sharded-execution counterparts of the harness and the reply-sending
+// workloads. On a sharded netsim.Network, deliveries fire concurrently
+// on K shard goroutines, so the single-map Harness cannot take them
+// directly; and the legacy ScatterGather numbers its reply flows with
+// a shared counter in delivery order, which is neither goroutine-safe
+// nor shard-count-independent. The sharded variants fix both: one
+// sub-harness per shard (merged on read), and reply identities derived
+// from the request packet's ID — a pure function of the workload, the
+// same for every shard count.
+
+import (
+	"math/rand"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/netsim"
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// ShardedHarness multiplexes per-shard delivery streams: wire Deliver
+// into netsim.Config.OnDeliverSharded. Each shard's deliveries land in
+// that shard's private sub-harness, so handlers run on the delivering
+// shard's goroutine with no sharing; Latency merges the per-shard
+// statistics on read. Handlers registered with Handle are installed on
+// every sub-harness and must therefore be safe to run concurrently
+// from different shards for different deliveries — handlers that only
+// touch the delivery and call Network.Send from the destination host
+// (the reply pattern) are.
+type ShardedHarness struct {
+	subs []*Harness
+}
+
+// NewShardedHarness returns a harness with one sub-harness per shard.
+func NewShardedHarness(shards int) *ShardedHarness {
+	h := &ShardedHarness{subs: make([]*Harness, shards)}
+	for i := range h.subs {
+		h.subs[i] = NewHarness()
+	}
+	return h
+}
+
+// Deliver records d in the delivering shard's sub-harness. Pass this
+// to netsim.Config.OnDeliverSharded.
+func (h *ShardedHarness) Deliver(shard int, d netsim.Delivery) {
+	h.subs[shard].Deliver(d)
+}
+
+// Handle registers fn on every sub-harness (see the concurrency note
+// on ShardedHarness).
+func (h *ShardedHarness) Handle(tag int, fn func(netsim.Delivery)) {
+	for _, s := range h.subs {
+		s.Handle(tag, fn)
+	}
+}
+
+// Shard returns one shard's sub-harness.
+func (h *ShardedHarness) Shard(i int) *Harness { return h.subs[i] }
+
+// Latency returns the tag's latency statistics merged across shards
+// (a snapshot, unlike Harness.Latency's live Stats). Integer moments
+// (count, min, max) are exact; mean and variance combine by the
+// parallel Welford rule and may differ from a single-shard run in the
+// last floating-point digits.
+func (h *ShardedHarness) Latency(tag int) *metrics.Stats {
+	out := &metrics.Stats{}
+	for _, s := range h.subs {
+		out.Merge(s.Latency(tag))
+	}
+	return out
+}
+
+// ShardedScatterGather is ScatterGather for sharded networks: the
+// reply flow ID and VLB waypoint derive from the request packet's ID
+// instead of a shared delivery-order counter, so replies are identical
+// for every shard count and the handler is safe on concurrent shard
+// goroutines. The handler is registered on h for reqTag.
+func ShardedScatterGather(net *netsim.Network, h *ShardedHarness, sender topology.NodeID,
+	receivers []topology.NodeID, perDestPPS float64, reqTag, replyTag int,
+	vlb *routing.VLB, rng *rand.Rand) *Task {
+	t := Scatter(net, sender, receivers, perDestPPS, reqTag, vlb, rng)
+	h.Handle(reqTag, func(d netsim.Delivery) {
+		reply := netsim.Packet{
+			Flow: flowBase(replyTag) + routing.FlowID(d.Packet.ID%1024),
+			Src:  d.Packet.Dst, Dst: d.Packet.Src,
+			Size: d.Packet.Size, Tag: replyTag, Waypoint: netsim.NoWaypoint,
+		}
+		if vlb != nil {
+			replyRand := rand.New(rand.NewSource(int64(d.Packet.ID)))
+			reply.Waypoint = vlb.ChooseWaypoint(reply.Src, reply.Dst, replyRand)
+		}
+		net.Send(reply)
+	})
+	return t
+}
