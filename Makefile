@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-json bench-diff service-smoke scenario-smoke flagdoc
+.PHONY: build test vet race verify bench bench-json bench-diff service-smoke scenario-smoke trace-smoke flagdoc
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ service-smoke:
 # quartzsim -scenario -dry-run. CI runs this as the scenario-smoke step.
 scenario-smoke:
 	bash scripts/scenario_smoke.sh
+
+# End-to-end check of execution tracing: sharded quartzsim and
+# quartzbench traces validate under cmd/tracecheck (schema, per-track
+# timestamp order), the -json report carries barrier_profile, and a
+# quartzd job round-trips its X-Quartz-Trace header through
+# GET /jobs/{id}/trace. CI runs this as the trace-smoke step.
+trace-smoke:
+	bash scripts/trace_smoke.sh
 
 # Regenerate the quartzsim flag reference embedded in EXPERIMENTS.md
 # (print it; paste under "## quartzsim flag reference").

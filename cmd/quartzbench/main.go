@@ -6,6 +6,7 @@
 //	quartzbench [-run all|<name>] [-list] [-scenario FILE]
 //	            [-seed N] [-trials N] [-tasks N] [-rpcs N] [-shards N]
 //	            [-csv DIR] [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-trace-spans FILE] [-flight-recorder]
 //
 // -scenario runs a declarative scenario document (SCENARIOS.md)
 // instead of registry entries: the compiled experiment flows through
@@ -25,7 +26,15 @@
 // -json writes a machine-readable run report: per-experiment wall time
 // and simulator events/sec plus the run parameters and build
 // environment. `make bench-json` uses it to regenerate
-// BENCH_quartz.json, the repo's accumulating perf record.
+// BENCH_quartz.json, the repo's accumulating perf record. When a
+// sharded engine ran, the report also carries a barrier_profile block
+// (window counts, compute vs barrier-wait wall time).
+//
+// -trace-spans records execution spans — experiment build/run/cell
+// phases down to sharded-engine barrier windows — and writes Chrome
+// trace-event JSON for Perfetto (ui.perfetto.dev). -flight-recorder
+// bounds the recorder to the most recent spans so a long run keeps a
+// black box instead of an unbounded log.
 package main
 
 import (
@@ -45,7 +54,12 @@ import (
 	"github.com/quartz-dcn/quartz/internal/experiments"
 	"github.com/quartz-dcn/quartz/internal/scenario"
 	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
+
+// flightRecorderSpans bounds the -flight-recorder ring: enough for the
+// last few thousand windows of a long run without unbounded memory.
+const flightRecorderSpans = 4096
 
 var (
 	run        = flag.String("run", "all", "experiment to run: all, or a name from -list")
@@ -58,6 +72,8 @@ var (
 	shardsN    = flag.Int("shards", 0, "pin the shard count of sharded-execution experiments (0 = the default 1/2/4/8 ladder)")
 	csvDir     = flag.String("csv", "", "also write each experiment's rows as CSV files into this directory")
 	jsonOut    = flag.String("json", "", "write a machine-readable run report (wall time, events/sec per experiment) to this file")
+	traceSpans = flag.String("trace-spans", "", "record execution spans (experiment cells, sharded-engine windows) and write Chrome trace-event JSON to this file (open in Perfetto)")
+	flightRec  = flag.Bool("flight-recorder", false, "bound the span recorder to the most recent spans (with -trace-spans): a black box for long runs")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile = flag.String("memprofile", "", "write a pprof heap profile after the run to this file")
 )
@@ -147,6 +163,16 @@ func main() {
 		which = "all"
 	}
 
+	var spans *trace.Recorder
+	if *traceSpans != "" {
+		if *flightRec {
+			spans = trace.NewFlightRecorder(flightRecorderSpans)
+		} else {
+			spans = trace.NewRecorder()
+		}
+		params.Trace = spans
+	}
+	profileBefore := sim.BarrierProfileSnapshot()
 	report := experiments.NewReport(params, time.Now())
 
 	ran := false
@@ -196,6 +222,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "quartzbench: unknown experiment %q\n", *run)
 		printRegistry()
 		os.Exit(2)
+	}
+	if profile := sim.BarrierProfileSnapshot().Sub(profileBefore); profile.Windows > 0 || profile.GlobalPhases > 0 {
+		report.BarrierProfile = &profile
+	}
+	if spans != nil {
+		f, err := os.Create(*traceSpans)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: %v\n", err)
+			os.Exit(1)
+		}
+		err = spans.WriteChrome(f, map[string]string{"tool": "quartzbench", "run": *run})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d execution spans to %s\n", spans.Len(), *traceSpans)
 	}
 	if *jsonOut != "" {
 		mem := experiments.CaptureMemStats()

@@ -8,7 +8,8 @@
 //	quartzsim [-arch NAME] [-workload scatter|gather|scattergather|permutation|replay]
 //	          [-replay FILE] [-tasks N] [-pps N] [-fanout N] [-ms N] [-seed N] [-hot N]
 //	          [-fail SPEC] [-fail-detect DUR] [-fail-policy drop|detour]
-//	          [-trace FILE] [-trace-max N] [-probe-interval US] [-probe-out FILE]
+//	          [-trace FILE] [-trace-max N] [-trace-spans FILE] [-flight-recorder]
+//	          [-probe-interval US] [-probe-out FILE]
 //	          [-metrics-addr HOST:PORT] [-metrics-out FILE]
 //	          [-metrics-interval US] [-flows-out FILE]
 //	quartzsim -scenario FILE [-dry-run]
@@ -42,7 +43,11 @@
 // (enqueue/transmit/deliver/drop) to FILE; -probe-interval samples every
 // directed link's queue depth and utilization each US microseconds of
 // virtual time, written to -probe-out. Both emit CSV, or JSON when the
-// file name ends in .json. A run-telemetry summary (events processed,
+// file name ends in .json. -trace-spans records execution spans — one
+// Perfetto track per shard showing barrier windows and wait time, plus
+// one track per flow — as Chrome trace-event JSON; -flight-recorder
+// bounds it to the most recent spans so a long run keeps a black box
+// instead of an unbounded log. A run-telemetry summary (events processed,
 // peak calendar size, wall-clock event rate) always prints at the end.
 // SIGINT/SIGTERM stop the event loop cleanly: the run ends at the
 // current virtual time and every requested output is still written,
@@ -81,8 +86,13 @@ import (
 	"github.com/quartz-dcn/quartz/internal/scenario"
 	"github.com/quartz-dcn/quartz/internal/sim"
 	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/trace"
 	"github.com/quartz-dcn/quartz/internal/traffic"
 )
+
+// flightRecorderSpans bounds the -flight-recorder ring: enough for the
+// last few thousand barrier windows of a long run.
+const flightRecorderSpans = 4096
 
 var (
 	scenarioPath = flag.String("scenario", "", "run a declarative scenario file (JSON or TOML, see SCENARIOS.md) instead of flag-driven setup")
@@ -105,6 +115,8 @@ var (
 
 	traceOut  = flag.String("trace", "", "record per-packet lifecycle events to this file (CSV, or JSON if it ends in .json)")
 	traceMax  = flag.Int("trace-max", 100_000, "keep at most N trace events (0 = unbounded)")
+	spansOut  = flag.String("trace-spans", "", "record execution spans (sharded-engine barrier windows, flow lifetimes) and write Chrome trace-event JSON to this file (open in Perfetto)")
+	flightRec = flag.Bool("flight-recorder", false, "bound the span recorder to the most recent spans (with -trace-spans): a black box for long runs")
 	probeUS   = flag.Int64("probe-interval", 0, "sample queue depth/utilization every N microseconds (0 = off)")
 	probeOut  = flag.String("probe-out", "", "write queue samples to this file (CSV, or JSON if it ends in .json); default: per-port summary on stdout")
 	telemetry = flag.Bool("telemetry", true, "print the run-telemetry summary")
@@ -345,6 +357,16 @@ func main() {
 	oo := netsim.ObserveOptions{}
 	if *traceOut != "" {
 		oo.Trace, oo.TraceLimit = true, *traceMax
+	}
+	var spans *trace.Recorder
+	if *spansOut != "" {
+		if *flightRec {
+			spans = trace.NewFlightRecorder(flightRecorderSpans)
+		} else {
+			spans = trace.NewRecorder()
+		}
+		oo.Spans = spans
+		oo.Flows = true // flow spans render from the merged flow table
 	}
 	var reg *metrics.Registry
 	if *metricsAddr != "" || *metricsOut != "" || *flowsOut != "" {
@@ -669,6 +691,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %d metrics snapshots to %s\n", exporter.Snapshots(), *metricsOut)
+	}
+	if spans != nil {
+		nflows := obs.FlowSpans()
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzsim: %v\n", err)
+			os.Exit(1)
+		}
+		err = spans.WriteChrome(f, map[string]string{
+			"tool":     "quartzsim",
+			"arch":     *archName,
+			"workload": *workload,
+			"shards":   strconv.Itoa(net.NumShards()),
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quartzsim: writing spans: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d execution spans (%d flow tracks) to %s\n", spans.Len(), nflows, *spansOut)
 	}
 	if *telemetry {
 		fmt.Printf("\ntelemetry: %s\n", net.Telemetry())

@@ -73,10 +73,10 @@ func meshScatterLatency(m, hostsPer int, model netsim.SwitchModel, seed int64) (
 
 // AblationRingSize tests the §7 claim that "the size of the ring does
 // not affect performance": a scatter task on meshes of 4..32 switches.
-func AblationRingSize(ctx context.Context, seed int64, progress Progress) ([]AblationRow, error) {
+func AblationRingSize(ctx context.Context, seed int64, hooks *Hooks) ([]AblationRow, error) {
 	sizes := []int{4, 8, 16, 32}
 	rows := make([]AblationRow, len(sizes))
-	err := forEachCell(ctx, len(sizes), progress, func(i int) error {
+	err := forEachCell(ctx, len(sizes), hooks, func(i int) error {
 		row, err := meshScatterLatency(sizes[i], 4, netsim.Arista7150, seed)
 		if err != nil {
 			return err
@@ -94,7 +94,7 @@ func AblationRingSize(ctx context.Context, seed int64, progress Progress) ([]Abl
 // AblationSwitchModel isolates the cut-through contribution: the same
 // mesh built from ULL cut-through switches versus CCS
 // store-and-forward chassis.
-func AblationSwitchModel(ctx context.Context, seed int64, progress Progress) ([]AblationRow, error) {
+func AblationSwitchModel(ctx context.Context, seed int64, hooks *Hooks) ([]AblationRow, error) {
 	cfgs := []struct {
 		name  string
 		model netsim.SwitchModel
@@ -103,7 +103,7 @@ func AblationSwitchModel(ctx context.Context, seed int64, progress Progress) ([]
 		{"mesh of CCS (6us store-and-forward)", netsim.CiscoNexus7000},
 	}
 	rows := make([]AblationRow, len(cfgs))
-	err := forEachCell(ctx, len(cfgs), progress, func(i int) error {
+	err := forEachCell(ctx, len(cfgs), hooks, func(i int) error {
 		row, err := meshScatterLatency(8, 4, cfgs[i].model, seed)
 		if err != nil {
 			return err
@@ -123,13 +123,13 @@ func AblationSwitchModel(ctx context.Context, seed int64, progress Progress) ([]
 // capacity — showing the adaptive tradeoff of §3.4: too little
 // spreading saturates the direct link, too much wastes capacity on
 // two-hop detours.
-func AblationVLBFraction(ctx context.Context, seed int64, progress Progress) ([]AblationRow, error) {
+func AblationVLBFraction(ctx context.Context, seed int64, hooks *Hooks) ([]AblationRow, error) {
 	ull := func(topology.Node) netsim.SwitchModel { return netsim.Arista7150 }
 	fracs := []float64{0, 0.125, 0.25, 0.5, 0.75, 1.0}
 	rows := make([]AblationRow, len(fracs))
 	// Each cell builds its own ring: routers keep per-graph state, so
 	// shards must not share a topology.
-	err := forEachCell(ctx, len(fracs), progress, func(i int) error {
+	err := forEachCell(ctx, len(fracs), hooks, func(i int) error {
 		frac := fracs[i]
 		ring, err := fig20Ring()
 		if err != nil {
@@ -169,7 +169,7 @@ func AblationVLBFraction(ctx context.Context, seed int64, progress Progress) ([]
 // AblationECMPMode compares per-flow ECMP pinning against per-packet
 // spraying on the three-tier tree under the Figure 17 scatter load:
 // pinned flows collide on the few core ports and inflate the tail.
-func AblationECMPMode(ctx context.Context, seed int64, progress Progress) ([]AblationRow, error) {
+func AblationECMPMode(ctx context.Context, seed int64, hooks *Hooks) ([]AblationRow, error) {
 	cfgs := []struct {
 		name      string
 		perPacket bool
@@ -178,7 +178,7 @@ func AblationECMPMode(ctx context.Context, seed int64, progress Progress) ([]Abl
 		{"three-tier, per-packet spraying", true},
 	}
 	rows := make([]AblationRow, len(cfgs))
-	err := forEachCell(ctx, len(cfgs), progress, func(i int) error {
+	err := forEachCell(ctx, len(cfgs), hooks, func(i int) error {
 		arch, err := core.ThreeTierTree(core.ArchParams{})
 		if err != nil {
 			return err

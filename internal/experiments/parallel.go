@@ -4,6 +4,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
+
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
 
 // forEachCell runs fn(i) for i in [0, n) on a bounded worker pool and
@@ -11,26 +14,41 @@ import (
 // simulation with its own engine and seed, so the sweeps parallelize
 // perfectly; results must be written to disjoint slots by index.
 //
-// progress, when non-nil, is called after each successful cell with
-// the number of cells completed so far and n. Calls are serialized
-// (never concurrent), but completion order is nondeterministic across
-// workers — only the final (n, n) call is guaranteed to be last.
+// h carries the observer hooks (nil means none). h.Progress, when
+// non-nil, is called after each successful cell with the number of
+// cells completed so far and n. Calls are serialized (never
+// concurrent), but completion order is nondeterministic across workers
+// — only the final (n, n) call is guaranteed to be last. h.Trace, when
+// non-nil, records one wall-only "cell" span per cell in the
+// "experiment" category, Track = cell index.
 //
 // Cancelling ctx stops dispatching new cells; cells already running
 // finish, and ctx.Err() is returned. A nil ctx means no cancellation.
-func forEachCell(ctx context.Context, n int, progress Progress, fn func(i int) error) error {
+func forEachCell(ctx context.Context, n int, h *Hooks, fn func(i int) error) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if rec := h.trace(); rec.Enabled() {
+		inner := fn
+		fn = func(i int) error {
+			start := time.Now()
+			err := inner(i)
+			rec.Add(trace.Span{
+				Name: "cell", Cat: "experiment", Track: i,
+				Wall: rec.Since(start), WallDur: time.Since(start).Nanoseconds(),
+			})
+			return err
+		}
 	}
 	done := 0
 	var progressMu sync.Mutex
 	tick := func() {
-		if progress == nil {
+		if h == nil || h.Progress == nil {
 			return
 		}
 		progressMu.Lock()
 		done++
-		progress(done, n)
+		h.Progress(done, n)
 		progressMu.Unlock()
 	}
 	workers := runtime.GOMAXPROCS(0)

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
 
 func TestForEachCellRunsAll(t *testing.T) {
@@ -136,5 +138,33 @@ func TestForEachCellHonorsCancellation(t *testing.T) {
 	}
 	if atomic.LoadInt64(&ran) == 100 {
 		t.Error("cancelled context still ran every cell")
+	}
+}
+
+// TestForEachCellSpans checks the trace hook records one wall-only
+// "cell" span per cell, tracked by cell index.
+func TestForEachCellSpans(t *testing.T) {
+	rec := trace.NewRecorder()
+	const n = 9
+	err := forEachCell(context.Background(), n, &Hooks{Trace: rec}, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Spans()
+	if len(spans) != n {
+		t.Fatalf("%d spans, want %d", len(spans), n)
+	}
+	tracks := map[int]bool{}
+	for _, s := range spans {
+		if s.Name != "cell" || s.Cat != "experiment" {
+			t.Fatalf("unexpected span %+v", s)
+		}
+		if s.Virt != 0 || s.VirtEnd != 0 {
+			t.Fatalf("cell span carries virtual time: %+v", s)
+		}
+		tracks[s.Track] = true
+	}
+	if len(tracks) != n {
+		t.Fatalf("%d distinct tracks, want %d", len(tracks), n)
 	}
 }

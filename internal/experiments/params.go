@@ -11,6 +11,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"strings"
+	"time"
+
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
 
 // Progress is the experiment progress hook: done units of work are
@@ -43,6 +46,57 @@ type Params struct {
 	// a parameter: it does not affect results, is excluded from
 	// CacheKey, and is omitted from JSON reports.
 	Progress Progress `json:"-"`
+
+	// Trace, when non-nil, records execution spans as the experiment
+	// runs: per-cell wall spans under forEachCell, engine window spans
+	// from sharded runs. Like Progress it is a hook — it never affects
+	// results, is excluded from CacheKey, and is omitted from JSON.
+	Trace *trace.Recorder `json:"-"`
+}
+
+// Hooks bundles the observer hooks a runner threads into its cells. A
+// nil *Hooks is valid and means "no hooks" — existing callers that
+// passed a nil Progress keep passing nil unchanged.
+type Hooks struct {
+	Progress Progress
+	Trace    *trace.Recorder
+}
+
+// hooks projects the Params hook fields for threading into runners.
+func (p Params) hooks() *Hooks {
+	if p.Progress == nil && p.Trace == nil {
+		return nil
+	}
+	return &Hooks{Progress: p.Progress, Trace: p.Trace}
+}
+
+// tick invokes the progress hook if one is attached.
+func (h *Hooks) tick(done, total int) {
+	if h != nil && h.Progress != nil {
+		h.Progress(done, total)
+	}
+}
+
+// trace returns the span recorder (nil-safe on a nil *Hooks; a nil
+// *trace.Recorder is itself the disabled recorder).
+func (h *Hooks) trace() *trace.Recorder {
+	if h == nil {
+		return nil
+	}
+	return h.Trace
+}
+
+// span records one wall-only experiment span started at start onto the
+// Params trace hook — the panel/part-level instrument for runners that
+// do their own phase bookkeeping (fig17 panels, ablation parts).
+func (p Params) span(name string, track int, start time.Time) {
+	if p.Trace == nil {
+		return
+	}
+	p.Trace.Add(trace.Span{
+		Name: name, Cat: "experiment", Track: track,
+		Wall: p.Trace.Since(start), WallDur: time.Since(start).Nanoseconds(),
+	})
 }
 
 // DefaultParams returns the values quartzbench uses by default.

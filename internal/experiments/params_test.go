@@ -46,11 +46,11 @@ func TestForEachCellProgress(t *testing.T) {
 	const n = 37
 	var dones []int
 	var lastTotal int
-	err := forEachCell(context.Background(), n, func(done, total int) {
+	err := forEachCell(context.Background(), n, &Hooks{Progress: func(done, total int) {
 		// Serialized by contract: no lock needed here.
 		dones = append(dones, done)
 		lastTotal = total
-	}, func(i int) error { return nil })
+	}}, func(i int) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}

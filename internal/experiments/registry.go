@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/quartz-dcn/quartz/internal/cost"
 )
@@ -89,7 +90,7 @@ func All() []Experiment {
 			Name: "table8", Title: "Table 8: cost and latency configurator", Section: "§4.2",
 			Covers: []string{"Table8"},
 			Run: func(ctx context.Context, p Params) (Output, error) {
-				rows, err := Table8(ctx, p.Seed, p.Progress)
+				rows, err := Table8(ctx, p.Seed, p.hooks())
 				if err != nil {
 					return Output{}, err
 				}
@@ -145,12 +146,14 @@ func All() []Experiment {
 					{GatherKind, p.Tasks, "Figure 17(b): gather"},
 					{ScatterGatherKind, min(p.Tasks, 4), "Figure 17(c): scatter/gather"},
 				} {
+					start := time.Now()
 					rows, err := Figure17(ctx, kc.kind, kc.n, p.Seed)
 					if err != nil {
 						return Output{}, err
 					}
 					b.WriteString(RenderFigure17(kc.label, Figure17Architectures, rows))
 					out.CSV["figure17-"+strings.ReplaceAll(kc.kind.String(), "/", "-")] = rows
+					p.span("panel", done, start)
 					done++
 					p.tick(done, 3)
 				}
@@ -173,11 +176,13 @@ func All() []Experiment {
 					{GatherKind, min(p.Tasks, 6), "Figure 18(b): localized gather"},
 					{ScatterGatherKind, min(p.Tasks, 5), "Figure 18(c): localized scatter/gather"},
 				} {
+					start := time.Now()
 					rows, err := Figure18(ctx, kc.kind, kc.n, p.Seed)
 					if err != nil {
 						return Output{}, err
 					}
 					b.WriteString(RenderFigure17(kc.label, Figure18Architectures, rows))
+					p.span("panel", done, start)
 					done++
 					p.tick(done, 3)
 				}
@@ -274,7 +279,7 @@ func All() []Experiment {
 				// 30 packets per trial: the default 5000 trials keeps the
 				// historical 150k-packet run, and reduced-trial submissions
 				// (the service smoke test, quartzd clients) scale down.
-				rows, err := SimulatorValidation(ctx, p.Seed, 30*p.WithDefaults().Trials, p.Progress)
+				rows, err := SimulatorValidation(ctx, p.Seed, 30*p.WithDefaults().Trials, p.hooks())
 				if err != nil {
 					return Output{}, err
 				}
@@ -299,7 +304,7 @@ func All() []Experiment {
 				if p.Shards > 0 {
 					counts = []int{1, p.Shards}
 				}
-				rows, err := ShardedThroughput(ctx, counts, p.Tasks, p.Seed)
+				rows, err := ShardedThroughput(ctx, counts, p)
 				if err != nil {
 					return Output{}, err
 				}
@@ -312,7 +317,7 @@ func All() []Experiment {
 				var b strings.Builder
 				parts := []struct {
 					label string
-					fn    func(context.Context, int64, Progress) ([]AblationRow, error)
+					fn    func(context.Context, int64, *Hooks) ([]AblationRow, error)
 				}{
 					{"ring size", AblationRingSize},
 					{"switch model", AblationSwitchModel},
@@ -320,11 +325,15 @@ func All() []Experiment {
 					{"ECMP mode", AblationECMPMode},
 				}
 				for i, part := range parts {
-					rows, err := part.fn(ctx, p.Seed, nil)
+					// Trace only: progress stays part-granular (p.tick below)
+					// so the job progress stream keeps one consistent total.
+					start := time.Now()
+					rows, err := part.fn(ctx, p.Seed, &Hooks{Trace: p.Trace})
 					if err != nil {
 						return Output{}, err
 					}
 					b.WriteString(RenderAblation(part.label, rows))
+					p.span("part", i, start)
 					p.tick(i+1, len(parts))
 				}
 				return Output{Text: b.String()}, nil

@@ -11,6 +11,8 @@ import (
 	"io"
 	"runtime"
 	"time"
+
+	"github.com/quartz-dcn/quartz/internal/sim"
 )
 
 // ExperimentReport is the machine-readable record of one experiment
@@ -73,13 +75,23 @@ type Report struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	Params    Params `json:"params"`
+	// NumCPU and GoMaxProcs record the host parallelism the run had —
+	// the context a speedup column is meaningless without (a 1-CPU box
+	// inverts it). cmd/benchdiff warns when comparing across differing
+	// CPU counts.
+	NumCPU     int    `json:"num_cpu,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	Params     Params `json:"params"`
 	// WallSecs is total wall time across the selected experiments.
 	WallSecs    float64            `json:"wall_secs"`
 	Experiments []ExperimentReport `json:"experiments"`
 	// Mem is the run-wide memory summary (nil in reports from versions
 	// that predate it; the field is additive to the v1 schema).
 	Mem *MemStats `json:"mem,omitempty"`
+	// BarrierProfile is the sharded synchronizer's window economics over
+	// the run (sim.BarrierProfileSnapshot delta; nil when no sharded
+	// engine ran or in reports that predate it — additive to v1).
+	BarrierProfile *sim.BarrierProfile `json:"barrier_profile,omitempty"`
 }
 
 // ReportSchema identifies the current report format.
@@ -89,12 +101,14 @@ const ReportSchema = "quartz-bench-report/v1"
 // the caller appends ExperimentReports as experiments finish.
 func NewReport(p Params, startedAt time.Time) *Report {
 	return &Report{
-		Schema:    ReportSchema,
-		StartedAt: startedAt.UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Params:    p.WithDefaults(),
+		Schema:     ReportSchema,
+		StartedAt:  startedAt.UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Params:     p.WithDefaults(),
 	}
 }
 

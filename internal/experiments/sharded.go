@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
+	"time"
 
 	"github.com/quartz-dcn/quartz/internal/core"
 	"github.com/quartz-dcn/quartz/internal/netsim"
@@ -42,8 +43,10 @@ var ShardedShardCounts = []int{1, 2, 4, 8}
 // wall-clock event throughput. All runs use the sharded execution path
 // (K=1 included) so the comparison isolates parallelism, not engine
 // implementation. Returns an error if any run disagrees with the
-// baseline on delivered or dropped packets.
-func ShardedThroughput(ctx context.Context, counts []int, tasks int, seed int64) ([]ShardedRow, error) {
+// baseline on delivered or dropped packets. p supplies Tasks, Seed,
+// and the hooks: with p.Trace set each run records its topology-build
+// and run spans plus the synchronizer's window/barrier spans.
+func ShardedThroughput(ctx context.Context, counts []int, p Params) ([]ShardedRow, error) {
 	if counts == nil {
 		counts = ShardedShardCounts
 	}
@@ -54,7 +57,7 @@ func ShardedThroughput(ctx context.Context, counts []int, tasks int, seed int64)
 				return nil, err
 			}
 		}
-		row, err := runShardedScatter(k, tasks, seed)
+		row, err := runShardedScatter(k, p)
 		if err != nil {
 			return nil, fmt.Errorf("%d shards: %w", k, err)
 		}
@@ -78,7 +81,9 @@ func ShardedThroughput(ctx context.Context, counts []int, tasks int, seed int64)
 
 // runShardedScatter builds a fresh architecture and runs the workload
 // once at the given shard count.
-func runShardedScatter(shards, tasks int, seed int64) (ShardedRow, error) {
+func runShardedScatter(shards int, p Params) (ShardedRow, error) {
+	tasks, seed := p.Tasks, p.Seed
+	buildStart := time.Now()
 	arch, err := core.QuartzInEdgeAndCore(core.ArchParams{})
 	if err != nil {
 		return ShardedRow{}, err
@@ -94,6 +99,11 @@ func runShardedScatter(shards, tasks int, seed int64) (ShardedRow, error) {
 	if err != nil {
 		return ShardedRow{}, err
 	}
+	p.span("build", shards, buildStart)
+	if p.Trace != nil {
+		net.Sharded().AttachTrace(sim.ShardedTraceOptions{Recorder: p.Trace})
+	}
+	runStart := time.Now()
 	params := defaultFig17Params(ScatterKind)
 	rng := rand.New(rand.NewSource(seed))
 	hosts := arch.Graph.Hosts()
@@ -115,6 +125,7 @@ func runShardedScatter(shards, tasks int, seed int64) (ShardedRow, error) {
 		}
 	}
 	net.RunUntil(end + 2*sim.Millisecond)
+	p.span("run", shards, runStart)
 	tel := net.Telemetry()
 	return ShardedRow{
 		Shards:    shards,

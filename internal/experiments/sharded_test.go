@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
 
 // TestShardedThroughput runs the shard sweep with a small task count
@@ -11,7 +13,7 @@ import (
 // and drops exactly the same packets. The speedup column is informative
 // only — on a single-CPU runner there is nothing to win.
 func TestShardedThroughput(t *testing.T) {
-	rows, err := ShardedThroughput(context.Background(), nil, 2, 2014)
+	rows, err := ShardedThroughput(context.Background(), nil, Params{Tasks: 2, Seed: 2014})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,5 +35,25 @@ func TestShardedThroughput(t *testing.T) {
 	out := RenderSharded(rows)
 	if !strings.Contains(out, "speedup") || !strings.Contains(out, "delivered") {
 		t.Fatalf("render missing columns:\n%s", out)
+	}
+}
+
+// TestShardedThroughputTrace checks the hook plumbing: with a recorder
+// attached, each run records experiment-level build/run spans and the
+// synchronizer contributes engine window spans.
+func TestShardedThroughputTrace(t *testing.T) {
+	rec := trace.NewRecorder()
+	_, err := ShardedThroughput(context.Background(), []int{2}, Params{Tasks: 1, Seed: 2014, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, s := range rec.Spans() {
+		names[s.Cat+"/"+s.Name]++
+	}
+	for _, want := range []string{"experiment/build", "experiment/run", "engine/window", "engine/barrier"} {
+		if names[want] == 0 {
+			t.Fatalf("no %s spans recorded (got %v)", want, names)
+		}
 	}
 }

@@ -56,8 +56,8 @@ func table8Latency(archName string, tasks int, seed int64) (float64, error) {
 // Table8 reproduces the configurator comparison: cost per server from
 // the parts catalog and latency reduction from simulation, for the
 // paper's six scenarios. Cancelling ctx stops the sweep between cells;
-// progress (may be nil) reports completed cells.
-func Table8(ctx context.Context, seed int64, progress Progress) ([]Table8Row, error) {
+// hooks (may be nil) carries the progress and trace hooks.
+func Table8(ctx context.Context, seed int64, hooks *Hooks) ([]Table8Row, error) {
 	c := cost.Default2014
 	type scenario struct {
 		size, util         string
@@ -100,7 +100,7 @@ func Table8(ctx context.Context, seed int64, progress Progress) ([]Table8Row, er
 			cellRef{sc.quartz, tasks, seed + int64(i), fmt.Sprintf("%s/%s quartz", sc.size, sc.util)})
 	}
 	lats := make([]float64, len(cells))
-	err = forEachCell(ctx, len(cells), progress, func(j int) error {
+	err = forEachCell(ctx, len(cells), hooks, func(j int) error {
 		lat, err := table8Latency(cells[j].arch, cells[j].tasks, cells[j].seed)
 		if err != nil {
 			return fmt.Errorf("table8 %s: %w", cells[j].label, err)

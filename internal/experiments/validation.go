@@ -41,10 +41,10 @@ type ValidationRow struct {
 // exponential case draws packet sizes from a (discretized, truncated)
 // exponential distribution.
 //
-// Cancelling ctx stops the sweep between cells; progress (may be nil)
-// reports completed cells. Both may come from the service layer's job
-// context and progress hook.
-func SimulatorValidation(ctx context.Context, seed int64, packets int, progress Progress) ([]ValidationRow, error) {
+// Cancelling ctx stops the sweep between cells; hooks (may be nil)
+// carries the progress and trace hooks. Both may come from the service
+// layer's job context.
+func SimulatorValidation(ctx context.Context, seed int64, packets int, hooks *Hooks) ([]ValidationRow, error) {
 	type cell struct {
 		exponential bool
 		rho         float64
@@ -61,7 +61,7 @@ func SimulatorValidation(ctx context.Context, seed int64, packets int, progress 
 	// them across the worker pool and merge by index, so the table is
 	// byte-identical however many cores run it.
 	rows := make([]ValidationRow, len(cells))
-	err := forEachCell(ctx, len(cells), progress, func(i int) error {
+	err := forEachCell(ctx, len(cells), hooks, func(i int) error {
 		var err error
 		rows[i], err = runQueueValidation(cells[i].exponential, cells[i].rho, packets, cells[i].seed)
 		return err

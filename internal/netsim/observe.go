@@ -16,6 +16,7 @@ import (
 
 	"github.com/quartz-dcn/quartz/internal/metrics"
 	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
 
 // ObserveOptions selects what Network.Observe attaches. The zero value
@@ -47,7 +48,18 @@ type ObserveOptions struct {
 
 	// HeartbeatEvery attaches a sim.Heartbeat to every shard engine at
 	// this virtual interval, labeled {"shard": i}. Requires Registry.
+	// On a sharded network it additionally attaches a
+	// sim.ShardedHeartbeat publishing barrier-wait fraction and
+	// per-shard event skew.
 	HeartbeatEvery sim.Time
+
+	// Spans, when set, enables execution-span recording: on a sharded
+	// network the synchronizer's window/barrier/global/drain spans land
+	// here (sim.ShardedEngine.AttachTrace, with Registry receiving the
+	// window and barrier-wait histograms when both are set). Post-run,
+	// Observer.FlowSpans renders the merged flow table onto the same
+	// recorder. Use a trace.NewFlightRecorder to bound long runs.
+	Spans *trace.Recorder
 }
 
 // Observer holds the attachments made by Network.Observe and exposes
@@ -59,6 +71,8 @@ type Observer struct {
 	flows   []*FlowTracker
 	sampler *QueueSampler
 	beats   []*sim.Heartbeat
+	spans   *trace.Recorder
+	sbeat   *sim.ShardedHeartbeat
 }
 
 // Observe attaches the selected observability to every shard and
@@ -85,6 +99,15 @@ func (n *Network) Observe(o ObserveOptions) *Observer {
 		obs.sampler.Start(o.Until)
 	}
 	sharded := n.sharded != nil
+	if o.Spans != nil {
+		obs.spans = o.Spans
+		if sharded {
+			n.sharded.AttachTrace(sim.ShardedTraceOptions{Recorder: o.Spans, Registry: o.Registry})
+		}
+	}
+	if sharded && o.HeartbeatEvery > 0 {
+		obs.sbeat = sim.AttachShardedHeartbeat(n.sharded, o.Registry, o.HeartbeatEvery, o.Until)
+	}
 	for i, sh := range n.shards {
 		probes := []Probe{sh.probe}
 		if o.Trace {
@@ -210,6 +233,43 @@ func (o *Observer) Sampler() *QueueSampler { return o.sampler }
 // Heartbeats returns the attached per-shard heartbeats (index = shard;
 // nil unless HeartbeatEvery was set).
 func (o *Observer) Heartbeats() []*sim.Heartbeat { return o.beats }
+
+// ShardedHeartbeat returns the synchronizer-level heartbeat (nil unless
+// HeartbeatEvery was set on a sharded network).
+func (o *Observer) ShardedHeartbeat() *sim.ShardedHeartbeat { return o.sbeat }
+
+// Spans returns the execution-span recorder passed to Observe (nil
+// unless ObserveOptions.Spans was set).
+func (o *Observer) Spans() *trace.Recorder { return o.spans }
+
+// FlowSpans renders the merged flow table as virtual-only spans on the
+// Observer's recorder: one "flow" span per flow in the "net" category,
+// Track = flow ID, spanning FirstSend→LastActivity on the virtual
+// clock, annotated with sent/delivered/dropped/bytes/retransmits.
+// Wall fields stay zero, so the Chrome export places them on the
+// virtual timeline and — because the flow table is merged shard-count-
+// independently — their ContentCSV("net") is identical for every K,
+// the property the trace determinism tests pin. Requires Observe to
+// have run with both Flows and Spans; call after the run. Returns the
+// number of flow spans recorded.
+func (o *Observer) FlowSpans() int {
+	if o.spans == nil || o.flows == nil {
+		return 0
+	}
+	flows := o.Flows().Flows()
+	for _, f := range flows {
+		o.spans.Add(trace.Span{
+			Name: "flow", Cat: "net", Track: int(f.Flow),
+			Virt: int64(f.FirstSend), VirtEnd: int64(f.LastActivity),
+		}.
+			Annotate("sent", int64(f.PacketsSent)).
+			Annotate("delivered", int64(f.PacketsDelivered)).
+			Annotate("dropped", int64(f.PacketsDropped)).
+			Annotate("bytes", int64(f.BytesDelivered)).
+			Annotate("retransmits", int64(f.Retransmits)))
+	}
+	return len(flows)
+}
 
 // packetProbe narrows a probe to the packet lifecycle: it forwards the
 // four Probe hooks and deliberately does not implement FaultObserver,

@@ -7,6 +7,7 @@ import (
 	"github.com/quartz-dcn/quartz/internal/routing"
 	"github.com/quartz-dcn/quartz/internal/sim"
 	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
 
 func buildMesh(t testing.TB) *topology.Graph {
@@ -52,9 +53,14 @@ func TestPartitionByRing(t *testing.T) {
 	}
 }
 
-// shardedRun is one workload execution's comparable output.
+// shardedRun is one workload execution's comparable output. spans is
+// the execution-trace content (flow spans only — engine window spans
+// are wall-clock diagnostics whose shape legitimately depends on K);
+// engineSpans counts the K-dependent spans to prove they were recorded.
 type shardedRun struct {
 	trace, flows       string
+	spans              string
+	engineSpans        int
 	delivered, dropped uint64
 }
 
@@ -70,7 +76,8 @@ func runShardedWorkload(t *testing.T, shards int, faults *FaultSchedule) sharded
 	if err != nil {
 		t.Fatal(err)
 	}
-	obs := net.Observe(ObserveOptions{Trace: true, Flows: true})
+	rec := trace.NewRecorder()
+	obs := net.Observe(ObserveOptions{Trace: true, Flows: true, Spans: rec})
 	hosts := g.Hosts()
 	for i, h := range hosts {
 		sched := net.SchedulerFor(h)
@@ -97,8 +104,18 @@ func runShardedWorkload(t *testing.T, shards int, faults *FaultSchedule) sharded
 	if err := obs.Flows().WriteCSV(&flowBuf); err != nil {
 		t.Fatal(err)
 	}
+	if obs.FlowSpans() == 0 {
+		t.Fatal("FlowSpans recorded nothing")
+	}
+	engineSpans := 0
+	for _, s := range rec.Spans() {
+		if s.Cat == "engine" {
+			engineSpans++
+		}
+	}
 	return shardedRun{
 		trace: traceBuf.String(), flows: flowBuf.String(),
+		spans: rec.ContentCSV("net"), engineSpans: engineSpans,
 		delivered: net.Delivered(), dropped: net.Dropped(),
 	}
 }
@@ -118,6 +135,13 @@ func requireIdenticalRuns(t *testing.T, base shardedRun, baseK int, faults *Faul
 		if got.trace != base.trace {
 			t.Errorf("K=%d trace differs from K=%d (lengths %d vs %d)",
 				k, baseK, len(got.trace), len(base.trace))
+		}
+		if got.spans != base.spans {
+			t.Errorf("K=%d flow-span content differs from K=%d (lengths %d vs %d)",
+				k, baseK, len(got.spans), len(base.spans))
+		}
+		if k > 1 && got.engineSpans == 0 {
+			t.Errorf("K=%d recorded no engine window spans", k)
 		}
 	}
 }

@@ -254,6 +254,7 @@ func runCell(ctx context.Context, d *Doc, seed int64, p experiments.Params) (str
 			Trials: d.Experiment.Trials,
 			Tasks:  d.Experiment.Tasks,
 			RPCs:   d.Experiment.RPCs,
+			Trace:  p.Trace,
 		}
 		out, err := exp.Run(ctx, cellParams.WithDefaults())
 		if err != nil {
@@ -261,7 +262,7 @@ func runCell(ctx context.Context, d *Doc, seed int64, p experiments.Params) (str
 		}
 		return out.Text, out.CSV, nil
 	}
-	text, err := runSim(ctx, d.Sim, seed)
+	text, err := runSim(ctx, d.Sim, seed, p.Trace)
 	return text, nil, err
 }
 

@@ -20,6 +20,7 @@ import (
 	"github.com/quartz-dcn/quartz/internal/routing"
 	"github.com/quartz-dcn/quartz/internal/sim"
 	"github.com/quartz-dcn/quartz/internal/topology"
+	"github.com/quartz-dcn/quartz/internal/trace"
 	"github.com/quartz-dcn/quartz/internal/traffic"
 )
 
@@ -115,7 +116,9 @@ func faultSchedule(fs *FaultsSpec, g *topology.Graph) (netsim.FaultSchedule, err
 }
 
 // runSim executes one SimSpec and renders the deterministic summary.
-func runSim(ctx context.Context, spec *SimSpec, seed int64) (string, error) {
+// rec, when non-nil and the document sets probes.trace_spans, receives
+// execution spans (engine windows, flow lifetimes) as a side channel.
+func runSim(ctx context.Context, spec *SimSpec, seed int64, rec *trace.Recorder) (string, error) {
 	arch, err := BuildArch(spec.Topology, spec.Routing, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return "", err
@@ -161,11 +164,15 @@ func runSim(ctx context.Context, spec *SimSpec, seed int64) (string, error) {
 	// their output on read, so the same code serves both modes.
 	var obs *netsim.Observer
 	var sampler *netsim.QueueSampler
-	if p := spec.Probes; p != nil && (p.Flows || p.QueueSampleUS > 0) {
-		oo := netsim.ObserveOptions{Flows: p.Flows}
+	tracing := spec.Probes != nil && spec.Probes.TraceSpans && rec != nil
+	if p := spec.Probes; p != nil && (p.Flows || p.QueueSampleUS > 0 || tracing) {
+		oo := netsim.ObserveOptions{Flows: p.Flows || tracing}
 		if p.QueueSampleUS > 0 {
 			oo.SampleEvery = sim.Time(p.QueueSampleUS) * sim.Microsecond
 			oo.Until = end
+		}
+		if tracing {
+			oo.Spans = rec
 		}
 		obs = net.Observe(oo)
 		sampler = obs.Sampler()
@@ -283,6 +290,10 @@ func runSim(ctx context.Context, spec *SimSpec, seed int64) (string, error) {
 	net.RunUntil(runEnd)
 	if err := ctx.Err(); err != nil {
 		return "", err
+	}
+	if tracing {
+		// Side-band only: flow spans go to the recorder, never the text.
+		obs.FlowSpans()
 	}
 
 	fmt.Fprintf(&b, "%s | %s | %d task(s), %d streams each at %.0f pps | %g ms",

@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
 
 // compileSim is a helper: decode + compile a sim document.
@@ -168,5 +170,39 @@ func TestSimRunSharded(t *testing.T) {
 	b, _ := summary("2")
 	if a != b {
 		t.Fatalf("same sharded scenario, different output:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+func TestSimRunTraceSpans(t *testing.T) {
+	doc := `{"schema": "quartz-scenario/v1", "name": "spans",
+	         "sim": {"duration_ms": 2, "shards": 2,
+	                 "topology": {"kind": "tree3", "quartz": "edge"},
+	                 "workload": {"kind": "scatter", "tasks": 2, "fanout": 3, "pps": 2000},
+	                 "probes": {"trace_spans": true}}}`
+	c := compileSim(t, doc)
+
+	// Without a recorder the probe is inert.
+	plain := runOnce(t, c)
+
+	// With one, engine and flow spans land in it — and the rendered
+	// text stays byte-identical, so tracing never splits cache entries.
+	rec := trace.NewRecorder()
+	p := c.Params
+	p.Trace = rec
+	out, err := c.Experiment.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Text != plain {
+		t.Errorf("trace_spans changed the rendered output:\n--- without\n%s\n--- with\n%s", plain, out.Text)
+	}
+	names := map[string]int{}
+	for _, s := range rec.Spans() {
+		names[s.Cat+"/"+s.Name]++
+	}
+	for _, want := range []string{"engine/window", "engine/barrier", "net/flow"} {
+		if names[want] == 0 {
+			t.Errorf("no %s spans recorded (got %v)", want, names)
+		}
 	}
 }

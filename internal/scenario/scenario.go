@@ -192,6 +192,13 @@ type ProbesSpec struct {
 	QueueSampleUS int64 `json:"queue_sample_us,omitempty"`
 	// HotPorts appends the N busiest ports by bytes. 0 = off.
 	HotPorts int `json:"hot_ports,omitempty"`
+	// TraceSpans records execution spans (sharded-engine barrier
+	// windows, flow lifetimes) into the submission's trace recorder —
+	// quartzd's per-job flight recorder, or the file behind quartzsim
+	// -trace-spans. Span output is side-band: it never appears in the
+	// rendered text, so enabling it cannot split cache entries. A
+	// submission without a recorder ignores it.
+	TraceSpans bool `json:"trace_spans,omitempty"`
 }
 
 // SweepSpec fans a scenario out over a grid of parameter values.

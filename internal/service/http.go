@@ -7,6 +7,7 @@ package service
 //	GET    /jobs            list jobs, submission order
 //	GET    /jobs/{id}       job state + progress
 //	GET    /jobs/{id}/result  output of a terminal job (409 until then)
+//	GET    /jobs/{id}/trace   execution trace, Chrome trace-event JSON
 //	DELETE /jobs/{id}       cancel
 //	PUT    /scenarios/{name}  store a named scenario document (400 on doc errors)
 //	GET    /scenarios/{name}  the stored document, as uploaded
@@ -26,6 +27,13 @@ package service
 // non-'{' first byte). A scenario that parameterizes a registry
 // experiment shares that experiment's cache key, so identical
 // submissions coalesce regardless of shape.
+//
+// Every job carries an execution trace: POST /jobs reads an optional
+// X-Quartz-Trace header naming it (default: the job ID), job responses
+// echo the header back, and GET /jobs/{id}/trace serves the spans —
+// job lifecycle down to sharded-engine barrier windows — as Chrome
+// trace-event JSON loadable in Perfetto. The trace of a running job is
+// whatever has been recorded so far.
 //
 // Backpressure is visible at the protocol level: a full queue answers
 // 429 Too Many Requests with Retry-After, a draining daemon 503
@@ -91,6 +99,7 @@ func (s *Service) Handler(meta metrics.StatusMeta) http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("PUT /scenarios/{name}", s.handleScenarioPut)
 	mux.HandleFunc("GET /scenarios/{name}", s.handleScenarioGet)
@@ -144,6 +153,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
+	if tid := r.Header.Get(traceHeader); tid != "" {
+		req.TraceID = tid
+	}
 	job, err := s.Submit(req)
 	switch {
 	case err == nil:
@@ -171,7 +183,33 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if job.State().Terminal() { // cache hit: no execution pending
 		code = http.StatusOK
 	}
+	w.Header().Set(traceHeader, job.TraceID())
 	writeJSON(w, code, job.Snapshot(time.Now()))
+}
+
+// traceHeader carries a client-chosen trace ID on POST /jobs and comes
+// back on job responses, so a client can correlate its own request
+// with the exported trace.
+const traceHeader = "X-Quartz-Trace"
+
+// handleTrace serves the job's execution trace as Chrome trace-event
+// JSON (Perfetto-loadable). Works at any lifecycle point: a running
+// job yields the spans recorded so far, a cache-hit job only its
+// lifecycle spans.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set(traceHeader, j.TraceID())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = j.Trace().WriteChrome(w, map[string]string{
+		"job":        j.ID(),
+		"trace_id":   j.TraceID(),
+		"experiment": j.name,
+		"state":      j.State().String(),
+	})
 }
 
 func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/quartz-dcn/quartz/internal/experiments"
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
 
 // State is a job's lifecycle position.
@@ -106,6 +107,11 @@ type Request struct {
 	// NoCache forces execution even when a cached result exists, and
 	// keeps the result out of the cache.
 	NoCache bool `json:"no_cache,omitempty"`
+	// TraceID names the job's execution trace; it defaults to the job
+	// ID. The HTTP layer fills it from the X-Quartz-Trace request
+	// header, echoes it on responses, and serves the trace itself at
+	// GET /jobs/{id}/trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Job is one tracked submission.
@@ -118,6 +124,13 @@ type Job struct {
 
 	timeout time.Duration
 	noCache bool
+	traceID string
+	// rec is the job's flight recorder: lifecycle spans plus whatever
+	// the experiment records through Params.Trace, bounded so a
+	// long-running job keeps its most recent windows. Set at creation
+	// and never reassigned, so handlers may read it while a worker
+	// records into it.
+	rec *trace.Recorder
 
 	mu          sync.Mutex
 	state       State
@@ -139,6 +152,27 @@ func (j *Job) ID() string { return j.id }
 
 // Key returns the job's canonical cache key.
 func (j *Job) Key() string { return j.key }
+
+// TraceID returns the job's trace identifier.
+func (j *Job) TraceID() string { return j.traceID }
+
+// Trace returns the job's span recorder. Safe to export at any point
+// in the lifecycle; a still-running job yields the spans so far.
+func (j *Job) Trace() *trace.Recorder { return j.rec }
+
+// traceSpan records one wall-only lifecycle span on the job's trace.
+func (j *Job) traceSpan(name string, start, end time.Time) {
+	wall := j.rec.Since(start)
+	if wall < 0 {
+		// The recorder epoch lands a hair after the submission
+		// timestamp; pin the queued span to the epoch.
+		wall = 0
+	}
+	j.rec.Add(trace.Span{
+		Name: name, Cat: "job", Track: 0,
+		Wall: wall, WallDur: end.Sub(start).Nanoseconds(),
+	})
+}
 
 // State returns the current lifecycle state.
 func (j *Job) State() State {
@@ -214,6 +248,7 @@ type View struct {
 	Params     ParamSpec `json:"params"`
 	State      State     `json:"state"`
 	CacheHit   bool      `json:"cache_hit,omitempty"`
+	TraceID    string    `json:"trace_id,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -238,6 +273,7 @@ func (j *Job) Snapshot(now time.Time) View {
 		Params:      specOf(j.params),
 		State:       j.state,
 		CacheHit:    j.cacheHit,
+		TraceID:     j.traceID,
 		SubmittedAt: j.submittedAt,
 		Error:       j.errMsg,
 	}

@@ -24,7 +24,13 @@ import (
 	"github.com/quartz-dcn/quartz/internal/experiments"
 	"github.com/quartz-dcn/quartz/internal/metrics"
 	"github.com/quartz-dcn/quartz/internal/scenario"
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
+
+// jobFlightSpans bounds each job's trace recorder. The ring grows
+// lazily, so short jobs pay only for the spans they record; a
+// long-running sharded job keeps its most recent windows.
+const jobFlightSpans = 2048
 
 // Submission errors. The HTTP layer maps these to status codes
 // (ErrQueueFull → 429, ErrDraining → 503, ErrUnknownExperiment → 404).
@@ -261,9 +267,10 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		if ent, ok := s.cache.get(key); ok {
 			s.mCacheHits.Inc()
 			s.mSubmit["cache_hit"].Inc()
-			job := s.newJobLocked(exp, params, key, timeout, req.NoCache, now)
+			job := s.newJobLocked(exp, params, key, timeout, req, now)
 			job.cacheHit = true
 			job.startedAt = now
+			job.traceSpan("cached", now, now)
 			job.finish(StateDone, ent.output, "", now)
 			s.mTerminal[StateDone].Inc()
 			s.registerLocked(job)
@@ -274,7 +281,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 			return live, nil
 		}
 	}
-	job := s.newJobLocked(exp, params, key, timeout, req.NoCache, now)
+	job := s.newJobLocked(exp, params, key, timeout, req, now)
 	select {
 	case s.queue <- job:
 	default:
@@ -293,20 +300,27 @@ func (s *Service) Submit(req Request) (*Job, error) {
 }
 
 // newJobLocked allocates a job shell. Caller holds s.mu.
-func (s *Service) newJobLocked(exp experiments.Experiment, p experiments.Params, key string, timeout time.Duration, noCache bool, now time.Time) *Job {
+func (s *Service) newJobLocked(exp experiments.Experiment, p experiments.Params, key string, timeout time.Duration, req Request, now time.Time) *Job {
 	s.nextID++
-	return &Job{
+	j := &Job{
 		id:          fmt.Sprintf("j-%06d", s.nextID),
 		key:         key,
 		name:        exp.Name,
 		params:      p,
 		run:         exp.Run,
 		timeout:     timeout,
-		noCache:     noCache,
+		noCache:     req.NoCache,
+		traceID:     req.TraceID,
+		rec:         trace.NewFlightRecorder(jobFlightSpans),
 		state:       StateQueued,
 		submittedAt: now,
 		done:        make(chan struct{}),
 	}
+	if j.traceID == "" {
+		j.traceID = j.id
+	}
+	j.rec.NameTrack("job", 0, "lifecycle")
+	return j
 }
 
 // registerLocked records a job in the table, evicting the oldest
@@ -420,9 +434,11 @@ func (s *Service) runJob(j *Job) {
 	s.gaugesLocked()
 	s.mu.Unlock()
 	s.mQueueWait.Observe(float64(now.Sub(j.submittedAt).Microseconds()))
+	j.traceSpan("queued", j.submittedAt, now)
 
 	p := j.params
 	p.Progress = j.setProgress
+	p.Trace = j.rec
 	out, err := j.run(ctx, p)
 
 	state := StateDone
@@ -441,6 +457,7 @@ func (s *Service) runJob(j *Job) {
 		msg = err.Error()
 	}
 	end := time.Now()
+	j.traceSpan("run", now, end)
 
 	s.mu.Lock()
 	recorded := j.finish(state, out, msg, end)

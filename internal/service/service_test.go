@@ -11,6 +11,7 @@ import (
 
 	"github.com/quartz-dcn/quartz/internal/experiments"
 	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
 
 // stubRegistry builds a Lookup over synthetic experiments for tests:
@@ -55,6 +56,11 @@ func (sr *stubRegistry) lookup(name string) (experiments.Experiment, bool) {
 	case "fail":
 		return experiments.Experiment{Name: "fail", Run: run(func(context.Context, experiments.Params) (experiments.Output, error) {
 			return experiments.Output{}, errors.New("synthetic failure")
+		})}, true
+	case "spanner":
+		return experiments.Experiment{Name: "spanner", Run: run(func(_ context.Context, p experiments.Params) (experiments.Output, error) {
+			p.Trace.Add(trace.Span{Name: "cell", Cat: "experiment", Track: 0})
+			return experiments.Output{Text: "spanned"}, nil
 		})}, true
 	case "ticker":
 		return experiments.Experiment{Name: "ticker", Run: run(func(_ context.Context, p experiments.Params) (experiments.Output, error) {

@@ -1,0 +1,189 @@
+package service
+
+// Job execution traces: lifecycle spans, trace-ID propagation through
+// the X-Quartz-Trace header, and the GET /jobs/{id}/trace export.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// spanNames folds a job's trace into cat/name counts.
+func spanNames(j *Job) map[string]int {
+	names := map[string]int{}
+	for _, s := range j.Trace().Spans() {
+		names[s.Cat+"/"+s.Name]++
+	}
+	return names
+}
+
+func TestJobTraceLifecycle(t *testing.T) {
+	sr := newStubRegistry()
+	s := New(Config{Lookup: sr.lookup, Workers: 1})
+	defer drain(t, s)
+
+	j, err := s.Submit(Request{Experiment: "spanner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if j.TraceID() != j.ID() {
+		t.Errorf("default trace ID = %q, want the job ID %q", j.TraceID(), j.ID())
+	}
+	names := spanNames(j)
+	for _, want := range []string{"job/queued", "job/run", "experiment/cell"} {
+		if names[want] == 0 {
+			t.Errorf("no %s span recorded (got %v)", want, names)
+		}
+	}
+	if v := j.Snapshot(time.Now()); v.TraceID != j.TraceID() {
+		t.Errorf("snapshot trace_id = %q, want %q", v.TraceID, j.TraceID())
+	}
+}
+
+func TestJobTraceCustomID(t *testing.T) {
+	sr := newStubRegistry()
+	s := New(Config{Lookup: sr.lookup, Workers: 1})
+	defer drain(t, s)
+
+	j, err := s.Submit(Request{Experiment: "echo", TraceID: "deploy-42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if j.TraceID() != "deploy-42" {
+		t.Errorf("trace ID = %q, want the submitted one", j.TraceID())
+	}
+}
+
+func TestCacheHitJobTrace(t *testing.T) {
+	sr := newStubRegistry()
+	s := New(Config{Lookup: sr.lookup, Workers: 1})
+	defer drain(t, s)
+
+	first, err := s.Submit(Request{Experiment: "echo", Params: ParamSpec{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, first)
+	hit, err := s.Submit(Request{Experiment: "echo", Params: ParamSpec{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit() {
+		t.Fatal("second submission was not a cache hit")
+	}
+	names := spanNames(hit)
+	if names["job/cached"] == 0 || names["job/run"] != 0 {
+		t.Errorf("cache-hit trace = %v, want a cached span and no run span", names)
+	}
+}
+
+// drain shuts the service down within the test deadline.
+func drain(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.Drain(ctx)
+}
+
+// chromeTrace is the slice of the Chrome trace-event format the
+// HTTP round-trip asserts on.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	} `json:"traceEvents"`
+	OtherData map[string]string `json:"otherData"`
+}
+
+func TestHTTPTraceRoundTrip(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{QueueCapacity: 4, Workers: 1})
+
+	// Submit with a client-chosen trace ID in the header.
+	body, _ := json.Marshal(Request{Experiment: "spanner"})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(traceHeader, "ci-run-9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	if got := resp.Header.Get(traceHeader); got != "ci-run-9" {
+		t.Fatalf("submit response %s = %q, want the submitted ID", traceHeader, got)
+	}
+	if v.TraceID != "ci-run-9" {
+		t.Fatalf("view trace_id = %q, want the submitted ID", v.TraceID)
+	}
+
+	// Poll until terminal, then fetch the trace.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cur View
+		getJSON(t, ts.URL+"/jobs/"+v.ID, &cur)
+		if cur.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp = doGet(t, ts.URL+"/jobs/"+v.ID+"/trace")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(traceHeader); got != "ci-run-9" {
+		t.Errorf("trace response %s = %q, want the submitted ID", traceHeader, got)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(raw, &ct); err != nil {
+		t.Fatalf("trace body is not valid JSON: %v\n%s", err, raw)
+	}
+	if ct.OtherData["trace_id"] != "ci-run-9" || ct.OtherData["job"] != v.ID {
+		t.Errorf("otherData = %v, want trace_id/job stamped", ct.OtherData)
+	}
+	var haveRun bool
+	for _, e := range ct.TraceEvents {
+		if e.Name == "run" && e.Ph == "X" {
+			haveRun = true
+		}
+	}
+	if !haveRun {
+		t.Errorf("trace export has no run span (%d events)", len(ct.TraceEvents))
+	}
+
+	// Unknown job: 404.
+	resp = doGet(t, ts.URL+"/jobs/j-999999/trace")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown-job trace status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func doGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/quartz-dcn/quartz/internal/trace"
 )
 
 // ShardedEngine runs K independent Engines in parallel under a
@@ -63,6 +65,19 @@ type ShardedEngine struct {
 	wall     time.Duration
 	runStart time.Time
 	running  atomic.Bool
+
+	// Always-on window profiling (coordinator-only; see sharded_trace.go).
+	winWall      time.Duration // wall time inside parallel windows
+	busyWall     time.Duration // per-shard compute wall summed over windows
+	globalPhases uint64        // all-shards-parked phases run
+	ringHigh     uint64        // most events committed at one barrier
+
+	// Pre-window per-shard snapshots, reused every window.
+	ranBefore  []uint64
+	wallBefore []time.Duration
+
+	// Opt-in span recording and trace metrics (nil when detached).
+	trc *shardedTrace
 }
 
 // workerPanic carries a shard goroutine's panic to the coordinator.
@@ -192,6 +207,12 @@ func (s *ShardedEngine) Windows() uint64 { return s.windows }
 // Crossed reports how many cross-shard events have been committed.
 func (s *ShardedEngine) Crossed() uint64 { return s.crossed }
 
+// RingHighWater reports the most cross-shard events committed at any
+// single barrier — the occupancy high-water mark of the SPSC rings
+// (they are empty between phases, so the per-barrier drain count is
+// the occupancy the rings actually reached).
+func (s *ShardedEngine) RingHighWater() uint64 { return s.ringHigh }
+
 // Telemetry aggregates the run across shards and carries the per-shard
 // breakdown in Telemetry.Shards. The aggregate Wall is the
 // synchronizer's wall time (not the per-shard sum), so
@@ -231,12 +252,19 @@ func (s *ShardedEngine) RunUntil(end Time) {
 	s.stopped.Store(false)
 	s.runStart = time.Now()
 	s.running.Store(true)
+	prevWin, prevBusy := s.winWall, s.busyWall
+	prevWindows, prevGlobals, prevCrossed := s.windows, s.globalPhases, s.crossed
 	defer func() {
 		s.running.Store(false)
 		s.wall += time.Since(s.runStart)
+		s.foldProfile(prevWin, prevBusy, prevWindows, prevGlobals, prevCrossed)
 	}()
 
 	k := len(s.engines)
+	if s.ranBefore == nil {
+		s.ranBefore = make([]uint64, k)
+		s.wallBefore = make([]time.Duration, k)
+	}
 	chans := make([]chan Time, k)
 	var barrier sync.WaitGroup
 	var failed atomic.Pointer[workerPanic]
@@ -290,7 +318,20 @@ func (s *ShardedEngine) RunUntil(end Time) {
 				e.advanceTo(G)
 			}
 			s.now = G
-			s.globals.RunUntil(G)
+			if s.trc != nil && s.trc.rec.Enabled() {
+				gStart := time.Now()
+				ranBefore := s.globals.ran
+				s.globals.RunUntil(G)
+				s.trc.rec.Add(trace.Span{
+					Name: "global", Cat: "engine", Track: trace.CoordinatorTrack,
+					Virt: int64(G), VirtEnd: int64(G),
+					Wall:    s.trc.rec.Since(gStart),
+					WallDur: time.Since(gStart).Nanoseconds(),
+				}.Annotate("events", int64(s.globals.ran-ranBefore)))
+			} else {
+				s.globals.RunUntil(G)
+			}
+			s.globalPhases++
 		} else {
 			// Parallel window [T, W): every cross-shard event produced
 			// inside lands at >= T+lookahead >= W, so shards are
@@ -302,6 +343,11 @@ func (s *ShardedEngine) RunUntil(end Time) {
 			if end+1 < W {
 				W = end + 1
 			}
+			winStart := time.Now()
+			for i, e := range s.engines {
+				s.ranBefore[i] = e.ran
+				s.wallBefore[i] = e.wall
+			}
 			barrier.Add(k)
 			for _, ch := range chans {
 				ch <- W - 1
@@ -309,6 +355,14 @@ func (s *ShardedEngine) RunUntil(end Time) {
 			barrier.Wait()
 			if p := failed.Load(); p != nil {
 				panic(fmt.Sprintf("sim: shard %d panicked: %v", p.shard, p.val))
+			}
+			winWall := time.Since(winStart)
+			s.winWall += winWall
+			for i, e := range s.engines {
+				s.busyWall += e.wall - s.wallBefore[i]
+			}
+			if s.trc != nil {
+				s.traceWindow(T, W, winStart, winWall)
 			}
 			s.now = W - 1
 			s.windows++
@@ -320,16 +374,33 @@ func (s *ShardedEngine) RunUntil(end Time) {
 		// re-forwarding a held packet over a cross-shard link), so the
 		// drain runs after every phase, keeping the rings empty when T
 		// is computed.
+		var dStart time.Time
+		if s.trc != nil && s.trc.rec.Enabled() {
+			dStart = time.Now()
+		}
+		drained := uint64(0)
 		for src := 0; src < k; src++ {
 			for dst := 0; dst < k; dst++ {
 				if q := s.rings[src][dst]; q != nil {
 					e := s.engines[dst]
 					q.drain(func(r remote) {
 						e.ScheduleAction(r.at, r.act, r.a, r.b)
-						s.crossed++
+						drained++
 					})
 				}
 			}
+		}
+		s.crossed += drained
+		if drained > s.ringHigh {
+			s.ringHigh = drained
+		}
+		if drained > 0 && s.trc != nil && s.trc.rec.Enabled() {
+			s.trc.rec.Add(trace.Span{
+				Name: "drain", Cat: "engine", Track: trace.CoordinatorTrack,
+				Virt: int64(s.now), VirtEnd: int64(s.now),
+				Wall:    s.trc.rec.Since(dStart),
+				WallDur: time.Since(dStart).Nanoseconds(),
+			}.Annotate("events", int64(drained)).Annotate("ring_high", int64(s.ringHigh)))
 		}
 	}
 

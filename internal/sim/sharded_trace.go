@@ -1,0 +1,337 @@
+package sim
+
+// Execution tracing for the sharded synchronizer. Two layers:
+//
+//   - Always-on window profiling: the coordinator stamps the wall clock
+//     once around every parallel window and folds compute-vs-wait
+//     aggregates into package counters (BarrierProfileSnapshot). Cost:
+//     two time.Now calls and K field reads per window — per-window, not
+//     per-event, so the intra-shard hot path is untouched.
+//   - Opt-in span recording (AttachTrace): per-window spans on a
+//     trace.Recorder — one "window" (compute) plus one "barrier" (wait)
+//     span per shard per window, "global" spans for all-shards-parked
+//     phases, "drain" spans for ring commits — plus window-length and
+//     barrier-wait histograms and a shard-imbalance gauge in a
+//     metrics.Registry. Disabled (the default) this is a single nil
+//     check per window.
+//
+// The per-shard compute wall time is free to read: Engine.RunUntil
+// already accumulates e.wall across calls, and the window barrier's
+// WaitGroup edge makes the shard's update visible to the coordinator.
+// Barrier wait is then window wall minus the shard's compute delta.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/trace"
+)
+
+// ShardedTraceOptions configures AttachTrace. Recorder receives the
+// spans (nil records nothing); Registry receives the aggregate
+// histograms and gauges (nil skips them). Either alone is useful:
+// histograms without spans for long runs, spans without a registry for
+// a one-shot Perfetto export.
+type ShardedTraceOptions struct {
+	Recorder *trace.Recorder
+	Registry *metrics.Registry
+}
+
+// shardedTrace is the attached per-synchronizer trace state.
+type shardedTrace struct {
+	rec         *trace.Recorder
+	windowVirt  *metrics.LatencyHistogram
+	barrierWait *metrics.LatencyHistogram
+	imbalance   *metrics.Gauge
+}
+
+// AttachTrace enables span recording and aggregate trace metrics on the
+// synchronizer. Call before RunUntil. The registry instruments:
+//
+//	sim_window_virtual_us  histogram  parallel window length [T, W) in virtual µs
+//	sim_barrier_wait_us    histogram  per-shard barrier wait per window, wall µs
+//	sim_shard_imbalance    gauge      (max-min)/mean events across shards, last window
+//
+// The recorder's "engine" category carries one track per shard plus the
+// coordinator track: per window, each shard gets a "window" span (wall
+// duration = compute time, args: events) followed by a "barrier" span
+// (wall duration = wait time); the coordinator records "global" spans
+// for parked phases and "drain" spans (args: events, ring_high) when a
+// barrier commits cross-shard events.
+func (s *ShardedEngine) AttachTrace(o ShardedTraceOptions) {
+	if o.Recorder == nil && o.Registry == nil {
+		return
+	}
+	t := &shardedTrace{rec: o.Recorder}
+	if o.Registry != nil {
+		t.windowVirt = o.Registry.Histogram("sim_window_virtual_us",
+			"parallel window length in virtual microseconds", nil)
+		t.barrierWait = o.Registry.Histogram("sim_barrier_wait_us",
+			"per-shard barrier wait per window in wall microseconds", nil)
+		t.imbalance = o.Registry.Gauge("sim_shard_imbalance",
+			"(max-min)/mean events across shards over the last window", nil)
+	}
+	if o.Recorder != nil {
+		o.Recorder.NameTrack("engine", trace.CoordinatorTrack, "coordinator")
+		for i := range s.engines {
+			o.Recorder.NameTrack("engine", i, shardTrackName(i))
+		}
+	}
+	s.trc = t
+}
+
+// shardTrackName renders "shard N" without fmt (cheap, no import churn).
+func shardTrackName(i int) string {
+	digits := [20]byte{}
+	n := len(digits)
+	for {
+		n--
+		digits[n] = byte('0' + i%10)
+		i /= 10
+		if i == 0 {
+			break
+		}
+	}
+	return "shard " + string(digits[n:])
+}
+
+// traceWindow records the spans and metrics for one parallel window
+// [T, W) whose wall time was winWall. Called by the coordinator with
+// shards parked; ranBefore/wallBefore hold the pre-window snapshots.
+func (s *ShardedEngine) traceWindow(T, W Time, winStart time.Time, winWall time.Duration) {
+	t := s.trc
+	wallBase := t.rec.Since(winStart)
+	var minEv, maxEv, sumEv uint64
+	minEv = ^uint64(0)
+	for i, e := range s.engines {
+		busy := e.wall - s.wallBefore[i]
+		if busy < 0 {
+			busy = 0
+		}
+		if busy > winWall {
+			busy = winWall
+		}
+		wait := winWall - busy
+		evts := e.ran - s.ranBefore[i]
+		if evts < minEv {
+			minEv = evts
+		}
+		if evts > maxEv {
+			maxEv = evts
+		}
+		sumEv += evts
+		t.rec.Add(trace.Span{
+			Name: "window", Cat: "engine", Track: i,
+			Virt: int64(T), VirtEnd: int64(W),
+			Wall: wallBase, WallDur: busy.Nanoseconds(),
+		}.Annotate("events", int64(evts)))
+		t.rec.Add(trace.Span{
+			Name: "barrier", Cat: "engine", Track: i,
+			Virt: int64(W), VirtEnd: int64(W),
+			Wall: wallBase + busy.Nanoseconds(), WallDur: wait.Nanoseconds(),
+		})
+		if t.barrierWait != nil {
+			t.barrierWait.Observe(float64(wait.Nanoseconds()) / 1e3)
+		}
+	}
+	if t.windowVirt != nil {
+		t.windowVirt.Observe(float64(W-T) / float64(Microsecond))
+	}
+	if t.imbalance != nil && sumEv > 0 {
+		mean := float64(sumEv) / float64(len(s.engines))
+		t.imbalance.Set(float64(maxEv-minEv) / mean)
+	}
+}
+
+// BarrierProfile is the always-on aggregate of the synchronizer's
+// parallel-execution economics: where window wall time went. It is the
+// barrier_profile block of the quartzbench -json report; snapshot with
+// BarrierProfileSnapshot and subtract to scope a run.
+type BarrierProfile struct {
+	// Windows counts parallel windows; GlobalPhases counts
+	// all-shards-parked phases (each serializes the run).
+	Windows      uint64 `json:"windows"`
+	GlobalPhases uint64 `json:"global_phases"`
+	// CrossShardEvents counts events committed through the SPSC rings.
+	CrossShardEvents uint64 `json:"cross_shard_events"`
+	// WindowWallSecs is coordinator wall time spent inside windows;
+	// ShardBusySecs sums per-shard compute inside those windows (can
+	// exceed WindowWallSecs·1 — it sums across K shards); BarrierWaitSecs
+	// is K·WindowWallSecs − ShardBusySecs: shard-seconds spent parked at
+	// the barrier.
+	WindowWallSecs  float64 `json:"window_wall_secs"`
+	ShardBusySecs   float64 `json:"shard_busy_secs"`
+	BarrierWaitSecs float64 `json:"barrier_wait_secs"`
+	// BarrierWaitFrac is BarrierWaitSecs over K·WindowWallSecs — the
+	// fraction of parallel capacity lost to the barrier (0 = perfect
+	// scaling, →1 = fully serialized).
+	BarrierWaitFrac float64 `json:"barrier_wait_frac"`
+}
+
+// Package-level profile accumulators, folded once per RunUntil call.
+var (
+	bpWindows    atomic.Uint64
+	bpGlobals    atomic.Uint64
+	bpCrossed    atomic.Uint64
+	bpWindowWall atomic.Int64 // ns
+	bpShardBusy  atomic.Int64 // ns
+	bpWaitNs     atomic.Int64 // ns
+)
+
+// BarrierProfileSnapshot returns the process-wide barrier profile
+// accumulated by every ShardedEngine run so far. Like TotalEvents, the
+// intended use is a before/after delta around a benchmark.
+func BarrierProfileSnapshot() BarrierProfile {
+	p := BarrierProfile{
+		Windows:          bpWindows.Load(),
+		GlobalPhases:     bpGlobals.Load(),
+		CrossShardEvents: bpCrossed.Load(),
+		WindowWallSecs:   float64(bpWindowWall.Load()) / 1e9,
+		ShardBusySecs:    float64(bpShardBusy.Load()) / 1e9,
+		BarrierWaitSecs:  float64(bpWaitNs.Load()) / 1e9,
+	}
+	return p.withFrac()
+}
+
+// Sub returns the profile delta p − prev with the wait fraction
+// recomputed over the delta.
+func (p BarrierProfile) Sub(prev BarrierProfile) BarrierProfile {
+	d := BarrierProfile{
+		Windows:          p.Windows - prev.Windows,
+		GlobalPhases:     p.GlobalPhases - prev.GlobalPhases,
+		CrossShardEvents: p.CrossShardEvents - prev.CrossShardEvents,
+		WindowWallSecs:   p.WindowWallSecs - prev.WindowWallSecs,
+		ShardBusySecs:    p.ShardBusySecs - prev.ShardBusySecs,
+		BarrierWaitSecs:  p.BarrierWaitSecs - prev.BarrierWaitSecs,
+	}
+	return d.withFrac()
+}
+
+func (p BarrierProfile) withFrac() BarrierProfile {
+	// Busy + Wait = K·WindowWall: the shard-seconds of parallel capacity.
+	if denom := p.ShardBusySecs + p.BarrierWaitSecs; denom > 0 {
+		p.BarrierWaitFrac = p.BarrierWaitSecs / denom
+	}
+	return p
+}
+
+// foldProfile commits one RunUntil call's window aggregates into the
+// package accumulators. Deltas, so repeated RunUntil calls compose.
+func (s *ShardedEngine) foldProfile(prevWin, prevBusy time.Duration, prevWindows, prevGlobals, prevCrossed uint64) {
+	dWin := s.winWall - prevWin
+	dBusy := s.busyWall - prevBusy
+	bpWindows.Add(s.windows - prevWindows)
+	bpGlobals.Add(s.globalPhases - prevGlobals)
+	bpCrossed.Add(s.crossed - prevCrossed)
+	bpWindowWall.Add(dWin.Nanoseconds())
+	bpShardBusy.Add(dBusy.Nanoseconds())
+	if wait := time.Duration(len(s.engines))*dWin - dBusy; wait > 0 {
+		bpWaitNs.Add(wait.Nanoseconds())
+	}
+}
+
+// ShardedHeartbeat publishes the synchronizer's parallel-execution
+// health live: how much of the machine the barrier is wasting and how
+// evenly the shards are loaded. Attach with AttachShardedHeartbeat;
+// the tick runs as a global (all-shards-parked) event, so it reads
+// coordinator-only state race-free.
+type ShardedHeartbeat struct {
+	s *ShardedEngine
+
+	windows  *metrics.Counter
+	crossed  *metrics.Counter
+	waitFrac *metrics.Gauge
+	evSkew   *metrics.Gauge
+
+	lastWindows uint64
+	lastCrossed uint64
+	lastWin     time.Duration
+	lastBusy    time.Duration
+	lastShardEv []uint64
+
+	// OnTick, if set, runs after each publish with the tick's virtual
+	// time — same contract as Heartbeat.OnTick.
+	OnTick func(at Time)
+}
+
+// AttachShardedHeartbeat registers the synchronizer's parallel-health
+// instruments in r and schedules a publishing tick every interval of
+// virtual time until the given time (inclusive). The tick is a global
+// event: shards are parked while it runs. The instruments:
+//
+//	sim_windows_total            counter  parallel windows executed
+//	sim_cross_shard_events_total counter  events committed through the rings
+//	sim_barrier_wait_fraction    gauge    fraction of shard-time inside windows
+//	                                      spent waiting at the barrier, last interval
+//	sim_shard_events_skew        gauge    (max-min)/mean per-shard events, last interval
+//
+// Pair with per-shard AttachHeartbeatLabeled heartbeats (netsim.Observe
+// wires both) for the full live picture: per-shard rates plus the
+// barrier economics between them.
+func AttachShardedHeartbeat(s *ShardedEngine, r *metrics.Registry, interval, until Time) *ShardedHeartbeat {
+	if interval <= 0 {
+		panic("sim: sharded heartbeat interval must be positive")
+	}
+	h := &ShardedHeartbeat{
+		s:           s,
+		windows:     r.Counter("sim_windows_total", "parallel windows executed", nil),
+		crossed:     r.Counter("sim_cross_shard_events_total", "cross-shard events committed through the SPSC rings", nil),
+		waitFrac:    r.Gauge("sim_barrier_wait_fraction", "fraction of in-window shard time spent waiting at the barrier over the last interval", nil),
+		evSkew:      r.Gauge("sim_shard_events_skew", "(max-min)/mean per-shard events over the last interval", nil),
+		lastShardEv: make([]uint64, len(s.engines)),
+	}
+	var tick func()
+	tick = func() {
+		h.publish()
+		if s.Now()+interval <= until {
+			s.After(interval, tick)
+		}
+	}
+	s.After(interval, tick)
+	return h
+}
+
+// publish copies the synchronizer state into the instruments and
+// advances the interval baselines. Runs inside a global phase.
+func (h *ShardedHeartbeat) publish() {
+	s := h.s
+	h.windows.Add(s.windows - h.lastWindows)
+	h.crossed.Add(s.crossed - h.lastCrossed)
+	h.lastWindows = s.windows
+	h.lastCrossed = s.crossed
+
+	dWin := s.winWall - h.lastWin
+	dBusy := s.busyWall - h.lastBusy
+	h.lastWin = s.winWall
+	h.lastBusy = s.busyWall
+	if cap := time.Duration(len(s.engines)) * dWin; cap > 0 {
+		frac := float64(cap-dBusy) / float64(cap)
+		if frac < 0 {
+			frac = 0
+		}
+		h.waitFrac.Set(frac)
+	}
+
+	var minEv, maxEv, sumEv uint64
+	minEv = ^uint64(0)
+	for i, e := range s.engines {
+		d := e.ran - h.lastShardEv[i]
+		h.lastShardEv[i] = e.ran
+		if d < minEv {
+			minEv = d
+		}
+		if d > maxEv {
+			maxEv = d
+		}
+		sumEv += d
+	}
+	if sumEv > 0 {
+		mean := float64(sumEv) / float64(len(s.engines))
+		h.evSkew.Set(float64(maxEv-minEv) / mean)
+	}
+
+	if h.OnTick != nil {
+		h.OnTick(s.Now())
+	}
+}

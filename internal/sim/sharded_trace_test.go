@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+	"github.com/quartz-dcn/quartz/internal/trace"
+)
+
+// traceWorkload builds a 2-shard engine with local chains on both
+// shards, a cross-shard bounce, and one global event.
+func traceWorkload() (*ShardedEngine, Time) {
+	const prop = 250 * Nanosecond
+	s := NewShardedEngine(2, prop, func(int) *Engine { return NewCalendarEngine() })
+	for i := 0; i < 2; i++ {
+		act := &countAction{eng: s.Shard(i)}
+		s.Shard(i).ScheduleAction(Nanosecond, act, 64, 0)
+	}
+	var out []int64
+	c := &crossAction{s: s, prop: prop, out: &out}
+	s.Shard(0).ScheduleAction(0, c, 0, 9)
+	s.Schedule(Microsecond, func() {})
+	return s, 10 * Microsecond
+}
+
+func TestAttachTraceRecordsEngineSpans(t *testing.T) {
+	s, end := traceWorkload()
+	rec := trace.NewRecorder()
+	reg := metrics.NewRegistry()
+	s.AttachTrace(ShardedTraceOptions{Recorder: rec, Registry: reg})
+
+	before := BarrierProfileSnapshot()
+	s.RunUntil(end)
+	prof := BarrierProfileSnapshot().Sub(before)
+
+	if prof.Windows == 0 || prof.Windows != s.Windows() {
+		t.Fatalf("profile windows %d, engine windows %d", prof.Windows, s.Windows())
+	}
+	if prof.GlobalPhases == 0 {
+		t.Fatal("no global phases profiled despite a global event")
+	}
+	if prof.CrossShardEvents != s.Crossed() {
+		t.Fatalf("profile crossed %d, engine crossed %d", prof.CrossShardEvents, s.Crossed())
+	}
+	if prof.WindowWallSecs <= 0 {
+		t.Fatal("no window wall time profiled")
+	}
+	if prof.BarrierWaitFrac < 0 || prof.BarrierWaitFrac > 1 {
+		t.Fatalf("barrier wait fraction %v outside [0,1]", prof.BarrierWaitFrac)
+	}
+	if s.RingHighWater() == 0 {
+		t.Fatal("ring high-water 0 despite cross-shard events")
+	}
+
+	names := map[string]int{}
+	tracks := map[int]bool{}
+	for _, sp := range rec.Spans() {
+		if sp.Cat != "engine" {
+			t.Fatalf("unexpected category %q", sp.Cat)
+		}
+		names[sp.Name]++
+		if sp.Name == "window" {
+			tracks[sp.Track] = true
+			if sp.VirtEnd <= sp.Virt {
+				t.Fatalf("window span with empty virtual extent: %+v", sp)
+			}
+		}
+	}
+	for _, want := range []string{"window", "barrier", "global", "drain"} {
+		if names[want] == 0 {
+			t.Fatalf("no %q spans recorded (got %v)", want, names)
+		}
+	}
+	if names["window"] != names["barrier"] {
+		t.Fatalf("%d window vs %d barrier spans", names["window"], names["barrier"])
+	}
+	if !tracks[0] || !tracks[1] {
+		t.Fatalf("window spans missing a shard track: %v", tracks)
+	}
+	if names["window"] != int(s.Windows())*2 {
+		t.Fatalf("%d window spans for %d windows on 2 shards", names["window"], s.Windows())
+	}
+
+	// Aggregates landed in the registry.
+	snap := reg.Snapshot()
+	found := map[string]bool{}
+	for _, se := range snap.Series {
+		found[se.Name] = true
+		if se.Name == "sim_window_virtual_us" && se.Count == 0 {
+			t.Fatal("window-length histogram empty")
+		}
+		if se.Name == "sim_barrier_wait_us" && se.Count == 0 {
+			t.Fatal("barrier-wait histogram empty")
+		}
+	}
+	for _, want := range []string{"sim_window_virtual_us", "sim_barrier_wait_us", "sim_shard_imbalance"} {
+		if !found[want] {
+			t.Fatalf("registry missing %s (got %v)", want, found)
+		}
+	}
+
+	// The Chrome export carries one named track per shard.
+	var b strings.Builder
+	if err := rec.WriteChrome(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"shard 0"`, `"shard 1"`, `"coordinator"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("chrome export missing track name %s", want)
+		}
+	}
+}
+
+func TestAttachTraceRegistryOnly(t *testing.T) {
+	s, end := traceWorkload()
+	reg := metrics.NewRegistry()
+	s.AttachTrace(ShardedTraceOptions{Registry: reg})
+	s.RunUntil(end)
+	if h := reg.Histogram("sim_barrier_wait_us", "", nil); h.Count() == 0 {
+		t.Fatal("registry-only attach observed nothing")
+	}
+}
+
+func TestAttachShardedHeartbeat(t *testing.T) {
+	s, end := traceWorkload()
+	reg := metrics.NewRegistry()
+	var ticks int
+	h := AttachShardedHeartbeat(s, reg, Microsecond, end)
+	h.OnTick = func(at Time) { ticks++ }
+	s.RunUntil(end)
+	if ticks == 0 {
+		t.Fatal("heartbeat never ticked")
+	}
+	if got := reg.Counter("sim_windows_total", "", nil).Value(); got != s.Windows() {
+		t.Fatalf("sim_windows_total %d, engine windows %d", got, s.Windows())
+	}
+	if got := reg.Counter("sim_cross_shard_events_total", "", nil).Value(); got != s.Crossed() {
+		t.Fatalf("sim_cross_shard_events_total %d, engine crossed %d", got, s.Crossed())
+	}
+	frac := reg.Gauge("sim_barrier_wait_fraction", "", nil).Value()
+	if frac < 0 || frac > 1 {
+		t.Fatalf("barrier wait fraction %v outside [0,1]", frac)
+	}
+}
+
+// TestCrossZeroAllocs pins the disabled-path invariant on the
+// cross-shard side: with no trace attached, pushing through a
+// non-overflowing SPSC ring and draining it allocates nothing.
+func TestCrossZeroAllocs(t *testing.T) {
+	s := NewShardedEngine(2, Microsecond, func(int) *Engine { return NewCalendarEngine() })
+	act := &countAction{}
+	sink := func(remote) {}
+	// Warm ring internals.
+	for i := 0; i < 16; i++ {
+		s.Cross(0, 1, Time(i)*Nanosecond, act, 0, 0)
+	}
+	s.rings[0][1].drain(sink)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			s.Cross(0, 1, Time(i)*Nanosecond, act, 0, 0)
+		}
+		s.rings[0][1].drain(sink)
+	})
+	if allocs != 0 {
+		t.Fatalf("%.1f allocs per 16-event cross+drain, want 0", allocs)
+	}
+}
+
+// TestShardedRunDisabledNoSpanState makes sure a plain run leaves no
+// trace state behind: profiling is aggregate-only.
+func TestShardedRunDisabledNoSpanState(t *testing.T) {
+	s, end := traceWorkload()
+	s.RunUntil(end)
+	if s.trc != nil {
+		t.Fatal("trace state attached without AttachTrace")
+	}
+	if s.winWall <= 0 || s.busyWall < 0 {
+		t.Fatalf("window profile not accumulated: win=%v busy=%v", s.winWall, s.busyWall)
+	}
+}
