@@ -12,13 +12,15 @@ vet:
 	$(GO) vet ./...
 
 # The concurrency-bearing packages under the race detector: the event
-# engine (including the sharded synchronizer and its SPSC rings), the
+# engine (the sharded synchronizer's epoch park/wake and stride spin
+# barriers — TestEpochBarrierStress hammers them with 1ns windows and
+# concurrent Stop — its SPSC rings, and flex-event coalescing), the
 # packet-level network simulator (probe and fault-injection hooks,
-# cross-shard forwarding), the routers (Reroute mutates live tables;
-# shard clones serve concurrent lookups), the traffic harnesses
-# (per-shard delivery fan-in), the metrics registry (lock-free
-# instruments scraped while written), and the job service (worker pool
-# vs HTTP handlers).
+# cross-shard forwarding, the per-pair lookahead matrix), the routers
+# (Reroute mutates live tables; shard clones serve concurrent
+# lookups), the traffic harnesses (per-shard delivery fan-in), the
+# metrics registry (lock-free instruments scraped while written), and
+# the job service (worker pool vs HTTP handlers).
 race:
 	$(GO) test -race ./internal/sim/... ./internal/netsim/... ./internal/routing/... ./internal/traffic/... ./internal/metrics/... ./internal/service/...
 

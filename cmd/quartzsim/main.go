@@ -113,13 +113,14 @@ var (
 	shards     = flag.Int("shards", 0, "run on N parallel topology shards (0 = single engine); results are identical for every value")
 	hot        = flag.Int("hot", 5, "show the N hottest ports")
 
-	traceOut  = flag.String("trace", "", "record per-packet lifecycle events to this file (CSV, or JSON if it ends in .json)")
-	traceMax  = flag.Int("trace-max", 100_000, "keep at most N trace events (0 = unbounded)")
-	spansOut  = flag.String("trace-spans", "", "record execution spans (sharded-engine barrier windows, flow lifetimes) and write Chrome trace-event JSON to this file (open in Perfetto)")
-	flightRec = flag.Bool("flight-recorder", false, "bound the span recorder to the most recent spans (with -trace-spans): a black box for long runs")
-	probeUS   = flag.Int64("probe-interval", 0, "sample queue depth/utilization every N microseconds (0 = off)")
-	probeOut  = flag.String("probe-out", "", "write queue samples to this file (CSV, or JSON if it ends in .json); default: per-port summary on stdout")
-	telemetry = flag.Bool("telemetry", true, "print the run-telemetry summary")
+	traceOut   = flag.String("trace", "", "record per-packet lifecycle events to this file (CSV, or JSON if it ends in .json)")
+	traceMax   = flag.Int("trace-max", 100_000, "keep at most N trace events (0 = unbounded)")
+	spansOut   = flag.String("trace-spans", "", "record execution spans (sharded-engine barrier windows, flow lifetimes) and write Chrome trace-event JSON to this file (open in Perfetto)")
+	flightRec  = flag.Bool("flight-recorder", false, "bound the span recorder to the most recent spans (with -trace-spans): a black box for long runs")
+	probeUS    = flag.Int64("probe-interval", 0, "sample queue depth/utilization every N microseconds (0 = off)")
+	coalesceUS = flag.Int64("coalesce-us", 0, "let periodic ticks (probe samples, metrics heartbeats) run up to N microseconds late; on a sharded run ticks coalesce into fewer all-shards-parked phases, tick times stay deterministic (0 = exact tick times)")
+	probeOut   = flag.String("probe-out", "", "write queue samples to this file (CSV, or JSON if it ends in .json); default: per-port summary on stdout")
+	telemetry  = flag.Bool("telemetry", true, "print the run-telemetry summary")
 
 	metricsAddr = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics Prometheus text, /status JSON)")
 	metricsOut  = flag.String("metrics-out", "", "stream NDJSON registry snapshots to this file, one per heartbeat")
@@ -387,6 +388,11 @@ func main() {
 	if oo.SampleEvery > 0 || oo.HeartbeatEvery > 0 {
 		oo.Until = runEnd
 	}
+	if *coalesceUS < 0 {
+		fmt.Fprintln(os.Stderr, "quartzsim: -coalesce-us must be non-negative")
+		os.Exit(2)
+	}
+	oo.CoalesceTolerance = sim.Time(*coalesceUS) * sim.Microsecond
 	obs := net.Observe(oo)
 	sampler := obs.Sampler()
 

@@ -23,15 +23,24 @@ import (
 	"github.com/quartz-dcn/quartz/internal/traffic"
 )
 
-// ShardedRow is one shard count's measurement.
+// ShardedRow is one shard count's measurement. Windows counts the
+// coordinator epochs the run paid (park/wake barrier round trips),
+// Strides the conservative parallel windows executed inside them, and
+// WinPerVSec the coordinator-barrier rate per simulated second — the
+// synchronizer cost model the per-pair lookahead, epoch batching, and
+// global-phase coalescing exist to shrink (see sim.BarrierProfile).
 type ShardedRow struct {
-	Shards    int
-	Events    uint64
-	WallMS    float64
-	EventsPer float64 // events per wall second
-	Speedup   float64 // vs the 1-shard run
-	Delivered uint64
-	Dropped   uint64
+	Shards     int
+	Events     uint64
+	WallMS     float64
+	EventsPer  float64 // events per wall second
+	Speedup    float64 // vs the 1-shard run
+	Delivered  uint64
+	Dropped    uint64
+	Windows    uint64  // coordinator epochs (expensive barriers)
+	Strides    uint64  // conservative windows inside them
+	WinPerVSec float64 // epochs per simulated second
+	Crossed    uint64  // cross-shard events committed
 }
 
 // ShardedShardCounts lists the shard counts the experiment sweeps.
@@ -103,6 +112,7 @@ func runShardedScatter(shards int, p Params) (ShardedRow, error) {
 	if p.Trace != nil {
 		net.Sharded().AttachTrace(sim.ShardedTraceOptions{Recorder: p.Trace})
 	}
+	profBefore := sim.BarrierProfileSnapshot()
 	runStart := time.Now()
 	params := defaultFig17Params(ScatterKind)
 	rng := rand.New(rand.NewSource(seed))
@@ -126,14 +136,19 @@ func runShardedScatter(shards int, p Params) (ShardedRow, error) {
 	}
 	net.RunUntil(end + 2*sim.Millisecond)
 	p.span("run", shards, runStart)
+	prof := sim.BarrierProfileSnapshot().Sub(profBefore)
 	tel := net.Telemetry()
 	return ShardedRow{
-		Shards:    shards,
-		Events:    tel.Events,
-		WallMS:    float64(tel.Wall.Nanoseconds()) / 1e6,
-		EventsPer: tel.EventsPerSec,
-		Delivered: tel.Delivered,
-		Dropped:   tel.Dropped,
+		Shards:     shards,
+		Events:     tel.Events,
+		WallMS:     float64(tel.Wall.Nanoseconds()) / 1e6,
+		EventsPer:  tel.EventsPerSec,
+		Delivered:  tel.Delivered,
+		Dropped:    tel.Dropped,
+		Windows:    prof.Windows,
+		Strides:    prof.Strides,
+		WinPerVSec: prof.WindowsPerVirtualSec,
+		Crossed:    prof.CrossShardEvents,
 	}, nil
 }
 
@@ -142,11 +157,12 @@ func runShardedScatter(shards int, p Params) (ShardedRow, error) {
 func RenderSharded(rows []ShardedRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Sharded execution: scatter workload, %d CPU(s)\n", runtime.NumCPU())
-	fmt.Fprintf(&b, "%7s %12s %10s %12s %9s %11s %9s\n",
-		"shards", "events", "wall ms", "events/s", "speedup", "delivered", "dropped")
+	fmt.Fprintf(&b, "%7s %12s %10s %12s %9s %11s %9s %9s %9s %10s\n",
+		"shards", "events", "wall ms", "events/s", "speedup", "delivered", "dropped", "windows", "strides", "win/vsec")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%7d %12d %10.1f %12.0f %8.2fx %11d %9d\n",
-			r.Shards, r.Events, r.WallMS, r.EventsPer, r.Speedup, r.Delivered, r.Dropped)
+		fmt.Fprintf(&b, "%7d %12d %10.1f %12.0f %8.2fx %11d %9d %9d %9d %10.0f\n",
+			r.Shards, r.Events, r.WallMS, r.EventsPer, r.Speedup, r.Delivered, r.Dropped,
+			r.Windows, r.Strides, r.WinPerVSec)
 	}
 	return b.String()
 }

@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/routing"
+	"github.com/quartz-dcn/quartz/internal/sim"
+	"github.com/quartz-dcn/quartz/internal/topology"
+)
+
+// TestLookaheadMatrixDominatesScalar is the property the per-pair
+// matrix must satisfy to be a pure widening: every populated entry is
+// at least the old global scalar (the minimum propagation delay over
+// all cross-shard links), the engine's reported minimum lookahead is
+// exactly the smallest populated entry, and the transmit floor
+// (txExtra) makes at least one entry strictly wider than propagation
+// alone — the widening is real, not a relabeling.
+func TestLookaheadMatrixDominatesScalar(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		g := buildMesh(t)
+		net, err := New(Config{Graph: g, Router: routing.NewECMP(g), Shards: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := net.Sharded()
+
+		// The old promise: global minimum propagation delay over links
+		// whose endpoints land on different shards.
+		oldScalar := sim.Time(0)
+		for i := 0; i < g.NumLinks(); i++ {
+			l := g.Link(topology.LinkID(i))
+			if net.ShardOf(l.A) == net.ShardOf(l.B) {
+				continue
+			}
+			if oldScalar == 0 || l.Prop < oldScalar {
+				oldScalar = l.Prop
+			}
+		}
+		if oldScalar == 0 {
+			t.Fatalf("K=%d: mesh partition produced no cross-shard links", k)
+		}
+
+		minEntry, strictly, populated := sim.MaxTime, 0, 0
+		for i := 0; i < s.Shards(); i++ {
+			for j := 0; j < s.Shards(); j++ {
+				if i == j {
+					continue
+				}
+				entry := s.Look(i, j)
+				if entry == 0 {
+					continue
+				}
+				populated++
+				if entry < oldScalar {
+					t.Errorf("K=%d: pair %d->%d promises %v, below the old global scalar %v", k, i, j, entry, oldScalar)
+				}
+				if entry > oldScalar {
+					strictly++
+				}
+				if entry < minEntry {
+					minEntry = entry
+				}
+			}
+		}
+		if populated == 0 {
+			t.Fatalf("K=%d: lookahead matrix is empty", k)
+		}
+		if got := s.Lookahead(); got != minEntry {
+			t.Errorf("K=%d: Lookahead() = %v, want the smallest matrix entry %v", k, got, minEntry)
+		}
+		if strictly == 0 {
+			t.Errorf("K=%d: no pair promises more than the old scalar %v; txExtra added nothing", k, oldScalar)
+		}
+	}
+}
+
+// TestShardedDeterminismWithCoalescedSampling extends the K-sweep
+// identity check to the coalescing path: a queue sampler ticking with
+// tolerance under a fault schedule. The sampler CSV, packet trace,
+// flow table, and delivered/dropped counts must be byte-identical for
+// K in {1,2,4,8} even though the ticks land inside different window
+// structures, and for K > 1 coalescing must actually absorb ticks
+// into shared phases rather than degenerate to the strict schedule.
+func TestShardedDeterminismWithCoalescedSampling(t *testing.T) {
+	faults := &FaultSchedule{
+		Events: []FaultEvent{
+			{Kind: FaultLink, Link: 20, At: 3 * sim.Millisecond, RepairAt: 10 * sim.Millisecond},
+		},
+		DetectionDelay: 500 * sim.Microsecond,
+		Policy:         DropInFlight,
+	}
+	run := func(k int) (samples, trace, flows string, delivered, dropped, coalesced uint64) {
+		g := buildMesh(t)
+		net, err := New(Config{Graph: g, Router: routing.NewECMP(g), Shards: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := net.Observe(ObserveOptions{
+			Trace: true, Flows: true,
+			SampleEvery:       250 * sim.Microsecond,
+			Until:             50 * sim.Millisecond,
+			CoalesceTolerance: 100 * sim.Microsecond,
+		})
+		hosts := g.Hosts()
+		for i, h := range hosts {
+			sched := net.SchedulerFor(h)
+			for j := 0; j < 20; j++ {
+				dst := hosts[(i+1+j)%len(hosts)]
+				at := sim.Time(i*37+j*211) * sim.Microsecond
+				flow := routing.FlowID(i*64 + j%8)
+				src := h
+				sched.Schedule(at, func() {
+					net.Send(Packet{Flow: flow, Src: src, Dst: dst, Size: 400, Waypoint: NoWaypoint})
+				})
+			}
+		}
+		if err := net.Faults().Apply(*faults); err != nil {
+			t.Fatal(err)
+		}
+		net.RunUntil(60 * sim.Millisecond)
+		var sampleBuf, traceBuf, flowBuf strings.Builder
+		if err := obs.Sampler().WriteCSV(&sampleBuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.Trace().WriteCSV(&traceBuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.Flows().WriteCSV(&flowBuf); err != nil {
+			t.Fatal(err)
+		}
+		return sampleBuf.String(), traceBuf.String(), flowBuf.String(),
+			net.Delivered(), net.Dropped(), net.Sharded().CoalescedGlobals()
+	}
+
+	baseSamples, baseTrace, baseFlows, baseDel, baseDrop, _ := run(1)
+	if baseDel == 0 {
+		t.Fatal("workload delivered nothing")
+	}
+	if !strings.Contains(baseSamples, "\n") {
+		t.Fatal("sampler recorded nothing")
+	}
+	for _, k := range []int{2, 4, 8} {
+		samples, tr, flows, del, drop, coalesced := run(k)
+		if del != baseDel || drop != baseDrop {
+			t.Errorf("K=%d delivered/dropped %d/%d, K=1 gave %d/%d", k, del, drop, baseDel, baseDrop)
+		}
+		if samples != baseSamples {
+			t.Errorf("K=%d sampler CSV differs from K=1 (lengths %d vs %d)", k, len(samples), len(baseSamples))
+		}
+		if tr != baseTrace {
+			t.Errorf("K=%d trace differs from K=1 (lengths %d vs %d)", k, len(tr), len(baseTrace))
+		}
+		if flows != baseFlows {
+			t.Errorf("K=%d flow table differs from K=1 (lengths %d vs %d)", k, len(flows), len(baseFlows))
+		}
+		if coalesced == 0 {
+			t.Errorf("K=%d coalesced no sampler ticks; 250us ticks with 100us tolerance must share phases", k)
+		}
+	}
+}

@@ -546,8 +546,19 @@ func (n *Network) initLegacy(cfg Config) {
 	n.shardOfDir = make([]int32, len(n.dirs))
 }
 
-// initSharded partitions the topology, builds the synchronizer with
-// the cross-shard propagation lookahead, and wires per-shard state.
+// initSharded partitions the topology, builds the synchronizer with a
+// per-shard-pair lookahead matrix derived from the cross-shard links,
+// and wires per-shard state.
+//
+// The matrix entry for shards (i, j) is the minimum over directed
+// links from an i-node to a j-node of prop + txExtra: propagation
+// delay plus the provable floor between the event that initiates a
+// transmit and the tail leaving the port. The floor is per-transmitter
+// (see txExtra); pairs with no direct link get 0 (the synchronizer
+// bounds them through its shortest-path closure). Compared with the
+// old single scalar (the global minimum propagation delay), each pair
+// is bounded by its own — usually larger — delay, which widens every
+// shard's parallel window.
 func (n *Network) initSharded(cfg Config) error {
 	part, err := PartitionByRing(cfg.Graph, cfg.Shards)
 	if err != nil {
@@ -556,26 +567,58 @@ func (n *Network) initSharded(cfg Config) error {
 	k := part.Shards
 	n.shardOfNode = part.Of
 	n.shardOfDir = make([]int32, len(n.dirs))
+	// Per-node minimum adjacent link rate: the slowest wire that can
+	// feed a cut-through switch bounds how early a tail can leave it.
+	minInRate := make([]sim.Rate, cfg.Graph.NumNodes())
+	for i := 0; i < cfg.Graph.NumLinks(); i++ {
+		l := cfg.Graph.Link(topology.LinkID(i))
+		for _, node := range [2]topology.NodeID{l.A, l.B} {
+			if minInRate[node] == 0 || l.Rate < minInRate[node] {
+				minInRate[node] = l.Rate
+			}
+		}
+	}
+	lookM := make([][]sim.Time, k)
+	for i := range lookM {
+		lookM[i] = make([]sim.Time, k)
+	}
 	look, haveCross := sim.Time(0), false
 	for i := 0; i < cfg.Graph.NumLinks(); i++ {
 		l := cfg.Graph.Link(topology.LinkID(i))
 		sa, sb := part.Of[l.A], part.Of[l.B]
 		n.shardOfDir[2*i] = sa
 		n.shardOfDir[2*i+1] = sb
-		if sa != sb && (!haveCross || l.Prop < look) {
-			look, haveCross = l.Prop, true
+		if sa == sb {
+			continue
+		}
+		for d := 0; d < 2; d++ {
+			from, fs, ts := l.A, sa, sb
+			if d == 1 {
+				from, fs, ts = l.B, sb, sa
+			}
+			edge := l.Prop + n.txExtra(from, l.Rate, minInRate[from])
+			if edge <= 0 {
+				return fmt.Errorf("netsim: cross-shard link with propagation delay %v leaves no lookahead window", l.Prop)
+			}
+			if cur := lookM[fs][ts]; cur == 0 || edge < cur {
+				lookM[fs][ts] = edge
+			}
+			if !haveCross || edge < look {
+				look, haveCross = edge, true
+			}
 		}
 	}
 	if !haveCross {
 		// No cross-shard links (K == 1, or disconnected partitions):
 		// any positive lookahead is conservatively correct.
 		look = sim.Millisecond
-	} else if look <= 0 {
-		return fmt.Errorf("netsim: cross-shard link with propagation delay %v leaves no lookahead window", look)
 	}
 	n.sharded = sim.NewShardedEngine(k, look, func(int) *sim.Engine {
 		return sim.NewCalendarEngine()
 	})
+	if haveCross {
+		n.sharded.SetLookahead(lookM)
+	}
 	n.hostSeq = make([]uint64, cfg.Graph.NumNodes())
 	cloner, canClone := cfg.Router.(routing.ShardCloner)
 	n.routersCloned = canClone && k > 1
@@ -601,6 +644,49 @@ func (n *Network) initSharded(cfg Config) error {
 		n.shards[i] = sh
 	}
 	return nil
+}
+
+// txExtra returns the provable minimum virtual time between any event
+// on node's shard that initiates a transmit on an outgoing link of
+// rate out and the transmitted tail leaving the port (endTx in
+// transmitNext) — the serialization component of the cross-shard
+// lookahead promise. It must lower-bound every path into transmitNext:
+//
+//   - a transmitter re-armed from its own txDone completion starts at
+//     freeAt = now, so endTx >= now + ser >= now + out.Serialize(1)
+//     (for switches, ser is additionally floored by ServiceTime);
+//   - a host enqueue has ready = now, same bound;
+//   - a store-and-forward switch has ready = now + Latency, but the
+//     re-arm and fault-replay (ready = now) paths cap the provable
+//     floor at max(out.Serialize(1), ServiceTime) — the Latency term
+//     must NOT be counted;
+//   - a cut-through switch has ready = now − serIn + Latency: with
+//     every inbound wire at least as fast as the output, serIn <= ser
+//     and endTx >= now + min(Latency, out.Serialize(1)) across all
+//     paths; with a slower inbound wire the head start can consume
+//     the whole budget (endTx clamps to now), so the floor is zero
+//     and the pair falls back to propagation delay alone.
+//
+// minIn is the slowest link adjacent to node (0 when it has none).
+func (n *Network) txExtra(node topology.NodeID, out sim.Rate, minIn sim.Rate) sim.Time {
+	ser1 := out.Serialize(1)
+	if n.g.Node(node).Kind == topology.Host {
+		return ser1
+	}
+	m := &n.models[node]
+	if !m.CutThrough {
+		if m.ServiceTime > ser1 {
+			return m.ServiceTime
+		}
+		return ser1
+	}
+	if minIn > 0 && minIn < out {
+		return 0
+	}
+	if m.Latency < ser1 {
+		return m.Latency
+	}
+	return ser1
 }
 
 // rerouteAll recomputes routes around dead on every router the network

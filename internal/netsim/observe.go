@@ -42,6 +42,15 @@ type ObserveOptions struct {
 	// ticks. Required when SampleEvery or HeartbeatEvery is set.
 	Until sim.Time
 
+	// CoalesceTolerance lets each periodic tick (sampler and sharded
+	// heartbeat) run up to this much virtual time after its nominal
+	// instant. On a sharded network ticks with slack coalesce into
+	// fewer all-shards-parked phases instead of fragmenting every
+	// parallel window (see sim.Scheduler.ScheduleFlex); tick times stay
+	// deterministic and identical for every shard count. Zero keeps
+	// exact tick times; single-engine networks ignore the tolerance.
+	CoalesceTolerance sim.Time
+
 	// Registry, when set, binds the flow trackers (labeled per shard),
 	// the sampler, and the heartbeats to it.
 	Registry *metrics.Registry
@@ -90,9 +99,13 @@ func (n *Network) Observe(o ObserveOptions) *Observer {
 	if o.HeartbeatEvery > 0 && o.Registry == nil {
 		panic("netsim: ObserveOptions.HeartbeatEvery requires a Registry")
 	}
+	if o.CoalesceTolerance < 0 {
+		panic("netsim: ObserveOptions.CoalesceTolerance must be non-negative")
+	}
 	obs := &Observer{net: n}
 	if o.SampleEvery > 0 {
 		obs.sampler = NewQueueSampler(n, o.SampleEvery)
+		obs.sampler.SetCoalesceTolerance(o.CoalesceTolerance)
 		if o.Registry != nil {
 			obs.sampler.Bind(o.Registry)
 		}
@@ -106,7 +119,7 @@ func (n *Network) Observe(o ObserveOptions) *Observer {
 		}
 	}
 	if sharded && o.HeartbeatEvery > 0 {
-		obs.sbeat = sim.AttachShardedHeartbeat(n.sharded, o.Registry, o.HeartbeatEvery, o.Until)
+		obs.sbeat = sim.AttachShardedHeartbeatCoalesced(n.sharded, o.Registry, o.HeartbeatEvery, o.Until, o.CoalesceTolerance)
 	}
 	for i, sh := range n.shards {
 		probes := []Probe{sh.probe}

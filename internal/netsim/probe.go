@@ -344,6 +344,9 @@ type QueueSample struct {
 type QueueSampler struct {
 	net      *Network
 	interval sim.Time
+	// tol is the coalescing tolerance each tick declares (see
+	// SetCoalesceTolerance).
+	tol sim.Time
 	// watch restricts sampling to these directed-link indices (empty
 	// means every port).
 	watch []int
@@ -440,6 +443,19 @@ func (s *QueueSampler) Bind(r *metrics.Registry) {
 // sharded network each tick runs as a global phase — every shard
 // parked — so one sampler reads every port's queue race-free, and the
 // tick sequence is identical for every shard count.
+// SetCoalesceTolerance lets each sampler tick run up to tol of virtual
+// time after its nominal instant, batched with other global work into
+// one all-shards-parked phase on a sharded network (see
+// sim.Scheduler.ScheduleFlex). Zero (the default) keeps exact tick
+// times; a single-engine network ignores the tolerance entirely. Call
+// before Start; negative tolerances panic.
+func (s *QueueSampler) SetCoalesceTolerance(tol sim.Time) {
+	if tol < 0 {
+		panic(fmt.Sprintf("netsim: negative coalesce tolerance %v", tol))
+	}
+	s.tol = tol
+}
+
 func (s *QueueSampler) Start(until sim.Time) {
 	s.started = true
 	sched := s.net.Scheduler()
@@ -447,10 +463,10 @@ func (s *QueueSampler) Start(until sim.Time) {
 	tick = func() {
 		s.sample(sched.Now())
 		if sched.Now()+s.interval <= until {
-			sched.After(s.interval, tick)
+			sched.AfterFlex(s.interval, s.tol, tick)
 		}
 	}
-	sched.After(s.interval, tick)
+	sched.AfterFlex(s.interval, s.tol, tick)
 }
 
 // sample records one observation per watched directed link and

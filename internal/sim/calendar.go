@@ -196,7 +196,7 @@ func (q *calendarQueue) pop() event {
 			}
 		}
 		// Nothing in this year: jump to the globally earliest event.
-		min := Time(1)<<62 - 1
+		min := MaxTime
 		found := false
 		for i := range q.buckets {
 			bk := &q.buckets[i]
@@ -225,7 +225,7 @@ func (q *calendarQueue) peekAt() Time {
 			return bk.evs[bk.head].at
 		}
 	}
-	min := Time(1)<<62 - 1
+	min := MaxTime
 	for i := range q.buckets {
 		bk := &q.buckets[i]
 		if bk.len() > 0 && bk.evs[bk.head].at < min {

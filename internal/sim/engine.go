@@ -194,12 +194,33 @@ func (e *Engine) AfterAction(delay Time, act Action, a, b int64) {
 	e.ScheduleAction(e.now+delay, act, a, b)
 }
 
+// ScheduleFlex runs fn at absolute virtual time at, allowing the
+// execution to slip up to tol later. On a single-threaded Engine there
+// is no barrier cost to amortize, so the tolerance is ignored and fn
+// runs exactly at at; a ShardedEngine uses the slack to coalesce
+// periodic global work (heartbeats, samplers) into fewer
+// all-shards-parked phases. See ShardedEngine.ScheduleFlex.
+func (e *Engine) ScheduleFlex(at, tol Time, fn func()) {
+	if tol < 0 {
+		panic(fmt.Sprintf("sim: negative coalescing tolerance %v", tol))
+	}
+	e.Schedule(at, fn)
+}
+
+// AfterFlex is ScheduleFlex with a delay relative to the current time.
+func (e *Engine) AfterFlex(delay, tol Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.ScheduleFlex(e.now+delay, tol, fn)
+}
+
 // Stop halts the run loop after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run processes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
-	e.RunUntil(Time(1)<<62 - 1)
+	e.RunUntil(MaxTime)
 }
 
 // RunUntil processes events with timestamps <= end, then advances the
@@ -230,7 +251,7 @@ func (e *Engine) RunUntil(end Time) {
 	e.running = false
 	e.wall += time.Since(start)
 	totalEvents.Add(e.ran - startRan)
-	if e.now < end && end < Time(1)<<62-1 {
+	if e.now < end && end < MaxTime {
 		e.now = end
 	}
 }

@@ -1,0 +1,90 @@
+package sim
+
+// Coalescible ("flex") global events for the sharded synchronizer.
+//
+// A strict global event at time g forces the synchronizer to stop every
+// parallel window at g: shards may not process anything at or beyond g
+// before the event has run. Periodic observability work — heartbeats,
+// queue samplers — does not need that precision, yet at high sample
+// rates it fragments every prospective window. A flex event instead
+// declares a tolerance: "run me at my nominal time or up to tol later,
+// whichever lets the machine do more work per stop." The synchronizer
+// batches every flex event whose nominal time falls inside the current
+// prospective window into one all-shards-parked phase at the earliest
+// flex deadline (or the next strict global, if that comes first), so N
+// periodic tickers cost one phase per tolerance interval instead of N
+// window fragmentations per period.
+//
+// Determinism: the phase time is min(earliest strict global, earliest
+// flex deadline, horizon) — a pure function of event timestamps, never
+// of the shard count or goroutine timing — so runs remain byte-identical
+// for every K. A tolerance of zero degenerates to exactly the strict
+// schedule. Flex events at the same phase run in (nominal time, schedule
+// order); they run before strict globals sharing the instant, which can
+// only be the phase time itself.
+
+// flexEvent is one coalescible global callback.
+type flexEvent struct {
+	at  Time // nominal time
+	tol Time // admissible lateness; deadline is at+tol
+	seq uint64
+	fn  func()
+}
+
+// flexQueue holds pending flex events. The population is a handful of
+// periodic tickers, so linear scans beat heap bookkeeping and keep the
+// ordering rules ((at, seq), min-deadline) trivially auditable.
+type flexQueue struct {
+	items []flexEvent
+	seq   uint64
+}
+
+func (q *flexQueue) size() int { return len(q.items) }
+
+func (q *flexQueue) add(at, tol Time, fn func()) {
+	q.seq++
+	q.items = append(q.items, flexEvent{at: at, tol: tol, seq: q.seq, fn: fn})
+}
+
+// bounds returns the earliest nominal time and the earliest deadline
+// (both MaxTime when empty). The deadline is the latest instant the
+// synchronizer may defer a stop to without violating any tolerance.
+func (q *flexQueue) bounds() (minAt, minDeadline Time) {
+	minAt, minDeadline = MaxTime, MaxTime
+	for i := range q.items {
+		e := &q.items[i]
+		if e.at < minAt {
+			minAt = e.at
+		}
+		if d := satAdd(e.at, e.tol); d < minDeadline {
+			minDeadline = d
+		}
+	}
+	return minAt, minDeadline
+}
+
+// popDue removes and returns the due event with the smallest
+// (at, seq) — the next flex event to run in a phase at time p — or
+// ok=false when none is due at or before p.
+func (q *flexQueue) popDue(p Time) (flexEvent, bool) {
+	best := -1
+	for i := range q.items {
+		e := &q.items[i]
+		if e.at > p {
+			continue
+		}
+		if best < 0 || e.at < q.items[best].at ||
+			(e.at == q.items[best].at && e.seq < q.items[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return flexEvent{}, false
+	}
+	ev := q.items[best]
+	last := len(q.items) - 1
+	q.items[best] = q.items[last]
+	q.items[last] = flexEvent{} // drop the fn reference
+	q.items = q.items[:last]
+	return ev, true
+}

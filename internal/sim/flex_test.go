@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/quartz-dcn/quartz/internal/metrics"
+)
+
+func TestFlexQueueBoundsAndOrder(t *testing.T) {
+	var q flexQueue
+	if at, dl := q.bounds(); at != MaxTime || dl != MaxTime {
+		t.Fatalf("empty bounds = (%v, %v), want (MaxTime, MaxTime)", at, dl)
+	}
+	order := []int{}
+	q.add(30*Nanosecond, 100*Nanosecond, func() { order = append(order, 3) })
+	q.add(10*Nanosecond, 5*Nanosecond, func() { order = append(order, 1) })
+	q.add(10*Nanosecond, 50*Nanosecond, func() { order = append(order, 2) })
+
+	at, dl := q.bounds()
+	if at != 10*Nanosecond {
+		t.Fatalf("min nominal %v, want 10ns", at)
+	}
+	if dl != 15*Nanosecond {
+		t.Fatalf("min deadline %v, want 15ns (10ns + 5ns tolerance)", dl)
+	}
+
+	// Nothing due before the earliest nominal time.
+	if _, ok := q.popDue(9 * Nanosecond); ok {
+		t.Fatal("popDue(9ns) returned an event before any nominal time")
+	}
+	// Due events pop in (nominal, schedule) order regardless of add order.
+	for want := 1; want <= 3; want++ {
+		fe, ok := q.popDue(30 * Nanosecond)
+		if !ok {
+			t.Fatalf("popDue ran dry before event %d", want)
+		}
+		fe.fn()
+		if got := order[len(order)-1]; got != want {
+			t.Fatalf("flex events popped out of order: got %d, want %d", got, want)
+		}
+	}
+	if q.size() != 0 {
+		t.Fatalf("queue size %d after draining, want 0", q.size())
+	}
+}
+
+func TestFlexQueueSaturatingDeadline(t *testing.T) {
+	var q flexQueue
+	q.add(MaxTime-Nanosecond, Second, func() {})
+	if _, dl := q.bounds(); dl != MaxTime {
+		t.Fatalf("deadline %v, want saturation at MaxTime", dl)
+	}
+}
+
+func TestScheduleFlexValidation(t *testing.T) {
+	s := NewShardedEngine(2, Microsecond, func(int) *Engine { return NewEngine() })
+	for name, fn := range map[string]func(){
+		"negative tolerance": func() { s.ScheduleFlex(Nanosecond, -Nanosecond, func() {}) },
+		"negative delay":     func() { s.AfterFlex(-Nanosecond, 0, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Engine-side ScheduleFlex rejects the same tolerance misuse.
+	e := NewEngine()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Engine.ScheduleFlex with negative tolerance did not panic")
+			}
+		}()
+		e.ScheduleFlex(Nanosecond, -Nanosecond, func() {})
+	}()
+}
+
+// TestFlexCoalescing pins the coalescing contract: three tickers with
+// tolerance share one global phase per deadline interval instead of
+// stopping the machine at each nominal instant, the observed tick
+// times are deterministic, and they are identical for every shard
+// count (and to the single-Engine ScheduleFlex schedule, which runs
+// flex events exactly on time).
+func TestFlexCoalescing(t *testing.T) {
+	const end = 10 * Microsecond
+	run := func(k int) (times []Time, phases, coalesced uint64) {
+		s := NewShardedEngine(k, 250*Nanosecond, func(int) *Engine { return NewCalendarEngine() })
+		// Local work so windows exist to fragment.
+		for i := 0; i < k; i++ {
+			e := s.Shard(i)
+			var spin func()
+			spin = func() {
+				if e.Now() < end {
+					e.After(100*Nanosecond, spin)
+				}
+			}
+			e.After(0, spin)
+		}
+		for ticker := 0; ticker < 3; ticker++ {
+			var tick func()
+			tick = func() {
+				times = append(times, s.Now())
+				if s.Now()+Microsecond <= end {
+					s.AfterFlex(Microsecond, 500*Nanosecond, tick)
+				}
+			}
+			s.AfterFlex(Microsecond, 500*Nanosecond, tick)
+		}
+		s.RunUntil(end)
+		return times, s.globalPhases, s.CoalescedGlobals()
+	}
+
+	base, phases1, _ := run(1)
+	if len(base) == 0 {
+		t.Fatal("no flex ticks ran")
+	}
+	for _, k := range []int{2, 4} {
+		times, phases, coalesced := run(k)
+		if len(times) != len(base) {
+			t.Fatalf("K=%d ran %d ticks, K=1 ran %d", k, len(times), len(base))
+		}
+		for i := range times {
+			if times[i] != base[i] {
+				t.Fatalf("K=%d tick %d at %v, K=1 at %v: flex schedule must be K-independent", k, i, times[i], base[i])
+			}
+		}
+		if phases != phases1 {
+			t.Fatalf("K=%d used %d global phases, K=1 used %d", k, phases, phases1)
+		}
+		if coalesced == 0 {
+			t.Fatalf("K=%d coalesced no ticks; three 1us tickers with 500ns tolerance must share phases", k)
+		}
+	}
+}
+
+// TestFlexZeroToleranceIsStrict: tol = 0 degenerates to the strict
+// global schedule — every tick runs at exactly its nominal time.
+func TestFlexZeroToleranceIsStrict(t *testing.T) {
+	s := NewShardedEngine(2, Microsecond, func(int) *Engine { return NewEngine() })
+	s.Shard(0).Schedule(10*Microsecond, func() {})
+	var times []Time
+	for i := 1; i <= 3; i++ {
+		at := Time(i) * Microsecond
+		s.ScheduleFlex(at, 0, func() { times = append(times, s.Now()) })
+	}
+	s.Run()
+	for i, at := range times {
+		if want := Time(i+1) * Microsecond; at != want {
+			t.Fatalf("tick %d ran at %v, want exactly %v", i, at, want)
+		}
+	}
+	if s.CoalescedGlobals() != 0 {
+		t.Fatalf("coalesced %d with zero tolerance, want 0", s.CoalescedGlobals())
+	}
+}
+
+// TestTracedRunMatchesBatched pins the epoch-batching equivalence: a
+// traced run executes one stride per epoch (so the coordinator can
+// stamp every window) while an untraced run batches strides into few
+// epochs, and both must produce the identical event schedule.
+func TestTracedRunMatchesBatched(t *testing.T) {
+	run := func(traced bool) ([][]int64, uint64, uint64) {
+		const prop = 250 * Nanosecond
+		s := NewShardedEngine(4, prop, func(int) *Engine { return NewCalendarEngine() })
+		if traced {
+			s.AttachTrace(ShardedTraceOptions{Registry: metrics.NewRegistry()})
+		}
+		c := &chainAction{s: s, prop: prop, logs: make([][]int64, 4)}
+		for i := 0; i < 4; i++ {
+			s.Shard(i).ScheduleAction(Time(i)*Nanosecond, c, int64(i<<8|i), 50)
+		}
+		s.Run()
+		return c.logs, s.Windows(), s.Strides()
+	}
+	batchedLogs, batchedWin, batchedStrides := run(false)
+	tracedLogs, tracedWin, tracedStrides := run(true)
+	if tracedWin != tracedStrides {
+		t.Fatalf("traced run: %d epochs != %d strides; tracing must run one stride per epoch", tracedWin, tracedStrides)
+	}
+	if batchedStrides != tracedStrides {
+		t.Fatalf("batched run executed %d strides, traced %d: the stride partition must not depend on batching", batchedStrides, tracedStrides)
+	}
+	if batchedWin >= tracedWin {
+		t.Fatalf("batching paid %d epochs, traced %d: batching must reduce coordinator barriers", batchedWin, tracedWin)
+	}
+	for chain := range batchedLogs {
+		if len(batchedLogs[chain]) != len(tracedLogs[chain]) {
+			t.Fatalf("chain %d log lengths differ: %d batched vs %d traced", chain, len(batchedLogs[chain]), len(tracedLogs[chain]))
+		}
+		for i := range batchedLogs[chain] {
+			if batchedLogs[chain][i] != tracedLogs[chain][i] {
+				t.Fatalf("chain %d diverges at %d: %d batched vs %d traced", chain, i, batchedLogs[chain][i], tracedLogs[chain][i])
+			}
+		}
+	}
+}

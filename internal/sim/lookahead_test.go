@@ -1,0 +1,164 @@
+package sim
+
+import "testing"
+
+func tns(v int64) Time { return Time(v) * Nanosecond }
+
+func TestClosure(t *testing.T) {
+	// Ring 0→1→2→0 plus a slow direct 0→2 edge the two-hop path beats.
+	look := [][]Time{
+		{0, tns(10), tns(100)},
+		{0, 0, tns(20)},
+		{tns(30), 0, 0},
+	}
+	d := closure(look)
+	cases := []struct {
+		i, j int
+		want Time
+	}{
+		{0, 1, tns(10)},
+		{0, 2, tns(30)}, // 0→1→2 beats the direct 100ns edge
+		{1, 2, tns(20)},
+		{1, 0, tns(50)}, // 1→2→0
+		{2, 0, tns(30)},
+		{2, 1, tns(40)}, // 2→0→1
+		{0, 0, tns(60)}, // cheapest cycle: 10+20+30
+		{1, 1, tns(60)},
+		{2, 2, tns(60)},
+	}
+	for _, c := range cases {
+		if d[c.i][c.j] != c.want {
+			t.Errorf("closure[%d][%d] = %v, want %v", c.i, c.j, d[c.i][c.j], c.want)
+		}
+	}
+}
+
+func TestClosureUnreachable(t *testing.T) {
+	// 0→1 only: 1 can never reach 0, and neither shard has a cycle.
+	d := closure([][]Time{
+		{0, tns(10)},
+		{0, 0},
+	})
+	for _, c := range []struct{ i, j int }{{1, 0}, {0, 0}, {1, 1}} {
+		if d[c.i][c.j] != MaxTime {
+			t.Errorf("closure[%d][%d] = %v, want MaxTime (unreachable)", c.i, c.j, d[c.i][c.j])
+		}
+	}
+}
+
+func TestSetLookaheadValidation(t *testing.T) {
+	s := NewShardedEngine(2, Microsecond, func(int) *Engine { return NewEngine() })
+	for name, m := range map[string][][]Time{
+		"wrong matrix size": {{0, Nanosecond}},
+		"ragged row":        {{0, Nanosecond}, {Nanosecond}},
+		"negative entry":    {{0, Nanosecond}, {-Nanosecond, 0}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetLookahead with %s did not panic", name)
+				}
+			}()
+			s.SetLookahead(m)
+		}()
+	}
+	// Window cap below the minimum lookahead is rejected too.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetWindowCap below minimum lookahead did not panic")
+			}
+		}()
+		s.SetWindowCap(Nanosecond)
+	}()
+}
+
+// pingPong bounces a chain between shards 0 and 1 with asymmetric
+// legs: the 0→1 hop takes fwd, the 1→0 hop takes back. a encodes
+// chain<<8|shard, b the remaining hops.
+type pingPong struct {
+	s         *ShardedEngine
+	fwd, back Time
+	logs      [][]int64
+}
+
+func (c *pingPong) Run(a, hops int64) {
+	chain, shard := int(a>>8), int(a&0xff)
+	e := c.s.Shard(shard)
+	c.logs[chain] = append(c.logs[chain], int64(e.Now()), int64(shard))
+	if hops == 0 {
+		return
+	}
+	prop := c.fwd
+	if shard == 1 {
+		prop = c.back
+	}
+	c.s.Cross(shard, 1-shard, e.Now()+prop, c, int64(chain<<8|(1-shard)), hops-1)
+}
+
+// TestSetLookaheadWidensWindows pins the tentpole property: replacing
+// the uniform all-pairs promise with the true per-pair matrix must
+// not change the event schedule at all, while the wider promise on
+// the slow direction widens windows — fewer strides for the same
+// work. The workload is asymmetric ping-pong (1us forward, 100us
+// back) with several chains at staggered phases: under the scalar
+// 1us promise a pending event on shard 1 caps shard 0's window at
+// +1us even though the true return promise is 100us, so staggered
+// chains that the matrix runs in one stride fragment into many.
+func TestSetLookaheadWidensWindows(t *testing.T) {
+	const chains = 8
+	const fwd, back = Microsecond, 100 * Microsecond
+	run := func(matrix bool) ([][]int64, uint64) {
+		s := NewShardedEngine(2, fwd, func(int) *Engine { return NewCalendarEngine() })
+		if matrix {
+			s.SetLookahead([][]Time{
+				{0, fwd},
+				{back, 0},
+			})
+		}
+		c := &pingPong{s: s, fwd: fwd, back: back, logs: make([][]int64, chains)}
+		for i := 0; i < chains; i++ {
+			s.Shard(0).ScheduleAction(Time(i)*7*Microsecond, c, int64(i<<8), 40)
+		}
+		s.Run()
+		return c.logs, s.Strides()
+	}
+	uniLogs, uniStrides := run(false)
+	matLogs, matStrides := run(true)
+	for chain := range uniLogs {
+		if len(uniLogs[chain]) != len(matLogs[chain]) {
+			t.Fatalf("chain %d log lengths differ: %d uniform vs %d matrix", chain, len(uniLogs[chain]), len(matLogs[chain]))
+		}
+		for i := range uniLogs[chain] {
+			if uniLogs[chain][i] != matLogs[chain][i] {
+				t.Fatalf("chain %d diverges at %d: %d uniform vs %d matrix; per-pair lookahead must not change the schedule", chain, i, uniLogs[chain][i], matLogs[chain][i])
+			}
+		}
+	}
+	if matStrides >= uniStrides {
+		t.Fatalf("matrix run used %d strides, uniform %d: the closure over the ring must widen windows", matStrides, uniStrides)
+	}
+	t.Logf("strides: uniform %d, per-pair matrix %d", uniStrides, matStrides)
+}
+
+// TestCrossEnforcesPerPairPromise: the commit floor checks against
+// the per-pair window, not the global minimum — a send that the old
+// scalar lookahead (1us here, from the 1→0 edge) would have accepted
+// is a violation of the 10us promise the 0→1 pair actually made, and
+// the stride commit must catch it.
+func TestCrossEnforcesPerPairPromise(t *testing.T) {
+	s := NewShardedEngine(2, Microsecond, func(int) *Engine { return NewEngine() })
+	s.SetLookahead([][]Time{
+		{0, 10 * Microsecond},
+		{Microsecond, 0},
+	})
+	s.Shard(0).Schedule(0, func() {
+		s.Cross(0, 1, s.Shard(0).Now()+Microsecond, nopAction{}, 0, 0)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cross below the 0→1 pair promise did not surface a commit panic")
+		}
+	}()
+	s.Run()
+}

@@ -23,6 +23,13 @@ package sim
 //     time; scheduling in the past panics. On a ShardedEngine the work
 //     runs in a global phase with every shard parked, so it may touch
 //     any shard's state (this is how fault injection stays race-free).
+//   - ScheduleFlex/AfterFlex enqueue work that may run up to tol of
+//     virtual time late. An Engine ignores the tolerance (no barrier to
+//     amortize — the work runs exactly on time); a ShardedEngine uses
+//     the slack to coalesce periodic global work into fewer
+//     all-shards-parked phases, so high-rate samplers stop fragmenting
+//     parallel windows. The execution time is deterministic and
+//     identical for every shard count.
 //   - RunUntil processes events with timestamps <= end and then
 //     advances the clock to end; Run processes until empty. Stop halts
 //     the loop; on a ShardedEngine it may be called from any goroutine
@@ -34,6 +41,8 @@ type Scheduler interface {
 	ScheduleAction(at Time, act Action, a, b int64)
 	After(delay Time, fn func())
 	AfterAction(delay Time, act Action, a, b int64)
+	ScheduleFlex(at, tol Time, fn func())
+	AfterFlex(delay, tol Time, fn func())
 	Run()
 	RunUntil(end Time)
 	Stop()

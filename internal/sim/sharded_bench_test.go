@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+)
+
+// benchBounce bounces a single event around the shards until hops runs
+// out — every hop crosses a shard boundary, so with no globals pending
+// the whole run is one epoch and the per-hop cost is dominated by the
+// stride barrier (one spin-barrier round plus the serial drain).
+type benchBounce struct {
+	s    *ShardedEngine
+	prop Time
+}
+
+func (c *benchBounce) Run(shard, hops int64) {
+	if hops == 0 {
+		return
+	}
+	next := (int(shard) + 1) % c.s.Shards()
+	c.s.Cross(int(shard), next, c.s.Shard(int(shard)).Now()+c.prop, c, int64(next), hops-1)
+}
+
+// BenchmarkStride measures the cheap path: one cross-shard hop per
+// stride inside a single epoch on a 4-shard engine. ns/op is the cost
+// of a stride — spin-barrier round trip, ring drain, bounds
+// recomputation — plus one event. strides/op confirms the synchronizer
+// paid exactly one stride per hop and epochs/op that the coordinator
+// barrier was paid only once for the whole run.
+func BenchmarkStride(b *testing.B) {
+	const prop = 250 * Nanosecond
+	s := NewShardedEngine(4, prop, func(int) *Engine { return NewCalendarEngine() })
+	c := &benchBounce{s: s, prop: prop}
+	s.Shard(0).ScheduleAction(0, c, 0, int64(b.N))
+	w0, st0 := s.Windows(), s.Strides()
+	b.ResetTimer()
+	s.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(s.Strides()-st0)/float64(b.N), "strides/op")
+	b.ReportMetric(float64(s.Windows()-w0)/float64(b.N), "epochs/op")
+}
+
+// BenchmarkBarrierRoundTrip measures the expensive path: every op runs
+// one parallel window followed by one strict global event, so each op
+// pays a full epoch — park/wake through the coordinator — plus a global
+// phase. The delta against BenchmarkStride is the price the epoch
+// batching avoids.
+func BenchmarkBarrierRoundTrip(b *testing.B) {
+	const prop = 250 * Nanosecond
+	s := NewShardedEngine(4, prop, func(int) *Engine { return NewCalendarEngine() })
+	nop := nopAction{}
+	for i := 0; i < b.N; i++ {
+		at := Time(i) * prop
+		s.Shard(0).ScheduleAction(at, nop, 0, 0)
+		s.ScheduleAction(at+prop/2, nop, 0, 0)
+	}
+	w0 := s.Windows()
+	b.ResetTimer()
+	s.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(s.Windows()-w0)/float64(b.N), "epochs/op")
+}
+
+type nopAction struct{}
+
+func (nopAction) Run(_, _ int64) {}
+
+// BenchmarkWindowsPerVirtualSecond quantifies window widening without
+// multicore hardware: a synthetic 4-shard workload (4 concurrent
+// bouncing chains, 250ns lookahead) runs for one virtual millisecond
+// per op, and the reported windows/vsec and strides/vsec are the
+// synchronizer's cost model — how many coordinator barriers and how
+// many conservative windows one simulated second costs. Lower
+// windows/vsec at equal strides/vsec is the epoch batching win; lower
+// strides/vsec is genuine window widening (lookahead matrix or
+// coalescing).
+func BenchmarkWindowsPerVirtualSecond(b *testing.B) {
+	const prop = 250 * Nanosecond
+	const span = Millisecond
+	var windows, strides uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := NewShardedEngine(4, prop, func(int) *Engine { return NewCalendarEngine() })
+		c := &benchBounce{s: s, prop: prop}
+		for j := 0; j < 4; j++ {
+			// Effectively infinite hops; RunUntil bounds the run.
+			s.Shard(j).ScheduleAction(Time(j)*Nanosecond, c, int64(j), 1<<40)
+		}
+		b.StartTimer()
+		s.RunUntil(span)
+		windows += s.Windows()
+		strides += s.Strides()
+	}
+	b.StopTimer()
+	vsecs := float64(span) / float64(Second) * float64(b.N)
+	b.ReportMetric(float64(windows)/vsecs, "windows/vsec")
+	b.ReportMetric(float64(strides)/vsecs, "strides/vsec")
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stressBounce is benchBounce with a hop counter, safe to update from
+// any shard goroutine.
+type stressBounce struct {
+	s    *ShardedEngine
+	prop Time
+	hops atomic.Uint64
+}
+
+func (c *stressBounce) Run(shard, hops int64) {
+	c.hops.Add(1)
+	if hops == 0 {
+		return
+	}
+	next := (int(shard) + 1) % c.s.Shards()
+	c.s.Cross(int(shard), next, c.s.Shard(int(shard)).Now()+c.prop, c, int64(next), hops-1)
+}
+
+// TestEpochBarrierStress hammers the two-level barrier with the
+// smallest windows the synchronizer admits: 8 shards, 1ns lookahead,
+// a 1ns window cap, 8 concurrent cross-shard chains, periodic flex
+// ticks fragmenting the epochs, and a goroutine firing Stop
+// mid-run — every stride is a spin-barrier round and every stop an
+// epoch teardown/rebuild. Run under -race (make race covers
+// internal/sim), this is the data-race and wedge detector for the
+// epoch/stride machinery.
+func TestEpochBarrierStress(t *testing.T) {
+	const k = 8
+	const prop = Nanosecond
+	const hops = 2000
+	s := NewShardedEngine(k, prop, func(int) *Engine { return NewCalendarEngine() })
+	s.SetWindowCap(prop)
+
+	c := &stressBounce{s: s, prop: prop}
+	for i := 0; i < k; i++ {
+		s.Shard(i).ScheduleAction(Time(i)*Nanosecond, c, int64(i), hops)
+	}
+
+	// Flex ticks with tolerance: every epoch boundary they force is a
+	// full park/wake round trip plus a global phase.
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 200 {
+			s.AfterFlex(10*Nanosecond, 5*Nanosecond, tick)
+		}
+	}
+	s.AfterFlex(10*Nanosecond, 5*Nanosecond, tick)
+
+	// Fire Stop from outside while the run is hot; every Run below
+	// resumes from wherever the previous one was interrupted.
+	stopDone := make(chan struct{})
+	go func() {
+		defer close(stopDone)
+		for i := 0; i < 50; i++ {
+			time.Sleep(200 * time.Microsecond)
+			s.Stop()
+		}
+	}()
+	for s.Pending() > 0 {
+		s.Run()
+	}
+	<-stopDone
+	for s.Pending() > 0 { // late Stop may have interrupted again
+		s.Run()
+	}
+
+	if got, want := c.hops.Load(), uint64(k*(hops+1)); got != want {
+		t.Fatalf("ran %d chain events, want %d", got, want)
+	}
+	if got, want := s.Crossed(), uint64(k*hops); got != want {
+		t.Fatalf("committed %d cross events, want %d", got, want)
+	}
+	if ticks != 200 {
+		t.Fatalf("flex tick ran %d times, want 200", ticks)
+	}
+	if s.Strides() < s.Windows() {
+		t.Fatalf("strides %d below windows %d: every epoch runs at least one stride", s.Strides(), s.Windows())
+	}
+}
+
+// TestShardedEngineSerialSectionPanicPropagates pins the failure path
+// the batched barrier added: a lookahead violation is detected inside
+// the stride serial section (on a worker goroutine, not the
+// coordinator), and must still surface as a coordinator panic without
+// wedging either barrier.
+func TestShardedEngineSerialSectionPanicPropagates(t *testing.T) {
+	const prop = Microsecond
+	s := NewShardedEngine(2, prop, func(int) *Engine { return NewEngine() })
+	s.Shard(0).Schedule(Nanosecond, func() {
+		// Breaks the lookahead promise: prop is 1us but the event lands
+		// 1ns out. The commit in the serial section must panic.
+		s.Cross(0, 1, s.Shard(0).Now()+Nanosecond, nopAction{}, 0, 0)
+	})
+	// Give shard 1 pending work beyond the violation so the stride
+	// commit, not an engine clamp, is what trips.
+	s.Shard(1).Schedule(2*prop, func() {})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("lookahead violation in the serial section did not propagate")
+		}
+	}()
+	s.Run()
+}

@@ -2,23 +2,27 @@ package sim
 
 // Execution tracing for the sharded synchronizer. Two layers:
 //
-//   - Always-on window profiling: the coordinator stamps the wall clock
-//     once around every parallel window and folds compute-vs-wait
-//     aggregates into package counters (BarrierProfileSnapshot). Cost:
-//     two time.Now calls and K field reads per window — per-window, not
-//     per-event, so the intra-shard hot path is untouched.
+//   - Always-on profiling: the coordinator stamps the wall clock once
+//     around every epoch and folds compute-vs-wait aggregates into
+//     package counters (BarrierProfileSnapshot). Cost: two time.Now
+//     calls and K field reads per epoch — not per stride or per event,
+//     so neither the intra-shard hot path nor the stride loop pays.
 //   - Opt-in span recording (AttachTrace): per-window spans on a
 //     trace.Recorder — one "window" (compute) plus one "barrier" (wait)
 //     span per shard per window, "global" spans for all-shards-parked
 //     phases, "drain" spans for ring commits — plus window-length and
 //     barrier-wait histograms and a shard-imbalance gauge in a
-//     metrics.Registry. Disabled (the default) this is a single nil
-//     check per window.
+//     metrics.Registry. While a trace is attached the synchronizer runs
+//     one stride per epoch so every window's wall time is stamped
+//     coordinator-side; the event schedule is identical, only the
+//     batching (and so the epoch count) differs. Disabled (the default)
+//     this is a single nil check per epoch.
 //
 // The per-shard compute wall time is free to read: Engine.RunUntil
-// already accumulates e.wall across calls, and the window barrier's
-// WaitGroup edge makes the shard's update visible to the coordinator.
-// Barrier wait is then window wall minus the shard's compute delta.
+// already accumulates e.wall across calls, and the epoch barrier's
+// arrival edge (the last shard's done send) makes the shard's update
+// visible to the coordinator. Barrier wait is then window wall minus
+// the shard's compute delta.
 
 import (
 	"sync/atomic"
@@ -42,6 +46,7 @@ type ShardedTraceOptions struct {
 type shardedTrace struct {
 	rec         *trace.Recorder
 	windowVirt  *metrics.LatencyHistogram
+	windowSpan  *metrics.LatencyHistogram
 	barrierWait *metrics.LatencyHistogram
 	imbalance   *metrics.Gauge
 }
@@ -49,9 +54,15 @@ type shardedTrace struct {
 // AttachTrace enables span recording and aggregate trace metrics on the
 // synchronizer. Call before RunUntil. The registry instruments:
 //
-//	sim_window_virtual_us  histogram  parallel window length [T, W) in virtual µs
+//	sim_window_virtual_us  histogram  committed window span [T, min W_j) in virtual µs
+//	sim_window_span_us     histogram  per-shard realized window [T, W_j) in virtual µs
 //	sim_barrier_wait_us    histogram  per-shard barrier wait per window, wall µs
 //	sim_shard_imbalance    gauge      (max-min)/mean events across shards, last window
+//
+// sim_window_virtual_us is how far the synchronizer's committed clock
+// moves per window; sim_window_span_us is how far individual shards
+// were allowed to run — the spread between them is the leverage of the
+// per-pair lookahead matrix over a single global bound.
 //
 // The recorder's "engine" category carries one track per shard plus the
 // coordinator track: per window, each shard gets a "window" span (wall
@@ -66,7 +77,9 @@ func (s *ShardedEngine) AttachTrace(o ShardedTraceOptions) {
 	t := &shardedTrace{rec: o.Recorder}
 	if o.Registry != nil {
 		t.windowVirt = o.Registry.Histogram("sim_window_virtual_us",
-			"parallel window length in virtual microseconds", nil)
+			"committed parallel window length in virtual microseconds", nil)
+		t.windowSpan = o.Registry.Histogram("sim_window_span_us",
+			"per-shard realized window length in virtual microseconds", nil)
 		t.barrierWait = o.Registry.Histogram("sim_barrier_wait_us",
 			"per-shard barrier wait per window in wall microseconds", nil)
 		t.imbalance = o.Registry.Gauge("sim_shard_imbalance",
@@ -97,14 +110,17 @@ func shardTrackName(i int) string {
 }
 
 // traceWindow records the spans and metrics for one parallel window
-// [T, W) whose wall time was winWall. Called by the coordinator with
-// shards parked; ranBefore/wallBefore hold the pre-window snapshots.
-func (s *ShardedEngine) traceWindow(T, W Time, winStart time.Time, winWall time.Duration) {
+// that opened at T and committed up to minW (the minimum per-shard
+// bound + 1) with wall time winWall. Called by the coordinator with
+// shards parked; s.bounds holds each shard's realized bound W_i − 1 and
+// ranBefore/wallBefore the pre-window snapshots.
+func (s *ShardedEngine) traceWindow(T, minW Time, winStart time.Time, winWall time.Duration) {
 	t := s.trc
 	wallBase := t.rec.Since(winStart)
 	var minEv, maxEv, sumEv uint64
 	minEv = ^uint64(0)
 	for i, e := range s.engines {
+		W := s.bounds[i] + 1
 		busy := e.wall - s.wallBefore[i]
 		if busy < 0 {
 			busy = 0
@@ -134,9 +150,12 @@ func (s *ShardedEngine) traceWindow(T, W Time, winStart time.Time, winWall time.
 		if t.barrierWait != nil {
 			t.barrierWait.Observe(float64(wait.Nanoseconds()) / 1e3)
 		}
+		if t.windowSpan != nil {
+			t.windowSpan.Observe(float64(W-T) / float64(Microsecond))
+		}
 	}
 	if t.windowVirt != nil {
-		t.windowVirt.Observe(float64(W-T) / float64(Microsecond))
+		t.windowVirt.Observe(float64(minW-T) / float64(Microsecond))
 	}
 	if t.imbalance != nil && sumEv > 0 {
 		mean := float64(sumEv) / float64(len(s.engines))
@@ -149,12 +168,32 @@ func (s *ShardedEngine) traceWindow(T, W Time, winStart time.Time, winWall time.
 // barrier_profile block of the quartzbench -json report; snapshot with
 // BarrierProfileSnapshot and subtract to scope a run.
 type BarrierProfile struct {
-	// Windows counts parallel windows; GlobalPhases counts
-	// all-shards-parked phases (each serializes the run).
+	// Windows counts epochs — coordinator park/wake barrier round trips,
+	// the expensive synchronization operations (one channel broadcast, K
+	// receives, an arrival countdown and a done send each). Strides
+	// counts the conservative parallel windows executed inside them;
+	// strides beyond the first in an epoch cost only a spin-barrier
+	// round among the shard workers, so Strides − Windows is the
+	// synchronization the epoch batching saved. GlobalPhases counts
+	// all-shards-parked phases (each serializes the run and ends an
+	// epoch).
 	Windows      uint64 `json:"windows"`
+	Strides      uint64 `json:"strides"`
 	GlobalPhases uint64 `json:"global_phases"`
+	// CoalescedGlobals counts flex events that ran after their nominal
+	// time — epoch fragmentations avoided by coalescing tolerance.
+	CoalescedGlobals uint64 `json:"coalesced_globals"`
 	// CrossShardEvents counts events committed through the SPSC rings.
 	CrossShardEvents uint64 `json:"cross_shard_events"`
+	// VirtualSecs is the committed virtual time the synchronizer
+	// advanced; WindowsPerVirtualSec = Windows / VirtualSecs is the
+	// synchronization-rate figure of merit — how many coordinator
+	// barriers the run pays per simulated second (lower is better for
+	// the same workload). StridesPerVirtualSec is the same rate for the
+	// cheap in-epoch barrier.
+	VirtualSecs          float64 `json:"virtual_secs"`
+	WindowsPerVirtualSec float64 `json:"windows_per_virtual_sec"`
+	StridesPerVirtualSec float64 `json:"strides_per_virtual_sec"`
 	// WindowWallSecs is coordinator wall time spent inside windows;
 	// ShardBusySecs sums per-shard compute inside those windows (can
 	// exceed WindowWallSecs·1 — it sums across K shards); BarrierWaitSecs
@@ -172,8 +211,11 @@ type BarrierProfile struct {
 // Package-level profile accumulators, folded once per RunUntil call.
 var (
 	bpWindows    atomic.Uint64
+	bpStrides    atomic.Uint64
 	bpGlobals    atomic.Uint64
+	bpCoalesced  atomic.Uint64
 	bpCrossed    atomic.Uint64
+	bpVirtualPs  atomic.Int64 // virtual picoseconds committed
 	bpWindowWall atomic.Int64 // ns
 	bpShardBusy  atomic.Int64 // ns
 	bpWaitNs     atomic.Int64 // ns
@@ -185,8 +227,11 @@ var (
 func BarrierProfileSnapshot() BarrierProfile {
 	p := BarrierProfile{
 		Windows:          bpWindows.Load(),
+		Strides:          bpStrides.Load(),
 		GlobalPhases:     bpGlobals.Load(),
+		CoalescedGlobals: bpCoalesced.Load(),
 		CrossShardEvents: bpCrossed.Load(),
+		VirtualSecs:      float64(bpVirtualPs.Load()) / float64(Second),
 		WindowWallSecs:   float64(bpWindowWall.Load()) / 1e9,
 		ShardBusySecs:    float64(bpShardBusy.Load()) / 1e9,
 		BarrierWaitSecs:  float64(bpWaitNs.Load()) / 1e9,
@@ -199,8 +244,11 @@ func BarrierProfileSnapshot() BarrierProfile {
 func (p BarrierProfile) Sub(prev BarrierProfile) BarrierProfile {
 	d := BarrierProfile{
 		Windows:          p.Windows - prev.Windows,
+		Strides:          p.Strides - prev.Strides,
 		GlobalPhases:     p.GlobalPhases - prev.GlobalPhases,
+		CoalescedGlobals: p.CoalescedGlobals - prev.CoalescedGlobals,
 		CrossShardEvents: p.CrossShardEvents - prev.CrossShardEvents,
+		VirtualSecs:      p.VirtualSecs - prev.VirtualSecs,
 		WindowWallSecs:   p.WindowWallSecs - prev.WindowWallSecs,
 		ShardBusySecs:    p.ShardBusySecs - prev.ShardBusySecs,
 		BarrierWaitSecs:  p.BarrierWaitSecs - prev.BarrierWaitSecs,
@@ -213,17 +261,40 @@ func (p BarrierProfile) withFrac() BarrierProfile {
 	if denom := p.ShardBusySecs + p.BarrierWaitSecs; denom > 0 {
 		p.BarrierWaitFrac = p.BarrierWaitSecs / denom
 	}
+	if p.VirtualSecs > 0 {
+		p.WindowsPerVirtualSec = float64(p.Windows) / p.VirtualSecs
+		p.StridesPerVirtualSec = float64(p.Strides) / p.VirtualSecs
+	}
 	return p
 }
 
+// profileBase snapshots a synchronizer's profile-relevant state at the
+// start of a RunUntil call, so foldProfile can commit only the call's
+// delta.
+type profileBase struct {
+	winWall   time.Duration
+	busy      time.Duration
+	windows   uint64
+	strides   uint64
+	globals   uint64
+	crossed   uint64
+	coalesced uint64
+}
+
 // foldProfile commits one RunUntil call's window aggregates into the
-// package accumulators. Deltas, so repeated RunUntil calls compose.
-func (s *ShardedEngine) foldProfile(prevWin, prevBusy time.Duration, prevWindows, prevGlobals, prevCrossed uint64) {
-	dWin := s.winWall - prevWin
-	dBusy := s.busyWall - prevBusy
-	bpWindows.Add(s.windows - prevWindows)
-	bpGlobals.Add(s.globalPhases - prevGlobals)
-	bpCrossed.Add(s.crossed - prevCrossed)
+// package accumulators. Deltas, so repeated RunUntil calls compose;
+// virt is the committed virtual time the call advanced.
+func (s *ShardedEngine) foldProfile(prev profileBase, virt Time) {
+	dWin := s.winWall - prev.winWall
+	dBusy := s.shardBusy() - prev.busy
+	bpWindows.Add(s.windows - prev.windows)
+	bpStrides.Add(s.strides - prev.strides)
+	bpGlobals.Add(s.globalPhases - prev.globals)
+	bpCoalesced.Add(s.coalesced - prev.coalesced)
+	bpCrossed.Add(s.crossed - prev.crossed)
+	if virt > 0 {
+		bpVirtualPs.Add(int64(virt))
+	}
 	bpWindowWall.Add(dWin.Nanoseconds())
 	bpShardBusy.Add(dBusy.Nanoseconds())
 	if wait := time.Duration(len(s.engines))*dWin - dBusy; wait > 0 {
@@ -239,16 +310,22 @@ func (s *ShardedEngine) foldProfile(prevWin, prevBusy time.Duration, prevWindows
 type ShardedHeartbeat struct {
 	s *ShardedEngine
 
-	windows  *metrics.Counter
-	crossed  *metrics.Counter
-	waitFrac *metrics.Gauge
-	evSkew   *metrics.Gauge
+	windows    *metrics.Counter
+	strides    *metrics.Counter
+	crossed    *metrics.Counter
+	coalesced  *metrics.Counter
+	waitFrac   *metrics.Gauge
+	winPerVsec *metrics.Gauge
+	evSkew     *metrics.Gauge
 
-	lastWindows uint64
-	lastCrossed uint64
-	lastWin     time.Duration
-	lastBusy    time.Duration
-	lastShardEv []uint64
+	lastWindows   uint64
+	lastStrides   uint64
+	lastCrossed   uint64
+	lastCoalesced uint64
+	lastWin       time.Duration
+	lastBusy      time.Duration
+	lastNow       Time
+	lastShardEv   []uint64
 
 	// OnTick, if set, runs after each publish with the tick's virtual
 	// time — same contract as Heartbeat.OnTick.
@@ -260,24 +337,40 @@ type ShardedHeartbeat struct {
 // virtual time until the given time (inclusive). The tick is a global
 // event: shards are parked while it runs. The instruments:
 //
-//	sim_windows_total            counter  parallel windows executed
-//	sim_cross_shard_events_total counter  events committed through the rings
-//	sim_barrier_wait_fraction    gauge    fraction of shard-time inside windows
-//	                                      spent waiting at the barrier, last interval
-//	sim_shard_events_skew        gauge    (max-min)/mean per-shard events, last interval
+//	sim_windows_total             counter  coordinator epochs released
+//	sim_strides_total             counter  conservative windows executed inside them
+//	sim_cross_shard_events_total  counter  events committed through the rings
+//	sim_coalesced_globals_total   counter  flex events deferred past their nominal time
+//	sim_barrier_wait_fraction     gauge    fraction of shard-time inside windows
+//	                                       spent waiting at the barrier, last interval
+//	sim_windows_per_virtual_sec   gauge    barriers per simulated second, last interval
+//	sim_shard_events_skew         gauge    (max-min)/mean per-shard events, last interval
 //
 // Pair with per-shard AttachHeartbeatLabeled heartbeats (netsim.Observe
 // wires both) for the full live picture: per-shard rates plus the
 // barrier economics between them.
 func AttachShardedHeartbeat(s *ShardedEngine, r *metrics.Registry, interval, until Time) *ShardedHeartbeat {
+	return AttachShardedHeartbeatCoalesced(s, r, interval, until, 0)
+}
+
+// AttachShardedHeartbeatCoalesced is AttachShardedHeartbeat with a
+// coalescing tolerance: each tick may run up to tol of virtual time
+// late, batched with other global work into one all-shards-parked
+// phase (see ScheduleFlex). Tick times remain deterministic and
+// identical for every shard count; tol = 0 is exactly the strict
+// heartbeat.
+func AttachShardedHeartbeatCoalesced(s *ShardedEngine, r *metrics.Registry, interval, until, tol Time) *ShardedHeartbeat {
 	if interval <= 0 {
 		panic("sim: sharded heartbeat interval must be positive")
 	}
 	h := &ShardedHeartbeat{
 		s:           s,
-		windows:     r.Counter("sim_windows_total", "parallel windows executed", nil),
+		windows:     r.Counter("sim_windows_total", "coordinator epochs released (park/wake barrier round trips)", nil),
+		strides:     r.Counter("sim_strides_total", "conservative parallel windows (strides) executed inside epochs", nil),
 		crossed:     r.Counter("sim_cross_shard_events_total", "cross-shard events committed through the SPSC rings", nil),
+		coalesced:   r.Counter("sim_coalesced_globals_total", "flex global events deferred past their nominal time to preserve a parallel window", nil),
 		waitFrac:    r.Gauge("sim_barrier_wait_fraction", "fraction of in-window shard time spent waiting at the barrier over the last interval", nil),
+		winPerVsec:  r.Gauge("sim_windows_per_virtual_sec", "parallel windows per simulated second over the last interval", nil),
 		evSkew:      r.Gauge("sim_shard_events_skew", "(max-min)/mean per-shard events over the last interval", nil),
 		lastShardEv: make([]uint64, len(s.engines)),
 	}
@@ -285,10 +378,10 @@ func AttachShardedHeartbeat(s *ShardedEngine, r *metrics.Registry, interval, unt
 	tick = func() {
 		h.publish()
 		if s.Now()+interval <= until {
-			s.After(interval, tick)
+			s.AfterFlex(interval, tol, tick)
 		}
 	}
-	s.After(interval, tick)
+	s.AfterFlex(interval, tol, tick)
 	return h
 }
 
@@ -296,15 +389,26 @@ func AttachShardedHeartbeat(s *ShardedEngine, r *metrics.Registry, interval, unt
 // advances the interval baselines. Runs inside a global phase.
 func (h *ShardedHeartbeat) publish() {
 	s := h.s
-	h.windows.Add(s.windows - h.lastWindows)
+	dWindows := s.windows - h.lastWindows
+	h.windows.Add(dWindows)
+	h.strides.Add(s.strides - h.lastStrides)
 	h.crossed.Add(s.crossed - h.lastCrossed)
+	h.coalesced.Add(s.coalesced - h.lastCoalesced)
 	h.lastWindows = s.windows
+	h.lastStrides = s.strides
 	h.lastCrossed = s.crossed
+	h.lastCoalesced = s.coalesced
 
+	if dNow := s.now - h.lastNow; dNow > 0 {
+		h.winPerVsec.Set(float64(dWindows) / dNow.Seconds())
+	}
+	h.lastNow = s.now
+
+	busy := s.shardBusy()
 	dWin := s.winWall - h.lastWin
-	dBusy := s.busyWall - h.lastBusy
+	dBusy := busy - h.lastBusy
 	h.lastWin = s.winWall
-	h.lastBusy = s.busyWall
+	h.lastBusy = busy
 	if cap := time.Duration(len(s.engines)) * dWin; cap > 0 {
 		frac := float64(cap-dBusy) / float64(cap)
 		if frac < 0 {

@@ -175,7 +175,7 @@ func TestShardedRunDisabledNoSpanState(t *testing.T) {
 	if s.trc != nil {
 		t.Fatal("trace state attached without AttachTrace")
 	}
-	if s.winWall <= 0 || s.busyWall < 0 {
-		t.Fatalf("window profile not accumulated: win=%v busy=%v", s.winWall, s.busyWall)
+	if s.winWall <= 0 || s.shardBusy() < 0 {
+		t.Fatalf("window profile not accumulated: win=%v busy=%v", s.winWall, s.shardBusy())
 	}
 }

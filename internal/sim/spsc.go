@@ -1,6 +1,9 @@
 package sim
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // remote is a cross-shard event record: an Action scheduled by one
 // shard for execution on another, carried through an spscRing and
@@ -90,7 +93,9 @@ func (q *shardQueue) push(r remote) {
 }
 
 // drain pops every queued record in FIFO order into fn. Coordinator
-// side, shards parked.
+// side, shards parked. The barrier commit path uses commitQueue (one
+// cursor store per drain, no callback); drain remains for callers that
+// need per-record access.
 func (q *shardQueue) drain(fn func(remote)) {
 	for {
 		r, ok := q.ring.pop()
@@ -103,4 +108,49 @@ func (q *shardQueue) drain(fn func(remote)) {
 		fn(r)
 	}
 	q.overflow = q.overflow[:0]
+}
+
+// commitQueue schedules every record queued in q into destination
+// engine e — ring first, then overflow, preserving push order — with a
+// single consumer-cursor store per drain instead of one atomic store
+// and one closure call per record. Coordinator side, shards parked.
+// floor is the earliest admissible timestamp (see commitBatch).
+// Returns the number of records committed.
+func commitQueue(e *Engine, q *shardQueue, floor Time) uint64 {
+	head, tail := q.ring.head.Load(), q.ring.tail.Load()
+	n := tail - head
+	if n > 0 {
+		start := head & q.ring.mask
+		first := uint64(len(q.ring.buf)) - start
+		if first > n {
+			first = n
+		}
+		commitBatch(e, q.ring.buf[start:start+first], floor)
+		if n > first {
+			commitBatch(e, q.ring.buf[:n-first], floor)
+		}
+		q.ring.head.Store(tail)
+	}
+	if len(q.overflow) > 0 {
+		commitBatch(e, q.overflow, floor)
+		n += uint64(len(q.overflow))
+		q.overflow = q.overflow[:0]
+	}
+	return n
+}
+
+// commitBatch schedules one contiguous segment of records. A record
+// before floor — after a window, anything at or before the destination
+// shard's bound; after a global phase, anything before the phase time —
+// means the sender broke its lookahead promise: the destination already
+// ran past the record's instant. That panics loudly rather than
+// silently reordering causality.
+func commitBatch(e *Engine, batch []remote, floor Time) {
+	for i := range batch {
+		r := &batch[i]
+		if r.at < floor {
+			panic(fmt.Sprintf("sim: cross-shard event at %v violates lookahead: destination shard already ran to %v", r.at, floor))
+		}
+		e.ScheduleAction(r.at, r.act, r.a, r.b)
+	}
 }
