@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-json bench-diff service-smoke scenario-smoke trace-smoke flagdoc
+.PHONY: build test vet race verify bench bench-json bench-diff service-smoke scenario-smoke trace-smoke cluster-smoke flagdoc
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,13 @@ vet:
 # cross-shard forwarding, the per-pair lookahead matrix), the routers
 # (Reroute mutates live tables; shard clones serve concurrent
 # lookups), the traffic harnesses (per-shard delivery fan-in), the
-# metrics registry (lock-free instruments scraped while written), and
-# the job service (worker pool vs HTTP handlers).
+# metrics registry (lock-free instruments scraped while written), the
+# job service (worker pool vs HTTP handlers), and the cluster tier
+# (dispatchers vs heartbeat monitors vs dynamic registration —
+# TestClusterRaceStress keeps the requeue path hot with a permanently
+# dead worker).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/netsim/... ./internal/routing/... ./internal/traffic/... ./internal/metrics/... ./internal/service/...
+	$(GO) test -race ./internal/sim/... ./internal/netsim/... ./internal/routing/... ./internal/traffic/... ./internal/metrics/... ./internal/service/... ./internal/cluster/...
 
 # Tier-1 verify recipe (see ROADMAP.md): build + vet + full tests + race
 # pass on the simulator core.
@@ -55,6 +58,14 @@ service-smoke:
 # quartzsim -scenario -dry-run. CI runs this as the scenario-smoke step.
 scenario-smoke:
 	bash scripts/scenario_smoke.sh
+
+# End-to-end check of distributed quartzd: a coordinator and two
+# workers on loopback, a table8 sweep fanned out and merged
+# byte-identically to a single-process run, SSE progress events, a
+# coordinator cache hit on resubmission, clean SIGTERM drains. CI runs
+# this as the cluster-smoke step.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # End-to-end check of execution tracing: sharded quartzsim and
 # quartzbench traces validate under cmd/tracecheck (schema, per-track

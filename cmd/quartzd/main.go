@@ -8,6 +8,21 @@
 //
 //	quartzd [-addr :8714] [-queue N] [-workers N] [-cache N]
 //	        [-scenarios N] [-timeout D] [-grace D]
+//	        [-coordinator] [-cluster-workers URLS] [-join URL -advertise URL]
+//
+// Cluster mode (internal/cluster). A coordinator daemon
+// (-coordinator, or implied by -cluster-workers with a comma-separated
+// static worker list) shards sweep-shaped experiments across worker
+// daemons and merges the partial results — byte-identical to a local
+// run for every worker count — and serves two extra routes:
+//
+//	POST /cluster/register    a worker announces its base URL
+//	GET  /cluster             the worker set: liveness, queue depth
+//
+// Workers are stock quartzd daemons; one started with
+// -join http://coordinator:8714 -advertise http://me:8715 keeps
+// announcing itself to the coordinator (idempotent, with backoff), so
+// clusters can grow without restarting the coordinator.
 //
 // API (JSON):
 //
@@ -50,9 +65,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/quartz-dcn/quartz/internal/cluster"
+	"github.com/quartz-dcn/quartz/internal/experiments"
 	"github.com/quartz-dcn/quartz/internal/metrics"
 	"github.com/quartz-dcn/quartz/internal/service"
 )
@@ -65,6 +83,11 @@ var (
 	timeout = flag.Duration("timeout", 10*time.Minute, "default per-job run deadline")
 	grace   = flag.Duration("grace", 30*time.Second, "drain grace period on shutdown before in-flight jobs are cancelled")
 	scens   = flag.Int("scenarios", 128, "stored-scenario capacity (PUT /scenarios answers 507 when full)")
+
+	coordinator = flag.Bool("coordinator", false, "serve as the cluster coordinator: fan sweep experiments out to workers and serve /cluster")
+	clusterWkrs = flag.String("cluster-workers", "", "comma-separated worker base URLs for the coordinator (implies -coordinator)")
+	join        = flag.String("join", "", "coordinator base URL to register this daemon with (worker mode)")
+	advertise   = flag.String("advertise", "", "this daemon's reachable base URL, announced via -join")
 )
 
 func main() {
@@ -77,19 +100,58 @@ func main() {
 }
 
 func run() error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := metrics.NewRegistry()
+	mode := "single"
+	var coord *cluster.Coordinator
+	var lookup func(string) (experiments.Experiment, bool)
+	if *coordinator || *clusterWkrs != "" {
+		mode = "coordinator"
+		var urls []string
+		for _, u := range strings.Split(*clusterWkrs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		coord = cluster.New(cluster.Config{Workers: urls, Registry: reg})
+		defer coord.Close()
+		lookup = coord.WrapLookup(nil)
+		log.Printf("coordinator mode: %d static workers", len(urls))
+	}
 	svc := service.New(service.Config{
 		QueueCapacity:   *queue,
 		Workers:         *workers,
 		CacheEntries:    *cache,
 		DefaultTimeout:  *timeout,
 		ScenarioEntries: *scens,
+		Registry:        reg,
+		Lookup:          lookup,
 	})
-	handler := svc.Handler(metrics.StatusMeta{
+	handler := http.Handler(svc.Handler(metrics.StatusMeta{
 		"daemon":  "quartzd",
 		"go":      runtime.Version(),
+		"mode":    mode,
 		"queue":   fmt.Sprint(*queue),
 		"workers": fmt.Sprint(svcWorkers()),
-	})
+	}))
+	if coord != nil {
+		mux := http.NewServeMux()
+		ch := coord.Handler()
+		mux.Handle("/cluster", ch)
+		mux.Handle("/cluster/", ch)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	if *join != "" {
+		if *advertise == "" {
+			return errors.New("-join requires -advertise (this daemon's reachable base URL)")
+		}
+		rg := &cluster.Registrar{Coordinator: *join, Advertise: *advertise}
+		go rg.Run(ctx)
+		log.Printf("worker mode: announcing %s to %s", *advertise, *join)
+	}
 
 	// Bind before announcing readiness so callers (the CI smoke script
 	// waits on this line) can poll the port immediately after.
@@ -104,8 +166,6 @@ func run() error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-serveErr:
 		return fmt.Errorf("serve: %w", err)

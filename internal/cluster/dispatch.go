@@ -1,0 +1,360 @@
+package cluster
+
+// The sweep fan-out engine: chunk the cell grid, queue the ranges,
+// run one dispatcher per alive worker, merge the blocks in cell order.
+// Requeueing is the only failure-handling mechanism — a dispatcher
+// that hits a retryable error puts its range back, marks its worker
+// dead, and exits; the surviving dispatchers drain the queue.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/quartz-dcn/quartz/internal/experiments"
+	"github.com/quartz-dcn/quartz/internal/service"
+	"github.com/quartz-dcn/quartz/internal/trace"
+)
+
+// cellRange is one dispatch unit: sweep cells [lo, hi).
+type cellRange struct {
+	lo, hi int
+}
+
+// WrapLookup returns an experiment Lookup for the coordinator's own
+// service: sweep-shaped experiments have their Run replaced by the
+// cluster fan-out, everything else passes through and runs locally.
+// The wrapped entry drops its Sweep so the coordinator's service
+// rejects cell-range sub-jobs (those belong on workers; accepting one
+// here would recurse the dispatch).
+func (c *Coordinator) WrapLookup(next func(string) (experiments.Experiment, bool)) func(string) (experiments.Experiment, bool) {
+	if next == nil {
+		next = experiments.Find
+	}
+	return func(name string) (experiments.Experiment, bool) {
+		exp, ok := next(name)
+		if !ok || exp.Sweep == nil {
+			return exp, ok
+		}
+		sw := exp.Sweep
+		exp.Sweep = nil
+		exp.Run = func(ctx context.Context, p experiments.Params) (experiments.Output, error) {
+			return c.RunSweep(ctx, name, sw, p)
+		}
+		return exp, true
+	}
+}
+
+// dispatchState is one sweep's shared bookkeeping. blocks and the
+// progress fields are guarded by mu; remaining counts undone ranges
+// and done closes when it reaches zero.
+type dispatchState struct {
+	name  string
+	cells int
+	queue chan cellRange
+
+	mu        sync.Mutex
+	blocks    []experiments.CellBlock
+	remaining int
+	inflight  map[int]int // range lo → cells done so far (progress)
+	finished  int         // cells in completed ranges
+	err       error
+
+	done   chan struct{}
+	cancel context.CancelFunc
+	report func(done, total int) // Params.Progress, may be nil
+}
+
+// complete records one finished block and its progress contribution.
+func (d *dispatchState) complete(r cellRange, b experiments.CellBlock) {
+	d.mu.Lock()
+	d.blocks = append(d.blocks, b)
+	d.finished += r.hi - r.lo
+	delete(d.inflight, r.lo)
+	d.remaining--
+	last := d.remaining == 0
+	d.mu.Unlock()
+	d.tick()
+	if last {
+		close(d.done)
+	}
+}
+
+// note records a partial progress observation for an in-flight range.
+func (d *dispatchState) note(r cellRange, cellsDone int) {
+	d.mu.Lock()
+	d.inflight[r.lo] = min(cellsDone, r.hi-r.lo)
+	d.mu.Unlock()
+	d.tick()
+}
+
+// tick reports aggregate progress: cells in completed ranges plus the
+// in-flight partials, over the whole grid.
+func (d *dispatchState) tick() {
+	if d.report == nil {
+		return
+	}
+	d.mu.Lock()
+	done := d.finished
+	for _, v := range d.inflight {
+		done += v
+	}
+	d.mu.Unlock()
+	d.report(done, d.cells)
+}
+
+// fail records the first fatal error and cancels the sweep.
+func (d *dispatchState) fail(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+	d.cancel()
+}
+
+func (d *dispatchState) getErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+func (d *dispatchState) pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.remaining
+}
+
+// RunSweep executes one sweep across the cluster: shard the grid,
+// dispatch, merge. It is the Run of every sweep experiment on a
+// coordinator (see WrapLookup), so the coordinator's result cache and
+// job machinery wrap it exactly as they wrap a local run.
+func (c *Coordinator) RunSweep(ctx context.Context, name string, sw *experiments.Sweep, p experiments.Params) (experiments.Output, error) {
+	rec := p.Trace
+	start := time.Now()
+	n := sw.Cells(p)
+	workers := c.alive()
+	if len(workers) == 0 {
+		c.mSweeps["failed"].Inc()
+		return experiments.Output{}, fmt.Errorf("%w (experiment %s)", ErrNoWorkers, name)
+	}
+	// Chunk to ~2 ranges per worker: coarse enough that per-range HTTP
+	// overhead stays negligible, fine enough that a straggler worker
+	// sheds load to idle peers and a death costs at most half a
+	// worker's share.
+	chunk := max(1, (n+2*len(workers)-1)/(2*len(workers)))
+	var ranges []cellRange
+	for lo := 0; lo < n; lo += chunk {
+		ranges = append(ranges, cellRange{lo: lo, hi: min(lo+chunk, n)})
+	}
+
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	d := &dispatchState{
+		name:      name,
+		cells:     n,
+		queue:     make(chan cellRange, len(ranges)),
+		remaining: len(ranges),
+		inflight:  make(map[int]int),
+		done:      make(chan struct{}),
+		cancel:    cancel,
+		report:    p.Progress,
+	}
+	for _, r := range ranges {
+		d.queue <- r
+	}
+
+	var wg sync.WaitGroup
+	allExited := make(chan struct{})
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			c.dispatcher(dctx, w, d, p)
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(allExited)
+	}()
+
+	var failErr error
+	select {
+	case <-d.done:
+	case <-allExited:
+		failErr = d.getErr()
+		if failErr == nil {
+			failErr = fmt.Errorf("cluster: %s: every worker died with %d ranges pending", name, d.pending())
+		}
+	case <-dctx.Done():
+		failErr = d.getErr()
+		if failErr == nil {
+			failErr = ctx.Err()
+		}
+	}
+	cancel()
+	wg.Wait() // dispatchers observe dctx and unwind
+	rec.Add(trace.Span{
+		Name: "dispatch", Cat: "cluster", Track: trace.CoordinatorTrack,
+		Wall: rec.Since(start), WallDur: time.Since(start).Nanoseconds(),
+	}.Annotate("workers", int64(len(workers))).Annotate("ranges", int64(len(ranges))).Annotate("cells", int64(n)))
+	if failErr != nil {
+		c.mSweeps["failed"].Inc()
+		return experiments.Output{}, failErr
+	}
+
+	d.mu.Lock()
+	blocks := append([]experiments.CellBlock(nil), d.blocks...)
+	d.mu.Unlock()
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Lo < blocks[j].Lo })
+	mstart := time.Now()
+	out, err := sw.Merge(p, blocks)
+	rec.Add(trace.Span{
+		Name: "merge", Cat: "cluster", Track: trace.CoordinatorTrack,
+		Wall: rec.Since(mstart), WallDur: time.Since(mstart).Nanoseconds(),
+	}.Annotate("blocks", int64(len(blocks))))
+	if err != nil {
+		c.mSweeps["failed"].Inc()
+		return experiments.Output{}, fmt.Errorf("cluster: %s: %w", name, err)
+	}
+	c.mCells.Add(uint64(n))
+	c.mSweeps["done"].Inc()
+	return out, nil
+}
+
+// dispatcher drains the range queue against one worker until the
+// queue is idle-forever (sweep done, dctx cancelled) or the worker
+// fails. Retryable failures requeue the range and kill the
+// dispatcher; fatal ones kill the sweep.
+func (c *Coordinator) dispatcher(dctx context.Context, w *worker, d *dispatchState, p experiments.Params) {
+	for {
+		select {
+		case <-dctx.Done():
+			return
+		case r := <-d.queue:
+			c.mDispatches.Inc()
+			block, rerr := c.runRange(dctx, w, d, p, r)
+			if rerr == nil {
+				d.complete(r, block)
+				continue
+			}
+			if rerr.fatal {
+				d.fail(fmt.Errorf("cluster: %s cells [%d,%d) on %s: %w", d.name, r.lo, r.hi, w.url, rerr.err))
+				return
+			}
+			if dctx.Err() != nil {
+				return // cancelled mid-range; not a worker fault
+			}
+			// Retryable: back on the queue for a survivor, worker dead
+			// until its heartbeat revives it.
+			c.mRetries.Inc()
+			w.markDead(rerr.err)
+			p.Trace.Add(trace.Span{Name: "retry", Cat: "cluster", Track: trace.CoordinatorTrack}.
+				Annotate("lo", int64(r.lo)).Annotate("hi", int64(r.hi)))
+			d.queue <- r
+			return
+		}
+	}
+}
+
+// rangeErr classifies a range failure: fatal errors abort the sweep,
+// retryable ones requeue the range.
+type rangeErr struct {
+	err   error
+	fatal bool
+}
+
+func retryable(err error) *rangeErr { return &rangeErr{err: err} }
+func fatal(err error) *rangeErr     { return &rangeErr{err: err, fatal: true} }
+
+// runRange executes one cell range on one worker: submit (honoring
+// 429 backpressure), poll to terminal, fetch and decode the block.
+func (c *Coordinator) runRange(dctx context.Context, w *worker, d *dispatchState, p experiments.Params, r cellRange) (experiments.CellBlock, *rangeErr) {
+	rstart := time.Now()
+	var view service.View
+	for {
+		v, status, retryAfter, errMsg, err := c.submitCells(dctx, w.url, d.name, p, r)
+		if err != nil {
+			return experiments.CellBlock{}, retryable(err)
+		}
+		switch {
+		case status < 300:
+			view = v
+		case status == http.StatusTooManyRequests:
+			// Worker queue full: honor its jittered Retry-After, then
+			// offer the range again. The worker is healthy — just busy —
+			// so this stays on the same dispatcher.
+			if retryAfter <= 0 {
+				retryAfter = time.Second
+			}
+			select {
+			case <-dctx.Done():
+				return experiments.CellBlock{}, retryable(dctx.Err())
+			case <-time.After(retryAfter):
+			}
+			continue
+		case status >= 500:
+			// Draining (503) or a broken daemon (5xx): the worker is the
+			// problem, not the cells.
+			return experiments.CellBlock{}, retryable(fmt.Errorf("submit failed (HTTP %d): %s", status, errMsg))
+		default:
+			// 400/404: the worker disagrees about the experiment or the
+			// grid — a deployment mismatch no retry fixes.
+			return experiments.CellBlock{}, fatal(fmt.Errorf("submit rejected (HTTP %d): %s", status, errMsg))
+		}
+		break
+	}
+
+	for !view.State.Terminal() {
+		select {
+		case <-dctx.Done():
+			c.cancelJob(w.url, view.ID)
+			return experiments.CellBlock{}, retryable(dctx.Err())
+		case <-time.After(c.cfg.PollInterval):
+		}
+		v, err := c.getJob(dctx, w.url, view.ID)
+		if err != nil {
+			return experiments.CellBlock{}, retryable(err)
+		}
+		view = v
+		if view.Progress != nil {
+			d.note(r, view.Progress.Done)
+		}
+	}
+
+	switch {
+	case view.State == service.StateDone:
+		res, err := c.getResult(dctx, w.url, view.ID)
+		if err != nil {
+			return experiments.CellBlock{}, retryable(err)
+		}
+		block, err := experiments.DecodeBlock(res.Text)
+		if err != nil {
+			return experiments.CellBlock{}, fatal(fmt.Errorf("job %s: %w", view.ID, err))
+		}
+		if block.Lo != r.lo || block.Hi != r.hi {
+			return experiments.CellBlock{}, fatal(fmt.Errorf("job %s returned cells [%d,%d), want [%d,%d)", view.ID, block.Lo, block.Hi, r.lo, r.hi))
+		}
+		p.Trace.Add(trace.Span{
+			Name: "cell-range", Cat: "cluster", Track: r.lo,
+			Wall: p.Trace.Since(rstart), WallDur: time.Since(rstart).Nanoseconds(),
+		}.Annotate("lo", int64(r.lo)).Annotate("hi", int64(r.hi)))
+		return block, nil
+	case strings.Contains(view.Error, "deadline"):
+		// The worker timed the sub-job out — an overloaded or wedged
+		// daemon, not a property of the cells. Another worker may finish
+		// in time.
+		return experiments.CellBlock{}, retryable(fmt.Errorf("job %s: %s", view.ID, view.Error))
+	case view.State == service.StateCancelled:
+		return experiments.CellBlock{}, retryable(fmt.Errorf("job %s cancelled on the worker", view.ID))
+	default:
+		// A real experiment failure is deterministic: it would fail the
+		// same way on every worker, so retrying it is pure waste.
+		return experiments.CellBlock{}, fatal(errors.New(view.Error))
+	}
+}

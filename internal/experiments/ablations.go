@@ -71,19 +71,33 @@ func meshScatterLatency(m, hostsPer int, model netsim.SwitchModel, seed int64) (
 	return AblationRow{Latency: s.Mean(), CI: s.CI95(), Drops: net.Dropped()}, nil
 }
 
+// ablationRingSizes is the ring-size ablation's sweep axis.
+var ablationRingSizes = []int{4, 8, 16, 32}
+
+// ablationRingCell runs one ring-size configuration.
+func ablationRingCell(i int, seed int64) (AblationRow, error) {
+	row, err := meshScatterLatency(ablationRingSizes[i], 4, netsim.Arista7150, seed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	row.Config = fmt.Sprintf("quartz ring, %d switches", ablationRingSizes[i])
+	return row, nil
+}
+
 // AblationRingSize tests the §7 claim that "the size of the ring does
 // not affect performance": a scatter task on meshes of 4..32 switches.
 func AblationRingSize(ctx context.Context, seed int64, hooks *Hooks) ([]AblationRow, error) {
-	sizes := []int{4, 8, 16, 32}
-	rows := make([]AblationRow, len(sizes))
-	err := forEachCell(ctx, len(sizes), hooks, func(i int) error {
-		row, err := meshScatterLatency(sizes[i], 4, netsim.Arista7150, seed)
-		if err != nil {
-			return err
-		}
-		row.Config = fmt.Sprintf("quartz ring, %d switches", sizes[i])
-		rows[i] = row
-		return nil
+	return runAblationCells(ctx, len(ablationRingSizes), hooks, seed, ablationRingCell)
+}
+
+// runAblationCells shards one ablation axis over the worker pool,
+// assembling rows from indexed slots.
+func runAblationCells(ctx context.Context, n int, hooks *Hooks, seed int64, cell func(i int, seed int64) (AblationRow, error)) ([]AblationRow, error) {
+	rows := make([]AblationRow, n)
+	err := forEachCell(ctx, n, hooks, func(i int) error {
+		var err error
+		rows[i], err = cell(i, seed)
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -91,31 +105,30 @@ func AblationRingSize(ctx context.Context, seed int64, hooks *Hooks) ([]Ablation
 	return rows, nil
 }
 
+// ablationSwitchModels is the switch-model ablation's sweep axis.
+var ablationSwitchModels = []struct {
+	name  string
+	model netsim.SwitchModel
+}{
+	{"mesh of ULL (380ns cut-through)", netsim.Arista7150},
+	{"mesh of CCS (6us store-and-forward)", netsim.CiscoNexus7000},
+}
+
+// ablationSwitchCell runs one switch-model configuration.
+func ablationSwitchCell(i int, seed int64) (AblationRow, error) {
+	row, err := meshScatterLatency(8, 4, ablationSwitchModels[i].model, seed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	row.Config = ablationSwitchModels[i].name
+	return row, nil
+}
+
 // AblationSwitchModel isolates the cut-through contribution: the same
 // mesh built from ULL cut-through switches versus CCS
 // store-and-forward chassis.
 func AblationSwitchModel(ctx context.Context, seed int64, hooks *Hooks) ([]AblationRow, error) {
-	cfgs := []struct {
-		name  string
-		model netsim.SwitchModel
-	}{
-		{"mesh of ULL (380ns cut-through)", netsim.Arista7150},
-		{"mesh of CCS (6us store-and-forward)", netsim.CiscoNexus7000},
-	}
-	rows := make([]AblationRow, len(cfgs))
-	err := forEachCell(ctx, len(cfgs), hooks, func(i int) error {
-		row, err := meshScatterLatency(8, 4, cfgs[i].model, seed)
-		if err != nil {
-			return err
-		}
-		row.Config = cfgs[i].name
-		rows[i] = row
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return runAblationCells(ctx, len(ablationSwitchModels), hooks, seed, ablationSwitchCell)
 }
 
 // AblationVLBFraction sweeps the VLB indirect fraction on the Figure 20
@@ -124,40 +137,136 @@ func AblationSwitchModel(ctx context.Context, seed int64, hooks *Hooks) ([]Ablat
 // spreading saturates the direct link, too much wastes capacity on
 // two-hop detours.
 func AblationVLBFraction(ctx context.Context, seed int64, hooks *Hooks) ([]AblationRow, error) {
+	return runAblationCells(ctx, len(ablationVLBFracs), hooks, seed, ablationVLBCell)
+}
+
+// ablationVLBFracs is the VLB-fraction ablation's sweep axis.
+var ablationVLBFracs = []float64{0, 0.125, 0.25, 0.5, 0.75, 1.0}
+
+// ablationVLBCell runs one VLB indirect fraction. Each cell builds its
+// own ring: routers keep per-graph state, so cells must not share a
+// topology.
+func ablationVLBCell(i int, seed int64) (AblationRow, error) {
 	ull := func(topology.Node) netsim.SwitchModel { return netsim.Arista7150 }
-	fracs := []float64{0, 0.125, 0.25, 0.5, 0.75, 1.0}
-	rows := make([]AblationRow, len(fracs))
-	// Each cell builds its own ring: routers keep per-graph state, so
-	// shards must not share a topology.
-	err := forEachCell(ctx, len(fracs), hooks, func(i int) error {
-		frac := fracs[i]
-		ring, err := fig20Ring()
+	frac := ablationVLBFracs[i]
+	ring, err := fig20Ring()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	var router routing.Router
+	var vlb *routing.VLB
+	if frac == 0 {
+		router = routing.NewECMPPerPacket(ring)
+	} else {
+		v, err := routing.NewVLB(ring, frac)
 		if err != nil {
-			return err
+			return AblationRow{}, err
 		}
-		var router routing.Router
-		var vlb *routing.VLB
-		if frac == 0 {
-			router = routing.NewECMPPerPacket(ring)
-		} else {
-			v, err := routing.NewVLB(ring, frac)
-			if err != nil {
-				return err
+		router, vlb = v, v
+	}
+	mean, saturated, err := runFig20(ring, router, ull, vlb, 45*sim.Gbps, seed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	row := AblationRow{
+		Config:  fmt.Sprintf("VLB indirect fraction %.3f", frac),
+		Latency: mean,
+	}
+	if saturated {
+		row.Config += " (saturated)"
+	}
+	return row, nil
+}
+
+// AblationECMPMode compares per-flow ECMP pinning against per-packet
+// spraying on the three-tier tree under the Figure 17 scatter load:
+// pinned flows collide on the few core ports and inflate the tail.
+func AblationECMPMode(ctx context.Context, seed int64, hooks *Hooks) ([]AblationRow, error) {
+	return runAblationCells(ctx, len(ablationECMPModes), hooks, seed, ablationECMPCell)
+}
+
+// ablationECMPModes is the ECMP-mode ablation's sweep axis.
+var ablationECMPModes = []struct {
+	name      string
+	perPacket bool
+}{
+	{"three-tier, per-flow ECMP", false},
+	{"three-tier, per-packet spraying", true},
+}
+
+// ablationECMPCell runs one ECMP mode.
+func ablationECMPCell(i int, seed int64) (AblationRow, error) {
+	arch, err := core.ThreeTierTree(core.ArchParams{})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	if ablationECMPModes[i].perPacket {
+		arch.Router = routing.NewECMPPerPacket(arch.Graph)
+	} else {
+		arch.Router = routing.NewECMP(arch.Graph)
+	}
+	params := defaultFig17Params(ScatterKind)
+	mean, ci, err := runTasks(arch, ScatterKind, 6, false, params, seed)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{Config: ablationECMPModes[i].name, Latency: mean, CI: ci}, nil
+}
+
+// ablationPart is one axis of the flattened ablation grid.
+type ablationPart struct {
+	label string
+	n     int
+	cell  func(i int, seed int64) (AblationRow, error)
+}
+
+// ablationParts lays the four ablation axes end to end into one global
+// cell grid — the unit the cluster coordinator shards. Order matches
+// the historical registry rendering.
+func ablationParts() []ablationPart {
+	return []ablationPart{
+		{"ring size", len(ablationRingSizes), ablationRingCell},
+		{"switch model", len(ablationSwitchModels), ablationSwitchCell},
+		{"VLB fraction at 45 Gb/s", len(ablationVLBFracs), ablationVLBCell},
+		{"ECMP mode", len(ablationECMPModes), ablationECMPCell},
+	}
+}
+
+// AblationCells returns the flattened grid size across all four axes.
+func AblationCells() int {
+	n := 0
+	for _, p := range ablationParts() {
+		n += p.n
+	}
+	return n
+}
+
+// AblationRange executes global grid cells [lo, hi): each global index
+// maps to (axis, local index) by walking the parts in order. Results
+// are indexed from the range start.
+func AblationRange(ctx context.Context, seed int64, lo, hi int, hooks *Hooks) ([]AblationRow, error) {
+	parts := ablationParts()
+	n := AblationCells()
+	if err := checkRange(n, lo, hi); err != nil {
+		return nil, fmt.Errorf("ablations: %w", err)
+	}
+	locate := func(g int) (ablationPart, int) {
+		for _, p := range parts {
+			if g < p.n {
+				return p, g
 			}
-			router, vlb = v, v
+			g -= p.n
 		}
-		mean, saturated, err := runFig20(ring, router, ull, vlb, 45*sim.Gbps, seed)
+		panic("unreachable: index validated above")
+	}
+	rows := make([]AblationRow, hi-lo)
+	err := forEachCell(ctx, hi-lo, hooks, func(k int) error {
+		part, i := locate(lo + k)
+		row, err := part.cell(i, seed)
 		if err != nil {
-			return err
+			return fmt.Errorf("ablation %s[%d]: %w", part.label, i, err)
 		}
-		row := AblationRow{
-			Config:  fmt.Sprintf("VLB indirect fraction %.3f", frac),
-			Latency: mean,
-		}
-		if saturated {
-			row.Config += " (saturated)"
-		}
-		rows[i] = row
+		rows[k] = row
 		return nil
 	})
 	if err != nil {
@@ -166,38 +275,43 @@ func AblationVLBFraction(ctx context.Context, seed int64, hooks *Hooks) ([]Ablat
 	return rows, nil
 }
 
-// AblationECMPMode compares per-flow ECMP pinning against per-packet
-// spraying on the three-tier tree under the Figure 17 scatter load:
-// pinned flows collide on the few core ports and inflate the tail.
-func AblationECMPMode(ctx context.Context, seed int64, hooks *Hooks) ([]AblationRow, error) {
-	cfgs := []struct {
-		name      string
-		perPacket bool
-	}{
-		{"three-tier, per-flow ECMP", false},
-		{"three-tier, per-packet spraying", true},
+// AblationMerge renders the full grid's rows as the four ablation
+// tables in axis order.
+func AblationMerge(rows []AblationRow) (string, error) {
+	if len(rows) != AblationCells() {
+		return "", fmt.Errorf("ablation merge: %d rows for a %d-cell grid", len(rows), AblationCells())
 	}
-	rows := make([]AblationRow, len(cfgs))
-	err := forEachCell(ctx, len(cfgs), hooks, func(i int) error {
-		arch, err := core.ThreeTierTree(core.ArchParams{})
-		if err != nil {
-			return err
-		}
-		if cfgs[i].perPacket {
-			arch.Router = routing.NewECMPPerPacket(arch.Graph)
-		} else {
-			arch.Router = routing.NewECMP(arch.Graph)
-		}
-		params := defaultFig17Params(ScatterKind)
-		mean, ci, err := runTasks(arch, ScatterKind, 6, false, params, seed)
-		if err != nil {
-			return err
-		}
-		rows[i] = AblationRow{Config: cfgs[i].name, Latency: mean, CI: ci}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	var b strings.Builder
+	at := 0
+	for _, p := range ablationParts() {
+		b.WriteString(RenderAblation(p.label, rows[at:at+p.n]))
+		at += p.n
 	}
-	return rows, nil
+	return b.String(), nil
+}
+
+// AblationSweep publishes the flattened ablation grid for distributed
+// execution.
+func AblationSweep() *Sweep {
+	return &Sweep{
+		Cells: func(Params) int { return AblationCells() },
+		RunCells: func(ctx context.Context, p Params, lo, hi int) (CellBlock, error) {
+			rows, err := AblationRange(ctx, p.Seed, lo, hi, p.hooks())
+			if err != nil {
+				return CellBlock{}, err
+			}
+			return encodeBlock(lo, hi, rows)
+		},
+		Merge: func(p Params, blocks []CellBlock) (Output, error) {
+			rows, err := mergeBlocks[AblationRow](AblationCells(), blocks)
+			if err != nil {
+				return Output{}, fmt.Errorf("ablations: %w", err)
+			}
+			text, err := AblationMerge(rows)
+			if err != nil {
+				return Output{}, err
+			}
+			return Output{Text: text}, nil
+		},
+	}
 }

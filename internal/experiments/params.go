@@ -138,6 +138,28 @@ func (p Params) tick(done, total int) {
 // (Progress) are excluded. The result-cache of internal/service keys
 // on this.
 func CacheKey(name string, p Params) string {
+	sum := sha256.Sum256(keyPreimage(name, p))
+	return hex.EncodeToString(sum[:16])
+}
+
+// CacheKeyRange returns the sub-key identifying a partial execution —
+// cells [lo, hi) of the experiment's sweep grid. The cluster tier keys
+// cell-range sub-jobs on this, so a range a worker computed once (for
+// any client, under any coordinator) serves every later request for
+// the same cells. The degenerate whole-grid request (lo=0, hi=0) keys
+// identically to CacheKey.
+func CacheKeyRange(name string, p Params, lo, hi int) string {
+	if lo == 0 && hi == 0 {
+		return CacheKey(name, p)
+	}
+	key := fmt.Appendf(keyPreimage(name, p), "|cells=%d-%d", lo, hi)
+	sum := sha256.Sum256(key)
+	return hex.EncodeToString(sum[:16])
+}
+
+// keyPreimage builds the canonical hash input shared by CacheKey and
+// CacheKeyRange.
+func keyPreimage(name string, p Params) []byte {
 	p = p.WithDefaults()
 	key := fmt.Appendf(nil, "quartz-exp/v1|%s|seed=%d|trials=%d|tasks=%d|rpcs=%d",
 		strings.ToLower(strings.TrimSpace(name)), p.Seed, p.Trials, p.Tasks, p.RPCs)
@@ -146,6 +168,5 @@ func CacheKey(name string, p Params) string {
 		// its historical cache key.
 		key = fmt.Appendf(key, "|shards=%d", p.Shards)
 	}
-	sum := sha256.Sum256(key)
-	return hex.EncodeToString(sum[:16])
+	return key
 }

@@ -34,7 +34,20 @@ type Experiment struct {
 	// Run executes the experiment. Implementations honor ctx where the
 	// underlying runner does.
 	Run func(ctx context.Context, p Params) (Output, error)
+	// Sweep, when non-nil, publishes the experiment's cell grid for
+	// distributed execution: internal/service accepts cell-range
+	// sub-jobs for it and internal/cluster shards it across workers.
+	// Entries with a Sweep use Sweep.Run as their Run, so local and
+	// cluster-merged output are byte-identical by construction.
+	Sweep *Sweep
 }
+
+// The registry's shared sweep definitions (one instance each, so every
+// All() call hands out the same grid).
+var (
+	table8Sweep   = Table8Sweep()
+	ablationSweep = AblationSweep()
+)
 
 // Find returns the experiment registered under name (case-insensitive).
 func Find(name string) (Experiment, bool) {
@@ -88,14 +101,12 @@ func All() []Experiment {
 		},
 		{
 			Name: "table8", Title: "Table 8: cost and latency configurator", Section: "§4.2",
-			Covers: []string{"Table8"},
-			Run: func(ctx context.Context, p Params) (Output, error) {
-				rows, err := Table8(ctx, p.Seed, p.hooks())
-				if err != nil {
-					return Output{}, err
-				}
-				return Output{Text: RenderTable8(rows), CSV: map[string]interface{}{"table8": rows}}, nil
-			},
+			Covers: []string{"Table8", "Table8Range", "Table8Merge", "Table8Sweep"},
+			// Run via the sweep: RunCells(0, 12) + Merge, the same pair a
+			// cluster run composes, so the table is byte-identical for
+			// every worker count.
+			Run:   table8Sweep.Run,
+			Sweep: table8Sweep,
 		},
 		{
 			Name: "table9", Title: "Table 9: topology comparison at ~1k ports", Section: "§5",
@@ -313,31 +324,11 @@ func All() []Experiment {
 		},
 		{
 			Name: "ablations", Title: "Ablations: ring size, switch model, VLB fraction, ECMP mode", Section: "ext.",
-			Run: func(ctx context.Context, p Params) (Output, error) {
-				var b strings.Builder
-				parts := []struct {
-					label string
-					fn    func(context.Context, int64, *Hooks) ([]AblationRow, error)
-				}{
-					{"ring size", AblationRingSize},
-					{"switch model", AblationSwitchModel},
-					{"VLB fraction at 45 Gb/s", AblationVLBFraction},
-					{"ECMP mode", AblationECMPMode},
-				}
-				for i, part := range parts {
-					// Trace only: progress stays part-granular (p.tick below)
-					// so the job progress stream keeps one consistent total.
-					start := time.Now()
-					rows, err := part.fn(ctx, p.Seed, &Hooks{Trace: p.Trace})
-					if err != nil {
-						return Output{}, err
-					}
-					b.WriteString(RenderAblation(part.label, rows))
-					p.span("part", i, start)
-					p.tick(i+1, len(parts))
-				}
-				return Output{Text: b.String()}, nil
-			},
+			// The four axes flatten into one 14-cell grid (AblationRange)
+			// so progress ticks per cell and cluster runs shard freely;
+			// the merge renders the same four tables in the same order.
+			Run:   ablationSweep.Run,
+			Sweep: ablationSweep,
 		},
 	}
 }

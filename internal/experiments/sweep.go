@@ -1,0 +1,137 @@
+package experiments
+
+// The sweep abstraction: experiments whose work is a grid of
+// independent cells publish the grid's size, a cell-range executor,
+// and a deterministic merge. That is exactly the shape the cluster
+// coordinator (internal/cluster) needs to fan a sweep out across
+// worker daemons: any partition of [0, n) into contiguous ranges,
+// executed anywhere and in any order, merges back into the same bytes
+// a single process produces — because the single-process path runs
+// through the very same RunCells + Merge pair.
+//
+// Partial results travel between processes as CellBlocks: the range
+// bounds plus a JSON payload of per-cell values. encoding/json renders
+// float64s in their shortest round-tripping form, so a block that
+// crosses the wire decodes to bit-identical values and the merged
+// table is byte-identical to a local run.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// CellBlock is the result of executing one contiguous cell range
+// [Lo, Hi) of a sweep grid: the experiment-specific per-cell values,
+// JSON-encoded so blocks can cross process boundaries.
+type CellBlock struct {
+	Lo   int             `json:"lo"`
+	Hi   int             `json:"hi"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Sweep describes an experiment divisible into independent cells. All
+// three funcs are pure with respect to Params (hooks excluded):
+// Cells(p) is constant for a given p, and RunCells results depend only
+// on (p, lo, hi).
+type Sweep struct {
+	// Cells returns the grid size under p.
+	Cells func(p Params) int
+	// RunCells executes cells [lo, hi) under the forEachCell index
+	// discipline and returns their values as one block. Progress ticks
+	// (p.Progress) count within the range: done ∈ [0, hi-lo].
+	RunCells func(ctx context.Context, p Params, lo, hi int) (CellBlock, error)
+	// Merge combines blocks covering exactly [0, Cells(p)) — disjoint,
+	// sorted ascending by Lo — into the experiment's final Output.
+	Merge func(p Params, blocks []CellBlock) (Output, error)
+}
+
+// Run executes the whole grid locally: RunCells(0, n) followed by
+// Merge. Registry entries that publish a Sweep use this as their Run,
+// so single-process output and cluster-merged output are byte-identical
+// by construction.
+func (sw *Sweep) Run(ctx context.Context, p Params) (Output, error) {
+	n := sw.Cells(p)
+	block, err := sw.RunCells(ctx, p, 0, n)
+	if err != nil {
+		return Output{}, err
+	}
+	return sw.Merge(p, []CellBlock{block})
+}
+
+// RunRange executes cells [lo, hi) and returns the block wrapped in an
+// Output whose Text is the JSON-encoded CellBlock — the wire form a
+// cell-range sub-job (internal/service Request.Cells) reports back to
+// the cluster coordinator. DecodeBlock inverts it.
+func (sw *Sweep) RunRange(ctx context.Context, p Params, lo, hi int) (Output, error) {
+	block, err := sw.RunCells(ctx, p, lo, hi)
+	if err != nil {
+		return Output{}, err
+	}
+	enc, err := json.Marshal(block)
+	if err != nil {
+		return Output{}, fmt.Errorf("encoding cell block [%d,%d): %w", lo, hi, err)
+	}
+	return Output{Text: string(enc)}, nil
+}
+
+// DecodeBlock parses the Output.Text of a cell-range execution back
+// into its CellBlock.
+func DecodeBlock(text string) (CellBlock, error) {
+	var b CellBlock
+	if err := json.Unmarshal([]byte(text), &b); err != nil {
+		return CellBlock{}, fmt.Errorf("decoding cell block: %w", err)
+	}
+	if b.Hi <= b.Lo {
+		return CellBlock{}, fmt.Errorf("decoding cell block: empty range [%d,%d)", b.Lo, b.Hi)
+	}
+	return b, nil
+}
+
+// encodeBlock wraps per-cell values (a slice covering [lo, hi)) as a
+// CellBlock.
+func encodeBlock(lo, hi int, cells interface{}) (CellBlock, error) {
+	data, err := json.Marshal(cells)
+	if err != nil {
+		return CellBlock{}, fmt.Errorf("encoding cells [%d,%d): %w", lo, hi, err)
+	}
+	return CellBlock{Lo: lo, Hi: hi, Data: data}, nil
+}
+
+// mergeBlocks decodes blocks covering exactly [0, n) into one slice of
+// per-cell values in cell order, rejecting gaps, overlaps, and blocks
+// whose payload length disagrees with their bounds.
+func mergeBlocks[T any](n int, blocks []CellBlock) ([]T, error) {
+	vals := make([]T, 0, n)
+	next := 0
+	for _, b := range blocks {
+		if b.Lo != next {
+			return nil, fmt.Errorf("merging cell blocks: want cells from %d, got block [%d,%d)", next, b.Lo, b.Hi)
+		}
+		if b.Hi <= b.Lo || b.Hi > n {
+			return nil, fmt.Errorf("merging cell blocks: bad range [%d,%d) of %d cells", b.Lo, b.Hi, n)
+		}
+		var part []T
+		if err := json.Unmarshal(b.Data, &part); err != nil {
+			return nil, fmt.Errorf("merging cell blocks: block [%d,%d): %w", b.Lo, b.Hi, err)
+		}
+		if len(part) != b.Hi-b.Lo {
+			return nil, fmt.Errorf("merging cell blocks: block [%d,%d) carries %d cells", b.Lo, b.Hi, len(part))
+		}
+		vals = append(vals, part...)
+		next = b.Hi
+	}
+	if next != n {
+		return nil, fmt.Errorf("merging cell blocks: cells [%d,%d) missing", next, n)
+	}
+	return vals, nil
+}
+
+// checkRange validates a requested cell range against a grid of n
+// cells.
+func checkRange(n, lo, hi int) error {
+	if lo < 0 || hi <= lo || hi > n {
+		return fmt.Errorf("cell range [%d,%d) outside grid of %d cells", lo, hi, n)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// runPartitioned executes a sweep as a set of contiguous ranges (the
+// cluster coordinator's shape) and merges the blocks.
+func runPartitioned(t *testing.T, sw *Sweep, p Params, cuts []int) Output {
+	t.Helper()
+	n := sw.Cells(p)
+	bounds := append([]int{0}, cuts...)
+	bounds = append(bounds, n)
+	var blocks []CellBlock
+	for i := 0; i+1 < len(bounds); i++ {
+		// Round-trip each block through its wire form, as a worker
+		// sub-job result would.
+		out, err := sw.RunRange(context.Background(), p, bounds[i], bounds[i+1])
+		if err != nil {
+			t.Fatalf("RunRange[%d,%d): %v", bounds[i], bounds[i+1], err)
+		}
+		b, err := DecodeBlock(out.Text)
+		if err != nil {
+			t.Fatalf("DecodeBlock[%d,%d): %v", bounds[i], bounds[i+1], err)
+		}
+		blocks = append(blocks, b)
+	}
+	out, err := sw.Merge(p, blocks)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	return out
+}
+
+// TestSweepPartitionDeterminism: for each registered sweep, the
+// whole-grid run and a partitioned run that crosses the wire merge to
+// byte-identical output — the invariant the cluster coordinator relies
+// on for worker-count independence.
+func TestSweepPartitionDeterminism(t *testing.T) {
+	p := Params{Seed: 2014}.WithDefaults()
+	for _, tc := range []struct {
+		name string
+		sw   *Sweep
+		cuts []int
+	}{
+		{"table8", table8Sweep, []int{5, 9}},
+		{"ablations", ablationSweep, []int{1, 6, 13}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			whole, err := tc.sw.Run(context.Background(), p)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			split := runPartitioned(t, tc.sw, p, tc.cuts)
+			if whole.Text != split.Text {
+				t.Errorf("partitioned text differs from whole-grid text:\n--- whole ---\n%s\n--- split ---\n%s", whole.Text, split.Text)
+			}
+			if !reflect.DeepEqual(whole.CSV, split.CSV) {
+				t.Errorf("partitioned CSV rows differ from whole-grid rows")
+			}
+		})
+	}
+}
+
+// TestSweepRegistryIdentity: registry entries that publish a sweep run
+// through it, so Find(...).Run and a cluster merge share one code path.
+func TestSweepRegistryIdentity(t *testing.T) {
+	for _, name := range []string{"table8", "ablations"} {
+		exp, ok := Find(name)
+		if !ok {
+			t.Fatalf("registry entry %q missing", name)
+		}
+		if exp.Sweep == nil {
+			t.Errorf("%s: no Sweep published", name)
+			continue
+		}
+		if exp.Sweep.Cells(DefaultParams()) <= 1 {
+			t.Errorf("%s: degenerate grid", name)
+		}
+	}
+	// Non-divisible experiments must not publish a grid by accident.
+	if exp, _ := Find("table2"); exp.Sweep != nil {
+		t.Errorf("table2 unexpectedly publishes a sweep")
+	}
+}
+
+// TestSweepMergeRejectsBadCoverage: gaps, overlaps, and length
+// mismatches are merge errors, never silent corruption.
+func TestSweepMergeRejectsBadCoverage(t *testing.T) {
+	mk := func(lo, hi int, vals []float64) CellBlock {
+		b, err := encodeBlock(lo, hi, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := map[string][]CellBlock{
+		"gap":      {mk(0, 2, []float64{1, 2}), mk(3, 4, []float64{4})},
+		"overlap":  {mk(0, 3, []float64{1, 2, 3}), mk(2, 4, []float64{3, 4})},
+		"short":    {mk(0, 4, []float64{1, 2})},
+		"missing":  {mk(0, 2, []float64{1, 2})},
+		"inverted": {mk(2, 1, []float64{9})},
+	}
+	for name, blocks := range cases {
+		if _, err := mergeBlocks[float64](4, blocks); err == nil {
+			t.Errorf("%s: merge accepted invalid coverage", name)
+		}
+	}
+}
+
+// TestCacheKeyRange: range sub-keys are distinct from the whole-grid
+// key and from each other; the degenerate (0,0) request aliases
+// CacheKey so whole-job lookups are unchanged.
+func TestCacheKeyRange(t *testing.T) {
+	p := Params{Seed: 7}
+	full := CacheKey("table8", p)
+	if got := CacheKeyRange("table8", p, 0, 0); got != full {
+		t.Errorf("degenerate range key %s != CacheKey %s", got, full)
+	}
+	a := CacheKeyRange("table8", p, 0, 6)
+	b := CacheKeyRange("table8", p, 6, 12)
+	c := CacheKeyRange("table8", p, 0, 12)
+	keys := map[string]bool{full: true, a: true, b: true, c: true}
+	if len(keys) != 4 {
+		t.Errorf("range keys collide: full=%s [0,6)=%s [6,12)=%s [0,12)=%s", full, a, b, c)
+	}
+	// Canonicalization applies to range keys too: explicit defaults and
+	// zero values share a key.
+	if CacheKeyRange("table8", Params{}, 0, 6) != CacheKeyRange("table8", DefaultParams(), 0, 6) {
+		t.Errorf("range keys not canonicalized over defaults")
+	}
+}

@@ -53,18 +53,20 @@ func table8Latency(archName string, tasks int, seed int64) (float64, error) {
 	return mean, err
 }
 
-// Table8 reproduces the configurator comparison: cost per server from
-// the parts catalog and latency reduction from simulation, for the
-// paper's six scenarios. Cancelling ctx stops the sweep between cells;
-// hooks (may be nil) carries the progress and trace hooks.
-func Table8(ctx context.Context, seed int64, hooks *Hooks) ([]Table8Row, error) {
+// table8Scenario is one configurator comparison point with its costed
+// bills of materials.
+type table8Scenario struct {
+	size, util         string
+	servers            int
+	baseline, quartz   string
+	baseBOM, quartzBOM *cost.BOM
+}
+
+// table8Scenarios builds the paper's six configurator scenarios. The
+// BOMs are pure parts-catalog arithmetic (no simulation), so the merge
+// side of the sweep can rebuild them cheaply.
+func table8Scenarios() ([]table8Scenario, error) {
 	c := cost.Default2014
-	type scenario struct {
-		size, util         string
-		servers            int
-		baseline, quartz   string
-		baseBOM, quartzBOM *cost.BOM
-	}
 	small := 500
 	medium := 10_000
 	large := 100_000
@@ -73,43 +75,84 @@ func Table8(ctx context.Context, seed int64, hooks *Hooks) ([]Table8Row, error) 
 	if err != nil {
 		return nil, err
 	}
-	scenarios := []scenario{
+	return []table8Scenario{
 		{"Small", "Low", small, "two-tier tree", "single Quartz ring", cost.TwoTierTree(small, c), ringBOM},
 		{"Small", "High", small, "two-tier tree", "single Quartz ring", cost.TwoTierTree(small, c), ringBOM},
 		{"Medium", "Low", medium, "three-tier tree", "quartz in edge", cost.ThreeTierTree(medium, c), cost.QuartzEdge(medium, c)},
 		{"Medium", "High", medium, "three-tier tree", "quartz in edge", cost.ThreeTierTree(medium, c), cost.QuartzEdge(medium, c)},
 		{"Large", "Low", large, "three-tier tree", "quartz in core", cost.ThreeTierTree(large, c), cost.QuartzCore(large, c)},
 		{"Large", "High", large, "three-tier tree", "quartz in edge and core", cost.ThreeTierTree(large, c), cost.QuartzEdgeAndCore(large, c)},
-	}
+	}, nil
+}
 
-	// Each (scenario, arm) cell simulates independently with a fixed
-	// seed; shard all twelve across the worker pool and assemble rows
-	// from indexed slots, so the table is byte-identical however many
-	// cores run it.
-	type cellRef struct {
-		arch  string
-		tasks int
-		seed  int64
-		label string
+// table8Cell is one (scenario, arm) simulation of the configurator
+// grid.
+type table8Cell struct {
+	arch  string
+	tasks int
+	seed  int64
+	label string
+}
+
+// table8Grid flattens the scenarios into the 12-cell simulation grid:
+// two arms (baseline, quartz) per scenario, each an independent
+// simulation with a fixed seed — the forEachCell index discipline the
+// cluster coordinator shards on.
+func table8Grid(seed int64) ([]table8Cell, error) {
+	scenarios, err := table8Scenarios()
+	if err != nil {
+		return nil, err
 	}
-	cells := make([]cellRef, 0, 2*len(scenarios))
+	cells := make([]table8Cell, 0, 2*len(scenarios))
 	for i, sc := range scenarios {
 		tasks := table8LoadTasks[sc.util]
 		cells = append(cells,
-			cellRef{sc.baseline, tasks, seed + int64(i), fmt.Sprintf("%s/%s baseline", sc.size, sc.util)},
-			cellRef{sc.quartz, tasks, seed + int64(i), fmt.Sprintf("%s/%s quartz", sc.size, sc.util)})
+			table8Cell{sc.baseline, tasks, seed + int64(i), fmt.Sprintf("%s/%s baseline", sc.size, sc.util)},
+			table8Cell{sc.quartz, tasks, seed + int64(i), fmt.Sprintf("%s/%s quartz", sc.size, sc.util)})
 	}
-	lats := make([]float64, len(cells))
-	err = forEachCell(ctx, len(cells), hooks, func(j int) error {
-		lat, err := table8Latency(cells[j].arch, cells[j].tasks, cells[j].seed)
+	return cells, nil
+}
+
+// table8CellCount is the grid size: two arms per scenario.
+const table8CellCount = 12
+
+// Table8Range measures the mean latencies of grid cells [lo, hi):
+// the distributable unit of the Table 8 sweep. Results are indexed
+// from the range start (slot k holds cell lo+k).
+func Table8Range(ctx context.Context, seed int64, lo, hi int, hooks *Hooks) ([]float64, error) {
+	cells, err := table8Grid(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkRange(len(cells), lo, hi); err != nil {
+		return nil, fmt.Errorf("table8: %w", err)
+	}
+	lats := make([]float64, hi-lo)
+	err = forEachCell(ctx, hi-lo, hooks, func(k int) error {
+		c := cells[lo+k]
+		lat, err := table8Latency(c.arch, c.tasks, c.seed)
 		if err != nil {
-			return fmt.Errorf("table8 %s: %w", cells[j].label, err)
+			return fmt.Errorf("table8 %s: %w", c.label, err)
 		}
-		lats[j] = lat
+		lats[k] = lat
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	return lats, nil
+}
+
+// Table8Merge assembles the final rows from the full grid's latencies
+// (index discipline of table8Grid: cell 2i is scenario i's baseline,
+// 2i+1 its quartz arm).
+func Table8Merge(lats []float64) ([]Table8Row, error) {
+	scenarios, err := table8Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	if len(lats) != 2*len(scenarios) {
+		return nil, fmt.Errorf("table8 merge: %d latencies for %d scenarios", len(lats), len(scenarios))
 	}
 	rows := make([]Table8Row, 0, len(scenarios))
 	for i, sc := range scenarios {
@@ -125,6 +168,45 @@ func Table8(ctx context.Context, seed int64, hooks *Hooks) ([]Table8Row, error) 
 		})
 	}
 	return rows, nil
+}
+
+// Table8 reproduces the configurator comparison: cost per server from
+// the parts catalog and latency reduction from simulation, for the
+// paper's six scenarios. Cancelling ctx stops the sweep between cells;
+// hooks (may be nil) carries the progress and trace hooks. It is the
+// whole-grid composition of Table8Range and Table8Merge, so a cluster
+// run of the same grid merges to byte-identical rows.
+func Table8(ctx context.Context, seed int64, hooks *Hooks) ([]Table8Row, error) {
+	lats, err := Table8Range(ctx, seed, 0, table8CellCount, hooks)
+	if err != nil {
+		return nil, err
+	}
+	return Table8Merge(lats)
+}
+
+// Table8Sweep publishes the Table 8 grid for distributed execution.
+func Table8Sweep() *Sweep {
+	return &Sweep{
+		Cells: func(Params) int { return table8CellCount },
+		RunCells: func(ctx context.Context, p Params, lo, hi int) (CellBlock, error) {
+			lats, err := Table8Range(ctx, p.Seed, lo, hi, p.hooks())
+			if err != nil {
+				return CellBlock{}, err
+			}
+			return encodeBlock(lo, hi, lats)
+		},
+		Merge: func(p Params, blocks []CellBlock) (Output, error) {
+			lats, err := mergeBlocks[float64](table8CellCount, blocks)
+			if err != nil {
+				return Output{}, fmt.Errorf("table8: %w", err)
+			}
+			rows, err := Table8Merge(lats)
+			if err != nil {
+				return Output{}, err
+			}
+			return Output{Text: RenderTable8(rows), CSV: map[string]interface{}{"table8": rows}}, nil
+		},
+	}
 }
 
 // RenderTable8 renders the configurator table.

@@ -8,6 +8,7 @@ package service
 //	GET    /jobs/{id}       job state + progress
 //	GET    /jobs/{id}/result  output of a terminal job (409 until then)
 //	GET    /jobs/{id}/trace   execution trace, Chrome trace-event JSON
+//	GET    /jobs/{id}/events  Server-Sent Events: per-cell progress + state
 //	DELETE /jobs/{id}       cancel
 //	PUT    /scenarios/{name}  store a named scenario document (400 on doc errors)
 //	GET    /scenarios/{name}  the stored document, as uploaded
@@ -36,17 +37,21 @@ package service
 // whatever has been recorded so far.
 //
 // Backpressure is visible at the protocol level: a full queue answers
-// 429 Too Many Requests with Retry-After, a draining daemon 503
-// Service Unavailable. Handlers only read service state through the
-// public accessors, so they are safe alongside the worker pool.
+// 429 Too Many Requests with a jittered Retry-After and the live queue
+// depth (X-Quartz-Queue-Depth, also on /healthz), a draining daemon
+// 503 Service Unavailable. Handlers only read service state through
+// the public accessors, so they are safe alongside the worker pool.
 
 import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/quartz-dcn/quartz/internal/metrics"
@@ -91,15 +96,14 @@ func (s *Service) Handler(meta metrics.StatusMeta) http.Handler {
 	metricsMux := metrics.Handler(s.reg, meta)
 	mux.Handle("/metrics", metricsMux)
 	mux.Handle("/status", metricsMux)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("PUT /scenarios/{name}", s.handleScenarioPut)
 	mux.HandleFunc("GET /scenarios/{name}", s.handleScenarioGet)
@@ -162,13 +166,17 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrUnknownExperiment), errors.Is(err, ErrUnknownScenario):
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 		return
-	case errors.Is(err, ErrBadScenario):
+	case errors.Is(err, ErrBadScenario), errors.Is(err, ErrBadRange):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, ErrQueueFull):
-		// Backpressure: tell the client when to come back. One second
-		// is a deliberate floor — smoke-scale jobs finish in less.
-		w.Header().Set("Retry-After", "1")
+		// Backpressure: tell the client when to come back, with jitter
+		// so a herd of rejected clients (or cluster dispatchers) does
+		// not retry in lockstep. One second is a deliberate floor —
+		// smoke-scale jobs finish in less. The live queue depth rides
+		// along so callers can load-balance instead of blindly retrying.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs()))
+		w.Header().Set(queueDepthHeader, strconv.Itoa(s.QueueDepth()))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
@@ -219,7 +227,98 @@ func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
 	for _, j := range jobs {
 		out = append(out, j.Snapshot(now))
 	}
+	// Deterministic listing order: submission time, job ID as the
+	// tiebreak (IDs are monotonic, so same-timestamp submissions still
+	// list in admission order). Identical GET /jobs calls must return
+	// identical bodies — clients diff them.
+	sort.SliceStable(out, func(a, b int) bool {
+		if !out[a].SubmittedAt.Equal(out[b].SubmittedAt) {
+			return out[a].SubmittedAt.Before(out[b].SubmittedAt)
+		}
+		return out[a].ID < out[b].ID
+	})
 	writeJSON(w, http.StatusOK, out)
+}
+
+// queueDepthHeader carries the live submission-queue depth on 429
+// responses and /healthz, the coordinator's load-balancing signal.
+const queueDepthHeader = "X-Quartz-Queue-Depth"
+
+// retryAfterSecs returns the 429 Retry-After hint: a 1-second floor
+// plus up to 2 seconds of jitter, so synchronized clients desynchronize
+// instead of stampeding the queue on the same tick.
+func retryAfterSecs() int { return 1 + rand.Intn(3) }
+
+// HealthBody is the GET /healthz response: liveness plus the queue
+// load signal (see the Retry-After jitter note on handleSubmit — the
+// depth lets clients and the cluster coordinator balance on
+// backpressure rather than probe it).
+type HealthBody struct {
+	Status        string `json:"status"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	depth := s.QueueDepth()
+	w.Header().Set(queueDepthHeader, strconv.Itoa(depth))
+	writeJSON(w, http.StatusOK, HealthBody{
+		Status:        "ok",
+		QueueDepth:    depth,
+		QueueCapacity: s.QueueCapacity(),
+	})
+}
+
+// handleEvents streams job lifecycle and per-cell progress as
+// Server-Sent Events: an initial "state" event, a "progress" event per
+// observed done/total change, a "state" event per transition, and
+// stream close once the job is terminal. A cluster job aggregates its
+// workers' per-cell callbacks into the same stream, so one SSE
+// subscription watches a whole fan-out.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.Header().Set(traceHeader, j.TraceID())
+	w.WriteHeader(http.StatusOK)
+
+	ch := j.watch() // pre-poked: first loop iteration emits current state
+	defer j.unwatch(ch)
+	lastState := State(255)
+	lastDone, lastTotal := -1, -1
+	emit := func(event string, v interface{}) {
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		}
+		v := j.Snapshot(time.Now())
+		if v.Progress != nil && (v.Progress.Done != lastDone || v.Progress.Total != lastTotal) {
+			lastDone, lastTotal = v.Progress.Done, v.Progress.Total
+			emit("progress", v.Progress)
+		}
+		if v.State != lastState {
+			lastState = v.State
+			emit("state", map[string]interface{}{"id": v.ID, "state": v.State, "error": v.Error})
+		}
+		fl.Flush()
+		if v.State.Terminal() {
+			return
+		}
+	}
 }
 
 // jobOr404 resolves {id} or writes the 404.

@@ -74,16 +74,24 @@ type ParamSpec struct {
 	Trials int   `json:"trials,omitempty"`
 	Tasks  int   `json:"tasks,omitempty"`
 	RPCs   int   `json:"rpcs,omitempty"`
+	Shards int   `json:"shards,omitempty"`
 }
 
 // Params converts the wire form to runner parameters.
 func (ps ParamSpec) Params() experiments.Params {
-	return experiments.Params{Seed: ps.Seed, Trials: ps.Trials, Tasks: ps.Tasks, RPCs: ps.RPCs}
+	return experiments.Params{Seed: ps.Seed, Trials: ps.Trials, Tasks: ps.Tasks, RPCs: ps.RPCs, Shards: ps.Shards}
 }
 
 // specOf converts runner parameters back to the wire form.
 func specOf(p experiments.Params) ParamSpec {
-	return ParamSpec{Seed: p.Seed, Trials: p.Trials, Tasks: p.Tasks, RPCs: p.RPCs}
+	return ParamSpec{Seed: p.Seed, Trials: p.Trials, Tasks: p.Tasks, RPCs: p.RPCs, Shards: p.Shards}
+}
+
+// CellRange selects the contiguous sweep cells [Lo, Hi) of a cell-range
+// sub-job.
+type CellRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
 }
 
 // Request is one job submission. Exactly one of Experiment, Scenario,
@@ -107,6 +115,13 @@ type Request struct {
 	// NoCache forces execution even when a cached result exists, and
 	// keeps the result out of the cache.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Cells, when non-nil, restricts execution to sweep cells [Lo, Hi)
+	// of a registry experiment that publishes a Sweep grid — the
+	// sub-job form the cluster coordinator fans out to workers. The
+	// result is a partial CellBlock (JSON in the result text), cached
+	// under the experiments.CacheKeyRange sub-key so any worker's prior
+	// block serves any later client. Only valid with Experiment.
+	Cells *CellRange `json:"cells,omitempty"`
 	// TraceID names the job's execution trace; it defaults to the job
 	// ID. The HTTP layer fills it from the X-Quartz-Trace request
 	// header, echoes it on responses, and serves the trace itself at
@@ -125,6 +140,8 @@ type Job struct {
 	timeout time.Duration
 	noCache bool
 	traceID string
+	// cells is non-nil for cell-range sub-jobs (Request.Cells).
+	cells *CellRange
 	// rec is the job's flight recorder: lifecycle spans plus whatever
 	// the experiment records through Params.Trace, bounded so a
 	// long-running job keeps its most recent windows. Set at creation
@@ -143,6 +160,10 @@ type Job struct {
 	errMsg      string
 	cacheHit    bool
 	cancel      context.CancelFunc // non-nil while running
+	// watchers are SSE subscribers: 1-buffered poke channels. A poke
+	// means "re-snapshot me"; sends never block, and consecutive pokes
+	// coalesce — the subscriber reads current state, not an event log.
+	watchers map[chan struct{}]struct{}
 
 	done chan struct{} // closed on entering a terminal state
 }
@@ -213,7 +234,41 @@ func (j *Job) Wait(ctx context.Context) error {
 func (j *Job) setProgress(done, total int) {
 	j.mu.Lock()
 	j.progDone, j.progTotal = done, total
+	j.notifyLocked()
 	j.mu.Unlock()
+}
+
+// watch subscribes to job updates: the returned channel is poked
+// (coalescing, never blocking) on every progress tick and state
+// transition. It arrives pre-poked so the subscriber emits the current
+// state immediately. Pair with unwatch.
+func (j *Job) watch() chan struct{} {
+	ch := make(chan struct{}, 1)
+	ch <- struct{}{}
+	j.mu.Lock()
+	if j.watchers == nil {
+		j.watchers = make(map[chan struct{}]struct{})
+	}
+	j.watchers[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+// unwatch removes a watch subscription.
+func (j *Job) unwatch(ch chan struct{}) {
+	j.mu.Lock()
+	delete(j.watchers, ch)
+	j.mu.Unlock()
+}
+
+// notifyLocked pokes every watcher. Caller holds j.mu.
+func (j *Job) notifyLocked() {
+	for ch := range j.watchers {
+		select {
+		case ch <- struct{}{}:
+		default: // already poked; the watcher will re-snapshot anyway
+		}
+	}
 }
 
 // finish moves the job to a terminal state exactly once; later calls
@@ -230,6 +285,7 @@ func (j *Job) finish(state State, out experiments.Output, errMsg string, at time
 	j.errMsg = errMsg
 	j.finishedAt = at
 	j.cancel = nil
+	j.notifyLocked()
 	close(j.done)
 	return state
 }
@@ -249,6 +305,8 @@ type View struct {
 	State      State     `json:"state"`
 	CacheHit   bool      `json:"cache_hit,omitempty"`
 	TraceID    string    `json:"trace_id,omitempty"`
+	// Cells marks a cell-range sub-job (the cluster fan-out unit).
+	Cells *CellRange `json:"cells,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -276,6 +334,10 @@ func (j *Job) Snapshot(now time.Time) View {
 		TraceID:     j.traceID,
 		SubmittedAt: j.submittedAt,
 		Error:       j.errMsg,
+	}
+	if j.cells != nil {
+		c := *j.cells
+		v.Cells = &c
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt

@@ -39,6 +39,9 @@ var (
 	ErrDraining          = errors.New("draining, not accepting jobs")
 	ErrUnknownExperiment = errors.New("unknown experiment")
 	ErrUnknownJob        = errors.New("unknown job")
+	// ErrBadRange rejects a cell-range submission whose experiment has
+	// no sweep grid or whose bounds fall outside it (HTTP 400).
+	ErrBadRange = errors.New("bad cell range")
 )
 
 // Config parameterizes a Service. Zero values take the documented
@@ -189,6 +192,12 @@ func (s *Service) Registry() *metrics.Registry { return s.reg }
 // QueueCapacity returns the configured submission-queue bound.
 func (s *Service) QueueCapacity() int { return s.cfg.QueueCapacity }
 
+// QueueDepth returns the number of jobs waiting in the submission
+// queue right now — the load signal /healthz exposes so clients and
+// the cluster coordinator can balance on backpressure instead of
+// blindly retrying 429s.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
 // Experiments returns the registry entries this service can run.
 func (s *Service) Experiments() []experiments.Experiment { return experiments.All() }
 
@@ -251,6 +260,30 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		return nil, err
 	}
 	key := experiments.CacheKey(exp.Name, params)
+	run := exp.Run
+	if req.Cells != nil {
+		// Cell-range sub-job: run only [Lo, Hi) of the experiment's
+		// sweep grid and report the partial block. The cache key becomes
+		// the range sub-key, so a block this worker computed once serves
+		// every later request for the same cells — the shared-cache tier
+		// the cluster coordinator leans on.
+		if req.Experiment == "" {
+			return nil, fmt.Errorf("%w: cells requires a registry experiment", ErrBadRange)
+		}
+		sw := exp.Sweep
+		if sw == nil {
+			return nil, fmt.Errorf("%w: experiment %q has no sweep grid", ErrBadRange, exp.Name)
+		}
+		n := sw.Cells(params)
+		lo, hi := req.Cells.Lo, req.Cells.Hi
+		if lo < 0 || hi <= lo || hi > n {
+			return nil, fmt.Errorf("%w: [%d,%d) outside grid of %d cells", ErrBadRange, lo, hi, n)
+		}
+		key = experiments.CacheKeyRange(exp.Name, params, lo, hi)
+		run = func(ctx context.Context, p experiments.Params) (experiments.Output, error) {
+			return sw.RunRange(ctx, p, lo, hi)
+		}
+	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutSecs > 0 {
 		timeout = time.Duration(req.TimeoutSecs * float64(time.Second))
@@ -267,7 +300,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		if ent, ok := s.cache.get(key); ok {
 			s.mCacheHits.Inc()
 			s.mSubmit["cache_hit"].Inc()
-			job := s.newJobLocked(exp, params, key, timeout, req, now)
+			job := s.newJobLocked(exp, params, run, key, timeout, req, now)
 			job.cacheHit = true
 			job.startedAt = now
 			job.traceSpan("cached", now, now)
@@ -281,7 +314,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 			return live, nil
 		}
 	}
-	job := s.newJobLocked(exp, params, key, timeout, req, now)
+	job := s.newJobLocked(exp, params, run, key, timeout, req, now)
 	select {
 	case s.queue <- job:
 	default:
@@ -300,14 +333,15 @@ func (s *Service) Submit(req Request) (*Job, error) {
 }
 
 // newJobLocked allocates a job shell. Caller holds s.mu.
-func (s *Service) newJobLocked(exp experiments.Experiment, p experiments.Params, key string, timeout time.Duration, req Request, now time.Time) *Job {
+func (s *Service) newJobLocked(exp experiments.Experiment, p experiments.Params, run func(context.Context, experiments.Params) (experiments.Output, error), key string, timeout time.Duration, req Request, now time.Time) *Job {
 	s.nextID++
 	j := &Job{
 		id:          fmt.Sprintf("j-%06d", s.nextID),
 		key:         key,
 		name:        exp.Name,
 		params:      p,
-		run:         exp.Run,
+		run:         run,
+		cells:       req.Cells,
 		timeout:     timeout,
 		noCache:     req.NoCache,
 		traceID:     req.TraceID,
@@ -428,6 +462,7 @@ func (s *Service) runJob(j *Job) {
 	j.state = StateRunning
 	j.startedAt = now
 	j.cancel = cancel
+	j.notifyLocked()
 	j.mu.Unlock()
 	s.nQueued--
 	s.nRunning++

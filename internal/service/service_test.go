@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -71,6 +72,40 @@ func (sr *stubRegistry) lookup(name string) (experiments.Experiment, bool) {
 			}
 			return experiments.Output{Text: "ticked"}, nil
 		})}, true
+	case "grid":
+		// A synthetic 8-cell sweep: cell i's value is seed*100+i, the
+		// merge renders them space-separated. Counts executions like the
+		// other stubs so cache tests can assert "no recompute".
+		sw := &experiments.Sweep{
+			Cells: func(experiments.Params) int { return 8 },
+			RunCells: func(_ context.Context, p experiments.Params, lo, hi int) (experiments.CellBlock, error) {
+				sr.runs.Add(1)
+				vals := make([]int64, hi-lo)
+				for k := range vals {
+					vals[k] = p.Seed*100 + int64(lo+k)
+					if p.Progress != nil {
+						p.Progress(k+1, hi-lo)
+					}
+				}
+				data, err := json.Marshal(vals)
+				if err != nil {
+					return experiments.CellBlock{}, err
+				}
+				return experiments.CellBlock{Lo: lo, Hi: hi, Data: data}, nil
+			},
+			Merge: func(_ experiments.Params, blocks []experiments.CellBlock) (experiments.Output, error) {
+				var all []int64
+				for _, b := range blocks {
+					var part []int64
+					if err := json.Unmarshal(b.Data, &part); err != nil {
+						return experiments.Output{}, err
+					}
+					all = append(all, part...)
+				}
+				return experiments.Output{Text: fmt.Sprintf("grid=%v", all)}, nil
+			},
+		}
+		return experiments.Experiment{Name: "grid", Run: sw.Run, Sweep: sw}, true
 	}
 	return experiments.Experiment{}, false
 }
